@@ -1,0 +1,129 @@
+// Micro-benchmarks of the distance and assignment kernels (google-
+// benchmark). Not a paper figure; used to validate the asymptotic claims
+// of Sec. III-F/III-G.5 (Hungarian O(k^3) vs. greedy O(k^2 log k), banded
+// vs. full Levenshtein).
+
+#include <string>
+#include <vector>
+
+#include "assignment/greedy_matching.h"
+#include "assignment/hungarian.h"
+#include "benchmark/benchmark.h"
+#include "common/random.h"
+#include "distance/jaro.h"
+#include "distance/levenshtein.h"
+#include "distance/normalized_levenshtein.h"
+#include "tokenized/sld.h"
+
+namespace tsj {
+namespace {
+
+std::string MakeString(Rng* rng, size_t len) {
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng->Uniform(6)));
+  }
+  return s;
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  Rng rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  const std::string x = MakeString(&rng, len);
+  const std::string y = MakeString(&rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Levenshtein(x, y));
+  }
+}
+BENCHMARK(BM_Levenshtein)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  Rng rng(2);
+  const size_t len = static_cast<size_t>(state.range(0));
+  const uint32_t bound = static_cast<uint32_t>(state.range(1));
+  const std::string x = MakeString(&rng, len);
+  const std::string y = MakeString(&rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundedLevenshtein(x, y, bound));
+  }
+}
+BENCHMARK(BM_BoundedLevenshtein)
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({128, 1})
+    ->Args({128, 4});
+
+void BM_NldWithin(benchmark::State& state) {
+  Rng rng(3);
+  const std::string x = MakeString(&rng, 12);
+  const std::string y = MakeString(&rng, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NldWithin(x, y, 0.1));
+  }
+}
+BENCHMARK(BM_NldWithin);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  Rng rng(4);
+  const std::string x = MakeString(&rng, 12);
+  const std::string y = MakeString(&rng, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(x, y));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_Hungarian(benchmark::State& state) {
+  Rng rng(5);
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> costs(k * k);
+  for (auto& c : costs) c = static_cast<int64_t>(rng.Uniform(20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAssignment(costs, k));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GreedyMatching(benchmark::State& state) {
+  Rng rng(6);
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> costs(k * k);
+  for (auto& c : costs) c = static_cast<int64_t>(rng.Uniform(20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAssignmentGreedy(costs, k));
+  }
+}
+BENCHMARK(BM_GreedyMatching)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SldExact(benchmark::State& state) {
+  Rng rng(7);
+  const size_t tokens = static_cast<size_t>(state.range(0));
+  TokenizedString x, y;
+  for (size_t i = 0; i < tokens; ++i) {
+    x.push_back(MakeString(&rng, 6));
+    y.push_back(MakeString(&rng, 6));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sld(x, y, TokenAligning::kExact));
+  }
+}
+BENCHMARK(BM_SldExact)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SldGreedy(benchmark::State& state) {
+  Rng rng(8);
+  const size_t tokens = static_cast<size_t>(state.range(0));
+  TokenizedString x, y;
+  for (size_t i = 0; i < tokens; ++i) {
+    x.push_back(MakeString(&rng, 6));
+    y.push_back(MakeString(&rng, 6));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sld(x, y, TokenAligning::kGreedy));
+  }
+}
+BENCHMARK(BM_SldGreedy)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace tsj
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Set-based joins vs. TSJ under adversarial token edits (supports the
+// paper's Sec. IV argument; not a numbered paper figure).
+//
+// The prefix-filtering set-similarity join family (AllPairs/PPJoin/
+// MGJoin/Vernica et al.) treats a name as a token *set*: free under token
+// shuffles, blind to token edits — one edited character removes the token
+// from the set. This harness plants fraud rings whose members are
+// adversarially edited and measures how many intra-ring similar pairs each
+// join recovers.
+
+#include <iostream>
+#include <set>
+#include <utility>
+
+#include "bench_common.h"
+#include "eval/table_printer.h"
+#include "setjoin/prefix_filter_join.h"
+#include "tokenized/sld.h"
+#include "tsj/tsj.h"
+
+namespace tsj {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Set-join vs TSJ",
+                     "token edits defeat set joins (Sec. IV)");
+  auto options = bench::DefaultWorkload(bench::Scaled(10000));
+  options.names.min_tokens = 2;
+  options.names.min_syllables = 2;
+  options.perturb.min_char_edits = 1;
+  options.perturb.max_char_edits = 2;
+  const auto workload = GenerateRingWorkload(options);
+
+  // Ground truth: intra-ring pairs that are truly NSLD-similar at T.
+  const double t = 0.2;
+  std::set<std::pair<uint32_t, uint32_t>> ground_truth;
+  for (const auto& ring : workload.rings) {
+    for (size_t i = 0; i < ring.size(); ++i) {
+      for (size_t j = i + 1; j < ring.size(); ++j) {
+        const uint32_t a = std::min(ring[i], ring[j]);
+        const uint32_t b = std::max(ring[i], ring[j]);
+        if (Nsld(workload.names[a], workload.names[b]) <= t) {
+          ground_truth.emplace(a, b);
+        }
+      }
+    }
+  }
+  std::cout << "accounts=" << workload.corpus.size()
+            << "  truly similar intra-ring pairs (NSLD<=" << t
+            << "): " << ground_truth.size() << "\n\n";
+
+  // ---- TSJ (NSLD join). ---------------------------------------------------
+  TsjOptions tsj_options;
+  tsj_options.threshold = t;
+  tsj_options.max_token_frequency = 1000;
+  const auto tsj_pairs =
+      TokenizedStringJoiner(tsj_options).SelfJoin(workload.corpus);
+
+  // ---- Prefix-filtering Jaccard join at several thresholds. --------------
+  std::vector<std::vector<uint32_t>> sets;
+  sets.reserve(workload.corpus.size());
+  for (uint32_t s = 0; s < workload.corpus.size(); ++s) {
+    sets.push_back(workload.corpus.tokens(s));
+  }
+
+  auto ring_recall = [&ground_truth](
+                         const std::set<std::pair<uint32_t, uint32_t>>&
+                             found) {
+    if (ground_truth.empty()) return 1.0;
+    size_t hit = 0;
+    for (const auto& pair : ground_truth) hit += found.count(pair);
+    return static_cast<double>(hit) /
+           static_cast<double>(ground_truth.size());
+  };
+
+  TablePrinter table({"join", "threshold", "pairs found", "ring recall"});
+  if (tsj_pairs.ok()) {
+    std::set<std::pair<uint32_t, uint32_t>> found;
+    for (const auto& p : *tsj_pairs) found.emplace(p.a, p.b);
+    table.AddRow({"TSJ (NSLD)", TablePrinter::Fmt(t, 2),
+                  TablePrinter::Fmt(uint64_t{tsj_pairs->size()}),
+                  TablePrinter::Fmt(ring_recall(found), 3)});
+  }
+  for (double jt : {0.5, 0.7, 0.9}) {
+    const auto set_pairs = PrefixFilterJaccardSelfJoin(sets, jt);
+    std::set<std::pair<uint32_t, uint32_t>> found;
+    for (const auto& p : set_pairs) found.emplace(p.a, p.b);
+    table.AddRow({"prefix-filter Jaccard", TablePrinter::Fmt(jt, 2),
+                  TablePrinter::Fmt(uint64_t{set_pairs.size()}),
+                  TablePrinter::Fmt(ring_recall(found), 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected: set joins handle shuffles but miss edited "
+               "members at any threshold; NSLD recovers them\n";
+}
+
+}  // namespace
+}  // namespace tsj
+
+int main() {
+  tsj::Run();
+  return 0;
+}

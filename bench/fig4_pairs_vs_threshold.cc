@@ -1,0 +1,71 @@
+// Fig. 4 — "Comparing the number of pairs of TSJ while varying NSLD and
+// the token matching and aligning algorithms."
+//
+// The paper reports the number of discovered similar pairs as T sweeps
+// 0.025..0.225: fuzzy-token-matching is the lossless reference; the recall
+// of greedy-token-aligning decays only to 0.99993 at T = 0.225, while
+// exact-token-matching decays to 0.86655. Precision is 1.0 throughout (the
+// approximations only lose pairs).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/join_metrics.h"
+#include "eval/table_printer.h"
+#include "tsj/tsj.h"
+
+namespace tsj {
+namespace {
+
+std::vector<TsjPair> RunOnce(const Corpus& corpus, double threshold,
+                             TokenMatching matching, TokenAligning aligning) {
+  TsjOptions options;
+  options.threshold = threshold;
+  options.max_token_frequency = 1000;
+  options.matching = matching;
+  options.aligning = aligning;
+  auto result = TokenizedStringJoiner(options).SelfJoin(corpus);
+  return result.ok() ? std::move(*result) : std::vector<TsjPair>{};
+}
+
+void Run() {
+  bench::PrintHeader("Fig. 4", "discovered pairs vs. NSLD threshold T");
+  const auto workload =
+      GenerateRingWorkload(bench::DefaultWorkload(bench::Scaled(10000)));
+  std::cout << "accounts=" << workload.corpus.size() << " M=1000\n\n";
+
+  TablePrinter table({"T", "fuzzy pairs", "greedy pairs", "exact-tok pairs",
+                      "greedy recall", "exact recall", "precision"});
+  for (double t = 0.025; t <= 0.2251; t += 0.025) {
+    const auto fuzzy = RunOnce(workload.corpus, t, TokenMatching::kFuzzy,
+                               TokenAligning::kExact);
+    const auto greedy = RunOnce(workload.corpus, t, TokenMatching::kFuzzy,
+                                TokenAligning::kGreedy);
+    const auto exact_token = RunOnce(workload.corpus, t,
+                                     TokenMatching::kExact,
+                                     TokenAligning::kExact);
+    const auto greedy_metrics = ComparePairSets(fuzzy, greedy);
+    const auto exact_metrics = ComparePairSets(fuzzy, exact_token);
+    const double precision =
+        std::min(greedy_metrics.precision, exact_metrics.precision);
+    table.AddRow({TablePrinter::Fmt(t, 3),
+                  TablePrinter::Fmt(uint64_t{fuzzy.size()}),
+                  TablePrinter::Fmt(uint64_t{greedy.size()}),
+                  TablePrinter::Fmt(uint64_t{exact_token.size()}),
+                  TablePrinter::Fmt(greedy_metrics.recall, 5),
+                  TablePrinter::Fmt(exact_metrics.recall, 5),
+                  TablePrinter::Fmt(precision, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper at T=0.225: greedy recall 0.99993, exact-token "
+               "recall 0.86655; recall 1.0 at T=0.025; precision always "
+               "1.0\n";
+}
+
+}  // namespace
+}  // namespace tsj
+
+int main() {
+  tsj::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 5 — "Comparing the number of pairs of TSJ while varying
+// max-frequency (M) and the token matching and aligning algorithms."
+//
+// The paper sweeps M from 100 to 1,000 at T = 0.1: greedy-token-aligning
+// recall stays ~0.999999 for all M; exact-token-matching recall sits
+// between 0.974 and 0.985. (Recall is measured against fuzzy-token-
+// matching at the same M, as in Sec. V-B.2.)
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/join_metrics.h"
+#include "eval/table_printer.h"
+#include "tsj/tsj.h"
+
+namespace tsj {
+namespace {
+
+std::vector<TsjPair> RunOnce(const Corpus& corpus, uint32_t max_frequency,
+                             TokenMatching matching, TokenAligning aligning) {
+  TsjOptions options;
+  options.threshold = 0.1;
+  options.max_token_frequency = max_frequency;
+  options.matching = matching;
+  options.aligning = aligning;
+  auto result = TokenizedStringJoiner(options).SelfJoin(corpus);
+  return result.ok() ? std::move(*result) : std::vector<TsjPair>{};
+}
+
+void Run() {
+  bench::PrintHeader("Fig. 5", "discovered pairs vs. max token frequency M");
+  const auto workload =
+      GenerateRingWorkload(bench::DefaultWorkload(bench::Scaled(10000)));
+  std::cout << "accounts=" << workload.corpus.size() << " T=0.1\n\n";
+
+  TablePrinter table({"M", "fuzzy pairs", "greedy pairs", "exact-tok pairs",
+                      "greedy recall", "exact recall"});
+  for (uint32_t m = 100; m <= 1000; m += 100) {
+    const auto fuzzy = RunOnce(workload.corpus, m, TokenMatching::kFuzzy,
+                               TokenAligning::kExact);
+    const auto greedy = RunOnce(workload.corpus, m, TokenMatching::kFuzzy,
+                                TokenAligning::kGreedy);
+    const auto exact_token = RunOnce(workload.corpus, m,
+                                     TokenMatching::kExact,
+                                     TokenAligning::kExact);
+    const auto greedy_metrics = ComparePairSets(fuzzy, greedy);
+    const auto exact_metrics = ComparePairSets(fuzzy, exact_token);
+    table.AddRow({TablePrinter::Fmt(uint64_t{m}),
+                  TablePrinter::Fmt(uint64_t{fuzzy.size()}),
+                  TablePrinter::Fmt(uint64_t{greedy.size()}),
+                  TablePrinter::Fmt(uint64_t{exact_token.size()}),
+                  TablePrinter::Fmt(greedy_metrics.recall, 6),
+                  TablePrinter::Fmt(exact_metrics.recall, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper: greedy recall ~0.999999 for all M; exact-token "
+               "recall 0.974-0.985\n";
+}
+
+}  // namespace
+}  // namespace tsj
+
+int main() {
+  tsj::Run();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Fig. 7 — "Comparing the runtime of Tokenized-String Joiner (TSJ) and the
+// Hybrid Metric Joiner (HMJ) while varying the MapReduce machines."
+//
+// The paper runs both joiners on 100..1,000 machines: HMJ does not finish
+// in reasonable time on 100 machines (DNF) and TSJ is 12-15x faster on all
+// other configurations. The structural reason (Sec. V-E): tokenized strings
+// form dense clusters in the metric space, NSLD values concentrate, so
+// HMJ's Voronoi window filter replicates records into most partitions and
+// the per-partition joins balloon — while TSJ works in the token domain.
+//
+// Both pipelines run here on the same workload; recorded loads replay
+// through the simulated-cluster model. HMJ gets a distance-computation
+// budget: exceeding it reproduces the paper's DNF (our un-budgeted HMJ run
+// at 8,000 accounts burned hours of CPU without terminating — the paper's
+// observation exactly).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/join_metrics.h"
+#include "eval/table_printer.h"
+#include "hmj/hmj.h"
+#include "tsj/tsj.h"
+
+namespace tsj {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Fig. 7", "TSJ vs. HMJ runtime vs. machines");
+  // Smaller corpus than Figs. 1-5: HMJ's cost is what limits the scale —
+  // which is the figure's entire point. Full multi-token names (2-4 tokens
+  // of 2-4 syllables) spread the NSLD distances to pivots, giving HMJ's
+  // window filter the selectivity it has on the paper's real names; with
+  // short single-token names the filter degenerates entirely and HMJ never
+  // beats DNF.
+  auto workload_options = bench::DefaultWorkload(bench::Scaled(1000));
+  workload_options.names.min_tokens = 2;
+  workload_options.names.min_syllables = 2;
+  const auto workload = GenerateRingWorkload(workload_options);
+  std::cout << "accounts=" << workload.corpus.size() << " T=0.1\n\n";
+
+  TsjOptions tsj_options;
+  tsj_options.threshold = 0.1;
+  tsj_options.max_token_frequency = 1000;
+  TsjRunInfo tsj_info;
+  const auto tsj_result =
+      TokenizedStringJoiner(tsj_options).SelfJoin(workload.corpus, &tsj_info);
+
+  HmjOptions hmj_options;
+  hmj_options.threshold = 0.1;
+  hmj_options.num_partitions = 64;
+  hmj_options.max_partition_size = 512;
+  // Budget: ~200x the full quadratic join. A run needing more has lost to
+  // brute force outright and is reported as DNF, as in the paper.
+  hmj_options.work_limit =
+      200ull * workload.corpus.size() * workload.corpus.size() / 2;
+  HmjRunInfo hmj_info;
+  const auto hmj_result =
+      HybridMetricJoiner(hmj_options).SelfJoin(workload.corpus, &hmj_info);
+
+  if (!tsj_result.ok() || !hmj_result.ok()) {
+    std::cerr << "join failed\n";
+    return;
+  }
+  std::cout << "TSJ pairs=" << tsj_result->size()
+            << "  HMJ pairs=" << hmj_result->size()
+            << (hmj_info.completed ? "" : "  [HMJ exceeded work budget]");
+  if (hmj_info.completed) {
+    const auto agreement = ComparePairSets(*tsj_result, *hmj_result);
+    std::cout << "  (agreement recall="
+              << TablePrinter::Fmt(agreement.recall, 4)
+              << " precision=" << TablePrinter::Fmt(agreement.precision, 4)
+              << ")";
+  }
+  std::cout << "\nTSJ verifications=" << tsj_info.verified_candidates
+            << "  HMJ NSLD evaluations=" << hmj_info.distance_computations
+            << "  (ratio "
+            << TablePrinter::Fmt(
+                   static_cast<double>(hmj_info.distance_computations) /
+                       static_cast<double>(
+                           std::max<uint64_t>(1,
+                                              tsj_info.verified_candidates)),
+                   1)
+            << "x)\n\n";
+
+  const auto params = bench::DefaultClusterParams();
+  // "Reasonable time" cap for the DNF column: two orders of magnitude over
+  // TSJ at the same machine count. Our scaled-down HMJ overshoots the
+  // paper's 12-15x (see EXPERIMENTS.md), so the cap is deliberately loose —
+  // it only marks genuinely unreasonable configurations as DNF.
+  auto dnf_cap = [&](double t_tsj) { return 400.0 * t_tsj; };
+
+  TablePrinter table({"machines", "TSJ (s)", "HMJ (s)", "HMJ/TSJ"});
+  for (uint64_t machines = 100; machines <= 1000; machines += 100) {
+    const double t_tsj =
+        SimulatePipelineSeconds(tsj_info.pipeline, machines, params);
+    const double t_hmj =
+        SimulatePipelineSeconds(hmj_info.pipeline, machines, params);
+    const bool dnf = !hmj_info.completed || t_hmj > dnf_cap(t_tsj);
+    table.AddRow({TablePrinter::Fmt(machines), TablePrinter::Fmt(t_tsj, 1),
+                  dnf ? "DNF" : TablePrinter::Fmt(t_hmj, 1),
+                  dnf ? "-" : TablePrinter::Fmt(t_hmj / t_tsj, 1) + "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper: HMJ DNF at 100 machines; TSJ 12-15x faster "
+               "elsewhere\n";
+}
+
+}  // namespace
+}  // namespace tsj
+
+int main() {
+  tsj::Run();
+  return 0;
+}

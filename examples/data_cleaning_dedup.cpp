@@ -1,0 +1,78 @@
+// Record deduplication for data cleaning — the "well-established
+// applications of data integration and cleaning" the paper targets beyond
+// fraud (Sec. I-A): merging near-duplicate records (vendor names, product
+// titles) in a warehouse.
+//
+// This example dedups a small product catalogue whose titles differ by
+// token order, typos, and abbreviations, using TSJ with the
+// exact-token-matching approximation — the configuration Sec. V-C
+// recommends for data-cleaning workloads, where a small recall loss is an
+// acceptable trade for a much cheaper join.
+//
+// Run: ./build/examples/data_cleaning_dedup
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/similarity_graph.h"
+#include "text/tokenizer.h"
+#include "tokenized/corpus.h"
+#include "tsj/tsj.h"
+
+int main() {
+  const std::vector<std::string> catalogue = {
+      "Acme Deluxe Coffee Maker 12-Cup",      // 0 \_ the same product,
+      "Acme Deluxe Cofee Maker, 12 Cup",      // 1 /  typo'd and re-ordered
+      "12-Cup Coffee Maker Acme Deluxe",      // 2 /
+      "Acme Espresso Machine Compact",        // 3
+      "Acme Espreso Machine - Compact",       // 4  typo of 3
+      "Globex Standing Desk Adjustable",      // 5
+      "Globex Standng Desk (Adjustable)",     // 6  typo of 5
+      "Initech Stapler Red",                  // 7
+      "Hooli Phone Charger USB-C",            // 8
+  };
+
+  tsj::Tokenizer tokenizer;
+  tsj::Corpus corpus;
+  for (const auto& title : catalogue) {
+    corpus.AddString(tokenizer.Tokenize(title));
+  }
+
+  tsj::TsjOptions options;
+  options.threshold = 0.15;
+  // Sec. V-C: for data integration/cleaning, exact-token-matching gives a
+  // very significant runtime improvement with minor recall loss.
+  options.matching = tsj::TokenMatching::kExact;
+  const auto pairs = tsj::TokenizedStringJoiner(options).SelfJoin(corpus);
+  if (!pairs.ok()) {
+    std::cerr << "join failed: " << pairs.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "near-duplicate pairs (NSLD <= " << options.threshold
+            << ", exact-token-matching):\n";
+  for (const tsj::TsjPair& p : *pairs) {
+    std::cout << "  [" << p.a << "] " << catalogue[p.a] << "\n  [" << p.b
+              << "] " << catalogue[p.b] << "\n      NSLD = " << p.nsld
+              << "\n";
+  }
+
+  // Merge into canonical records via connected components.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (const tsj::TsjPair& p : *pairs) edges.emplace_back(p.a, p.b);
+  const auto groups =
+      tsj::ClusterBySimilarity(corpus.size(), edges, /*min_cluster_size=*/2);
+  std::cout << "\ndeduplicated catalogue (" << groups.size()
+            << " merge groups):\n";
+  std::vector<bool> merged(corpus.size(), false);
+  for (const auto& group : groups) {
+    std::cout << "  canonical: " << catalogue[group.front()]
+              << "   (merges " << group.size() << " records)\n";
+    for (uint32_t id : group) merged[id] = true;
+  }
+  for (uint32_t id = 0; id < corpus.size(); ++id) {
+    if (!merged[id]) std::cout << "  unique:    " << catalogue[id] << "\n";
+  }
+  return 0;
+}

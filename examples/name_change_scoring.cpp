@@ -1,0 +1,75 @@
+// Account name-change scoring (the Sec. V-D study behind Fig. 6): when an
+// account changes its name, the distance between old and new name is a
+// fraud signal — legitimate changes (abbreviations, reorders, typo fixes)
+// are small, account-takeover renames are drastic. This example scores a
+// labelled sample with NSLD and the weighted fuzzy measures and prints the
+// resulting AUCs plus a few illustrative scored pairs.
+//
+// Run: ./build/examples/name_change_scoring
+
+#include <iostream>
+
+#include "distance/fuzzy_set_measures.h"
+#include "eval/roc.h"
+#include "tokenized/sld.h"
+#include "workload/name_change.h"
+
+namespace {
+
+void PrintName(const tsj::TokenizedString& name) {
+  for (const auto& token : name) std::cout << token << " ";
+}
+
+}  // namespace
+
+int main() {
+  tsj::NameChangeOptions options;
+  options.num_legitimate = 2000;
+  options.num_fraudulent = 2000;
+  const auto sample = tsj::GenerateNameChangeSample(options);
+
+  tsj::FuzzyMeasureOptions fuzzy;
+  fuzzy.token_threshold = 0.8;
+
+  std::vector<double> nsld_scores, fjaccard_scores;
+  std::vector<bool> labels;
+  for (const auto& pair : sample) {
+    nsld_scores.push_back(tsj::Nsld(pair.old_name, pair.new_name));
+    fjaccard_scores.push_back(1.0 - tsj::FuzzyJaccardSimilarity(
+                                        pair.old_name, pair.new_name, fuzzy));
+    labels.push_back(pair.is_fraud);
+  }
+
+  std::cout << "AUC (higher = better fraud separation):\n";
+  std::cout << "  NSLD:      " << tsj::ComputeAuc(nsld_scores, labels)
+            << "\n";
+  std::cout << "  FJaccard:  " << tsj::ComputeAuc(fjaccard_scores, labels)
+            << "\n\n";
+
+  std::cout << "sample scored name changes:\n";
+  for (size_t i = 0; i < sample.size(); i += sample.size() / 6) {
+    const auto& pair = sample[i];
+    std::cout << "  \"";
+    PrintName(pair.old_name);
+    std::cout << "\" -> \"";
+    PrintName(pair.new_name);
+    std::cout << "\"\n      NSLD=" << nsld_scores[i]
+              << (pair.is_fraud ? "  [fraudulent]" : "  [legitimate]")
+              << "\n";
+  }
+
+  // A simple operating point: flag changes with NSLD above a threshold.
+  const double flag_threshold = 0.5;
+  size_t flagged = 0, correct = 0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    if (nsld_scores[i] >= flag_threshold) {
+      ++flagged;
+      correct += labels[i];
+    }
+  }
+  std::cout << "\nflagging NSLD >= " << flag_threshold << ": " << flagged
+            << " accounts flagged, precision "
+            << (flagged ? static_cast<double>(correct) / flagged : 0.0)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: compute NSLD between tokenized strings and run a small TSJ
+// self-join.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "text/tokenizer.h"
+#include "tokenized/corpus.h"
+#include "tokenized/sld.h"
+#include "tsj/tsj.h"
+
+int main() {
+  // ---- 1. Tokenize raw strings. -----------------------------------------
+  // The default tokenizer splits on whitespace and punctuation and folds
+  // case, matching the paper's name-processing setup.
+  tsj::Tokenizer tokenizer;
+  const auto original = tokenizer.Tokenize("Barak Obama");
+  const auto edited = tokenizer.Tokenize("Obamma, Boraak H.");
+  const auto unrelated = tokenizer.Tokenize("John Smith");
+
+  // ---- 2. Compare two tokenized strings. --------------------------------
+  // NSLD is in [0, 1]: 0 = same token multiset, 1 = nothing in common.
+  // It tolerates both token shuffles ("Obama Barak") and token edits
+  // ("Obamma"), which is what defeats naive comparisons.
+  std::cout << "NSLD(\"Barak Obama\", \"Obamma, Boraak H.\") = "
+            << tsj::Nsld(original, edited) << "\n";
+  std::cout << "NSLD(\"Barak Obama\", \"John Smith\")        = "
+            << tsj::Nsld(original, unrelated) << "\n";
+  std::cout << "SLD (edit operations)                      = "
+            << tsj::Sld(original, edited) << "\n\n";
+
+  // ---- 3. Self-join a small corpus. --------------------------------------
+  tsj::Corpus corpus;
+  corpus.AddString(tokenizer.Tokenize("Barak Obama"));          // 0
+  corpus.AddString(tokenizer.Tokenize("Obama, Barak"));         // 1
+  corpus.AddString(tokenizer.Tokenize("Burak Ubama"));          // 2
+  corpus.AddString(tokenizer.Tokenize("John Smith"));           // 3
+  corpus.AddString(tokenizer.Tokenize("Jon Smith"));            // 4
+  corpus.AddString(tokenizer.Tokenize("Maria Garcia Lopez"));   // 5
+
+  tsj::TsjOptions options;
+  options.threshold = 0.25;  // join pairs with NSLD <= 0.25
+  tsj::TokenizedStringJoiner joiner(options);
+
+  const auto result = joiner.SelfJoin(corpus);
+  if (!result.ok()) {
+    std::cerr << "join failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "similar pairs at T=" << options.threshold << ":\n";
+  for (const tsj::TsjPair& pair : *result) {
+    std::cout << "  (" << pair.a << ", " << pair.b << ")  NSLD=" << pair.nsld
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "assignment/greedy_matching.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsj {
+
+namespace {
+
+// Allocation-free variant for the small bigraphs that dominate name
+// workloads (T(x^t) <= 8): repeatedly scan the remaining matrix for the
+// cheapest edge. O(n^3) scans but with trivial constants; equivalent
+// selection order to the sort-based path ((cost, row, col) ties).
+AssignmentResult SolveSmallGreedy(const std::vector<int64_t>& costs,
+                                  size_t n) {
+  AssignmentResult result;
+  result.assignment.assign(n, n);
+  bool row_used[8] = {}, col_used[8] = {};
+  for (size_t round = 0; round < n; ++round) {
+    int64_t best_cost = 0;
+    size_t best_row = n, best_col = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (row_used[i]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (col_used[j]) continue;
+        const int64_t c = costs[i * n + j];
+        if (best_row == n || c < best_cost) {
+          best_cost = c;
+          best_row = i;
+          best_col = j;
+        }
+      }
+    }
+    row_used[best_row] = true;
+    col_used[best_col] = true;
+    result.assignment[best_row] = best_col;
+    result.total_cost += best_cost;
+  }
+  return result;
+}
+
+}  // namespace
+
+AssignmentResult SolveAssignmentGreedy(const std::vector<int64_t>& costs,
+                                       size_t n) {
+  assert(costs.size() == n * n);
+  AssignmentResult result;
+  if (n == 0) return result;
+  if (n <= 8) return SolveSmallGreedy(costs, n);
+
+  struct Edge {
+    int64_t cost;
+    uint32_t row;
+    uint32_t col;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(n * n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      edges.push_back({costs[i * n + j], i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  });
+
+  result.assignment.assign(n, n);  // n == unassigned sentinel
+  std::vector<bool> row_used(n, false), col_used(n, false);
+  size_t assigned = 0;
+  for (const Edge& e : edges) {
+    if (assigned == n) break;
+    if (row_used[e.row] || col_used[e.col]) continue;
+    row_used[e.row] = true;
+    col_used[e.col] = true;
+    result.assignment[e.row] = e.col;
+    result.total_cost += e.cost;
+    ++assigned;
+  }
+  return result;
+}
+
+}  // namespace tsj

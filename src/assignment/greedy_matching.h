@@ -1,0 +1,25 @@
+// Greedy approximate minimum-weight perfect matching: repeatedly take the
+// globally cheapest remaining edge and remove its endpoints. This is the
+// "greedy-token-aligning" approximation of Sec. III-G.5; it trades matching
+// optimality for an O(k^2 log k^2) running time and never *under*estimates
+// the optimal cost.
+
+#ifndef TSJ_ASSIGNMENT_GREEDY_MATCHING_H_
+#define TSJ_ASSIGNMENT_GREEDY_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "assignment/hungarian.h"
+
+namespace tsj {
+
+/// Greedy matching on an n x n cost matrix (row-major). Deterministic:
+/// ties break on (cost, row, column). The returned total_cost is an upper
+/// bound on the exact assignment cost.
+AssignmentResult SolveAssignmentGreedy(const std::vector<int64_t>& costs,
+                                       size_t n);
+
+}  // namespace tsj
+
+#endif  // TSJ_ASSIGNMENT_GREEDY_MATCHING_H_

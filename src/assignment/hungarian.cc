@@ -1,0 +1,71 @@
+#include "assignment/hungarian.h"
+
+#include <cassert>
+#include <limits>
+
+namespace tsj {
+
+AssignmentResult SolveAssignment(const std::vector<int64_t>& costs, size_t n) {
+  assert(costs.size() == n * n);
+  AssignmentResult result;
+  if (n == 0) return result;
+
+  // Hungarian algorithm with row/column potentials, the standard O(n^3)
+  // shortest-augmenting-path formulation (1-indexed internal arrays).
+  constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+  std::vector<int64_t> u(n + 1, 0), v(n + 1, 0);
+  std::vector<size_t> p(n + 1, 0);    // p[j] = row matched to column j
+  std::vector<size_t> way(n + 1, 0);  // back-pointers along the path
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;  // virtual column holding the unmatched row
+    std::vector<int64_t> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = p[j0];
+      int64_t delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const int64_t cur =
+            costs[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.assignment.resize(n);
+  for (size_t j = 1; j <= n; ++j) {
+    result.assignment[p[j] - 1] = j - 1;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    result.total_cost += costs[i * n + result.assignment[i]];
+  }
+  return result;
+}
+
+}  // namespace tsj

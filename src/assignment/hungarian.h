@@ -1,0 +1,32 @@
+// Exact minimum-weight perfect matching on a complete bipartite graph
+// (the assignment problem), solved with the Hungarian algorithm in O(k^3).
+//
+// TSJ's final verification (Sec. III-F) computes SLD(x^t, y^t) as the
+// minimum-weight perfect matching of the token bigraph whose edge weights
+// are token-level Levenshtein distances; this module supplies that solver.
+
+#ifndef TSJ_ASSIGNMENT_HUNGARIAN_H_
+#define TSJ_ASSIGNMENT_HUNGARIAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tsj {
+
+/// Square cost matrix stored row-major: cost(i, j) = costs[i * n + j].
+struct AssignmentResult {
+  /// assignment[i] = column matched to row i.
+  std::vector<size_t> assignment;
+  /// Total cost of the matching.
+  int64_t total_cost = 0;
+};
+
+/// Solves the n x n assignment problem exactly. `costs` must have n*n
+/// entries; costs may be any non-negative int64 (larger values are fine,
+/// no overflow for totals below ~2^62). n == 0 yields an empty matching.
+AssignmentResult SolveAssignment(const std::vector<int64_t>& costs, size_t n);
+
+}  // namespace tsj
+
+#endif  // TSJ_ASSIGNMENT_HUNGARIAN_H_

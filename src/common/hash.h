@@ -1,0 +1,33 @@
+// Deterministic 64-bit fingerprints and hash-combining utilities.
+//
+// TSJ relies on fingerprints in two places the paper calls out explicitly:
+// the hash-balanced key choice of the grouping-on-one-string dedup strategy
+// (Sec. III-G.3) and hash partitioning of keys across MapReduce workers.
+// The fingerprints must be stable across runs and platforms so joins are
+// reproducible; std::hash gives no such guarantee, so we implement our own.
+
+#ifndef TSJ_COMMON_HASH_H_
+#define TSJ_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tsj {
+
+/// 64-bit FNV-1a fingerprint of a byte string. Stable across runs/platforms.
+uint64_t Fingerprint64(std::string_view data);
+
+/// Stable 64-bit mix of an integer (splitmix64 finalizer).
+uint64_t Mix64(uint64_t x);
+
+/// Combines two 64-bit hashes order-sensitively.
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// Fingerprint of an ordered pair of ids; order-sensitive.
+inline uint64_t FingerprintPair(uint64_t a, uint64_t b) {
+  return HashCombine(Mix64(a), Mix64(b));
+}
+
+}  // namespace tsj
+
+#endif  // TSJ_COMMON_HASH_H_

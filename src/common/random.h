@@ -1,0 +1,73 @@
+// Deterministic pseudo-random generation used by workload generators,
+// property tests, and the HMJ pivot sampler. All randomness in the repo
+// flows through Rng so experiments are reproducible from a single seed.
+
+#ifndef TSJ_COMMON_RANDOM_H_
+#define TSJ_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace tsj {
+
+/// Small, fast, seedable PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen index weighted by `weights` (all non-negative,
+  /// at least one positive).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed sampler over ranks {0, 1, ..., n-1}; rank r has
+/// probability proportional to 1/(r+1)^s. Used to model the skewed token
+/// popularity of real name corpora (Sec. V): a few first names such as
+/// "John"/"Mary" dominate.
+class ZipfSampler {
+ public:
+  /// n: universe size (> 0); s: skew (>= 0, 0 == uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Samples a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_COMMON_RANDOM_H_

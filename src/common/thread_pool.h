@@ -1,0 +1,54 @@
+// Fixed-size thread pool used by the in-process MapReduce engine to run
+// logical map/reduce tasks. Tasks are submitted in batches and the caller
+// blocks until the batch drains; this mirrors the barrier between the map,
+// shuffle, and reduce phases of a MapReduce job.
+
+#ifndef TSJ_COMMON_THREAD_POOL_H_
+#define TSJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tsj {
+
+/// A minimal fixed-size worker pool with a barrier-style Wait().
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_COMMON_THREAD_POOL_H_

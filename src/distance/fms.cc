@@ -1,0 +1,97 @@
+#include "distance/fms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "assignment/hungarian.h"
+#include "distance/normalized_levenshtein.h"
+
+namespace tsj {
+
+namespace {
+
+// Hungarian solver works on integer costs; FMS costs are small doubles.
+// The scale bounds quantization error at 1e-9 per token.
+constexpr double kCostScale = 1e9;
+
+double TotalWeight(const std::vector<std::string>& tokens,
+                   const FmsWeightFn& weight) {
+  double total = 0;
+  for (const auto& t : tokens) total += weight(t);
+  return total;
+}
+
+}  // namespace
+
+double FmsCost(const std::vector<std::string>& source,
+               const std::vector<std::string>& target,
+               const FmsOptions& options) {
+  if (source.empty() && target.empty()) return 0.0;
+  const double target_weight = TotalWeight(target, options.weight);
+  if (target.empty()) return 1.0;  // only deletions; fully dissimilar
+
+  // Square transformation matrix: rows = source tokens padded with
+  // "insertion slots", columns = target tokens padded with "deletion
+  // slots".
+  const size_t m = source.size();
+  const size_t n = target.size();
+  const size_t k = std::max(m, n);
+  const double norm_positions = static_cast<double>(std::max(m, n));
+  std::vector<int64_t> costs(k * k, 0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      double cost;
+      if (i < m && j < n) {
+        // Token replacement: weighted edit cost plus the order-sensitive
+        // position-displacement term (FMS's hallmark).
+        const double w = options.weight(target[j]);
+        const double edit = NormalizedLevenshtein(source[i], target[j]);
+        const double displacement =
+            std::abs(static_cast<double>(i) - static_cast<double>(j)) /
+            norm_positions;
+        cost = w * (edit + options.position_factor * displacement);
+      } else if (j < n) {
+        // Insertion of a target token with no source counterpart.
+        cost = options.weight(target[j]) * options.insertion_factor;
+      } else if (i < m) {
+        // Deletion of a leftover source token.
+        cost = options.weight(source[i]);
+      } else {
+        cost = 0;
+      }
+      costs[i * k + j] = static_cast<int64_t>(cost * kCostScale);
+    }
+  }
+  const AssignmentResult assignment = SolveAssignment(costs, k);
+  const double raw =
+      static_cast<double>(assignment.total_cost) / kCostScale / target_weight;
+  return std::clamp(raw, 0.0, 1.0);
+}
+
+double FmsSimilarity(const std::vector<std::string>& source,
+                     const std::vector<std::string>& target,
+                     const FmsOptions& options) {
+  return 1.0 - FmsCost(source, target, options);
+}
+
+double AfmsSimilarity(const std::vector<std::string>& source,
+                      const std::vector<std::string>& target,
+                      const FmsOptions& options) {
+  if (source.empty() && target.empty()) return 1.0;
+  if (target.empty()) return 0.0;
+  const double target_weight = TotalWeight(target, options.weight);
+  double cost = 0;
+  for (const auto& t : target) {
+    const double w = options.weight(t);
+    // Best source token for this target token — AFMS ignores positions and
+    // allows many-to-one matches.
+    double best = options.insertion_factor;
+    for (const auto& s : source) {
+      best = std::min(best, NormalizedLevenshtein(s, t));
+    }
+    cost += w * best;
+  }
+  return 1.0 - std::clamp(cost / target_weight, 0.0, 1.0);
+}
+
+}  // namespace tsj

@@ -1,0 +1,98 @@
+#include "distance/fuzzy_set_measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distance/normalized_levenshtein.h"
+
+namespace tsj {
+
+TokenWeightFn UniformTokenWeight() {
+  return [](const std::string&) { return 1.0; };
+}
+
+namespace {
+
+double TotalWeight(const std::vector<std::string>& tokens,
+                   const TokenWeightFn& weight) {
+  double total = 0;
+  for (const auto& t : tokens) total += weight(t);
+  return total;
+}
+
+struct Edge {
+  size_t i;
+  size_t j;
+  double contribution;  // sim * (w_i + w_j) / 2
+};
+
+}  // namespace
+
+double FuzzyOverlap(const std::vector<std::string>& x,
+                    const std::vector<std::string>& y,
+                    const FuzzyMeasureOptions& options) {
+  // Collect candidate token matches passing the token threshold.
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = 0; j < y.size(); ++j) {
+      const double sim = 1.0 - NormalizedLevenshtein(x[i], y[j]);
+      if (sim >= options.token_threshold) {
+        const double w =
+            (options.weight(x[i]) + options.weight(y[j])) / 2.0;
+        edges.push_back({i, j, sim * w});
+      }
+    }
+  }
+  // Greedy maximum matching by descending contribution, the strategy used
+  // by [67]'s fuzzy-overlap computation.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.contribution != b.contribution) {
+      return a.contribution > b.contribution;
+    }
+    if (a.i != b.i) return a.i < b.i;  // deterministic tie-break
+    return a.j < b.j;
+  });
+  std::vector<bool> used_x(x.size(), false), used_y(y.size(), false);
+  double overlap = 0;
+  for (const Edge& e : edges) {
+    if (used_x[e.i] || used_y[e.j]) continue;
+    used_x[e.i] = true;
+    used_y[e.j] = true;
+    overlap += e.contribution;
+  }
+  return overlap;
+}
+
+double FuzzyJaccardSimilarity(const std::vector<std::string>& x,
+                              const std::vector<std::string>& y,
+                              const FuzzyMeasureOptions& options) {
+  if (x.empty() && y.empty()) return 1.0;
+  const double o = FuzzyOverlap(x, y, options);
+  const double denom =
+      TotalWeight(x, options.weight) + TotalWeight(y, options.weight) - o;
+  return denom <= 0 ? 0.0 : std::min(1.0, o / denom);
+}
+
+double FuzzyCosineSimilarity(const std::vector<std::string>& x,
+                             const std::vector<std::string>& y,
+                             const FuzzyMeasureOptions& options) {
+  if (x.empty() && y.empty()) return 1.0;
+  const double wx = TotalWeight(x, options.weight);
+  const double wy = TotalWeight(y, options.weight);
+  if (wx == 0 || wy == 0) return 0.0;
+  const double o = FuzzyOverlap(x, y, options);
+  return std::min(1.0, o / std::sqrt(wx * wy));
+}
+
+double FuzzyDiceSimilarity(const std::vector<std::string>& x,
+                           const std::vector<std::string>& y,
+                           const FuzzyMeasureOptions& options) {
+  if (x.empty() && y.empty()) return 1.0;
+  const double wx = TotalWeight(x, options.weight);
+  const double wy = TotalWeight(y, options.weight);
+  if (wx + wy == 0) return 0.0;
+  const double o = FuzzyOverlap(x, y, options);
+  return std::min(1.0, 2.0 * o / (wx + wy));
+}
+
+}  // namespace tsj

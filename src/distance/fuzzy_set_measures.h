@@ -1,0 +1,60 @@
+// Weighted fuzzy set-based similarity measures after Wang, Li & Feng [67]:
+// FJaccard, FCosine and FDice. These extend Jaccard/Cosine/Dice so that a
+// pair of tokens may "fuzzily" match when their edit similarity exceeds a
+// token-level threshold delta, contributing a fraction of its weight to the
+// overlap. The paper compares NSLD against the weighted versions of these
+// measures in Fig. 6 and points out their two drawbacks: they need two
+// unrelated thresholds (delta on tokens plus one on strings) and they are
+// provably non-metric.
+
+#ifndef TSJ_DISTANCE_FUZZY_SET_MEASURES_H_
+#define TSJ_DISTANCE_FUZZY_SET_MEASURES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tsj {
+
+/// Weight assigned to a token; IDF-style weights emphasize rare tokens.
+/// Must be positive for non-empty tokens.
+using TokenWeightFn = std::function<double(const std::string&)>;
+
+/// Returns a TokenWeightFn that weights every token 1.0.
+TokenWeightFn UniformTokenWeight();
+
+/// Configuration of the fuzzy-overlap computation.
+struct FuzzyMeasureOptions {
+  /// Token-level similarity threshold (the T1/delta of [67]): two tokens may
+  /// match only if their normalized edit similarity 1 - NLD >= delta.
+  double token_threshold = 0.8;
+  /// Token weighting; defaults to uniform weights.
+  TokenWeightFn weight = UniformTokenWeight();
+};
+
+/// The fuzzy overlap between two token multisets: a greedy maximum matching
+/// of token pairs whose edit similarity passes `token_threshold`; each
+/// matched pair (t, u) contributes sim(t, u) * (w(t) + w(u)) / 2.
+/// Exposed for tests and for building custom measures.
+double FuzzyOverlap(const std::vector<std::string>& x,
+                    const std::vector<std::string>& y,
+                    const FuzzyMeasureOptions& options);
+
+/// Weighted fuzzy Jaccard similarity: O / (W(x) + W(y) - O).
+double FuzzyJaccardSimilarity(const std::vector<std::string>& x,
+                              const std::vector<std::string>& y,
+                              const FuzzyMeasureOptions& options);
+
+/// Weighted fuzzy Cosine similarity: O / sqrt(W(x) * W(y)).
+double FuzzyCosineSimilarity(const std::vector<std::string>& x,
+                             const std::vector<std::string>& y,
+                             const FuzzyMeasureOptions& options);
+
+/// Weighted fuzzy Dice similarity: 2*O / (W(x) + W(y)).
+double FuzzyDiceSimilarity(const std::vector<std::string>& x,
+                           const std::vector<std::string>& y,
+                           const FuzzyMeasureOptions& options);
+
+}  // namespace tsj
+
+#endif  // TSJ_DISTANCE_FUZZY_SET_MEASURES_H_

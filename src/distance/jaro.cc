@@ -1,0 +1,58 @@
+#include "distance/jaro.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace tsj {
+
+double JaroSimilarity(std::string_view x, std::string_view y) {
+  if (x.empty() && y.empty()) return 1.0;
+  if (x.empty() || y.empty()) return 0.0;
+  const size_t max_len = std::max(x.size(), y.size());
+  const size_t window = (max_len / 2 == 0) ? 0 : max_len / 2 - 1;
+
+  std::vector<bool> x_matched(x.size(), false);
+  std::vector<bool> y_matched(y.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const size_t lo = (i > window) ? i - window : 0;
+    const size_t hi = std::min(y.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!y_matched[j] && x[i] == y[j]) {
+        x_matched[i] = true;
+        y_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched subsequences.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!x_matched[i]) continue;
+    while (!y_matched[j]) ++j;
+    if (x[i] != y[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / x.size() + m / y.size() + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view x, std::string_view y,
+                             double prefix_scale) {
+  const double jaro = JaroSimilarity(x, y);
+  size_t prefix = 0;
+  const size_t limit = std::min({x.size(), y.size(), static_cast<size_t>(4)});
+  while (prefix < limit && x[prefix] == y[prefix]) ++prefix;
+  const double scale = std::min(prefix_scale, 0.25);  // keeps result <= 1
+  return jaro + static_cast<double>(prefix) * scale * (1.0 - jaro);
+}
+
+double JaroWinklerDistance(std::string_view x, std::string_view y) {
+  return 1.0 - JaroWinklerSimilarity(x, y);
+}
+
+}  // namespace tsj

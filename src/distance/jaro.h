@@ -1,0 +1,28 @@
+// Jaro and Jaro-Winkler similarities [31], [69]. These emerged from the
+// record-linkage / statistics community and treat names as non-tokenized
+// strings; they appear in the paper's related work (Sec. IV) as the token
+// matcher inside SoftTfIdf. Jaro-Winkler famously violates the triangle
+// inequality, which is one of the paper's arguments for NSLD.
+
+#ifndef TSJ_DISTANCE_JARO_H_
+#define TSJ_DISTANCE_JARO_H_
+
+#include <string_view>
+
+namespace tsj {
+
+/// Jaro similarity in [0, 1]; 1 means equal, 0 means no matching characters.
+double JaroSimilarity(std::string_view x, std::string_view y);
+
+/// Jaro-Winkler similarity: Jaro boosted by a common-prefix bonus.
+/// `prefix_scale` is Winkler's p (default 0.1, capped so the result stays
+/// in [0, 1]); at most 4 prefix characters are credited.
+double JaroWinklerSimilarity(std::string_view x, std::string_view y,
+                             double prefix_scale = 0.1);
+
+/// 1 - JaroWinklerSimilarity. NOT a metric (triangle inequality fails).
+double JaroWinklerDistance(std::string_view x, std::string_view y);
+
+}  // namespace tsj
+
+#endif  // TSJ_DISTANCE_JARO_H_

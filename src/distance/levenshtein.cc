@@ -1,0 +1,78 @@
+#include "distance/levenshtein.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace tsj {
+
+uint32_t Levenshtein(std::string_view x, std::string_view y) {
+  if (x.size() > y.size()) std::swap(x, y);  // x is the shorter row.
+  const size_t n = x.size();
+  const size_t m = y.size();
+  if (n == 0) return static_cast<uint32_t>(m);
+
+  // Two-row DP over the shorter string.
+  std::vector<uint32_t> prev(n + 1), curr(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = static_cast<uint32_t>(i);
+  for (size_t j = 1; j <= m; ++j) {
+    curr[0] = static_cast<uint32_t>(j);
+    const char yc = y[j - 1];
+    for (size_t i = 1; i <= n; ++i) {
+      const uint32_t sub = prev[i - 1] + (x[i - 1] == yc ? 0 : 1);
+      const uint32_t del = prev[i] + 1;
+      const uint32_t ins = curr[i - 1] + 1;
+      curr[i] = std::min({sub, del, ins});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+uint32_t BoundedLevenshtein(std::string_view x, std::string_view y,
+                            uint32_t bound) {
+  if (x.size() > y.size()) std::swap(x, y);
+  const size_t n = x.size();
+  const size_t m = y.size();
+  // Length difference is a lower bound on LD.
+  if (m - n > bound) return bound + 1;
+  if (n == 0) return static_cast<uint32_t>(m);  // m <= bound here.
+  if (bound == 0) return x == y ? 0 : 1;
+
+  const uint32_t kInf = bound + 1;
+  // Banded DP: only cells with |i - j| <= bound can hold values <= bound.
+  // Row j covers i in [lo, hi].
+  std::vector<uint32_t> prev(n + 1, kInf), curr(n + 1, kInf);
+  const size_t band = bound;
+  for (size_t i = 0; i <= std::min(n, band); ++i) {
+    prev[i] = static_cast<uint32_t>(i);
+  }
+  for (size_t j = 1; j <= m; ++j) {
+    const size_t lo = (j > band) ? j - band : 0;
+    const size_t hi = std::min(n, j + band);
+    uint32_t row_min = kInf;
+    const char yc = y[j - 1];
+    if (lo == 0) {
+      curr[0] = (j <= band) ? static_cast<uint32_t>(j) : kInf;
+      row_min = curr[0];
+    } else {
+      curr[lo - 1] = kInf;  // left neighbour outside the band
+    }
+    for (size_t i = std::max<size_t>(1, lo); i <= hi; ++i) {
+      const uint32_t sub =
+          (prev[i - 1] == kInf) ? kInf : prev[i - 1] + (x[i - 1] == yc ? 0 : 1);
+      const uint32_t del = (prev[i] == kInf) ? kInf : prev[i] + 1;
+      const uint32_t ins = (curr[i - 1] == kInf) ? kInf : curr[i - 1] + 1;
+      uint32_t v = std::min({sub, del, ins});
+      if (v > bound) v = kInf;
+      curr[i] = v;
+      row_min = std::min(row_min, v);
+    }
+    if (hi < n) curr[hi + 1] = kInf;  // right edge of the band
+    if (row_min == kInf) return kInf;  // every path already exceeds the bound
+    std::swap(prev, curr);
+  }
+  return std::min(prev[n], kInf);
+}
+
+}  // namespace tsj

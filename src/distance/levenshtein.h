@@ -1,0 +1,38 @@
+// Levenshtein distance (Def. 1 / Lemma 1 of the paper) and a banded
+// threshold-aware verifier.
+//
+// The full O(|x|·|y|) dynamic program is used when the exact distance is
+// needed (e.g. SLD bigraph weights). The banded verifier is the workhorse of
+// candidate verification: given a bound U it runs in O((2U+1)·min(|x|,|y|))
+// and stops early once every cell of a row exceeds U.
+
+#ifndef TSJ_DISTANCE_LEVENSHTEIN_H_
+#define TSJ_DISTANCE_LEVENSHTEIN_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tsj {
+
+/// Exact Levenshtein distance between x and y (insert/delete/substitute,
+/// unit costs).
+uint32_t Levenshtein(std::string_view x, std::string_view y);
+
+/// Sentinel returned by BoundedLevenshtein when the distance exceeds the
+/// bound: the value `bound + 1` is returned (never the true distance).
+///
+/// Computes LD(x, y) if it is <= bound, otherwise returns bound + 1.
+/// Equivalent to Levenshtein(x, y) clamped at bound + 1, but runs in
+/// O((2*bound+1) * min(|x|,|y|)) with early exit.
+uint32_t BoundedLevenshtein(std::string_view x, std::string_view y,
+                            uint32_t bound);
+
+/// True iff LD(x, y) <= bound.
+inline bool LevenshteinWithin(std::string_view x, std::string_view y,
+                              uint32_t bound) {
+  return BoundedLevenshtein(x, y, bound) <= bound;
+}
+
+}  // namespace tsj
+
+#endif  // TSJ_DISTANCE_LEVENSHTEIN_H_

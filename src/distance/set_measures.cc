@@ -1,0 +1,78 @@
+#include "distance/set_measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tsj {
+
+namespace {
+
+using Counts = std::map<std::string, size_t>;
+
+Counts CountTokens(const std::vector<std::string>& tokens) {
+  Counts counts;
+  for (const auto& t : tokens) ++counts[t];
+  return counts;
+}
+
+struct Overlap {
+  double intersection = 0;  // sum of min counts
+  double union_ = 0;        // sum of max counts
+  double dot = 0;           // dot product of count vectors
+  double norm_x = 0;        // squared L2 norm of x counts
+  double norm_y = 0;        // squared L2 norm of y counts
+};
+
+Overlap ComputeOverlap(const std::vector<std::string>& x,
+                       const std::vector<std::string>& y) {
+  Counts cx = CountTokens(x);
+  Counts cy = CountTokens(y);
+  Overlap o;
+  for (const auto& [token, count] : cx) {
+    o.norm_x += static_cast<double>(count) * count;
+    auto it = cy.find(token);
+    const size_t other = (it == cy.end()) ? 0 : it->second;
+    o.intersection += std::min(count, other);
+    o.union_ += std::max(count, other);
+    o.dot += static_cast<double>(count) * other;
+  }
+  for (const auto& [token, count] : cy) {
+    o.norm_y += static_cast<double>(count) * count;
+    if (cx.find(token) == cx.end()) o.union_ += count;
+  }
+  return o;
+}
+
+}  // namespace
+
+double JaccardSimilarity(const std::vector<std::string>& x,
+                         const std::vector<std::string>& y) {
+  if (x.empty() && y.empty()) return 1.0;
+  Overlap o = ComputeOverlap(x, y);
+  return o.union_ == 0 ? 0.0 : o.intersection / o.union_;
+}
+
+double DiceSimilarity(const std::vector<std::string>& x,
+                      const std::vector<std::string>& y) {
+  if (x.empty() && y.empty()) return 1.0;
+  if (x.empty() || y.empty()) return 0.0;
+  Overlap o = ComputeOverlap(x, y);
+  return 2.0 * o.intersection / static_cast<double>(x.size() + y.size());
+}
+
+double CosineSimilarity(const std::vector<std::string>& x,
+                        const std::vector<std::string>& y) {
+  if (x.empty() && y.empty()) return 1.0;
+  if (x.empty() || y.empty()) return 0.0;
+  Overlap o = ComputeOverlap(x, y);
+  const double denom = std::sqrt(o.norm_x) * std::sqrt(o.norm_y);
+  return denom == 0 ? 0.0 : o.dot / denom;
+}
+
+double RuzickaSimilarity(const std::vector<std::string>& x,
+                         const std::vector<std::string>& y) {
+  return JaccardSimilarity(x, y);
+}
+
+}  // namespace tsj

@@ -1,0 +1,37 @@
+// Classic (multi)set similarity measures over token multisets: Jaccard,
+// Dice, Cosine and Ruzicka [8]. The paper cites these as the "too rigid"
+// straw-man tokenized-string measures (Sec. II-D): a token shared by two
+// strings stops counting as common the moment it is edited by a single
+// character. They serve as baselines and as building blocks for the
+// weighted fuzzy variants in fuzzy_set_measures.h.
+
+#ifndef TSJ_DISTANCE_SET_MEASURES_H_
+#define TSJ_DISTANCE_SET_MEASURES_H_
+
+#include <string>
+#include <vector>
+
+namespace tsj {
+
+/// Jaccard similarity on multisets: |x ∩ y| / |x ∪ y| with multiplicities
+/// (intersection takes min counts, union takes max counts). In [0, 1].
+double JaccardSimilarity(const std::vector<std::string>& x,
+                         const std::vector<std::string>& y);
+
+/// Dice similarity on multisets: 2|x ∩ y| / (|x| + |y|). In [0, 1].
+double DiceSimilarity(const std::vector<std::string>& x,
+                      const std::vector<std::string>& y);
+
+/// Cosine similarity of the token count vectors. In [0, 1].
+double CosineSimilarity(const std::vector<std::string>& x,
+                        const std::vector<std::string>& y);
+
+/// Ruzicka similarity of the count vectors: sum(min) / sum(max).
+/// Coincides with multiset Jaccard for integer counts; provided under its
+/// own name for parity with the survey [8].
+double RuzickaSimilarity(const std::vector<std::string>& x,
+                         const std::vector<std::string>& y);
+
+}  // namespace tsj
+
+#endif  // TSJ_DISTANCE_SET_MEASURES_H_

@@ -1,0 +1,63 @@
+#include "distance/soft_tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distance/jaro.h"
+
+namespace tsj {
+
+double SoftTfIdfSimilarity(const std::vector<std::string>& x,
+                           const std::vector<std::string>& y,
+                           const SoftTfIdfOptions& options) {
+  if (x.empty() && y.empty()) return 1.0;
+  if (x.empty() || y.empty()) return 0.0;
+
+  // L2-normalized weight vectors, as in TF-IDF cosine.
+  auto norm = [&](const std::vector<std::string>& tokens) {
+    double sum = 0;
+    for (const auto& t : tokens) {
+      const double w = options.weight(t);
+      sum += w * w;
+    }
+    return std::sqrt(sum);
+  };
+  const double norm_x = norm(x);
+  const double norm_y = norm(y);
+  if (norm_x == 0 || norm_y == 0) return 0.0;
+
+  // Candidate soft matches above the token threshold.
+  struct Edge {
+    double contribution;
+    size_t i, j;
+  };
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = 0; j < y.size(); ++j) {
+      const double jw = JaroWinklerSimilarity(x[i], y[j]);
+      if (jw >= options.token_threshold) {
+        const double contribution = (options.weight(x[i]) / norm_x) *
+                                    (options.weight(y[j]) / norm_y) * jw;
+        edges.push_back(Edge{contribution, i, j});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.contribution != b.contribution) {
+      return a.contribution > b.contribution;
+    }
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+  std::vector<bool> used_x(x.size(), false), used_y(y.size(), false);
+  double similarity = 0;
+  for (const Edge& e : edges) {
+    if (used_x[e.i] || used_y[e.j]) continue;
+    used_x[e.i] = true;
+    used_y[e.j] = true;
+    similarity += e.contribution;
+  }
+  return std::min(1.0, similarity);
+}
+
+}  // namespace tsj

@@ -1,0 +1,41 @@
+// SoftTfIdf, after Cohen, Ravikumar & Fienberg, "A Comparison of String
+// Distances for Matching Names and Records" (KDD workshop 2003) — the
+// paper's [13].
+//
+// SoftTfIdf computes a TF-IDF-weighted cosine over token sets in which a
+// token pair may "softly" match when its Jaro-Winkler similarity exceeds a
+// threshold T1; the matched pair contributes the product of the two
+// tokens' normalized weights scaled by the JW similarity. Using it as a
+// join predicate therefore needs *two* unrelated thresholds (T1 on tokens
+// plus T2 on the string similarity), which the ICDE paper flags as its
+// main usability drawback — along with being non-metric (JW violates the
+// triangle inequality).
+
+#ifndef TSJ_DISTANCE_SOFT_TFIDF_H_
+#define TSJ_DISTANCE_SOFT_TFIDF_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tsj {
+
+/// SoftTfIdf configuration.
+struct SoftTfIdfOptions {
+  /// Token-level Jaro-Winkler threshold (the T1 of [13]).
+  double token_threshold = 0.9;
+  /// IDF-style weight per token; defaults to uniform 1.0 (pure "soft TF").
+  std::function<double(const std::string&)> weight =
+      [](const std::string&) { return 1.0; };
+};
+
+/// SoftTfIdf similarity in [0, 1]; symmetric by construction here (each
+/// x-token matches its best y-token above T1, under a one-to-one greedy
+/// matching). 1 means identical weighted token sets.
+double SoftTfIdfSimilarity(const std::vector<std::string>& x,
+                           const std::vector<std::string>& y,
+                           const SoftTfIdfOptions& options = {});
+
+}  // namespace tsj
+
+#endif  // TSJ_DISTANCE_SOFT_TFIDF_H_

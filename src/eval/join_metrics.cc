@@ -1,0 +1,62 @@
+#include "eval/join_metrics.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tokenized/sld.h"
+
+namespace tsj {
+
+namespace {
+std::set<std::pair<uint32_t, uint32_t>> Normalize(
+    const std::vector<TsjPair>& pairs) {
+  std::set<std::pair<uint32_t, uint32_t>> result;
+  for (const TsjPair& p : pairs) {
+    result.emplace(std::min(p.a, p.b), std::max(p.a, p.b));
+  }
+  return result;
+}
+}  // namespace
+
+PairSetMetrics ComparePairSets(const std::vector<TsjPair>& expected,
+                               const std::vector<TsjPair>& actual) {
+  const auto expected_set = Normalize(expected);
+  const auto actual_set = Normalize(actual);
+  PairSetMetrics metrics;
+  metrics.expected_pairs = expected_set.size();
+  metrics.actual_pairs = actual_set.size();
+  size_t common = 0;
+  for (const auto& p : actual_set) common += expected_set.count(p);
+  metrics.missing_pairs = expected_set.size() - common;
+  metrics.spurious_pairs = actual_set.size() - common;
+  metrics.recall = expected_set.empty()
+                       ? 1.0
+                       : static_cast<double>(common) /
+                             static_cast<double>(expected_set.size());
+  metrics.precision = actual_set.empty()
+                          ? 1.0
+                          : static_cast<double>(common) /
+                                static_cast<double>(actual_set.size());
+  return metrics;
+}
+
+std::vector<TsjPair> BruteForceNsldSelfJoin(const Corpus& corpus,
+                                            double threshold) {
+  std::vector<TokenizedString> strings;
+  strings.reserve(corpus.size());
+  for (uint32_t s = 0; s < corpus.size(); ++s) {
+    strings.push_back(corpus.Materialize(s));
+  }
+  std::vector<TsjPair> pairs;
+  for (uint32_t i = 0; i < corpus.size(); ++i) {
+    for (uint32_t j = i + 1; j < corpus.size(); ++j) {
+      const int64_t sld = Sld(strings[i], strings[j], TokenAligning::kExact);
+      const double nsld = NsldFromSld(sld, corpus.aggregate_length(i),
+                                      corpus.aggregate_length(j));
+      if (nsld <= threshold) pairs.push_back(TsjPair{i, j, nsld});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace tsj

@@ -1,0 +1,43 @@
+// Pair-set comparison utilities: recall/precision of a join result against
+// a reference result, as used throughout the evaluation (Sec. V-B defines
+// recall as the ratio of discovered pairs to the pairs discovered by
+// fuzzy-token-matching, with precision guaranteed 1.0 for TSJ's
+// approximations). A brute-force NSLD join over a Corpus is provided as
+// the ground-truth generator for tests and small-scale experiments.
+
+#ifndef TSJ_EVAL_JOIN_METRICS_H_
+#define TSJ_EVAL_JOIN_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tokenized/corpus.h"
+#include "tsj/tsj.h"
+
+namespace tsj {
+
+/// Comparison of an actual pair set against an expected (reference) set.
+struct PairSetMetrics {
+  size_t expected_pairs = 0;
+  size_t actual_pairs = 0;
+  size_t missing_pairs = 0;   // in expected, not in actual
+  size_t spurious_pairs = 0;  // in actual, not in expected
+  double recall = 1.0;        // |actual ∩ expected| / |expected|
+  double precision = 1.0;     // |actual ∩ expected| / |actual|
+};
+
+/// Compares two pair sets (order and nsld values ignored; pairs are
+/// normalized to a < b before comparison).
+PairSetMetrics ComparePairSets(const std::vector<TsjPair>& expected,
+                               const std::vector<TsjPair>& actual);
+
+/// Brute-force NSLD self-join: every pair compared exactly. O(n^2) — for
+/// tests and ground truth only. Returns pairs with a < b.
+std::vector<TsjPair> BruteForceNsldSelfJoin(const Corpus& corpus,
+                                            double threshold);
+
+}  // namespace tsj
+
+#endif  // TSJ_EVAL_JOIN_METRICS_H_

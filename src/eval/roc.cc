@@ -1,0 +1,72 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace tsj {
+
+std::vector<RocPoint> ComputeRocCurve(const std::vector<double>& scores,
+                                      const std::vector<bool>& labels) {
+  assert(scores.size() == labels.size());
+  size_t positives = 0, negatives = 0;
+  for (bool label : labels) (label ? positives : negatives) += 1;
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];  // descending: strictest threshold first
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{std::numeric_limits<double>::infinity(), 0, 0});
+  size_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    // Process all samples tied at this score before emitting a point.
+    const double score = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == score) {
+      (labels[order[i]] ? tp : fp) += 1;
+      ++i;
+    }
+    RocPoint point;
+    point.threshold = score;
+    point.tpr = positives == 0 ? 0.0
+                               : static_cast<double>(tp) /
+                                     static_cast<double>(positives);
+    point.fpr = negatives == 0 ? 0.0
+                               : static_cast<double>(fp) /
+                                     static_cast<double>(negatives);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double AucFromRoc(const std::vector<RocPoint>& curve) {
+  if (curve.size() < 2) return 0.5;
+  double auc = 0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].fpr - curve[i - 1].fpr;
+    auc += dx * (curve[i].tpr + curve[i - 1].tpr) / 2.0;
+  }
+  return auc;
+}
+
+double ComputeAuc(const std::vector<double>& scores,
+                  const std::vector<bool>& labels) {
+  size_t positives = 0;
+  for (bool label : labels) positives += label;
+  if (positives == 0 || positives == labels.size()) return 0.5;
+  return AucFromRoc(ComputeRocCurve(scores, labels));
+}
+
+double TprAtFpr(const std::vector<RocPoint>& curve, double max_fpr) {
+  double best = 0;
+  for (const RocPoint& point : curve) {
+    if (point.fpr <= max_fpr) best = std::max(best, point.tpr);
+  }
+  return best;
+}
+
+}  // namespace tsj

@@ -1,0 +1,43 @@
+// ROC-curve computation for the distance-measure comparison of Sec. V-D
+// (Fig. 6): scores are distances between old and new account names; the
+// positive class is "fraudulent". A pair is predicted fraudulent when its
+// distance exceeds a threshold, so the ROC sweeps the threshold from high
+// to low.
+
+#ifndef TSJ_EVAL_ROC_H_
+#define TSJ_EVAL_ROC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tsj {
+
+/// One ROC operating point.
+struct RocPoint {
+  double threshold = 0;  // predict positive when score >= threshold
+  double fpr = 0;        // false-positive rate
+  double tpr = 0;        // true-positive rate
+};
+
+/// Computes the ROC curve of "score >= threshold => positive". `scores`
+/// and `labels` are parallel; labels true = positive class. The curve is
+/// returned from (0,0) to (1,1) with one point per distinct score.
+std::vector<RocPoint> ComputeRocCurve(const std::vector<double>& scores,
+                                      const std::vector<bool>& labels);
+
+/// Area under the ROC curve by trapezoidal integration. Equals the
+/// probability a random positive outscores a random negative (ties count
+/// half). Returns 0.5 when either class is empty.
+double AucFromRoc(const std::vector<RocPoint>& curve);
+
+/// Convenience: AUC straight from scores and labels.
+double ComputeAuc(const std::vector<double>& scores,
+                  const std::vector<bool>& labels);
+
+/// True-positive rate at the largest threshold whose FPR does not exceed
+/// `max_fpr` (a standard single-number ROC summary).
+double TprAtFpr(const std::vector<RocPoint>& curve, double max_fpr);
+
+}  // namespace tsj
+
+#endif  // TSJ_EVAL_ROC_H_

@@ -1,0 +1,37 @@
+// Fixed-width table printer used by the benchmark harnesses to emit the
+// rows/series of each paper figure in a uniform, diffable format.
+
+#ifndef TSJ_EVAL_TABLE_PRINTER_H_
+#define TSJ_EVAL_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tsj {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// `header` defines the column count.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string Fmt(double value, int precision = 3);
+  static std::string Fmt(uint64_t value);
+
+  /// Renders the table ("| cell | cell |" rows with a separator line).
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,35 @@
+#include "graph/similarity_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/union_find.h"
+
+namespace tsj {
+
+std::vector<Cluster> ClusterBySimilarity(
+    size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    size_t min_cluster_size) {
+  UnionFind uf(num_nodes);
+  for (const auto& [a, b] : edges) uf.Union(a, b);
+
+  std::unordered_map<uint32_t, Cluster> by_root;
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    by_root[uf.Find(node)].push_back(node);
+  }
+  std::vector<Cluster> clusters;
+  for (auto& [root, members] : by_root) {
+    if (members.size() >= min_cluster_size) {
+      std::sort(members.begin(), members.end());
+      clusters.push_back(std::move(members));
+    }
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;  // deterministic order among equal sizes
+            });
+  return clusters;
+}
+
+}  // namespace tsj

@@ -1,0 +1,28 @@
+// Similarity-graph clustering (Sec. I-A): nodes are accounts, edges are
+// highly similar account pairs produced by a join; connected components of
+// the graph flag potential fraud rings.
+
+#ifndef TSJ_GRAPH_SIMILARITY_GRAPH_H_
+#define TSJ_GRAPH_SIMILARITY_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tsj {
+
+/// One cluster of node ids (a connected component of the similarity graph).
+using Cluster = std::vector<uint32_t>;
+
+/// Clusters `num_nodes` nodes connected by `edges` into connected
+/// components. Only components with at least `min_cluster_size` members are
+/// returned (singletons are rarely interesting: a ring needs >= 2 accounts).
+/// Components are sorted by decreasing size, members ascending.
+std::vector<Cluster> ClusterBySimilarity(
+    size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    size_t min_cluster_size = 2);
+
+}  // namespace tsj
+
+#endif  // TSJ_GRAPH_SIMILARITY_GRAPH_H_

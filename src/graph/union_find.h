@@ -1,0 +1,43 @@
+// Disjoint-set (union-find) structure with path compression and union by
+// size. Used to turn the similarity pairs produced by a join into clusters
+// — the account-ring discovery step of the motivating application
+// (Sec. I-A: "The graph is clustered. The detected clusters flag potential
+// rings.").
+
+#ifndef TSJ_GRAPH_UNION_FIND_H_
+#define TSJ_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tsj {
+
+/// Disjoint sets over elements {0, ..., n-1}.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Representative of x's set (with path compression).
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  /// Size of x's set.
+  size_t SetSize(uint32_t x);
+
+  /// Number of disjoint sets.
+  size_t num_sets() const { return num_sets_; }
+
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_GRAPH_UNION_FIND_H_

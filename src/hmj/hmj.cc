@@ -1,0 +1,237 @@
+#include "hmj/hmj.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/work_units.h"
+#include "tokenized/sld.h"
+
+namespace tsj {
+
+namespace {
+
+// A record assigned to a (sub-)partition.
+struct Member {
+  uint32_t id = 0;
+  // Distance to the pivot of the partition this member currently sits in;
+  // used for the triangle-inequality pre-filter at the leaves.
+  double dist = 0;
+  // Assigned home at the *top* level (the [68] symmetry rule: a pair is
+  // only verified when at least one endpoint is top-level home).
+  bool top_home = false;
+  // Assigned home at the *current* recursion level (guarantees each
+  // similar pair is verified in at least one leaf).
+  bool level_home = false;
+};
+
+// Shared mutable state across the pipeline's concurrent lambdas.
+struct WorkState {
+  std::atomic<uint64_t> distance_computations{0};
+  std::atomic<uint64_t> pivot_filtered{0};
+  std::atomic<uint64_t> assignments{0};
+  std::atomic<bool> aborted{false};
+};
+
+class HmjRunner {
+ public:
+  HmjRunner(const Corpus& corpus, const HmjOptions& options, WorkState* state)
+      : corpus_(corpus), options_(options), state_(state) {
+    strings_.reserve(corpus.size());
+    for (uint32_t s = 0; s < corpus.size(); ++s) {
+      strings_.push_back(corpus.Materialize(s));
+    }
+  }
+
+  double Distance(uint32_t a, uint32_t b) {
+    const uint64_t done =
+        state_->distance_computations.fetch_add(1, std::memory_order_relaxed);
+    if (options_.work_limit > 0 && done >= options_.work_limit) {
+      state_->aborted.store(true, std::memory_order_relaxed);
+    }
+    AddWorkUnits(SldWorkUnits(corpus_.aggregate_length(a),
+                              corpus_.aggregate_length(b),
+                              strings_[a].size(), strings_[b].size(),
+                              options_.aligning));
+    const int64_t sld = Sld(strings_[a], strings_[b], options_.aligning);
+    return NsldFromSld(sld, corpus_.aggregate_length(a),
+                       corpus_.aggregate_length(b));
+  }
+
+  bool aborted() const {
+    return state_->aborted.load(std::memory_order_relaxed);
+  }
+
+  // Joins one partition's members, recursively repartitioning when too
+  // large; emits verified pairs.
+  void JoinPartition(std::vector<Member> members, size_t depth,
+                     std::vector<TsjPair>* out) {
+    if (aborted()) return;
+    const bool leaf = members.size() <= options_.max_partition_size ||
+                      depth >= options_.max_recursion_depth ||
+                      members.size() <= options_.num_subpartitions;
+    if (leaf) {
+      JoinLeaf(members, out);
+      return;
+    }
+    const size_t parent_size = members.size();
+    // Recursive repartitioning with sub-pivots ([68]): evenly spaced
+    // members act as sub-pivots (deterministic; spreads over the data).
+    const size_t k = options_.num_subpartitions;
+    const size_t step = members.size() / k;
+    std::vector<uint32_t> pivots(k);
+    for (size_t j = 0; j < k; ++j) pivots[j] = members[j * step].id;
+
+    std::vector<std::vector<Member>> subpartitions(k);
+    std::vector<double> dists(k);
+    for (const Member& m : members) {
+      if (aborted()) return;
+      for (size_t j = 0; j < k; ++j) dists[j] = Distance(m.id, pivots[j]);
+      const size_t home = static_cast<size_t>(
+          std::min_element(dists.begin(), dists.end()) - dists.begin());
+      for (size_t j = 0; j < k; ++j) {
+        const bool is_home = (j == home);
+        // General window filter ([53]): replicate into every sub-partition
+        // whose pivot is within d_home + 2T.
+        if (!is_home && dists[j] > dists[home] + 2 * options_.threshold) {
+          continue;
+        }
+        state_->assignments.fetch_add(1, std::memory_order_relaxed);
+        subpartitions[j].push_back(
+            Member{m.id, dists[j], m.top_home, is_home});
+      }
+    }
+    for (auto& sub : subpartitions) {
+      // No-progress guard: when NSLD values concentrate (the
+      // high-dimensional behaviour the paper blames for HMJ's DNF,
+      // Sec. V-E), the window filter replicates records into nearly every
+      // sub-partition and recursion stops shrinking anything — join such a
+      // partition quadratically instead of recursing forever.
+      if (sub.size() * 10 >= parent_size * 9) {
+        JoinLeaf(sub, out);
+      } else {
+        JoinPartition(std::move(sub), depth + 1, out);
+      }
+    }
+  }
+
+ private:
+  void JoinLeaf(const std::vector<Member>& members,
+                std::vector<TsjPair>* out) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (aborted()) return;
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        const Member& u = members[i];
+        const Member& v = members[j];
+        if (u.id == v.id) continue;
+        // Symmetry rule ([68]): at least one endpoint must be a top-level
+        // home record, and at least one must be home at this level — the
+        // pair is then guaranteed to also be discovered nowhere "cheaper".
+        if (!(u.top_home || v.top_home)) continue;
+        if (!(u.level_home || v.level_home)) continue;
+        AddWorkUnits(1);  // pair scan step
+        // Pivot triangle-inequality filter: |d(u,p) - d(v,p)| <= d(u,v).
+        if (std::abs(u.dist - v.dist) > options_.threshold + 1e-12) {
+          state_->pivot_filtered.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const double d = Distance(u.id, v.id);
+        if (d <= options_.threshold) {
+          out->push_back(TsjPair{std::min(u.id, v.id), std::max(u.id, v.id),
+                                 d});
+        }
+      }
+    }
+  }
+
+  const Corpus& corpus_;
+  const HmjOptions& options_;
+  WorkState* state_;
+  std::vector<TokenizedString> strings_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
+    const Corpus& corpus, HmjRunInfo* info) const {
+  if (Status s = options_.Validate(); !s.ok()) return s;
+  HmjRunInfo local_info;
+  WorkState state;
+  HmjRunner runner(corpus, options_, &state);
+
+  // ---- Pivot sampling. ---------------------------------------------------
+  const size_t n = corpus.size();
+  std::vector<uint32_t> all_ids(n);
+  std::iota(all_ids.begin(), all_ids.end(), 0u);
+  Rng rng(options_.seed);
+  rng.Shuffle(&all_ids);
+  const size_t k = std::min(options_.num_partitions, std::max<size_t>(n, 1));
+  std::vector<uint32_t> pivots(all_ids.begin(),
+                               all_ids.begin() + std::min(k, n));
+  if (pivots.empty()) {
+    if (info != nullptr) *info = std::move(local_info);
+    return std::vector<TsjPair>{};
+  }
+
+  // ---- Job 1: Voronoi partitioning + per-partition join. ----------------
+  const double t = options_.threshold;
+  auto map_assign = [&runner, &pivots, &state, t](
+                        const uint32_t& s, Emitter<uint32_t, Member>* out) {
+    if (runner.aborted()) return;
+    std::vector<double> dists(pivots.size());
+    for (size_t j = 0; j < pivots.size(); ++j) {
+      dists[j] = runner.Distance(s, pivots[j]);
+    }
+    const size_t home = static_cast<size_t>(
+        std::min_element(dists.begin(), dists.end()) - dists.begin());
+    for (size_t j = 0; j < pivots.size(); ++j) {
+      const bool is_home = (j == home);
+      if (!is_home && dists[j] > dists[home] + 2 * t) continue;
+      state.assignments.fetch_add(1, std::memory_order_relaxed);
+      out->Emit(static_cast<uint32_t>(j),
+                Member{s, dists[j], is_home, is_home});
+    }
+  };
+  auto reduce_join = [&runner](const uint32_t& /*partition*/,
+                               std::vector<Member>* members,
+                               std::vector<TsjPair>* out) {
+    runner.JoinPartition(std::move(*members), /*depth=*/0, out);
+  };
+  JobStats join_stats;
+  std::vector<TsjPair> raw_pairs =
+      RunMapReduce<uint32_t, uint32_t, Member, TsjPair>(
+          "hmj-partition-join", all_ids, map_assign, reduce_join,
+          options_.mapreduce, &join_stats);
+  local_info.pipeline.Add(join_stats);
+
+  // ---- Job 2: dedup (a pair may surface in several partitions). ---------
+  using PairKey = std::pair<uint32_t, uint32_t>;
+  auto map_pairs = [](const TsjPair& pair, Emitter<PairKey, double>* out) {
+    out->Emit(PairKey{pair.a, pair.b}, pair.nsld);
+  };
+  auto reduce_dedup = [](const PairKey& key, std::vector<double>* values,
+                         std::vector<TsjPair>* out) {
+    out->push_back(TsjPair{key.first, key.second, values->front()});
+  };
+  JobStats dedup_stats;
+  std::vector<TsjPair> results =
+      RunMapReduce<TsjPair, PairKey, double, TsjPair>(
+          "hmj-dedup", raw_pairs, map_pairs, reduce_dedup, options_.mapreduce,
+          &dedup_stats);
+  local_info.pipeline.Add(dedup_stats);
+
+  local_info.distance_computations = state.distance_computations;
+  local_info.pivot_filtered = state.pivot_filtered;
+  local_info.assignments = state.assignments;
+  // When the work limit was exceeded the results are incomplete; they are
+  // still returned for inspection, with completed=false marking the DNF.
+  local_info.completed = !state.aborted.load();
+  if (info != nullptr) *info = std::move(local_info);
+  return results;
+}
+
+}  // namespace tsj

@@ -1,0 +1,245 @@
+// In-process MapReduce engine (Sec. III-A of the paper).
+//
+// The engine expresses computations as the classic pair of functions
+//   map:    <key1, value1>        -> [<key2, value2>]
+//   reduce: <key2, [value2]>      -> [value3]
+// and executes them on a thread pool with a hash shuffle in between, i.e. a
+// faithful shared-nothing simulation running in one address space:
+//  * map tasks process disjoint input slices and emit (key, value) pairs;
+//  * the shuffle partitions emitted pairs by a *stable* key hash and groups
+//    them per key (order of values within a group follows map-task order,
+//    matching the non-determinism real MapReduce exposes);
+//  * reduce tasks process whole partitions, one group at a time.
+// JobStats records per-phase record counts, wall times and per-group loads;
+// cluster_model.h turns those into simulated wall times for a cluster of W
+// machines, which is how the repository reproduces the paper's
+// 100-to-1,000-machine sweeps (Figs. 1, 7) on a single host.
+
+#ifndef TSJ_MAPREDUCE_MAPREDUCE_H_
+#define TSJ_MAPREDUCE_MAPREDUCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "mapreduce/job_stats.h"
+#include "mapreduce/key_hash.h"
+#include "mapreduce/work_units.h"
+
+namespace tsj {
+
+/// Engine configuration.
+struct MapReduceOptions {
+  /// Number of OS threads executing logical tasks (0 = hardware
+  /// concurrency).
+  size_t num_workers = 0;
+  /// Number of shuffle partitions (each is reduced as one unit of work).
+  size_t num_partitions = 64;
+  /// Record per-group loads into JobStats for the cluster model.
+  bool collect_group_loads = true;
+
+  size_t effective_workers() const {
+    if (num_workers > 0) return num_workers;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 4;
+  }
+};
+
+/// Collects the (key, value) pairs emitted by one map task.
+template <typename Key, typename Value>
+class Emitter {
+ public:
+  void Emit(Key key, Value value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  std::vector<std::pair<Key, Value>>& pairs() { return pairs_; }
+  const std::vector<std::pair<Key, Value>>& pairs() const { return pairs_; }
+
+ private:
+  std::vector<std::pair<Key, Value>> pairs_;
+};
+
+/// Optional combiner: merges the values of one key *within one map task*
+/// before the shuffle, cutting shuffle volume for associative reductions
+/// (the standard MapReduce optimization). Receives the values collected so
+/// far and replaces them with a (usually shorter) combined list.
+template <typename Key, typename Value>
+using CombinerFn =
+    std::function<void(const Key&, std::vector<Value>*)>;
+
+/// Runs one MapReduce job.
+///
+/// `map_fn(input, emitter)` is called once per input record; it may emit any
+/// number of (Key, Value) pairs. `reduce_fn(key, values, output)` is called
+/// once per distinct key with every value emitted under that key; it appends
+/// results to `output`. Key must be equality-comparable and hashable by
+/// StableHash. Both functions must be thread-safe with respect to their own
+/// captured state (they run concurrently on different records/groups).
+///
+/// Returns all reduce outputs (unspecified but deterministic order for a
+/// fixed number of partitions). `stats`, if non-null, receives execution
+/// statistics.
+template <typename Input, typename Key, typename Value, typename Output>
+std::vector<Output> RunMapReduce(
+    const std::string& job_name, const std::vector<Input>& inputs,
+    const std::function<void(const Input&, Emitter<Key, Value>*)>& map_fn,
+    const std::function<void(const Key&, std::vector<Value>*,
+                             std::vector<Output>*)>& reduce_fn,
+    const MapReduceOptions& options = {}, JobStats* stats = nullptr,
+    const CombinerFn<Key, Value>& combiner = nullptr) {
+  const size_t num_workers = options.effective_workers();
+  const size_t num_partitions = std::max<size_t>(1, options.num_partitions);
+  ThreadPool pool(num_workers);
+  JobStats local_stats;
+  local_stats.name = job_name;
+  local_stats.input_records = inputs.size();
+  local_stats.executed_workers = num_workers;
+
+  // ---- Map phase -----------------------------------------------------
+  Stopwatch map_watch;
+  // More tasks than workers so stragglers even out, as in real MapReduce.
+  const size_t num_map_tasks =
+      std::max<size_t>(1, std::min(inputs.size(), num_workers * 4));
+  std::vector<Emitter<Key, Value>> emitters(num_map_tasks);
+  std::vector<uint64_t> map_task_units(num_map_tasks, 0);
+  pool.ParallelFor(num_map_tasks, [&](size_t task) {
+    const size_t begin = inputs.size() * task / num_map_tasks;
+    const size_t end = inputs.size() * (task + 1) / num_map_tasks;
+    TakeWorkUnits();  // clear leftovers from other tasks on this thread
+    for (size_t i = begin; i < end; ++i) {
+      map_fn(inputs[i], &emitters[task]);
+    }
+    if (combiner != nullptr) {
+      // Local pre-aggregation: group this task's emissions by key and let
+      // the combiner shrink each value list before the shuffle.
+      struct HashAdapter {
+        size_t operator()(const Key& k) const { return StableHash()(k); }
+      };
+      std::unordered_map<Key, std::vector<Value>, HashAdapter> local;
+      for (auto& kv : emitters[task].pairs()) {
+        local[std::move(kv.first)].push_back(std::move(kv.second));
+      }
+      auto& pairs = emitters[task].pairs();
+      pairs.clear();
+      for (auto& [key, values] : local) {
+        combiner(key, &values);
+        for (auto& value : values) {
+          pairs.emplace_back(key, std::move(value));
+        }
+      }
+    }
+    map_task_units[task] = TakeWorkUnits();
+  });
+  uint64_t map_output_records = 0;
+  for (const auto& e : emitters) map_output_records += e.pairs().size();
+  for (uint64_t units : map_task_units) {
+    local_stats.map_work_units += units;
+  }
+  local_stats.map_output_records = map_output_records;
+  local_stats.map_wall_seconds = map_watch.ElapsedSeconds();
+
+  // ---- Shuffle phase ---------------------------------------------------
+  Stopwatch shuffle_watch;
+  StableHash hasher;
+  // Each map task scatters its pairs into per-partition buckets, then the
+  // buckets are concatenated per partition.
+  std::vector<std::vector<std::vector<std::pair<Key, Value>>>> scattered(
+      num_map_tasks);
+  pool.ParallelFor(num_map_tasks, [&](size_t task) {
+    auto& buckets = scattered[task];
+    buckets.resize(num_partitions);
+    for (auto& kv : emitters[task].pairs()) {
+      const size_t p = hasher(kv.first) % num_partitions;
+      buckets[p].push_back(std::move(kv));
+    }
+    emitters[task].pairs().clear();
+    emitters[task].pairs().shrink_to_fit();
+  });
+  std::vector<std::vector<std::pair<Key, Value>>> partitions(num_partitions);
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    size_t total = 0;
+    for (size_t task = 0; task < num_map_tasks; ++task) {
+      total += scattered[task][p].size();
+    }
+    partitions[p].reserve(total);
+    for (size_t task = 0; task < num_map_tasks; ++task) {
+      auto& bucket = scattered[task][p];
+      std::move(bucket.begin(), bucket.end(),
+                std::back_inserter(partitions[p]));
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+  });
+  scattered.clear();
+  local_stats.shuffle_wall_seconds = shuffle_watch.ElapsedSeconds();
+
+  // ---- Reduce phase ----------------------------------------------------
+  Stopwatch reduce_watch;
+  struct PartitionResult {
+    std::vector<Output> outputs;
+    std::vector<GroupLoad> loads;
+    uint64_t num_groups = 0;
+  };
+  std::vector<PartitionResult> results(num_partitions);
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    // Group the partition's pairs by key.
+    struct HashAdapter {
+      size_t operator()(const Key& k) const { return StableHash()(k); }
+    };
+    std::unordered_map<Key, std::vector<Value>, HashAdapter> groups;
+    for (auto& kv : partitions[p]) {
+      groups[kv.first].push_back(std::move(kv.second));
+    }
+    partitions[p].clear();
+    partitions[p].shrink_to_fit();
+    auto& result = results[p];
+    result.num_groups = groups.size();
+    if (options.collect_group_loads) result.loads.reserve(groups.size());
+    for (auto& [key, values] : groups) {
+      if (options.collect_group_loads) {
+        // Deterministic work units (work_units.h) are the preferred cost
+        // source for the simulated-cluster makespan; per-group wall time
+        // is kept as a fallback for reduce functions that report none.
+        Stopwatch group_watch;
+        const uint64_t records = values.size();
+        TakeWorkUnits();
+        reduce_fn(key, &values, &result.outputs);
+        result.loads.push_back(GroupLoad{hasher(key), records,
+                                         TakeWorkUnits(),
+                                         group_watch.ElapsedSeconds()});
+      } else {
+        reduce_fn(key, &values, &result.outputs);
+      }
+    }
+  });
+  std::vector<Output> outputs;
+  {
+    size_t total = 0;
+    for (const auto& r : results) total += r.outputs.size();
+    outputs.reserve(total);
+  }
+  for (auto& r : results) {
+    local_stats.num_groups += r.num_groups;
+    std::move(r.outputs.begin(), r.outputs.end(),
+              std::back_inserter(outputs));
+    if (options.collect_group_loads) {
+      local_stats.group_loads.insert(local_stats.group_loads.end(),
+                                     r.loads.begin(), r.loads.end());
+    }
+  }
+  local_stats.reduce_output_records = outputs.size();
+  local_stats.reduce_wall_seconds = reduce_watch.ElapsedSeconds();
+
+  if (stats != nullptr) *stats = std::move(local_stats);
+  return outputs;
+}
+
+}  // namespace tsj
+
+#endif  // TSJ_MAPREDUCE_MAPREDUCE_H_

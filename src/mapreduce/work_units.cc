@@ -1,0 +1,17 @@
+#include "mapreduce/work_units.h"
+
+namespace tsj {
+
+namespace {
+thread_local uint64_t t_work_units = 0;
+}  // namespace
+
+void AddWorkUnits(uint64_t units) { t_work_units += units; }
+
+uint64_t TakeWorkUnits() {
+  const uint64_t units = t_work_units;
+  t_work_units = 0;
+  return units;
+}
+
+}  // namespace tsj

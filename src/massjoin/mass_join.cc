@@ -1,0 +1,141 @@
+#include "massjoin/mass_join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+#include <utility>
+
+#include "distance/levenshtein.h"
+#include "distance/normalized_levenshtein.h"
+#include "mapreduce/work_units.h"
+#include "passjoin/partition.h"
+
+namespace tsj {
+
+namespace {
+
+// Key of the signature space: (longer length, shorter length, segment
+// index, chunk text).
+using SignatureKey = std::tuple<uint32_t, uint32_t, uint32_t, std::string>;
+
+// Value: token id plus its role under this signature.
+struct RoleValue {
+  uint32_t token_id;
+  bool is_substring_role;  // false = segment role (shorter side)
+};
+
+// A raw candidate pair of token ids, normalized a < b.
+using CandidatePair = std::pair<uint32_t, uint32_t>;
+
+}  // namespace
+
+std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
+                                     double threshold,
+                                     const MassJoinOptions& options,
+                                     PipelineStats* stats) {
+  assert(threshold >= 0.0 && threshold < 1.0);
+
+  // ---- Job 1: signature generation + candidate pairing. ----------------
+  // Input records are token ids; the token texts are read-only side data
+  // (in a real deployment they ship with the record).
+  std::vector<uint32_t> ids(tokens.size());
+  for (uint32_t i = 0; i < tokens.size(); ++i) ids[i] = i;
+
+  auto map_signatures = [&tokens, threshold](
+                            const uint32_t& id,
+                            Emitter<SignatureKey, RoleValue>* out) {
+    const size_t emitted_before = out->pairs().size();
+    const std::string& text = tokens[id];
+    const uint32_t len = static_cast<uint32_t>(text.size());
+    // Segment role: this token as the shorter side of a future pair.
+    const size_t max_longer = MaxLongerLengthForNld(threshold, len);
+    for (size_t ly = len; ly <= max_longer; ++ly) {
+      const uint32_t tau = MaxLdForNld(threshold, ly, /*x_is_shorter=*/true);
+      const auto segments = EvenPartition(len, tau + 1);
+      for (size_t i = 0; i < segments.size(); ++i) {
+        const Segment& seg = segments[i];
+        out->Emit(SignatureKey{static_cast<uint32_t>(ly), len,
+                               static_cast<uint32_t>(i),
+                               text.substr(seg.start, seg.length)},
+                  RoleValue{id, /*is_substring_role=*/false});
+      }
+    }
+    // Substring role: this token as the longer side.
+    const uint32_t tau = MaxLdForNld(threshold, len, /*x_is_shorter=*/true);
+    const size_t min_lx = MinShorterLengthForNld(threshold, len);
+    for (size_t lx = min_lx; lx <= len; ++lx) {
+      const auto segments = EvenPartition(lx, tau + 1);
+      for (size_t i = 0; i < segments.size(); ++i) {
+        const Segment& seg = segments[i];
+        const StartRange range =
+            SubstringStartRange(len, lx, tau, i, segments[i]);
+        for (int64_t start = range.lo; start <= range.hi; ++start) {
+          out->Emit(
+              SignatureKey{len, static_cast<uint32_t>(lx),
+                           static_cast<uint32_t>(i),
+                           std::string(ExtractChunk(text, start, seg))},
+              RoleValue{id, /*is_substring_role=*/true});
+        }
+      }
+    }
+    AddWorkUnits(1 + (out->pairs().size() - emitted_before));
+  };
+
+  auto reduce_candidates = [](const SignatureKey& /*key*/,
+                              std::vector<RoleValue>* values,
+                              std::vector<CandidatePair>* out) {
+    const size_t emitted_before = out->size();
+    // Pair every segment-role token with every substring-role token.
+    for (const RoleValue& seg : *values) {
+      if (seg.is_substring_role) continue;
+      for (const RoleValue& sub : *values) {
+        if (!sub.is_substring_role) continue;
+        if (seg.token_id == sub.token_id) continue;
+        out->emplace_back(std::min(seg.token_id, sub.token_id),
+                          std::max(seg.token_id, sub.token_id));
+      }
+    }
+    AddWorkUnits(values->size() + (out->size() - emitted_before));
+  };
+
+  JobStats generate_stats;
+  std::vector<CandidatePair> candidates =
+      RunMapReduce<uint32_t, SignatureKey, RoleValue, CandidatePair>(
+          "massjoin-generate", ids, map_signatures, reduce_candidates,
+          options.mapreduce, &generate_stats);
+  if (stats != nullptr) stats->Add(generate_stats);
+
+  // ---- Job 2: dedup + verify. -------------------------------------------
+  auto map_identity = [](const CandidatePair& pair,
+                         Emitter<CandidatePair, char>* out) {
+    out->Emit(pair, 0);
+  };
+  auto reduce_verify = [&tokens, threshold](const CandidatePair& pair,
+                                            std::vector<char>* values,
+                                            std::vector<NldPair>* out) {
+    const std::string& x = tokens[pair.first];
+    const std::string& y = tokens[pair.second];
+    const uint32_t tau = MaxLdForNld(threshold, std::max(x.size(), y.size()),
+                                     /*x_is_shorter=*/true);
+    // Banded verifier touches at most (2*tau+1) cells per row.
+    AddWorkUnits(values->size() +
+                 (2 * static_cast<uint64_t>(tau) + 1) *
+                     std::min(x.size(), y.size()) +
+                 1);
+    const uint32_t ld = BoundedLevenshtein(x, y, tau);
+    if (ld > tau) return;
+    const double nld = NldFromLd(ld, x.size(), y.size());
+    if (nld > threshold) return;
+    out->push_back(NldPair{pair.first, pair.second, ld, nld});
+  };
+
+  JobStats verify_stats;
+  std::vector<NldPair> results =
+      RunMapReduce<CandidatePair, CandidatePair, char, NldPair>(
+          "massjoin-verify", candidates, map_identity, reduce_verify,
+          options.mapreduce, &verify_stats);
+  if (stats != nullptr) stats->Add(verify_stats);
+  return results;
+}
+
+}  // namespace tsj

@@ -1,0 +1,53 @@
+// MassJoin: a MapReduce-distributed string similarity join (Deng, Li, Hao,
+// Wang & Feng [19]), adapted from LD thresholds to NLD thresholds via
+// Lemmas 8 and 9, exactly as TSJ requires (Sec. III-D).
+//
+// Job 1 (candidate generation) — each token plays two roles:
+//  * segment role (token as the shorter side): for every feasible longer
+//    length ly, the token is partitioned into MaxLdForNld(T, ly)+1 even
+//    segments; each segment is emitted keyed by
+//    (ly, |token|, segment index, chunk text);
+//  * substring role (token as the longer side): for every feasible shorter
+//    length lx, the multi-match-aware selection enumerates the substrings
+//    that could match a segment of an lx-length string, emitted under the
+//    same key shape.
+// The reducer pairs segment-role tokens with substring-role tokens sharing
+// a key, emitting candidate token-id pairs.
+//
+// Job 2 (dedup + verify) — candidates are grouped by normalized pair id so
+// each distinct pair is verified exactly once with the banded Levenshtein
+// under the Lemma 8 budget.
+//
+// The result equals PassJoinSelfNld on the same input (tested), but every
+// stage is a MapReduce job with recorded JobStats, so TSJ's cluster-time
+// simulation covers the token join too.
+
+#ifndef TSJ_MASSJOIN_MASS_JOIN_H_
+#define TSJ_MASSJOIN_MASS_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/job_stats.h"
+#include "mapreduce/mapreduce.h"
+#include "passjoin/pass_join.h"
+
+namespace tsj {
+
+/// MassJoin configuration.
+struct MassJoinOptions {
+  /// Engine options used by both jobs.
+  MapReduceOptions mapreduce;
+};
+
+/// Self-joins `tokens` under NLD <= threshold (0 <= threshold < 1) using
+/// the two-job MapReduce plan described above. Returns duplicate-free
+/// pairs (a < b). Per-job statistics are appended to `stats` if non-null.
+std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
+                                     double threshold,
+                                     const MassJoinOptions& options = {},
+                                     PipelineStats* stats = nullptr);
+
+}  // namespace tsj
+
+#endif  // TSJ_MASSJOIN_MASS_JOIN_H_

@@ -1,0 +1,41 @@
+#include "metric/nsld_index.h"
+
+namespace tsj {
+
+namespace {
+std::vector<TokenizedString> MaterializeAll(const Corpus& corpus) {
+  std::vector<TokenizedString> strings;
+  strings.reserve(corpus.size());
+  for (uint32_t s = 0; s < corpus.size(); ++s) {
+    strings.push_back(corpus.Materialize(s));
+  }
+  return strings;
+}
+}  // namespace
+
+NsldIndex::NsldIndex(const Corpus& corpus, uint64_t seed)
+    : corpus_(corpus),
+      strings_(MaterializeAll(corpus)),
+      tree_(corpus.size(),
+            [this](uint32_t a, uint32_t b) {
+              return Nsld(strings_[a], strings_[b]);
+            },
+            seed) {}
+
+std::vector<MetricMatch> NsldIndex::RangeSearch(const TokenizedString& query,
+                                                double radius,
+                                                VpQueryStats* stats) const {
+  return tree_.RangeSearch(
+      [this, &query](uint32_t id) { return Nsld(query, strings_[id]); },
+      radius, stats);
+}
+
+std::vector<MetricMatch> NsldIndex::KNearest(const TokenizedString& query,
+                                             size_t k,
+                                             VpQueryStats* stats) const {
+  return tree_.KNearest(
+      [this, &query](uint32_t id) { return Nsld(query, strings_[id]); }, k,
+      stats);
+}
+
+}  // namespace tsj

@@ -1,0 +1,45 @@
+// NSLD nearest-neighbour index over a Corpus: the concrete realization of
+// the paper's claim that NSLD, being a metric (Theorem 2), plugs into
+// metric-space K-nearest-neighbour machinery. Useful for interactive
+// queries ("which accounts look like this name?") where a full join is
+// overkill.
+
+#ifndef TSJ_METRIC_NSLD_INDEX_H_
+#define TSJ_METRIC_NSLD_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "metric/vp_tree.h"
+#include "tokenized/corpus.h"
+#include "tokenized/sld.h"
+
+namespace tsj {
+
+/// VP-tree over all tokenized strings of a corpus under exact NSLD.
+class NsldIndex {
+ public:
+  /// Builds the index; O(n log n) NSLD evaluations.
+  explicit NsldIndex(const Corpus& corpus, uint64_t seed = 42);
+
+  /// Strings within `radius` of `query` (inclusive), nearest first.
+  std::vector<MetricMatch> RangeSearch(const TokenizedString& query,
+                                       double radius,
+                                       VpQueryStats* stats = nullptr) const;
+
+  /// The k nearest strings to `query`, nearest first.
+  std::vector<MetricMatch> KNearest(const TokenizedString& query, size_t k,
+                                    VpQueryStats* stats = nullptr) const;
+
+  size_t size() const { return tree_.size(); }
+
+ private:
+  const Corpus& corpus_;
+  // Materialized once: queries and construction evaluate many distances.
+  std::vector<TokenizedString> strings_;
+  VpTree tree_;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_METRIC_NSLD_INDEX_H_

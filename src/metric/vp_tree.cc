@@ -1,0 +1,209 @@
+#include "metric/vp_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+#include "common/random.h"
+
+namespace tsj {
+
+namespace {
+// Subtrees at or below this size are stored as flat buckets: scanning a
+// handful of items beats further partitioning.
+constexpr size_t kLeafSize = 8;
+}  // namespace
+
+struct BuildContext {
+  VpTree::DistanceFn distance;
+  Rng rng;
+  std::vector<double> dists;  // scratch: distance of each item to vantage
+};
+
+VpTree::VpTree(size_t n, DistanceFn distance, uint64_t seed) : size_(n) {
+  std::vector<uint32_t> items(n);
+  for (uint32_t i = 0; i < n; ++i) items[i] = i;
+  BuildContext context{std::move(distance), Rng(seed), {}};
+  if (n > 0) {
+    nodes_.reserve(2 * n / kLeafSize + 2);
+    root_ = Build(&items, 0, n, &context);
+  }
+}
+
+int32_t VpTree::Build(std::vector<uint32_t>* items, size_t begin, size_t end,
+                      BuildContext* context) {
+  const size_t count = end - begin;
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (count <= kLeafSize) {
+    Node& leaf = nodes_.back();
+    leaf.is_leaf = true;
+    leaf.bucket.assign(items->begin() + static_cast<ptrdiff_t>(begin),
+                       items->begin() + static_cast<ptrdiff_t>(end));
+    return node_index;
+  }
+
+  // Random vantage point, swapped to the front of the range.
+  const size_t pick = begin + context->rng.Uniform(count);
+  std::swap((*items)[begin], (*items)[pick]);
+  const uint32_t vantage = (*items)[begin];
+
+  // Partition the remainder by the median distance to the vantage point.
+  auto& dists = context->dists;
+  dists.resize(count - 1);
+  for (size_t i = begin + 1; i < end; ++i) {
+    dists[i - begin - 1] = context->distance(vantage, (*items)[i]);
+  }
+  std::vector<double> sorted = dists;
+  const size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<ptrdiff_t>(mid),
+                   sorted.end());
+  const double mu = sorted[mid];
+
+  // Stable two-way split: inside (<= mu) first. Pair each item with its
+  // distance so the partition does not recompute.
+  std::vector<std::pair<double, uint32_t>> tagged;
+  tagged.reserve(count - 1);
+  for (size_t i = begin + 1; i < end; ++i) {
+    tagged.emplace_back(dists[i - begin - 1], (*items)[i]);
+  }
+  auto split = std::stable_partition(
+      tagged.begin(), tagged.end(),
+      [mu](const std::pair<double, uint32_t>& p) { return p.first <= mu; });
+  const size_t inside_count = static_cast<size_t>(split - tagged.begin());
+  for (size_t i = 0; i < tagged.size(); ++i) {
+    (*items)[begin + 1 + i] = tagged[i].second;
+  }
+
+  // Degenerate split (all distances equal): bucket everything to avoid
+  // infinite recursion on duplicate-heavy data.
+  if (inside_count == 0 || inside_count == tagged.size()) {
+    Node& leaf = nodes_[static_cast<size_t>(node_index)];
+    leaf.is_leaf = true;
+    leaf.bucket.assign(items->begin() + static_cast<ptrdiff_t>(begin),
+                       items->begin() + static_cast<ptrdiff_t>(end));
+    return node_index;
+  }
+
+  const int32_t inside =
+      Build(items, begin + 1, begin + 1 + inside_count, context);
+  const int32_t outside = Build(items, begin + 1 + inside_count, end, context);
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.vantage = vantage;
+  node.mu = mu;
+  node.inside = inside;
+  node.outside = outside;
+  return node_index;
+}
+
+std::vector<MetricMatch> VpTree::RangeSearch(const QueryDistanceFn& to_query,
+                                             double radius,
+                                             VpQueryStats* stats) const {
+  VpQueryStats local;
+  std::vector<MetricMatch> matches;
+  if (root_ < 0) {
+    if (stats != nullptr) *stats = local;
+    return matches;
+  }
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    ++local.nodes_visited;
+    if (node.is_leaf) {
+      for (uint32_t id : node.bucket) {
+        ++local.distance_calls;
+        const double d = to_query(id);
+        if (d <= radius) matches.push_back(MetricMatch{id, d});
+      }
+      continue;
+    }
+    ++local.distance_calls;
+    const double d = to_query(node.vantage);
+    if (d <= radius) matches.push_back(MetricMatch{node.vantage, d});
+    // Triangle-inequality pruning: the inside ball holds items within mu
+    // of the vantage; it can contain a match only if d - radius <= mu.
+    if (d - radius <= node.mu && node.inside >= 0) {
+      stack.push_back(node.inside);
+    }
+    if (d + radius >= node.mu && node.outside >= 0) {
+      stack.push_back(node.outside);
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const MetricMatch& a, const MetricMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+std::vector<MetricMatch> VpTree::KNearest(const QueryDistanceFn& to_query,
+                                          size_t k,
+                                          VpQueryStats* stats) const {
+  VpQueryStats local;
+  std::vector<MetricMatch> result;
+  if (root_ < 0 || k == 0) {
+    if (stats != nullptr) *stats = local;
+    return result;
+  }
+  // Max-heap of the best k so far; tau = current k-th distance.
+  auto worse = [](const MetricMatch& a, const MetricMatch& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  std::priority_queue<MetricMatch, std::vector<MetricMatch>,
+                      decltype(worse)>
+      best(worse);
+  double tau = std::numeric_limits<double>::infinity();
+  auto offer = [&](uint32_t id, double d) {
+    if (best.size() < k) {
+      best.push(MetricMatch{id, d});
+      if (best.size() == k) tau = best.top().distance;
+    } else if (d < tau || (d == tau && id < best.top().id)) {
+      best.pop();
+      best.push(MetricMatch{id, d});
+      tau = best.top().distance;
+    }
+  };
+
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    ++local.nodes_visited;
+    if (node.is_leaf) {
+      for (uint32_t id : node.bucket) {
+        ++local.distance_calls;
+        offer(id, to_query(id));
+      }
+      continue;
+    }
+    ++local.distance_calls;
+    const double d = to_query(node.vantage);
+    offer(node.vantage, d);
+    // Visit the more promising side first so tau tightens early.
+    const bool inside_first = d <= node.mu;
+    const int32_t first = inside_first ? node.inside : node.outside;
+    const int32_t second = inside_first ? node.outside : node.inside;
+    // (Pushed in reverse: `first` is explored first off the stack.)
+    if (second >= 0) {
+      const bool can_match = inside_first ? (d + tau >= node.mu)
+                                          : (d - tau <= node.mu);
+      if (can_match || best.size() < k) stack.push_back(second);
+    }
+    if (first >= 0) stack.push_back(first);
+  }
+  while (!best.empty()) {
+    result.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+}  // namespace tsj

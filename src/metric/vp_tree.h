@@ -1,0 +1,88 @@
+// Vantage-point tree: an index over a finite metric space supporting
+// range and K-nearest-neighbour queries with triangle-inequality pruning.
+//
+// The paper proves NSLD is a metric precisely so that tokenized strings
+// "can be leveraged in all flavors of K-nearest-neighbor queries on metric
+// spaces" (Sec. II); this module delivers that capability. The tree is
+// agnostic to the distance — items are dense ids [0, n) and the metric is
+// supplied as a callable — so it also serves NLD, or any other metric in
+// the library. nsld_index.h provides the convenience wrapper over a
+// Corpus.
+
+#ifndef TSJ_METRIC_VP_TREE_H_
+#define TSJ_METRIC_VP_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace tsj {
+
+/// One query answer: item id and its distance to the query.
+struct MetricMatch {
+  uint32_t id = 0;
+  double distance = 0;
+
+  bool operator==(const MetricMatch& other) const {
+    return id == other.id && distance == other.distance;
+  }
+};
+
+/// Statistics of one query (for pruning-effectiveness tests and benches).
+struct VpQueryStats {
+  uint64_t distance_calls = 0;
+  uint64_t nodes_visited = 0;
+};
+
+/// A vantage-point tree over items {0, ..., n-1}.
+class VpTree {
+ public:
+  /// Distance between two indexed items. Must be a metric for correct
+  /// pruning.
+  using DistanceFn = std::function<double(uint32_t, uint32_t)>;
+  /// Distance from the (external) query object to an indexed item.
+  using QueryDistanceFn = std::function<double(uint32_t)>;
+
+  /// Builds the tree over n items; O(n log n) expected distance calls.
+  /// `seed` controls vantage-point sampling (results are query-identical
+  /// for any seed; only the tree shape varies).
+  VpTree(size_t n, DistanceFn distance, uint64_t seed = 42);
+
+  /// All items within `radius` of the query (inclusive), sorted by
+  /// ascending distance then id.
+  std::vector<MetricMatch> RangeSearch(const QueryDistanceFn& to_query,
+                                       double radius,
+                                       VpQueryStats* stats = nullptr) const;
+
+  /// The k nearest items (fewer if n < k), sorted by ascending distance
+  /// then id.
+  std::vector<MetricMatch> KNearest(const QueryDistanceFn& to_query,
+                                    size_t k,
+                                    VpQueryStats* stats = nullptr) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Node {
+    uint32_t vantage = 0;
+    double mu = 0;        // median distance separating inside/outside
+    int32_t inside = -1;  // child with d(x, vantage) <= mu
+    int32_t outside = -1;
+    // Leaf payload: ids stored directly when a subtree is small.
+    std::vector<uint32_t> bucket;
+    bool is_leaf = false;
+  };
+
+  int32_t Build(std::vector<uint32_t>* items, size_t begin, size_t end,
+                struct BuildContext* context);
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_METRIC_VP_TREE_H_

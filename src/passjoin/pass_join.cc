@@ -1,0 +1,228 @@
+#include "passjoin/pass_join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "distance/levenshtein.h"
+#include "distance/normalized_levenshtein.h"
+#include "passjoin/partition.h"
+
+namespace tsj {
+
+namespace {
+
+// Processing order shared by the self-join drivers: ascending length,
+// ties by id, so that probing before inserting sees exactly the
+// shorter-or-equal, earlier-id strings.
+std::vector<uint32_t> OrderByLength(const std::vector<std::string>& strings) {
+  std::vector<uint32_t> order(strings.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (strings[a].size() != strings[b].size()) {
+      return strings[a].size() < strings[b].size();
+    }
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, uint32_t>> PassJoinSelfLd(
+    const std::vector<std::string>& strings, uint32_t tau,
+    PassJoinStats* stats) {
+  PassJoinStats local;
+  std::vector<std::pair<uint32_t, uint32_t>> results;
+
+  // Fixed-threshold segment index keyed by (indexed length, segment index,
+  // chunk).
+  struct Key {
+    uint32_t len;
+    uint32_t seg_index;
+    std::string chunk;
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashCombine(
+          Mix64((static_cast<uint64_t>(k.len) << 20) ^ k.seg_index),
+          Fingerprint64(k.chunk));
+    }
+  };
+  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> index;
+
+  std::vector<uint32_t> candidates;
+  for (uint32_t id : OrderByLength(strings)) {
+    const std::string& probe = strings[id];
+    const size_t ly = probe.size();
+    // ---- Probe: indexed strings have length lx in [ly - tau, ly]. ----
+    candidates.clear();
+    const size_t min_lx = (ly > tau) ? ly - tau : 0;
+    for (size_t lx = min_lx; lx <= ly; ++lx) {
+      const auto segments = EvenPartition(lx, tau + 1);
+      Key key{static_cast<uint32_t>(lx), 0, std::string()};
+      for (size_t i = 0; i < segments.size(); ++i) {
+        const StartRange range =
+            SubstringStartRange(ly, lx, tau, i, segments[i]);
+        if (range.empty()) continue;
+        key.seg_index = static_cast<uint32_t>(i);
+        for (int64_t start = range.lo; start <= range.hi; ++start) {
+          key.chunk.assign(ExtractChunk(probe, start, segments[i]));
+          ++local.index.probe_lookups;
+          auto it = index.find(key);
+          if (it == index.end()) continue;
+          local.index.candidates += it->second.size();
+          candidates.insert(candidates.end(), it->second.begin(),
+                            it->second.end());
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    // ---- Verify. ----
+    for (uint32_t other : candidates) {
+      ++local.candidate_pairs;
+      if (LevenshteinWithin(strings[other], probe, tau)) {
+        results.emplace_back(std::min(other, id), std::max(other, id));
+        ++local.result_pairs;
+      }
+    }
+    // ---- Index this string. ----
+    const auto segments = EvenPartition(ly, tau + 1);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      index[Key{static_cast<uint32_t>(ly), static_cast<uint32_t>(i),
+                std::string(probe.substr(segments[i].start,
+                                         segments[i].length))}]
+          .push_back(id);
+      ++local.index.index_entries;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+namespace {
+
+// Verifies one (shorter, longer) candidate under an NLD threshold and
+// appends it to `results` when similar.
+void VerifyNldCandidate(const std::vector<std::string>& a_side,
+                        const std::vector<std::string>& b_side, uint32_t a,
+                        uint32_t b, double threshold, bool order_ids,
+                        PassJoinStats* stats,
+                        std::vector<NldPair>* results) {
+  const std::string& x = a_side[a];
+  const std::string& y = b_side[b];
+  ++stats->candidate_pairs;
+  const uint32_t tau = MaxLdForNld(threshold, std::max(x.size(), y.size()),
+                                   /*x_is_shorter=*/true);
+  const uint32_t ld = BoundedLevenshtein(x, y, tau);
+  if (ld > tau) return;
+  const double nld = NldFromLd(ld, x.size(), y.size());
+  if (nld > threshold) return;
+  NldPair pair;
+  if (order_ids) {
+    pair.a = std::min(a, b);
+    pair.b = std::max(a, b);
+  } else {
+    pair.a = a;
+    pair.b = b;
+  }
+  pair.ld = ld;
+  pair.nld = nld;
+  results->push_back(pair);
+  ++stats->result_pairs;
+}
+
+}  // namespace
+
+std::vector<NldPair> PassJoinSelfNld(const std::vector<std::string>& strings,
+                                     double threshold,
+                                     PassJoinStats* stats) {
+  assert(threshold >= 0.0 && threshold < 1.0);
+  PassJoinStats local;
+  std::vector<NldPair> results;
+  NldSegmentIndex index(threshold);
+  std::vector<uint32_t> candidates;
+  for (uint32_t id : OrderByLength(strings)) {
+    candidates.clear();
+    index.Probe(strings[id], /*include_equal_length=*/true, &candidates);
+    for (uint32_t other : candidates) {
+      VerifyNldCandidate(strings, strings, other, id, threshold,
+                         /*order_ids=*/true, &local, &results);
+    }
+    index.Insert(id, strings[id]);
+  }
+  local.index = index.stats();
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+std::vector<NldPair> PassJoinNldRP(const std::vector<std::string>& r_strings,
+                                   const std::vector<std::string>& p_strings,
+                                   double threshold, PassJoinStats* stats) {
+  assert(threshold >= 0.0 && threshold < 1.0);
+  PassJoinStats local;
+  std::vector<NldPair> results;
+  std::vector<uint32_t> candidates;
+
+  // Pass 1: R indexed as the shorter side, P probes (covers |r| <= |p|).
+  {
+    NldSegmentIndex r_index(threshold);
+    for (uint32_t r = 0; r < r_strings.size(); ++r) {
+      r_index.Insert(r, r_strings[r]);
+    }
+    for (uint32_t p = 0; p < p_strings.size(); ++p) {
+      candidates.clear();
+      r_index.Probe(p_strings[p], /*include_equal_length=*/true, &candidates);
+      for (uint32_t r : candidates) {
+        // Store as (a=r, b=p) without reordering.
+        const size_t before = results.size();
+        VerifyNldCandidate(r_strings, p_strings, r, p, threshold,
+                           /*order_ids=*/false, &local, &results);
+        (void)before;
+      }
+    }
+    local.index.index_entries += r_index.stats().index_entries;
+    local.index.probe_lookups += r_index.stats().probe_lookups;
+    local.index.candidates += r_index.stats().candidates;
+  }
+  // Pass 2: P indexed as the *strictly* shorter side, R probes
+  // (covers |p| < |r|; equal lengths already handled in pass 1).
+  {
+    NldSegmentIndex p_index(threshold);
+    for (uint32_t p = 0; p < p_strings.size(); ++p) {
+      p_index.Insert(p, p_strings[p]);
+    }
+    for (uint32_t r = 0; r < r_strings.size(); ++r) {
+      candidates.clear();
+      p_index.Probe(r_strings[r], /*include_equal_length=*/false,
+                    &candidates);
+      for (uint32_t p : candidates) {
+        // VerifyNldCandidate's (a_side, b_side) are (P, R) here; emit with
+        // a = r, b = p to keep the documented orientation.
+        const std::string& x = p_strings[p];
+        const std::string& y = r_strings[r];
+        ++local.candidate_pairs;
+        const uint32_t tau = MaxLdForNld(
+            threshold, std::max(x.size(), y.size()), /*x_is_shorter=*/true);
+        const uint32_t ld = BoundedLevenshtein(x, y, tau);
+        if (ld > tau) continue;
+        const double nld = NldFromLd(ld, x.size(), y.size());
+        if (nld > threshold) continue;
+        results.push_back(NldPair{r, p, ld, nld});
+        ++local.result_pairs;
+      }
+    }
+    local.index.index_entries += p_index.stats().index_entries;
+    local.index.probe_lookups += p_index.stats().probe_lookups;
+    local.index.candidates += p_index.stats().candidates;
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace tsj

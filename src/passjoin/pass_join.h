@@ -1,0 +1,60 @@
+// Serial Pass-Join drivers: LD self-join (the original algorithm of [36])
+// and NLD self-/RP-joins (the Lemma 8/9 generalization used by TSJ).
+//
+// These serve three roles in the repository: the reference implementation
+// that MassJoin (the MapReduce-distributed version) is tested against, the
+// verification backend for small workloads, and a reusable library entry
+// point for users who need plain string similarity joins.
+
+#ifndef TSJ_PASSJOIN_PASS_JOIN_H_
+#define TSJ_PASSJOIN_PASS_JOIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "passjoin/segment_index.h"
+
+namespace tsj {
+
+/// Join statistics for cost accounting and tests.
+struct PassJoinStats {
+  SegmentIndexStats index;
+  uint64_t candidate_pairs = 0;  // deduplicated candidates verified
+  uint64_t result_pairs = 0;
+};
+
+/// A verified NLD-similar pair; `a` and `b` are indices into the input
+/// vector with a < b; `ld` is the exact edit distance.
+struct NldPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t ld = 0;
+  double nld = 0.0;
+};
+
+/// Self-joins `strings` under plain edit distance: all pairs (i, j), i < j,
+/// with LD <= tau. Duplicate-free.
+std::vector<std::pair<uint32_t, uint32_t>> PassJoinSelfLd(
+    const std::vector<std::string>& strings, uint32_t tau,
+    PassJoinStats* stats = nullptr);
+
+/// Self-joins `strings` under NLD: all pairs (i, j), i < j, with
+/// NLD <= threshold (0 <= threshold < 1). Duplicate-free.
+std::vector<NldPair> PassJoinSelfNld(const std::vector<std::string>& strings,
+                                     double threshold,
+                                     PassJoinStats* stats = nullptr);
+
+/// Joins two string collections under NLD: all pairs (r, p) with
+/// NLD(R[r], P[p]) <= threshold. Duplicate-free; `a` indexes R, `b`
+/// indexes P in the returned pairs (fields a/b reused accordingly).
+std::vector<NldPair> PassJoinNldRP(const std::vector<std::string>& r_strings,
+                                   const std::vector<std::string>& p_strings,
+                                   double threshold,
+                                   PassJoinStats* stats = nullptr);
+
+}  // namespace tsj
+
+#endif  // TSJ_PASSJOIN_PASS_JOIN_H_

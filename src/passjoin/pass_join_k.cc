@@ -1,0 +1,107 @@
+#include "passjoin/pass_join_k.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "distance/levenshtein.h"
+#include "passjoin/partition.h"
+
+namespace tsj {
+
+std::vector<std::pair<uint32_t, uint32_t>> PassJoinKSelfLd(
+    const std::vector<std::string>& strings, uint32_t tau, uint32_t k,
+    PassJoinStats* stats) {
+  assert(k >= 1);
+  assert(tau + k <= 64 && "segment-match bitmap holds at most 64 segments");
+  PassJoinStats local;
+  std::vector<std::pair<uint32_t, uint32_t>> results;
+  const size_t num_segments = tau + k;
+
+  struct Key {
+    uint32_t len;
+    uint32_t seg_index;
+    std::string chunk;
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return HashCombine(
+          Mix64((static_cast<uint64_t>(key.len) << 20) ^ key.seg_index),
+          Fingerprint64(key.chunk));
+    }
+  };
+  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> index;
+
+  std::vector<uint32_t> order(strings.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (strings[a].size() != strings[b].size()) {
+      return strings[a].size() < strings[b].size();
+    }
+    return a < b;
+  });
+
+  // Per-probe: bitmap of matched segment indices per candidate.
+  std::unordered_map<uint32_t, uint64_t> seg_matches;
+  for (uint32_t id : order) {
+    const std::string& probe = strings[id];
+    const size_t ly = probe.size();
+    seg_matches.clear();
+    const size_t min_lx = (ly > tau) ? ly - tau : 0;
+    for (size_t lx = min_lx; lx <= ly; ++lx) {
+      const auto segments = EvenPartition(lx, num_segments);
+      const int64_t delta =
+          static_cast<int64_t>(ly) - static_cast<int64_t>(lx);
+      Key key{static_cast<uint32_t>(lx), 0, std::string()};
+      for (size_t i = 0; i < segments.size(); ++i) {
+        const Segment& seg = segments[i];
+        // Conservative (provably complete) window for the K-segment
+        // scheme: tau edits can shift a surviving segment by at most tau.
+        const int64_t lo =
+            std::max<int64_t>(0, static_cast<int64_t>(seg.start) -
+                                     static_cast<int64_t>(tau));
+        const int64_t hi = std::min<int64_t>(
+            static_cast<int64_t>(ly) - static_cast<int64_t>(seg.length),
+            static_cast<int64_t>(seg.start) + delta +
+                static_cast<int64_t>(tau));
+        key.seg_index = static_cast<uint32_t>(i);
+        for (int64_t start = lo; start <= hi; ++start) {
+          key.chunk.assign(ExtractChunk(probe, start, seg));
+          ++local.index.probe_lookups;
+          auto it = index.find(key);
+          if (it == index.end()) continue;
+          local.index.candidates += it->second.size();
+          for (uint32_t other : it->second) {
+            seg_matches[other] |= (uint64_t{1} << i);
+          }
+        }
+      }
+    }
+    // A candidate survives only with >= k distinct matched segments — the
+    // K-signature filter.
+    for (const auto& [other, bitmap] : seg_matches) {
+      if (static_cast<uint32_t>(__builtin_popcountll(bitmap)) < k) continue;
+      ++local.candidate_pairs;
+      if (LevenshteinWithin(strings[other], probe, tau)) {
+        results.emplace_back(std::min(other, id), std::max(other, id));
+        ++local.result_pairs;
+      }
+    }
+    // Index this string's segments.
+    const auto segments = EvenPartition(ly, num_segments);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      index[Key{static_cast<uint32_t>(ly), static_cast<uint32_t>(i),
+                std::string(probe.substr(segments[i].start,
+                                         segments[i].length))}]
+          .push_back(id);
+      ++local.index.index_entries;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace tsj

@@ -1,0 +1,35 @@
+// PassJoinK, after Lin, Yu, Weng & He, "Large-Scale Similarity Join with
+// Edit-Distance Constraints" (DASFAA 2014) — the paper's [38].
+//
+// Pass-Join's Lemma 7 generalizes: if LD(x, y) <= tau, partitioning the
+// shorter string into tau + K segments leaves at least K segments that
+// appear as substrings of the longer string (tau edits can destroy at most
+// tau segments). Requiring K matching signatures instead of one makes the
+// filter *stricter per candidate* at the price of more signatures —
+// PassJoinK trades signature volume for candidate count, which pays off
+// when verification is expensive.
+
+#ifndef TSJ_PASSJOIN_PASS_JOIN_K_H_
+#define TSJ_PASSJOIN_PASS_JOIN_K_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "passjoin/pass_join.h"
+
+namespace tsj {
+
+/// Self-joins `strings` under plain edit distance with the K-signature
+/// scheme: all pairs (i, j), i < j, with LD <= tau. `k` is the number of
+/// segment matches required (k = 1 degenerates to PassJoinSelfLd's
+/// scheme). Duplicate-free; exact for any k >= 1.
+std::vector<std::pair<uint32_t, uint32_t>> PassJoinKSelfLd(
+    const std::vector<std::string>& strings, uint32_t tau, uint32_t k,
+    PassJoinStats* stats = nullptr);
+
+}  // namespace tsj
+
+#endif  // TSJ_PASSJOIN_PASS_JOIN_K_H_

@@ -1,0 +1,63 @@
+#include "passjoin/segment_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "distance/normalized_levenshtein.h"
+#include "passjoin/partition.h"
+
+namespace tsj {
+
+NldSegmentIndex::NldSegmentIndex(double threshold) : threshold_(threshold) {
+  assert(threshold >= 0.0 && threshold < 1.0);
+}
+
+void NldSegmentIndex::Insert(uint32_t id, std::string_view text) {
+  const size_t lx = text.size();
+  const size_t max_longer = MaxLongerLengthForNld(threshold_, lx);
+  for (size_t ly = lx; ly <= max_longer; ++ly) {
+    const uint32_t tau = MaxLdForNld(threshold_, ly, /*x_is_shorter=*/true);
+    const auto segments = EvenPartition(lx, tau + 1);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const Segment& seg = segments[i];
+      Key key{static_cast<uint32_t>(ly), static_cast<uint32_t>(lx),
+              static_cast<uint32_t>(i),
+              std::string(text.substr(seg.start, seg.length))};
+      index_[std::move(key)].push_back(id);
+      ++stats_.index_entries;
+    }
+  }
+}
+
+void NldSegmentIndex::Probe(std::string_view text, bool include_equal_length,
+                            std::vector<uint32_t>* candidates) const {
+  const size_t ly = text.size();
+  const uint32_t tau = MaxLdForNld(threshold_, ly, /*x_is_shorter=*/true);
+  const size_t min_lx = MinShorterLengthForNld(threshold_, ly);
+  const size_t max_lx = include_equal_length ? ly : (ly == 0 ? 0 : ly - 1);
+  for (size_t lx = min_lx; lx <= max_lx && lx <= ly; ++lx) {
+    const auto segments = EvenPartition(lx, tau + 1);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const Segment& seg = segments[i];
+      const StartRange range =
+          SubstringStartRange(ly, lx, tau, i, seg);
+      if (range.empty()) continue;
+      Key key{static_cast<uint32_t>(ly), static_cast<uint32_t>(lx),
+              static_cast<uint32_t>(i), std::string()};
+      for (int64_t start = range.lo; start <= range.hi; ++start) {
+        key.chunk.assign(ExtractChunk(text, start, seg));
+        ++stats_.probe_lookups;
+        auto it = index_.find(key);
+        if (it == index_.end()) continue;
+        stats_.candidates += it->second.size();
+        candidates->insert(candidates->end(), it->second.begin(),
+                           it->second.end());
+      }
+    }
+  }
+  std::sort(candidates->begin(), candidates->end());
+  candidates->erase(std::unique(candidates->begin(), candidates->end()),
+                    candidates->end());
+}
+
+}  // namespace tsj

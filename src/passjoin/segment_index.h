@@ -1,0 +1,79 @@
+// Inverted index over Pass-Join segments, generalized to NLD thresholds
+// (Lemmas 8 and 9): the edit-distance budget between two tokens depends on
+// the length of the longer one, so a token is indexed once per feasible
+// longer-side length, partitioned into MaxLdForNld(T, longer)+1 segments.
+//
+// Usage (self-join): iterate tokens sorted by (length, id); Probe() first —
+// which sees only previously inserted, i.e. shorter-or-equal, tokens — then
+// Insert(). This realizes the paper's self-join optimization (Sec. III-G.1):
+// only the |x| <= |y| direction of Lemma 8 is materialized, "yielding fewer
+// segments".
+
+#ifndef TSJ_PASSJOIN_SEGMENT_INDEX_H_
+#define TSJ_PASSJOIN_SEGMENT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace tsj {
+
+/// Index statistics (signature counts) for cost accounting.
+struct SegmentIndexStats {
+  uint64_t index_entries = 0;   // (length, segment) postings inserted
+  uint64_t probe_lookups = 0;   // substring lookups performed
+  uint64_t candidates = 0;      // candidate ids returned (pre-dedup)
+};
+
+/// Segment index for NLD self-/RP-joins at a fixed threshold.
+class NldSegmentIndex {
+ public:
+  /// threshold must satisfy 0 <= threshold < 1.
+  explicit NldSegmentIndex(double threshold);
+
+  /// Indexes string `id` (acting as the shorter side of future pairs):
+  /// for every feasible longer length ly (Lemma 9), partitions the string
+  /// into MaxLdForNld(threshold, ly)+1 even segments and posts them.
+  void Insert(uint32_t id, std::string_view text);
+
+  /// Finds candidate ids whose indexed string may be within the NLD
+  /// threshold of `text` (with the indexed string as the shorter side).
+  /// When `include_equal_length` is false, only strictly shorter indexed
+  /// strings are considered (used to avoid duplicate pairs in R x P joins).
+  /// Candidates are deduplicated; order is unspecified.
+  void Probe(std::string_view text, bool include_equal_length,
+             std::vector<uint32_t>* candidates) const;
+
+  const SegmentIndexStats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    uint32_t longer_len;
+    uint32_t shorter_len;
+    uint32_t seg_index;
+    std::string chunk;
+
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = Mix64((static_cast<uint64_t>(k.longer_len) << 40) ^
+                         (static_cast<uint64_t>(k.shorter_len) << 20) ^
+                         k.seg_index);
+      return HashCombine(h, Fingerprint64(k.chunk));
+    }
+  };
+
+  double threshold_;
+  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> index_;
+  mutable SegmentIndexStats stats_;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_PASSJOIN_SEGMENT_INDEX_H_

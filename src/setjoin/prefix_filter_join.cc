@@ -1,0 +1,136 @@
+#include "setjoin/prefix_filter_join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace tsj {
+
+namespace {
+
+// Minimum overlap between x and an equally-large-or-smaller set for
+// Jaccard >= t: |∩| >= t * |x| (since |∪| >= |x|).
+size_t MinOverlap(double threshold, size_t size) {
+  return static_cast<size_t>(
+      std::ceil(threshold * static_cast<double>(size) - 1e-9));
+}
+
+size_t Intersection(const std::vector<uint32_t>& x,
+                    const std::vector<uint32_t>& y) {
+  size_t i = 0, j = 0, common = 0;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] == y[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (x[i] < y[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace
+
+std::vector<SetJoinPair> PrefixFilterJaccardSelfJoin(
+    const std::vector<std::vector<uint32_t>>& sets, double threshold,
+    SetJoinStats* stats) {
+  assert(threshold > 0.0 && threshold <= 1.0);
+  SetJoinStats local;
+  std::vector<SetJoinPair> results;
+
+  // ---- Canonicalize: distinct tokens, globally ordered by rarity. -------
+  // Rare-first ordering makes prefixes selective (the AllPairs insight).
+  std::unordered_map<uint32_t, uint32_t> frequency;
+  std::vector<std::vector<uint32_t>> canonical(sets.size());
+  for (size_t s = 0; s < sets.size(); ++s) {
+    canonical[s] = sets[s];
+    std::sort(canonical[s].begin(), canonical[s].end());
+    canonical[s].erase(
+        std::unique(canonical[s].begin(), canonical[s].end()),
+        canonical[s].end());
+    for (uint32_t token : canonical[s]) ++frequency[token];
+  }
+  auto rarity_order = [&frequency](uint32_t a, uint32_t b) {
+    const uint32_t fa = frequency[a];
+    const uint32_t fb = frequency[b];
+    if (fa != fb) return fa < fb;
+    return a < b;
+  };
+  for (auto& set : canonical) {
+    std::sort(set.begin(), set.end(), rarity_order);
+  }
+
+  // Token-order comparison for the verification merge (both sets are in
+  // rarity order, so a plain merge works after mapping to ranks). Simpler:
+  // keep an id-sorted copy per set for intersection.
+  std::vector<std::vector<uint32_t>> id_sorted(sets.size());
+  for (size_t s = 0; s < sets.size(); ++s) {
+    id_sorted[s] = canonical[s];
+    std::sort(id_sorted[s].begin(), id_sorted[s].end());
+  }
+
+  // ---- Process by ascending set size; index prefixes. --------------------
+  std::vector<uint32_t> order(sets.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (canonical[a].size() != canonical[b].size()) {
+      return canonical[a].size() < canonical[b].size();
+    }
+    return a < b;
+  });
+
+  std::unordered_map<uint32_t, std::vector<uint32_t>> index;
+  std::vector<uint32_t> candidates;
+  for (uint32_t id : order) {
+    const auto& set = canonical[id];
+    if (set.empty()) continue;  // empty sets join nothing at t > 0
+    const size_t min_overlap = MinOverlap(threshold, set.size());
+    const size_t prefix =
+        set.size() - std::max<size_t>(min_overlap, 1) + 1;
+    // ---- Probe. ----
+    candidates.clear();
+    for (size_t i = 0; i < prefix; ++i) {
+      auto it = index.find(set[i]);
+      if (it == index.end()) continue;
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (uint32_t other : candidates) {
+      // Length filter: the indexed (smaller) set must still be large
+      // enough to reach the Jaccard threshold.
+      if (canonical[other].size() < min_overlap) {
+        ++local.length_filtered;
+        continue;
+      }
+      ++local.candidate_pairs;
+      const size_t common = Intersection(id_sorted[id], id_sorted[other]);
+      const size_t uni =
+          id_sorted[id].size() + id_sorted[other].size() - common;
+      const double jaccard =
+          uni == 0 ? 1.0
+                   : static_cast<double>(common) / static_cast<double>(uni);
+      if (jaccard >= threshold - 1e-12) {
+        results.push_back(SetJoinPair{std::min(id, other),
+                                      std::max(id, other), jaccard});
+        ++local.result_pairs;
+      }
+    }
+    // ---- Index this set's prefix. ----
+    for (size_t i = 0; i < prefix; ++i) {
+      index[set[i]].push_back(id);
+      ++local.index_entries;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace tsj

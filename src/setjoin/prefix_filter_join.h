@@ -1,0 +1,48 @@
+// All-pairs set-similarity self-join with prefix filtering — the classic
+// technique behind AllPairs [1], PPJoin [71], the MapReduce joins of
+// Vernica et al. [64] and MGJoin [51], all reviewed in the paper's
+// Sec. IV. Sets are compared with (set) Jaccard similarity; the prefix
+// filter guarantees two sets with Jaccard >= threshold share at least one
+// token among their (frequency-ordered) prefixes.
+//
+// The paper's criticism of this family — "All these set-based techniques
+// handle token shuffles, but do not handle token edits" — is demonstrated
+// by bench_setjoin_vs_tsj: a one-character token edit removes the token
+// from the set entirely, so edited ring members evade the join while NSLD
+// still catches them.
+
+#ifndef TSJ_SETJOIN_PREFIX_FILTER_JOIN_H_
+#define TSJ_SETJOIN_PREFIX_FILTER_JOIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tsj {
+
+/// Join statistics for cost accounting and tests.
+struct SetJoinStats {
+  uint64_t index_entries = 0;
+  uint64_t candidate_pairs = 0;  // deduplicated candidates verified
+  uint64_t length_filtered = 0;
+  uint64_t result_pairs = 0;
+};
+
+/// One joined pair of set indices (a < b) with its Jaccard similarity.
+struct SetJoinPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double jaccard = 0;
+};
+
+/// Self-joins `sets` (each a multiset of token ids; duplicates are
+/// collapsed, Jaccard is over distinct tokens): all pairs (i, j), i < j,
+/// with Jaccard >= threshold (0 < threshold <= 1). Duplicate-free.
+std::vector<SetJoinPair> PrefixFilterJaccardSelfJoin(
+    const std::vector<std::vector<uint32_t>>& sets, double threshold,
+    SetJoinStats* stats = nullptr);
+
+}  // namespace tsj
+
+#endif  // TSJ_SETJOIN_PREFIX_FILTER_JOIN_H_

@@ -1,0 +1,141 @@
+#include "setjoin/vsmart_join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "mapreduce/work_units.h"
+
+namespace tsj {
+
+namespace {
+
+// Per-multiset statistics needed by each measure.
+struct SetProfile {
+  double cardinality = 0;  // sum of multiplicities
+  double norm = 0;         // L2 norm of the count vector
+};
+
+struct Posting {
+  uint32_t id;
+  uint32_t count;
+};
+
+struct Partial {
+  uint32_t a;
+  uint32_t b;
+  double contribution;  // min-count (Jaccard/Dice) or product (Cosine)
+};
+
+}  // namespace
+
+std::vector<VsmartPair> VsmartSelfJoin(
+    const std::vector<std::vector<uint32_t>>& multisets, double threshold,
+    const VsmartOptions& options, PipelineStats* stats) {
+  assert(threshold > 0.0 && threshold <= 1.0);
+
+  // Per-set profiles and per-set token counts (the "cardinality" phase of
+  // V-SMART, computed map-side here since sets are in memory).
+  std::vector<SetProfile> profiles(multisets.size());
+  std::vector<std::map<uint32_t, uint32_t>> counts(multisets.size());
+  std::unordered_map<uint32_t, uint32_t> frequency;
+  for (size_t s = 0; s < multisets.size(); ++s) {
+    for (uint32_t token : multisets[s]) ++counts[s][token];
+    for (const auto& [token, count] : counts[s]) {
+      profiles[s].cardinality += count;
+      profiles[s].norm += static_cast<double>(count) * count;
+      ++frequency[token];
+    }
+    profiles[s].norm = std::sqrt(profiles[s].norm);
+  }
+
+  // ---- Job 1: joining phase — per-token partial contributions. -----------
+  std::vector<uint32_t> ids(multisets.size());
+  for (uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  const bool cosine = options.measure == MultisetMeasure::kCosine;
+  auto map_postings = [&](const uint32_t& s,
+                          Emitter<uint32_t, Posting>* out) {
+    AddWorkUnits(1 + counts[s].size());
+    for (const auto& [token, count] : counts[s]) {
+      if (options.max_token_frequency > 0 &&
+          frequency[token] > options.max_token_frequency) {
+        continue;
+      }
+      out->Emit(token, Posting{s, count});
+    }
+  };
+  auto reduce_partials = [cosine](const uint32_t& /*token*/,
+                                  std::vector<Posting>* postings,
+                                  std::vector<Partial>* out) {
+    uint64_t pairs = 0;
+    for (size_t i = 0; i < postings->size(); ++i) {
+      for (size_t j = i + 1; j < postings->size(); ++j) {
+        const Posting& x = (*postings)[i];
+        const Posting& y = (*postings)[j];
+        const double contribution =
+            cosine ? static_cast<double>(x.count) * y.count
+                   : static_cast<double>(std::min(x.count, y.count));
+        out->push_back(Partial{std::min(x.id, y.id), std::max(x.id, y.id),
+                               contribution});
+        ++pairs;
+      }
+    }
+    AddWorkUnits(postings->size() + pairs);
+  };
+  JobStats join_stats;
+  const std::vector<Partial> partials =
+      RunMapReduce<uint32_t, uint32_t, Posting, Partial>(
+          "vsmart-joining", ids, map_postings, reduce_partials,
+          options.mapreduce, &join_stats);
+  if (stats != nullptr) stats->Add(join_stats);
+
+  // ---- Job 2: similarity phase — aggregate and threshold. ---------------
+  using PairKey = std::pair<uint32_t, uint32_t>;
+  auto map_partials = [](const Partial& partial,
+                         Emitter<PairKey, double>* out) {
+    out->Emit(PairKey{partial.a, partial.b}, partial.contribution);
+  };
+  const MultisetMeasure measure = options.measure;
+  auto reduce_similarity = [&profiles, measure, threshold](
+                               const PairKey& key,
+                               std::vector<double>* contributions,
+                               std::vector<VsmartPair>* out) {
+    AddWorkUnits(contributions->size() + 1);
+    double overlap = 0;
+    for (double c : *contributions) overlap += c;
+    const SetProfile& pa = profiles[key.first];
+    const SetProfile& pb = profiles[key.second];
+    double similarity = 0;
+    switch (measure) {
+      case MultisetMeasure::kJaccard: {
+        // sum-min / sum-max with sum-max = |x| + |y| - sum-min.
+        const double denom = pa.cardinality + pb.cardinality - overlap;
+        similarity = denom <= 0 ? 1.0 : overlap / denom;
+        break;
+      }
+      case MultisetMeasure::kDice:
+        similarity = 2.0 * overlap / (pa.cardinality + pb.cardinality);
+        break;
+      case MultisetMeasure::kCosine:
+        similarity = (pa.norm == 0 || pb.norm == 0)
+                         ? 0.0
+                         : overlap / (pa.norm * pb.norm);
+        break;
+    }
+    if (similarity >= threshold - 1e-12) {
+      out->push_back(VsmartPair{key.first, key.second, similarity});
+    }
+  };
+  JobStats similarity_stats;
+  std::vector<VsmartPair> results =
+      RunMapReduce<Partial, PairKey, double, VsmartPair>(
+          "vsmart-similarity", partials, map_partials, reduce_similarity,
+          options.mapreduce, &similarity_stats);
+  if (stats != nullptr) stats->Add(similarity_stats);
+  return results;
+}
+
+}  // namespace tsj

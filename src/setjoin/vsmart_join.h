@@ -1,0 +1,66 @@
+// V-SMART-Join-style MapReduce all-pair similarity join for multisets,
+// after Metwally & Faloutsos, "V-SMART-Join: A Scalable MapReduce
+// Framework for All-Pair Similarity Joins of Multisets and Vectors"
+// (VLDB 2012) — the paper's [45], by the same first author.
+//
+// The family splits the join into a *joining* phase that computes partial
+// per-token contributions of every candidate pair and a *similarity* phase
+// that aggregates them into the final measure — which is exactly how the
+// two MapReduce jobs below are organized:
+//   Job 1: token -> postings (set id, token multiplicity, set cardinality);
+//          the reducer emits one partial min-contribution per co-occurring
+//          pair per token.
+//   Job 2: group by pair; the aggregated overlap plus the two cardinalities
+//          determine Jaccard/Dice/Cosine exactly; pairs below the threshold
+//          are dropped.
+// Like the other set-based joins (Sec. IV), it is exact for shuffles and
+// blind to token edits; it serves as a distributed set-join baseline and
+// as a building block for custom multiset measures.
+
+#ifndef TSJ_SETJOIN_VSMART_JOIN_H_
+#define TSJ_SETJOIN_VSMART_JOIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/job_stats.h"
+#include "mapreduce/mapreduce.h"
+#include "setjoin/prefix_filter_join.h"
+
+namespace tsj {
+
+/// Multiset similarity measure computed by the join.
+enum class MultisetMeasure {
+  kJaccard,  // sum-min / sum-max
+  kDice,     // 2 * sum-min / (|x| + |y|)
+  kCosine,   // dot / (||x|| * ||y||), counts as vector components
+};
+
+/// V-SMART join configuration.
+struct VsmartOptions {
+  MultisetMeasure measure = MultisetMeasure::kJaccard;
+  /// Tokens occurring in more than this many multisets are ignored (the
+  /// same frequency cutoff idea as TSJ's M; 0 disables).
+  uint32_t max_token_frequency = 0;
+  MapReduceOptions mapreduce;
+};
+
+/// One joined pair of multiset indices (a < b) with its similarity.
+struct VsmartPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double similarity = 0;
+};
+
+/// Self-joins `multisets` (vectors of token ids; duplicates meaningful):
+/// all pairs with similarity >= threshold under the chosen measure
+/// (0 < threshold <= 1). Exact (up to the frequency cutoff, which only
+/// removes pairs). Per-job statistics appended to `stats` if non-null.
+std::vector<VsmartPair> VsmartSelfJoin(
+    const std::vector<std::vector<uint32_t>>& multisets, double threshold,
+    const VsmartOptions& options = {}, PipelineStats* stats = nullptr);
+
+}  // namespace tsj
+
+#endif  // TSJ_SETJOIN_VSMART_JOIN_H_

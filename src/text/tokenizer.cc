@@ -1,0 +1,37 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace tsj {
+
+bool Tokenizer::IsSeparator(char c) const {
+  unsigned char uc = static_cast<unsigned char>(c);
+  if (options_.split_on_whitespace && std::isspace(uc)) return true;
+  if (options_.split_on_punctuation && std::ispunct(uc)) return true;
+  return false;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= options_.min_token_length && !current.empty()) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    if (IsSeparator(c)) {
+      flush();
+    } else {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(
+                                  static_cast<unsigned char>(c)))
+                            : c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace tsj

@@ -1,0 +1,50 @@
+// Tokenization of strings into token multisets (Sec. II-A of the paper).
+//
+// The paper's evaluation tokenizes account names "using whitespaces and
+// punctuation characters" after case folding. Tokenizer implements that
+// scheme and is configurable (separator classes, case folding, minimum
+// token length) so the library is reusable for data-cleaning workloads
+// with different conventions.
+
+#ifndef TSJ_TEXT_TOKENIZER_H_
+#define TSJ_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsj {
+
+/// Options controlling how a string is split into tokens.
+struct TokenizerOptions {
+  /// Treat ASCII whitespace as separators.
+  bool split_on_whitespace = true;
+  /// Treat ASCII punctuation as separators ('.', ',', '-', ...).
+  bool split_on_punctuation = true;
+  /// Case-fold tokens to lower case (ASCII).
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters (0 keeps everything;
+  /// empty tokens are always dropped).
+  size_t min_token_length = 1;
+};
+
+/// Splits strings into token multisets.
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+  explicit Tokenizer(TokenizerOptions options) : options_(options) {}
+
+  /// Tokenizes `text`; the result preserves duplicates (a multiset).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsSeparator(char c) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_TEXT_TOKENIZER_H_

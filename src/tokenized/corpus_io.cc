@@ -1,0 +1,28 @@
+#include "tokenized/corpus_io.h"
+
+#include <fstream>
+#include <istream>
+
+namespace tsj {
+
+LoadedCorpus ReadCorpus(std::istream& input, const Tokenizer& tokenizer) {
+  LoadedCorpus loaded;
+  std::string line;
+  while (std::getline(input, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+    loaded.corpus.AddString(tokenizer.Tokenize(line));
+    loaded.raw_lines.push_back(line);
+  }
+  return loaded;
+}
+
+StatusOr<LoadedCorpus> ReadCorpusFromFile(const std::string& path,
+                                          const Tokenizer& tokenizer) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open corpus file: " + path);
+  }
+  return ReadCorpus(file, tokenizer);
+}
+
+}  // namespace tsj

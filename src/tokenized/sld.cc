@@ -1,0 +1,88 @@
+#include "tokenized/sld.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "assignment/greedy_matching.h"
+#include "assignment/hungarian.h"
+#include "distance/levenshtein.h"
+#include "tokenized/bounds.h"
+
+namespace tsj {
+
+namespace {
+
+// Builds the k x k token-bigraph cost matrix of Sec. III-F: both token
+// multisets are padded with empty tokens to size k = max(T(x), T(y));
+// cost(i, j) = LD(x_i, y_j), where LD against the empty token is the token
+// length.
+std::vector<int64_t> BuildCostMatrix(const TokenizedString& x,
+                                     const TokenizedString& y, size_t k) {
+  std::vector<int64_t> costs(k * k, 0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      const bool xi_real = i < x.size();
+      const bool yj_real = j < y.size();
+      int64_t cost;
+      if (xi_real && yj_real) {
+        cost = Levenshtein(x[i], y[j]);
+      } else if (xi_real) {
+        cost = static_cast<int64_t>(x[i].size());
+      } else if (yj_real) {
+        cost = static_cast<int64_t>(y[j].size());
+      } else {
+        cost = 0;
+      }
+      costs[i * k + j] = cost;
+    }
+  }
+  return costs;
+}
+
+}  // namespace
+
+int64_t Sld(const TokenizedString& x, const TokenizedString& y,
+            TokenAligning aligning) {
+  const size_t k = std::max(x.size(), y.size());
+  if (k == 0) return 0;
+  const std::vector<int64_t> costs = BuildCostMatrix(x, y, k);
+  const AssignmentResult result = (aligning == TokenAligning::kExact)
+                                      ? SolveAssignment(costs, k)
+                                      : SolveAssignmentGreedy(costs, k);
+  return result.total_cost;
+}
+
+double NsldFromSld(int64_t sld, size_t len_x, size_t len_y) {
+  if (sld == 0) return 0.0;
+  return 2.0 * static_cast<double>(sld) /
+         static_cast<double>(len_x + len_y + static_cast<size_t>(sld));
+}
+
+double Nsld(const TokenizedString& x, const TokenizedString& y,
+            TokenAligning aligning) {
+  return NsldFromSld(Sld(x, y, aligning), AggregateLength(x),
+                     AggregateLength(y));
+}
+
+uint64_t SldWorkUnits(size_t len_x, size_t len_y, size_t num_tokens_x,
+                      size_t num_tokens_y, TokenAligning aligning) {
+  const uint64_t k = std::max<uint64_t>(std::max(num_tokens_x, num_tokens_y),
+                                        1);
+  const uint64_t matrix = static_cast<uint64_t>(len_x) * len_y + k;
+  const uint64_t solver =
+      (aligning == TokenAligning::kExact) ? 3 * k * k * k : 2 * k * k;
+  return matrix + solver;
+}
+
+bool NsldWithin(const TokenizedString& x, const TokenizedString& y,
+                double threshold, TokenAligning aligning) {
+  if (threshold >= 1.0) return true;
+  if (threshold < 0.0) return false;
+  const size_t lx = AggregateLength(x);
+  const size_t ly = AggregateLength(y);
+  // Lemma 6: NSLD >= 1 - min/max of the aggregate lengths.
+  if (NsldLowerBoundFromAggregateLengths(lx, ly) > threshold) return false;
+  return NsldFromSld(Sld(x, y, aligning), lx, ly) <= threshold;
+}
+
+}  // namespace tsj

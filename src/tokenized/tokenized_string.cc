@@ -1,0 +1,23 @@
+#include "tokenized/tokenized_string.h"
+
+#include <algorithm>
+
+namespace tsj {
+
+size_t AggregateLength(const TokenizedString& tokens) {
+  size_t total = 0;
+  for (const auto& t : tokens) total += t.size();
+  return total;
+}
+
+std::vector<uint32_t> SortedTokenLengths(const TokenizedString& tokens) {
+  std::vector<uint32_t> lengths;
+  lengths.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    lengths.push_back(static_cast<uint32_t>(t.size()));
+  }
+  std::sort(lengths.begin(), lengths.end());
+  return lengths;
+}
+
+}  // namespace tsj

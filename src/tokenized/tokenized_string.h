@@ -1,0 +1,34 @@
+// Basic vocabulary for tokenized strings (Sec. II-A): a tokenized string is
+// a finite multiset of tokens; T(x^t) is its token count and L(x^t) the
+// aggregate token length. Tokens are plain std::string; higher layers intern
+// them through Corpus.
+
+#ifndef TSJ_TOKENIZED_TOKENIZED_STRING_H_
+#define TSJ_TOKENIZED_TOKENIZED_STRING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsj {
+
+/// Identifier of a tokenized string within a Corpus.
+using StringId = uint32_t;
+/// Identifier of a distinct token within a Corpus.
+using TokenId = uint32_t;
+
+/// A tokenized string: an owned multiset of tokens.
+using TokenizedString = std::vector<std::string>;
+
+/// L(x^t): the aggregate length of all tokens.
+size_t AggregateLength(const TokenizedString& tokens);
+
+/// The multiset of token lengths, sorted ascending. This is the
+/// "histogram of token lengths" TSJ attaches to string ids for the
+/// distance-lower-bound filter (Sec. III-E.2).
+std::vector<uint32_t> SortedTokenLengths(const TokenizedString& tokens);
+
+}  // namespace tsj
+
+#endif  // TSJ_TOKENIZED_TOKENIZED_STRING_H_

@@ -1,0 +1,81 @@
+// Configuration of the Tokenized-String Joiner (Sec. III).
+
+#ifndef TSJ_TSJ_OPTIONS_H_
+#define TSJ_TSJ_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "mapreduce/mapreduce.h"
+#include "tokenized/sld.h"
+
+namespace tsj {
+
+/// How similar-token candidates are generated (Sec. III-G.4).
+enum class TokenMatching {
+  /// Full similar-token generation through MassJoin NLD-joins plus the
+  /// shared-token pass: the lossless configuration.
+  kFuzzy,
+  /// Exact-token-matching approximation: only the shared-token pass runs.
+  /// Cheaper, misses pairs whose every common token was edited.
+  kExact,
+};
+
+/// How duplicate candidate pairs are eliminated (Sec. III-G.3).
+enum class DedupStrategy {
+  /// One reduce group per *string*; the reducer dedups and verifies all of
+  /// that string's candidates. Fewer workers, less instantiation overhead,
+  /// more skew.
+  kGroupOnOneString,
+  /// One reduce group per *pair*. More workers, better load balance.
+  kGroupOnBothStrings,
+};
+
+/// Tunables of a TSJ run. Defaults follow the paper's evaluation defaults
+/// (T = 0.1, M = 1,000; Sec. V).
+struct TsjOptions {
+  /// NSLD threshold T: pairs with NSLD <= threshold are joined.
+  double threshold = 0.1;
+
+  /// High-frequency-token cutoff M (Sec. III-G.2): tokens contained in
+  /// more than this many tokenized strings are ignored by candidate
+  /// generation (both passes).
+  uint32_t max_token_frequency = 1000;
+
+  /// Candidate-generation mode (fuzzy vs. exact-token-matching).
+  TokenMatching matching = TokenMatching::kFuzzy;
+
+  /// Verification alignment (exact Hungarian vs. greedy-token-aligning,
+  /// Sec. III-G.5).
+  TokenAligning aligning = TokenAligning::kExact;
+
+  /// Dedup strategy for candidate pairs.
+  DedupStrategy dedup = DedupStrategy::kGroupOnOneString;
+
+  /// Length filter (Sec. III-E.1, Lemma 6 lower bound). Lossless.
+  bool enable_length_filter = true;
+
+  /// Token-length-histogram filter (Sec. III-E.2). Lossless.
+  bool enable_histogram_filter = true;
+
+  /// MapReduce engine configuration shared by all pipeline jobs.
+  MapReduceOptions mapreduce;
+
+  /// Validates the option combination.
+  Status Validate() const {
+    if (threshold < 0.0 || threshold >= 1.0) {
+      return Status::InvalidArgument(
+          "threshold must satisfy 0 <= T < 1 (NSLD == 1 only for empty "
+          "strings)");
+    }
+    if (max_token_frequency == 0) {
+      return Status::InvalidArgument(
+          "max_token_frequency (M) must be at least 1");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_TSJ_OPTIONS_H_

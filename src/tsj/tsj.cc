@@ -1,0 +1,549 @@
+#include "tsj/tsj.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "mapreduce/work_units.h"
+#include "massjoin/mass_join.h"
+#include "tokenized/bounds.h"
+#include "tokenized/sld.h"
+
+namespace tsj {
+
+namespace {
+
+// A pre-dedup candidate record flowing into the dedup/verify job: either a
+// string-id pair from the shared-token pass, or a similar-token pair still
+// to be expanded against the token postings.
+struct RawCandidate {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  bool is_token_pair = false;
+};
+
+// Key choice of the grouping-on-one-string strategy (Sec. III-G.3): for a
+// pair (tau, upsilon), tau becomes the key iff
+//   int(HASH(tau) < HASH(upsilon)) == (HASH(tau) + HASH(upsilon)) % 2,
+// which splits key duty evenly regardless of id distribution.
+inline uint32_t PickGroupKey(uint32_t a, uint32_t b) {
+  const uint64_t ha = Mix64(a);
+  const uint64_t hb = Mix64(b);
+  const uint64_t lt = (ha < hb) ? 1u : 0u;
+  return (lt == ((ha + hb) & 1u)) ? a : b;
+}
+
+// Thread-safe counters shared by the pipeline lambdas.
+struct Counters {
+  std::atomic<uint64_t> similar_token_candidates{0};
+  std::atomic<uint64_t> distinct_candidates{0};
+  std::atomic<uint64_t> length_filtered{0};
+  std::atomic<uint64_t> histogram_filtered{0};
+  std::atomic<uint64_t> verified_candidates{0};
+};
+
+// Filter + verify one distinct candidate pair, with `a` resolved against
+// `corpus_a` and `b` against `corpus_b` (the same corpus twice for
+// self-joins); appends to `out` when the pair joins. Lossless filters only
+// (Sec. III-E).
+void FilterAndVerify(const Corpus& corpus_a, const Corpus& corpus_b,
+                     const TsjOptions& options, Counters* counters,
+                     uint32_t a, uint32_t b, std::vector<TsjPair>* out) {
+  const double t = options.threshold;
+  const size_t la = corpus_a.aggregate_length(a);
+  const size_t lb = corpus_b.aggregate_length(b);
+  if (options.enable_length_filter &&
+      NsldLowerBoundFromAggregateLengths(la, lb) > t) {
+    counters->length_filtered.fetch_add(1, std::memory_order_relaxed);
+    AddWorkUnits(1);
+    return;
+  }
+  if (options.enable_histogram_filter &&
+      NsldLowerBoundFromHistograms(corpus_a.length_histogram(a),
+                                   corpus_b.length_histogram(b)) > t) {
+    counters->histogram_filtered.fetch_add(1, std::memory_order_relaxed);
+    AddWorkUnits(corpus_a.tokens(a).size() + corpus_b.tokens(b).size() + 1);
+    return;
+  }
+  counters->verified_candidates.fetch_add(1, std::memory_order_relaxed);
+  // Final verification (Sec. III-F): resolve ids to token multisets and
+  // compute SLD under the configured aligning.
+  const TokenizedString x = corpus_a.Materialize(a);
+  const TokenizedString y = corpus_b.Materialize(b);
+  AddWorkUnits(SldWorkUnits(la, lb, x.size(), y.size(), options.aligning));
+  const int64_t sld = Sld(x, y, options.aligning);
+  const double nsld = NsldFromSld(sld, la, lb);
+  if (nsld <= t) {
+    out->push_back(TsjPair{a, b, nsld});
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
+    const Corpus& corpus, TsjRunInfo* info) const {
+  if (Status s = options_.Validate(); !s.ok()) return s;
+  TsjRunInfo local_info;
+  Counters counters;
+  const double t = options_.threshold;
+
+  // ---- Token statistics: frequencies and the high-frequency cutoff. ----
+  const std::vector<uint32_t> frequency =
+      corpus.ComputeTokenStringFrequencies();
+  std::vector<char> surviving(frequency.size(), 0);
+  for (size_t token = 0; token < frequency.size(); ++token) {
+    if (frequency[token] <= options_.max_token_frequency) {
+      surviving[token] = 1;
+    } else {
+      ++local_info.dropped_tokens;
+    }
+  }
+
+  std::vector<uint32_t> string_ids(corpus.size());
+  for (uint32_t i = 0; i < corpus.size(); ++i) string_ids[i] = i;
+
+  // ---- Job 1: shared-token candidate generation (Sec. III-C). ----------
+  // map:    string -> (token, string) for each distinct surviving token;
+  // reduce: token  -> all unordered pairs of its strings.
+  auto map_tokens = [&corpus, &surviving](const uint32_t& s,
+                                          Emitter<uint32_t, uint32_t>* out) {
+    std::vector<TokenId> distinct(corpus.tokens(s));
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    AddWorkUnits(1 + distinct.size());
+    for (TokenId token : distinct) {
+      if (surviving[token]) out->Emit(token, s);
+    }
+  };
+  auto reduce_shared = [](const uint32_t& /*token*/,
+                          std::vector<uint32_t>* strings,
+                          std::vector<RawCandidate>* out) {
+    const uint64_t pairs = strings->size() * (strings->size() - 1) / 2;
+    AddWorkUnits(pairs);
+    out->reserve(out->size() + pairs);
+    for (size_t i = 0; i < strings->size(); ++i) {
+      for (size_t j = i + 1; j < strings->size(); ++j) {
+        const uint32_t a = std::min((*strings)[i], (*strings)[j]);
+        const uint32_t b = std::max((*strings)[i], (*strings)[j]);
+        out->push_back(RawCandidate{a, b, /*is_token_pair=*/false});
+      }
+    }
+  };
+  JobStats shared_stats;
+  std::vector<RawCandidate> candidates =
+      RunMapReduce<uint32_t, uint32_t, uint32_t, RawCandidate>(
+          "tsj-shared-token", string_ids, map_tokens, reduce_shared,
+          options_.mapreduce, &shared_stats);
+  local_info.shared_token_candidates = candidates.size();
+  local_info.pipeline.Add(shared_stats);
+
+  // ---- Similar-token candidate generation (Sec. III-D). ----------------
+  // Token postings (token -> strings containing it), for expanding similar
+  // token pairs back into string pairs.
+  std::vector<std::vector<uint32_t>> postings;
+  if (options_.matching == TokenMatching::kFuzzy) {
+    // MassJoin NLD-join over the surviving token space. Distinct tokens
+    // only: identical tokens are already covered by the shared-token pass.
+    std::vector<std::string> token_texts;
+    std::vector<TokenId> token_of_index;
+    for (TokenId token = 0; token < surviving.size(); ++token) {
+      if (surviving[token]) {
+        token_texts.push_back(corpus.token_text(token));
+        token_of_index.push_back(token);
+      }
+    }
+    MassJoinOptions mass_options;
+    mass_options.mapreduce = options_.mapreduce;
+    PipelineStats mass_stats;
+    const std::vector<NldPair> token_pairs =
+        MassJoinSelfNld(token_texts, t, mass_options, &mass_stats);
+    local_info.pipeline.Append(mass_stats);
+    local_info.similar_token_pairs = token_pairs.size();
+
+    postings.resize(corpus.num_distinct_tokens());
+    for (uint32_t s = 0; s < corpus.size(); ++s) {
+      std::vector<TokenId> distinct(corpus.tokens(s));
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      for (TokenId token : distinct) {
+        if (surviving[token]) postings[token].push_back(s);
+      }
+    }
+    candidates.reserve(candidates.size() + token_pairs.size());
+    for (const NldPair& pair : token_pairs) {
+      candidates.push_back(RawCandidate{token_of_index[pair.a],
+                                        token_of_index[pair.b],
+                                        /*is_token_pair=*/true});
+    }
+  }
+
+  // Empty tokenized strings have no tokens and thus no signatures, yet any
+  // two of them are identical (NSLD = 0): pair them directly.
+  {
+    std::vector<uint32_t> empties;
+    for (uint32_t s = 0; s < corpus.size(); ++s) {
+      if (corpus.tokens(s).empty()) empties.push_back(s);
+    }
+    for (size_t i = 0; i < empties.size(); ++i) {
+      for (size_t j = i + 1; j < empties.size(); ++j) {
+        candidates.push_back(
+            RawCandidate{empties[i], empties[j], /*is_token_pair=*/false});
+      }
+    }
+  }
+
+  // ---- Job 2: dedup + filter + verify. ----------------------------------
+  // The map side expands similar-token pairs through the postings and keys
+  // every candidate according to the dedup strategy; the reduce side
+  // deduplicates, applies the lossless filters, and verifies.
+  const Corpus& corpus_ref = corpus;
+  const TsjOptions& options_ref = options_;
+  auto expand = [&postings, &counters](
+                    const RawCandidate& cand,
+                    const std::function<void(uint32_t, uint32_t)>& emit) {
+    AddWorkUnits(1);
+    if (!cand.is_token_pair) {
+      emit(cand.a, cand.b);
+      return;
+    }
+    AddWorkUnits(postings[cand.a].size() * postings[cand.b].size());
+    for (uint32_t s1 : postings[cand.a]) {
+      for (uint32_t s2 : postings[cand.b]) {
+        if (s1 == s2) continue;
+        counters.similar_token_candidates.fetch_add(
+            1, std::memory_order_relaxed);
+        emit(std::min(s1, s2), std::max(s1, s2));
+      }
+    }
+  };
+
+  std::vector<TsjPair> results;
+  JobStats verify_stats;
+  if (options_.dedup == DedupStrategy::kGroupOnBothStrings) {
+    using PairKey = std::pair<uint32_t, uint32_t>;
+    auto map_fn = [&expand](const RawCandidate& cand,
+                            Emitter<PairKey, char>* out) {
+      expand(cand,
+             [&](uint32_t a, uint32_t b) { out->Emit(PairKey{a, b}, 0); });
+    };
+    auto reduce_fn = [&corpus_ref, &options_ref, &counters](
+                         const PairKey& key, std::vector<char>* values,
+                         std::vector<TsjPair>* out) {
+      counters.distinct_candidates.fetch_add(1, std::memory_order_relaxed);
+      AddWorkUnits(values->size());  // duplicate copies read and discarded
+      FilterAndVerify(corpus_ref, corpus_ref, options_ref, &counters,
+                      key.first, key.second, out);
+    };
+    results = RunMapReduce<RawCandidate, PairKey, char, TsjPair>(
+        "tsj-dedup-verify-both", candidates, map_fn, reduce_fn,
+        options_.mapreduce, &verify_stats);
+  } else {
+    auto map_fn = [&expand](const RawCandidate& cand,
+                            Emitter<uint32_t, uint32_t>* out) {
+      expand(cand, [&](uint32_t a, uint32_t b) {
+        const uint32_t key = PickGroupKey(a, b);
+        out->Emit(key, key == a ? b : a);
+      });
+    };
+    auto reduce_fn = [&corpus_ref, &options_ref, &counters](
+                         const uint32_t& key, std::vector<uint32_t>* others,
+                         std::vector<TsjPair>* out) {
+      // Dedup the reduce value list (the paper uses a hash set; sorting
+      // gives identical semantics and deterministic verification order).
+      AddWorkUnits(others->size());
+      std::sort(others->begin(), others->end());
+      others->erase(std::unique(others->begin(), others->end()),
+                    others->end());
+      counters.distinct_candidates.fetch_add(others->size(),
+                                             std::memory_order_relaxed);
+      for (uint32_t other : *others) {
+        FilterAndVerify(corpus_ref, corpus_ref, options_ref, &counters,
+                        std::min(key, other), std::max(key, other), out);
+      }
+    };
+    results = RunMapReduce<RawCandidate, uint32_t, uint32_t, TsjPair>(
+        "tsj-dedup-verify-one", candidates, map_fn, reduce_fn,
+        options_.mapreduce, &verify_stats);
+  }
+  local_info.pipeline.Add(verify_stats);
+
+  local_info.similar_token_candidates = counters.similar_token_candidates;
+  local_info.distinct_candidates = counters.distinct_candidates;
+  local_info.length_filtered = counters.length_filtered;
+  local_info.histogram_filtered = counters.histogram_filtered;
+  local_info.verified_candidates = counters.verified_candidates;
+  local_info.result_pairs = results.size();
+  if (info != nullptr) *info = std::move(local_info);
+  return results;
+}
+
+namespace {
+
+// A string id tagged with the collection it belongs to, packed for use as
+// a MapReduce key in the R x P join.
+inline uint64_t TagId(bool is_p_side, uint32_t id) {
+  return (static_cast<uint64_t>(is_p_side) << 32) | id;
+}
+inline bool TagIsP(uint64_t tagged) { return (tagged >> 32) != 0; }
+inline uint32_t TagStringId(uint64_t tagged) {
+  return static_cast<uint32_t>(tagged);
+}
+
+}  // namespace
+
+StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
+    const Corpus& r_corpus, const Corpus& p_corpus, TsjRunInfo* info) const {
+  if (Status s = options_.Validate(); !s.ok()) return s;
+  TsjRunInfo local_info;
+  Counters counters;
+  const double t = options_.threshold;
+
+  // ---- Joint token space. ------------------------------------------------
+  // Tokens are interned per corpus; the join needs one id space covering
+  // both, with document frequency summed across collections (M bounds a
+  // token's total string count, matching the reduce-group size it causes).
+  std::unordered_map<std::string, uint32_t> joint_ids;
+  std::vector<std::string> joint_texts;
+  auto joint_of = [&](const std::string& text) {
+    auto [it, inserted] =
+        joint_ids.emplace(text, static_cast<uint32_t>(joint_texts.size()));
+    if (inserted) joint_texts.push_back(text);
+    return it->second;
+  };
+  std::vector<uint32_t> r_joint(r_corpus.num_distinct_tokens());
+  for (TokenId token = 0; token < r_corpus.num_distinct_tokens(); ++token) {
+    r_joint[token] = joint_of(r_corpus.token_text(token));
+  }
+  std::vector<uint32_t> p_joint(p_corpus.num_distinct_tokens());
+  for (TokenId token = 0; token < p_corpus.num_distinct_tokens(); ++token) {
+    p_joint[token] = joint_of(p_corpus.token_text(token));
+  }
+  std::vector<uint32_t> joint_freq(joint_texts.size(), 0);
+  {
+    const auto r_freq = r_corpus.ComputeTokenStringFrequencies();
+    for (TokenId token = 0; token < r_freq.size(); ++token) {
+      joint_freq[r_joint[token]] += r_freq[token];
+    }
+    const auto p_freq = p_corpus.ComputeTokenStringFrequencies();
+    for (TokenId token = 0; token < p_freq.size(); ++token) {
+      joint_freq[p_joint[token]] += p_freq[token];
+    }
+  }
+  std::vector<char> surviving(joint_texts.size(), 0);
+  for (size_t j = 0; j < joint_texts.size(); ++j) {
+    if (joint_freq[j] <= options_.max_token_frequency) {
+      surviving[j] = 1;
+    } else {
+      ++local_info.dropped_tokens;
+    }
+  }
+
+  // Distinct surviving joint tokens of one string.
+  auto distinct_joint = [&surviving](const Corpus& corpus,
+                                     const std::vector<uint32_t>& to_joint,
+                                     uint32_t s) {
+    std::vector<uint32_t> joint;
+    joint.reserve(corpus.tokens(s).size());
+    for (TokenId token : corpus.tokens(s)) joint.push_back(to_joint[token]);
+    std::sort(joint.begin(), joint.end());
+    joint.erase(std::unique(joint.begin(), joint.end()), joint.end());
+    joint.erase(std::remove_if(joint.begin(), joint.end(),
+                               [&](uint32_t j) { return !surviving[j]; }),
+                joint.end());
+    return joint;
+  };
+
+  // ---- Job 1: shared-token candidates across collections. ---------------
+  std::vector<uint64_t> tagged_ids;
+  tagged_ids.reserve(r_corpus.size() + p_corpus.size());
+  for (uint32_t s = 0; s < r_corpus.size(); ++s) {
+    tagged_ids.push_back(TagId(false, s));
+  }
+  for (uint32_t s = 0; s < p_corpus.size(); ++s) {
+    tagged_ids.push_back(TagId(true, s));
+  }
+  auto map_tokens = [&](const uint64_t& tagged,
+                        Emitter<uint32_t, uint64_t>* out) {
+    const bool is_p = TagIsP(tagged);
+    const uint32_t s = TagStringId(tagged);
+    const auto joint = is_p ? distinct_joint(p_corpus, p_joint, s)
+                            : distinct_joint(r_corpus, r_joint, s);
+    AddWorkUnits(1 + joint.size());
+    for (uint32_t j : joint) out->Emit(j, tagged);
+  };
+  auto reduce_shared = [](const uint32_t& /*token*/,
+                          std::vector<uint64_t>* values,
+                          std::vector<RawCandidate>* out) {
+    // Cross product of the R-side and P-side strings sharing this token
+    // (the reduce of Sec. III-C, in its general two-collection form).
+    uint64_t pairs = 0;
+    for (uint64_t tagged_r : *values) {
+      if (TagIsP(tagged_r)) continue;
+      for (uint64_t tagged_p : *values) {
+        if (!TagIsP(tagged_p)) continue;
+        out->push_back(RawCandidate{TagStringId(tagged_r),
+                                    TagStringId(tagged_p),
+                                    /*is_token_pair=*/false});
+        ++pairs;
+      }
+    }
+    AddWorkUnits(values->size() + pairs);
+  };
+  JobStats shared_stats;
+  std::vector<RawCandidate> candidates =
+      RunMapReduce<uint64_t, uint32_t, uint64_t, RawCandidate>(
+          "tsj-rp-shared-token", tagged_ids, map_tokens, reduce_shared,
+          options_.mapreduce, &shared_stats);
+  local_info.shared_token_candidates = candidates.size();
+  local_info.pipeline.Add(shared_stats);
+
+  // ---- Similar-token candidates (Sec. III-D, two-collection form). ------
+  std::vector<std::vector<uint32_t>> r_postings;
+  std::vector<std::vector<uint32_t>> p_postings;
+  if (options_.matching == TokenMatching::kFuzzy) {
+    std::vector<std::string> survivor_texts;
+    std::vector<uint32_t> survivor_joint;
+    for (uint32_t j = 0; j < joint_texts.size(); ++j) {
+      if (surviving[j]) {
+        survivor_texts.push_back(joint_texts[j]);
+        survivor_joint.push_back(j);
+      }
+    }
+    MassJoinOptions mass_options;
+    mass_options.mapreduce = options_.mapreduce;
+    PipelineStats mass_stats;
+    const std::vector<NldPair> token_pairs =
+        MassJoinSelfNld(survivor_texts, t, mass_options, &mass_stats);
+    local_info.pipeline.Append(mass_stats);
+    local_info.similar_token_pairs = token_pairs.size();
+
+    r_postings.resize(joint_texts.size());
+    for (uint32_t s = 0; s < r_corpus.size(); ++s) {
+      for (uint32_t j : distinct_joint(r_corpus, r_joint, s)) {
+        r_postings[j].push_back(s);
+      }
+    }
+    p_postings.resize(joint_texts.size());
+    for (uint32_t s = 0; s < p_corpus.size(); ++s) {
+      for (uint32_t j : distinct_joint(p_corpus, p_joint, s)) {
+        p_postings[j].push_back(s);
+      }
+    }
+    for (const NldPair& pair : token_pairs) {
+      candidates.push_back(RawCandidate{survivor_joint[pair.a],
+                                        survivor_joint[pair.b],
+                                        /*is_token_pair=*/true});
+    }
+  }
+
+  // Empty strings on both sides are identical (NSLD = 0) but signature-less.
+  {
+    std::vector<uint32_t> r_empty, p_empty;
+    for (uint32_t s = 0; s < r_corpus.size(); ++s) {
+      if (r_corpus.tokens(s).empty()) r_empty.push_back(s);
+    }
+    for (uint32_t s = 0; s < p_corpus.size(); ++s) {
+      if (p_corpus.tokens(s).empty()) p_empty.push_back(s);
+    }
+    for (uint32_t r : r_empty) {
+      for (uint32_t p : p_empty) {
+        candidates.push_back(RawCandidate{r, p, /*is_token_pair=*/false});
+      }
+    }
+  }
+
+  // ---- Job 2: expand + dedup + filter + verify. --------------------------
+  auto expand = [&](const RawCandidate& cand,
+                    const std::function<void(uint32_t, uint32_t)>& emit) {
+    AddWorkUnits(1);
+    if (!cand.is_token_pair) {
+      emit(cand.a, cand.b);
+      return;
+    }
+    // A similar token pair (j1, j2) joins R strings containing either
+    // token with P strings containing the other.
+    auto cross = [&](uint32_t jr, uint32_t jp) {
+      AddWorkUnits(r_postings[jr].size() * p_postings[jp].size());
+      for (uint32_t r : r_postings[jr]) {
+        for (uint32_t p : p_postings[jp]) {
+          counters.similar_token_candidates.fetch_add(
+              1, std::memory_order_relaxed);
+          emit(r, p);
+        }
+      }
+    };
+    cross(cand.a, cand.b);
+    cross(cand.b, cand.a);
+  };
+
+  std::vector<TsjPair> results;
+  JobStats verify_stats;
+  if (options_.dedup == DedupStrategy::kGroupOnBothStrings) {
+    using PairKey = std::pair<uint32_t, uint32_t>;
+    auto map_fn = [&expand](const RawCandidate& cand,
+                            Emitter<PairKey, char>* out) {
+      expand(cand,
+             [&](uint32_t r, uint32_t p) { out->Emit(PairKey{r, p}, 0); });
+    };
+    auto reduce_fn = [&](const PairKey& key, std::vector<char>* values,
+                         std::vector<TsjPair>* out) {
+      counters.distinct_candidates.fetch_add(1, std::memory_order_relaxed);
+      AddWorkUnits(values->size());
+      FilterAndVerify(r_corpus, p_corpus, options_, &counters, key.first,
+                      key.second, out);
+    };
+    results = RunMapReduce<RawCandidate, PairKey, char, TsjPair>(
+        "tsj-rp-dedup-verify-both", candidates, map_fn, reduce_fn,
+        options_.mapreduce, &verify_stats);
+  } else {
+    // grouping-on-one-string over the tagged id space: the hash-balanced
+    // rule picks either the R or the P string as the reduce key.
+    auto map_fn = [&](const RawCandidate& cand,
+                      Emitter<uint64_t, uint32_t>* out) {
+      expand(cand, [&](uint32_t r, uint32_t p) {
+        const uint64_t tag_r = TagId(false, r);
+        const uint64_t tag_p = TagId(true, p);
+        const uint64_t hr = Mix64(tag_r);
+        const uint64_t hp = Mix64(tag_p);
+        const uint64_t lt = (hr < hp) ? 1u : 0u;
+        const bool key_is_r = (lt == ((hr + hp) & 1u));
+        out->Emit(key_is_r ? tag_r : tag_p, key_is_r ? p : r);
+      });
+    };
+    auto reduce_fn = [&](const uint64_t& key, std::vector<uint32_t>* others,
+                         std::vector<TsjPair>* out) {
+      AddWorkUnits(others->size());
+      std::sort(others->begin(), others->end());
+      others->erase(std::unique(others->begin(), others->end()),
+                    others->end());
+      counters.distinct_candidates.fetch_add(others->size(),
+                                             std::memory_order_relaxed);
+      const bool key_is_p = TagIsP(key);
+      const uint32_t key_id = TagStringId(key);
+      for (uint32_t other : *others) {
+        const uint32_t r = key_is_p ? other : key_id;
+        const uint32_t p = key_is_p ? key_id : other;
+        FilterAndVerify(r_corpus, p_corpus, options_, &counters, r, p, out);
+      }
+    };
+    results = RunMapReduce<RawCandidate, uint64_t, uint32_t, TsjPair>(
+        "tsj-rp-dedup-verify-one", candidates, map_fn, reduce_fn,
+        options_.mapreduce, &verify_stats);
+  }
+  local_info.pipeline.Add(verify_stats);
+
+  local_info.similar_token_candidates = counters.similar_token_candidates;
+  local_info.distinct_candidates = counters.distinct_candidates;
+  local_info.length_filtered = counters.length_filtered;
+  local_info.histogram_filtered = counters.histogram_filtered;
+  local_info.verified_candidates = counters.verified_candidates;
+  local_info.result_pairs = results.size();
+  if (info != nullptr) *info = std::move(local_info);
+  return results;
+}
+
+}  // namespace tsj

@@ -1,0 +1,103 @@
+// Tokenized-String Joiner (TSJ), the paper's core framework (Sec. III):
+// a generate-filter-verify NSLD self-join executed as a MapReduce pipeline.
+//
+//   generate: shared-token candidates (one reduce group per token,
+//             Sec. III-C) plus similar-token candidates through a MassJoin
+//             NLD-join over the token space (Sec. III-D, justified by
+//             Theorem 3);
+//   filter:   high-frequency tokens dropped up front (M, Sec. III-G.2);
+//             candidates pruned by the Lemma 6 length filter and the
+//             token-length-histogram SLD lower bound (Sec. III-E) — both
+//             lossless;
+//   verify:   surviving pairs resolved to token multisets and checked with
+//             SLD (exact Hungarian, or greedy-token-aligning, Sec. III-F).
+//
+// Every stage runs on the in-process MapReduce engine and records JobStats,
+// so a run can be replayed through the simulated-cluster model at any
+// machine count (Figs. 1-3, 7).
+
+#ifndef TSJ_TSJ_TSJ_H_
+#define TSJ_TSJ_TSJ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/job_stats.h"
+#include "tokenized/corpus.h"
+#include "tsj/options.h"
+
+namespace tsj {
+
+/// One joined pair: string ids (a < b) and their exact (or greedy,
+/// depending on TsjOptions::aligning) NSLD.
+struct TsjPair {
+  StringId a = 0;
+  StringId b = 0;
+  double nsld = 0.0;
+
+  bool operator==(const TsjPair& other) const {
+    return a == other.a && b == other.b;
+  }
+};
+
+/// Counters and per-job statistics of one TSJ run.
+struct TsjRunInfo {
+  /// Per-job MapReduce statistics, in execution order.
+  PipelineStats pipeline;
+
+  /// Distinct tokens ignored because they occur in more than M strings.
+  uint64_t dropped_tokens = 0;
+  /// Candidate pairs produced by the shared-token pass (pre-dedup).
+  uint64_t shared_token_candidates = 0;
+  /// Similar (non-identical) token pairs found by the MassJoin NLD-join.
+  uint64_t similar_token_pairs = 0;
+  /// Candidate pairs produced by expanding similar token pairs (pre-dedup).
+  uint64_t similar_token_candidates = 0;
+  /// Distinct candidate pairs after dedup.
+  uint64_t distinct_candidates = 0;
+  /// Candidates pruned by the length filter (Sec. III-E.1).
+  uint64_t length_filtered = 0;
+  /// Candidates pruned by the histogram filter (Sec. III-E.2).
+  uint64_t histogram_filtered = 0;
+  /// Candidates that reached full SLD verification.
+  uint64_t verified_candidates = 0;
+  /// Pairs in the final result.
+  uint64_t result_pairs = 0;
+};
+
+/// The joiner. Thread-compatible: one instance may run joins sequentially;
+/// distinct instances are independent.
+class TokenizedStringJoiner {
+ public:
+  explicit TokenizedStringJoiner(TsjOptions options)
+      : options_(options) {}
+
+  /// Self-joins `corpus` (Sec. III-G.1): returns all pairs of distinct
+  /// string ids whose NSLD is at most options.threshold. With
+  /// TokenMatching::kFuzzy and TokenAligning::kExact the result is exact;
+  /// the approximations only ever *miss* pairs (precision stays 1.0).
+  /// Pairs are duplicate-free with a < b, in unspecified order.
+  StatusOr<std::vector<TsjPair>> SelfJoin(const Corpus& corpus,
+                                          TsjRunInfo* info = nullptr) const;
+
+  /// Joins two collections (the general problem of Sec. II-B): returns all
+  /// pairs (r, p), r in r_corpus and p in p_corpus, with
+  /// NSLD(r, p) <= options.threshold. In each returned TsjPair, `a` is the
+  /// id within r_corpus and `b` the id within p_corpus (no a < b
+  /// normalization — the two id spaces are distinct). The token-frequency
+  /// cutoff M applies to a token's total string count across both
+  /// collections. Exactness/approximation guarantees match SelfJoin.
+  StatusOr<std::vector<TsjPair>> Join(const Corpus& r_corpus,
+                                      const Corpus& p_corpus,
+                                      TsjRunInfo* info = nullptr) const;
+
+  const TsjOptions& options() const { return options_; }
+
+ private:
+  TsjOptions options_;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_TSJ_TSJ_H_

@@ -1,0 +1,87 @@
+#include "workload/name_change.h"
+
+#include <algorithm>
+
+#include "workload/perturb.h"
+
+namespace tsj {
+
+namespace {
+
+// A legitimate change: small, explainable edits.
+TokenizedString LegitimateChange(const TokenizedString& name, Rng* rng) {
+  TokenizedString result = name;
+  const uint64_t kind = rng->Uniform(4);
+  switch (kind) {
+    case 0: {  // abbreviation: keep the initial of one token
+      std::string& token = result[rng->Uniform(result.size())];
+      if (token.size() > 1) token.resize(1);
+      break;
+    }
+    case 1: {  // typo fix / transliteration tweak: one character edit
+      result = ApplyCharEdit(std::move(result), rng);
+      break;
+    }
+    case 2: {  // drop a middle token (e.g. middle name)
+      if (result.size() > 1) {
+        result.erase(result.begin() +
+                     static_cast<ptrdiff_t>(rng->Uniform(result.size())));
+      } else {
+        result = ApplyCharEdit(std::move(result), rng);
+      }
+      break;
+    }
+    default: {  // reorder ("Last, First" conventions)
+      rng->Shuffle(&result);
+      // Plus a small chance of an extra typo so classes overlap slightly.
+      if (rng->Bernoulli(0.3)) result = ApplyCharEdit(std::move(result), rng);
+      break;
+    }
+  }
+  return result;
+}
+
+// A fraudulent change: wholesale rename, occasionally keeping one token.
+TokenizedString FraudulentChange(const TokenizedString& old_name,
+                                 const NameGenerator& generator, Rng* rng,
+                                 double keep_token_probability) {
+  TokenizedString fresh = generator.Sample(rng);
+  if (!old_name.empty() && rng->Bernoulli(keep_token_probability)) {
+    fresh[rng->Uniform(fresh.size())] = old_name[rng->Uniform(
+        old_name.size())];
+  }
+  return fresh;
+}
+
+}  // namespace
+
+std::vector<NameChangePair> GenerateNameChangeSample(
+    const NameChangeOptions& options) {
+  Rng rng(options.seed);
+  NameGenerator generator(options.names);
+  std::vector<NameChangePair> sample;
+  sample.reserve(options.num_legitimate + options.num_fraudulent);
+
+  for (size_t i = 0; i < options.num_legitimate; ++i) {
+    NameChangePair pair;
+    do {
+      pair.old_name = generator.Sample(&rng);
+    } while (pair.old_name.empty());
+    pair.new_name = LegitimateChange(pair.old_name, &rng);
+    pair.is_fraud = false;
+    sample.push_back(std::move(pair));
+  }
+  for (size_t i = 0; i < options.num_fraudulent; ++i) {
+    NameChangePair pair;
+    do {
+      pair.old_name = generator.Sample(&rng);
+    } while (pair.old_name.empty());
+    pair.new_name = FraudulentChange(pair.old_name, generator, &rng,
+                                     options.fraud_keep_token_probability);
+    pair.is_fraud = true;
+    sample.push_back(std::move(pair));
+  }
+  return sample;
+}
+
+}  // namespace tsj

@@ -1,0 +1,69 @@
+#include "workload/name_generator.h"
+
+#include <unordered_set>
+
+namespace tsj {
+
+namespace {
+
+constexpr char kConsonants[] = "bcdfghjklmnprstvwyz";
+constexpr char kVowels[] = "aeiou";
+
+std::string MakeSyllable(Rng* rng) {
+  std::string s;
+  s.push_back(kConsonants[rng->Uniform(sizeof(kConsonants) - 1)]);
+  s.push_back(kVowels[rng->Uniform(sizeof(kVowels) - 1)]);
+  // Occasionally close the syllable with a consonant ("han", "met").
+  if (rng->Bernoulli(0.35)) {
+    s.push_back(kConsonants[rng->Uniform(sizeof(kConsonants) - 1)]);
+  }
+  return s;
+}
+
+}  // namespace
+
+NameGenerator::NameGenerator(const NameGeneratorOptions& options)
+    : options_(options),
+      popularity_(options.vocabulary_size, options.zipf_skew) {
+  Rng rng(options.seed);
+  std::unordered_set<std::string> seen;
+  vocabulary_.reserve(options.vocabulary_size);
+  while (vocabulary_.size() < options.vocabulary_size) {
+    std::string token;
+    if (!vocabulary_.empty() && rng.Bernoulli(options.variant_fraction)) {
+      // Spelling variant of an earlier token (earlier == more popular under
+      // the Zipf rank order, as with real names).
+      token = vocabulary_[rng.Uniform(vocabulary_.size())];
+      const size_t pos = rng.Uniform(token.size());
+      const uint64_t op = rng.Uniform(3);
+      const char c = "abcdefghijklmnopqrstuvwxyz"[rng.Uniform(26)];
+      if (op == 0) {
+        token.insert(token.begin() + static_cast<ptrdiff_t>(pos), c);
+      } else if (op == 1 && token.size() > 2) {
+        token.erase(token.begin() + static_cast<ptrdiff_t>(pos));
+      } else {
+        token[pos] = c;
+      }
+    } else {
+      const size_t syllables = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(options.min_syllables),
+          static_cast<int64_t>(options.max_syllables)));
+      for (size_t i = 0; i < syllables; ++i) token += MakeSyllable(&rng);
+    }
+    if (seen.insert(token).second) vocabulary_.push_back(std::move(token));
+  }
+}
+
+TokenizedString NameGenerator::Sample(Rng* rng) const {
+  const size_t num_tokens = static_cast<size_t>(rng->UniformInt(
+      static_cast<int64_t>(options_.min_tokens),
+      static_cast<int64_t>(options_.max_tokens)));
+  TokenizedString name;
+  name.reserve(num_tokens);
+  for (size_t i = 0; i < num_tokens; ++i) {
+    name.push_back(vocabulary_[popularity_.Sample(rng)]);
+  }
+  return name;
+}
+
+}  // namespace tsj

@@ -1,0 +1,69 @@
+// Synthetic account-name generator.
+//
+// Substitute for the paper's 44M real Google-account names (Sec. V), which
+// are unavailable. The generator reproduces the two statistical properties
+// TSJ's behaviour depends on:
+//  * a Zipf-distributed token vocabulary — a few very popular first/last
+//    names ("John", "Mary") shared by huge numbers of accounts, which is
+//    what the high-frequency cutoff M and the reduce-side load skew react
+//    to;
+//  * names of 1-4 pronounceable tokens, so token-length distributions and
+//    the Lemma 8/9 length windows are realistic.
+// Tokens are built from consonant-vowel syllables so that near-miss tokens
+// (one edit apart) occur naturally across the vocabulary.
+
+#ifndef TSJ_WORKLOAD_NAME_GENERATOR_H_
+#define TSJ_WORKLOAD_NAME_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "tokenized/tokenized_string.h"
+
+namespace tsj {
+
+/// Vocabulary and shape of generated names.
+struct NameGeneratorOptions {
+  /// Number of distinct tokens in the vocabulary.
+  size_t vocabulary_size = 4000;
+  /// Zipf skew of token popularity (0 = uniform; ~1 = natural names).
+  double zipf_skew = 0.9;
+  /// Tokens per generated name, inclusive bounds.
+  size_t min_tokens = 1;
+  size_t max_tokens = 4;
+  /// Syllables per vocabulary token, inclusive bounds (2 syllables ~ 4-5
+  /// characters).
+  size_t min_syllables = 1;
+  size_t max_syllables = 4;
+  /// Fraction of vocabulary tokens generated as one-character-edit variants
+  /// of earlier (more popular) tokens — real name corpora are full of
+  /// spelling variants ("mohamed"/"mohammed", "jon"/"john"), which is what
+  /// feeds TSJ's similar-token candidate generation.
+  double variant_fraction = 0.25;
+  /// Vocabulary-construction seed (independent of the sampling Rng).
+  uint64_t seed = 20190321;  // the paper's arXiv date
+};
+
+/// Deterministic generator of tokenized account names.
+class NameGenerator {
+ public:
+  explicit NameGenerator(const NameGeneratorOptions& options);
+
+  /// Samples one name: popularity-weighted tokens from the vocabulary.
+  TokenizedString Sample(Rng* rng) const;
+
+  /// The token vocabulary (rank order == popularity order).
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+ private:
+  NameGeneratorOptions options_;
+  std::vector<std::string> vocabulary_;
+  ZipfSampler popularity_;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_WORKLOAD_NAME_GENERATOR_H_

@@ -1,0 +1,75 @@
+#include "workload/perturb.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tsj {
+
+namespace {
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+
+void EditToken(std::string* token, Rng* rng) {
+  const char c = kAlphabet[rng->Uniform(26)];
+  const uint64_t op = rng->Uniform(3);
+  if (op == 0 || token->empty()) {  // insert
+    const size_t pos = rng->Uniform(token->size() + 1);
+    token->insert(token->begin() + static_cast<ptrdiff_t>(pos), c);
+  } else if (op == 1 && token->size() > 1) {  // delete (keep non-empty)
+    const size_t pos = rng->Uniform(token->size());
+    token->erase(token->begin() + static_cast<ptrdiff_t>(pos));
+  } else {  // substitute
+    const size_t pos = rng->Uniform(token->size());
+    (*token)[pos] = c;
+  }
+}
+}  // namespace
+
+TokenizedString ApplyCharEdit(TokenizedString name, Rng* rng) {
+  if (name.empty()) return name;
+  EditToken(&name[rng->Uniform(name.size())], rng);
+  return name;
+}
+
+TokenizedString PerturbName(const TokenizedString& name, Rng* rng,
+                            const PerturbOptions& options) {
+  TokenizedString result = name;
+  if (result.empty()) return result;
+
+  // Boundary shift between two adjacent tokens: "chan kalan" -> "chank
+  // alan" (move the first character of token i+1 to the end of token i).
+  if (result.size() >= 2 && rng->Bernoulli(options.boundary_shift_probability)) {
+    const size_t i = rng->Uniform(result.size() - 1);
+    if (result[i + 1].size() > 1) {
+      result[i].push_back(result[i + 1].front());
+      result[i + 1].erase(result[i + 1].begin());
+    }
+  }
+
+  // Abbreviation: "barak" -> "b".
+  if (rng->Bernoulli(options.abbreviate_probability)) {
+    std::string& token = result[rng->Uniform(result.size())];
+    if (token.size() > 1) token.resize(1);
+  }
+
+  // Token drop.
+  if (result.size() > 1 && rng->Bernoulli(options.drop_token_probability)) {
+    const size_t i = rng->Uniform(result.size());
+    result.erase(result.begin() + static_cast<ptrdiff_t>(i));
+  }
+
+  // Character-level edits.
+  const size_t edits = static_cast<size_t>(rng->UniformInt(
+      static_cast<int64_t>(options.min_char_edits),
+      static_cast<int64_t>(options.max_char_edits)));
+  for (size_t e = 0; e < edits; ++e) {
+    EditToken(&result[rng->Uniform(result.size())], rng);
+  }
+
+  // Token shuffle (free under NSLD; defeats order-sensitive measures).
+  if (rng->Bernoulli(options.shuffle_probability)) {
+    rng->Shuffle(&result);
+  }
+  return result;
+}
+
+}  // namespace tsj

@@ -1,0 +1,53 @@
+// Adversarial name-perturbation model (Sec. I-A): a fraudster reuses one
+// bank-account holder under slightly edited names — "Barak Obama" becomes
+// "Obamma, Boraak H." or "Burak Ubama" — crafted so a bank officer is not
+// alarmed but naive exact comparison is defeated. The model applies the
+// edit families the paper describes:
+//  * character-level edits inside tokens (insert / delete / substitute);
+//  * token shuffles (NSLD is setwise, so these are free for TSJ but defeat
+//    order-sensitive measures such as FMS);
+//  * token split / merge ("chan kalan" -> "chank alan", the Sec. II-D
+//    example);
+//  * abbreviation of a token to its initial ("Barak H.");
+//  * token drop / decoy-token addition.
+
+#ifndef TSJ_WORKLOAD_PERTURB_H_
+#define TSJ_WORKLOAD_PERTURB_H_
+
+#include <cstddef>
+
+#include "common/random.h"
+#include "tokenized/tokenized_string.h"
+
+namespace tsj {
+
+/// Probabilities of each edit family; each is applied independently at
+/// most once per call (plus 1..max_char_edits character edits).
+struct PerturbOptions {
+  /// Number of character-level edits applied: uniform in
+  /// [min_char_edits, max_char_edits].
+  size_t min_char_edits = 1;
+  size_t max_char_edits = 2;
+  /// Probability of shuffling token order.
+  double shuffle_probability = 0.5;
+  /// Probability of moving a boundary between two adjacent tokens
+  /// ("chan kalan" -> "chank alan").
+  double boundary_shift_probability = 0.15;
+  /// Probability of abbreviating one token to its initial.
+  double abbreviate_probability = 0.1;
+  /// Probability of dropping one token (only when more than one remains).
+  double drop_token_probability = 0.05;
+};
+
+/// Returns an adversarially edited copy of `name`. Never returns an empty
+/// tokenized string for a non-empty input.
+TokenizedString PerturbName(const TokenizedString& name, Rng* rng,
+                            const PerturbOptions& options = {});
+
+/// Applies exactly one character-level edit to a random token (helper,
+/// exposed for tests and custom attack models).
+TokenizedString ApplyCharEdit(TokenizedString name, Rng* rng);
+
+}  // namespace tsj
+
+#endif  // TSJ_WORKLOAD_PERTURB_H_

@@ -1,0 +1,48 @@
+#include "workload/ring_workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsj {
+
+RingWorkload GenerateRingWorkload(const RingWorkloadOptions& options) {
+  RingWorkload workload;
+  Rng rng(options.seed);
+  NameGenerator generator(options.names);
+
+  // Plant the rings first: each ring is one base name (at least two tokens
+  // so the attack surface is realistic) plus adversarially edited variants.
+  for (size_t ring = 0; ring < options.num_rings; ++ring) {
+    const size_t size = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(options.min_ring_size),
+        static_cast<int64_t>(options.max_ring_size)));
+    TokenizedString base;
+    do {
+      base = generator.Sample(&rng);
+    } while (base.size() < 2);
+    std::vector<uint32_t> members;
+    for (size_t m = 0; m < size && workload.names.size() <
+                                       options.num_accounts; ++m) {
+      const uint32_t id = static_cast<uint32_t>(workload.names.size());
+      workload.names.push_back(
+          m == 0 ? base : PerturbName(base, &rng, options.perturb));
+      workload.ring_of.push_back(static_cast<int32_t>(ring));
+      members.push_back(id);
+    }
+    workload.rings.push_back(std::move(members));
+  }
+
+  // Fill the rest with independent legitimate accounts.
+  while (workload.names.size() < options.num_accounts) {
+    workload.names.push_back(generator.Sample(&rng));
+    workload.ring_of.push_back(-1);
+  }
+
+  for (const TokenizedString& name : workload.names) {
+    workload.corpus.AddString(name);
+  }
+  assert(workload.corpus.size() == workload.names.size());
+  return workload;
+}
+
+}  // namespace tsj

@@ -1,0 +1,56 @@
+// Account workload with planted fraud rings, the motivating scenario of
+// Sec. I-A: most accounts are independent legitimate users; a minority
+// belong to rings in which one attacker registered several accounts under
+// adversarially edited variants of the same bank-account-holder name.
+// Ground-truth ring membership is retained so experiments can measure how
+// well a join + clustering pipeline recovers the rings.
+
+#ifndef TSJ_WORKLOAD_RING_WORKLOAD_H_
+#define TSJ_WORKLOAD_RING_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tokenized/corpus.h"
+#include "tokenized/tokenized_string.h"
+#include "workload/name_generator.h"
+#include "workload/perturb.h"
+
+namespace tsj {
+
+/// Shape of the generated account population.
+struct RingWorkloadOptions {
+  /// Total number of accounts (ring members included).
+  size_t num_accounts = 10000;
+  /// Number of planted fraud rings.
+  size_t num_rings = 40;
+  /// Accounts per ring, inclusive bounds.
+  size_t min_ring_size = 3;
+  size_t max_ring_size = 8;
+  /// Name-generation parameters.
+  NameGeneratorOptions names;
+  /// Adversarial edit model used within rings.
+  PerturbOptions perturb;
+  /// Master seed for account sampling.
+  uint64_t seed = 7;
+};
+
+/// The generated population with ground truth.
+struct RingWorkload {
+  /// All account names, account id == index.
+  std::vector<TokenizedString> names;
+  /// Interned corpus of the same names (ids aligned with `names`).
+  Corpus corpus;
+  /// Ring id per account; -1 for legitimate accounts.
+  std::vector<int32_t> ring_of;
+  /// Member account ids per ring.
+  std::vector<std::vector<uint32_t>> rings;
+};
+
+/// Generates the population deterministically from the options.
+RingWorkload GenerateRingWorkload(const RingWorkloadOptions& options);
+
+}  // namespace tsj
+
+#endif  // TSJ_WORKLOAD_RING_WORKLOAD_H_

@@ -1,0 +1,126 @@
+#include "distance/fms.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(FmsTest, IdenticalStringsScoreOne) {
+  const Tokens a = {"barak", "obama"};
+  EXPECT_DOUBLE_EQ(FmsSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(FmsCost(a, a), 0.0);
+}
+
+TEST(FmsTest, EmptyCases) {
+  const Tokens empty;
+  const Tokens a = {"x"};
+  EXPECT_DOUBLE_EQ(FmsSimilarity(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(FmsSimilarity(a, empty), 0.0);  // only deletions
+  // Source empty: every target token is inserted at insertion_factor cost.
+  FmsOptions options;
+  options.insertion_factor = 0.8;
+  EXPECT_NEAR(FmsSimilarity(empty, a, options), 0.2, 1e-9);
+}
+
+TEST(FmsTest, SmallEditsCostLittle) {
+  const Tokens a = {"barak", "obama"};
+  const Tokens b = {"barak", "obamma"};
+  EXPECT_GT(FmsSimilarity(a, b), 0.85);
+  EXPECT_LT(FmsSimilarity(a, b), 1.0);
+}
+
+TEST(FmsTest, OrderSensitivityDrawback) {
+  // The ICDE paper's first criticism: FMS charges for token displacement,
+  // so shuffling tokens lowers the similarity even with identical tokens.
+  const Tokens ordered = {"barak", "hussein", "obama"};
+  const Tokens shuffled = {"obama", "barak", "hussein"};
+  const double same = FmsSimilarity(ordered, ordered);
+  const double moved = FmsSimilarity(shuffled, ordered);
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_LT(moved, same);
+  // With the position term disabled the shuffle becomes free.
+  FmsOptions no_positions;
+  no_positions.position_factor = 0.0;
+  EXPECT_DOUBLE_EQ(FmsSimilarity(shuffled, ordered, no_positions), 1.0);
+}
+
+TEST(FmsTest, AsymmetryDrawback) {
+  // The second criticism: FMS normalizes by the *target* weight, so
+  // direction matters.
+  const Tokens one = {"barak"};
+  const Tokens two = {"barak", "obama"};
+  EXPECT_NE(FmsSimilarity(one, two), FmsSimilarity(two, one));
+}
+
+TEST(FmsTest, RangeIsZeroToOne) {
+  Rng rng(314);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const auto b = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const double sim = FmsSimilarity(a, b);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+TEST(FmsTest, WeightsEmphasizeRareTokens) {
+  FmsOptions options;
+  options.weight = [](const std::string& token) {
+    return token == "john" ? 0.1 : 1.0;
+  };
+  // Losing the rare token hurts more than losing the common one.
+  const Tokens full = {"john", "zyxwvu"};
+  const double lost_rare = FmsSimilarity({"john"}, full, options);
+  const double lost_common = FmsSimilarity({"zyxwvu"}, full, options);
+  EXPECT_LT(lost_rare, lost_common);
+}
+
+TEST(AfmsTest, IdenticalStringsScoreOne) {
+  const Tokens a = {"barak", "obama"};
+  EXPECT_DOUBLE_EQ(AfmsSimilarity(a, a), 1.0);
+}
+
+TEST(AfmsTest, PositionInsensitive) {
+  const Tokens ordered = {"barak", "hussein", "obama"};
+  const Tokens shuffled = {"obama", "barak", "hussein"};
+  EXPECT_DOUBLE_EQ(AfmsSimilarity(shuffled, ordered), 1.0);
+}
+
+TEST(AfmsTest, ManyToOneMatchingQuirk) {
+  // AFMS lets multiple source tokens match the same target token — two
+  // copies of "anna" both match the single target "anna", so the extra
+  // copy costs nothing on the target side. (This is why the ICDE paper
+  // calls AFMS an approximation with known bias.)
+  EXPECT_DOUBLE_EQ(AfmsSimilarity({"anna", "anna"}, {"anna"}), 1.0);
+}
+
+TEST(AfmsTest, StillAsymmetric) {
+  const Tokens one = {"barak"};
+  const Tokens two = {"barak", "obama"};
+  EXPECT_NE(AfmsSimilarity(one, two), AfmsSimilarity(two, one));
+}
+
+TEST(AfmsTest, UpperBoundsFmsWithoutPositions) {
+  // Relaxing the one-to-one matching can only help (lower cost).
+  Rng rng(315);
+  FmsOptions options;
+  options.position_factor = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = testutil::RandomTokenizedString(&rng, 1, 3, 1, 5);
+    const auto b = testutil::RandomTokenizedString(&rng, 1, 3, 1, 5);
+    // Tolerance covers the integer quantization of the Hungarian costs.
+    EXPECT_GE(AfmsSimilarity(a, b, options) + 1e-6,
+              FmsSimilarity(a, b, options))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,118 @@
+#include "distance/fuzzy_set_measures.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/set_measures.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+FuzzyMeasureOptions Opts(double token_threshold) {
+  FuzzyMeasureOptions options;
+  options.token_threshold = token_threshold;
+  return options;
+}
+
+TEST(FuzzyOverlapTest, ExactMatchContributesFullWeight) {
+  EXPECT_DOUBLE_EQ(FuzzyOverlap({"barak"}, {"barak"}, Opts(0.8)), 1.0);
+}
+
+TEST(FuzzyOverlapTest, NearMatchContributesPartialWeight) {
+  // "obama" vs "obamma": LD = 1, NLD = 2/12, sim = 1 - 1/6 = 5/6 >= 0.8.
+  const double overlap = FuzzyOverlap({"obama"}, {"obamma"}, Opts(0.8));
+  EXPECT_NEAR(overlap, 5.0 / 6.0, 1e-9);
+}
+
+TEST(FuzzyOverlapTest, BelowTokenThresholdContributesNothing) {
+  EXPECT_DOUBLE_EQ(FuzzyOverlap({"alice"}, {"zzzzz"}, Opts(0.8)), 0.0);
+}
+
+TEST(FuzzyOverlapTest, EachTokenMatchesAtMostOnce) {
+  // Two copies of a token on one side cannot both match the single copy on
+  // the other side (matching, not AFMS-style many-to-one).
+  const double overlap = FuzzyOverlap({"anna", "anna"}, {"anna"}, Opts(0.8));
+  EXPECT_DOUBLE_EQ(overlap, 1.0);
+}
+
+TEST(FuzzyJaccardTest, ToleratesTokenEditsUnlikePlainJaccard) {
+  // The motivating comparison: an attacker's single-character token edits
+  // collapse plain Jaccard but barely dent the fuzzy measures.
+  const Tokens a = {"barak", "obama"};
+  const Tokens b = {"barak", "obamma"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 1.0 / 3.0);
+  EXPECT_GT(FuzzyJaccardSimilarity(a, b, Opts(0.8)), 0.8);
+}
+
+TEST(FuzzyMeasuresTest, IdenticalSetsScoreOne) {
+  const Tokens a = {"john", "smith"};
+  EXPECT_DOUBLE_EQ(FuzzyJaccardSimilarity(a, a, Opts(0.8)), 1.0);
+  EXPECT_DOUBLE_EQ(FuzzyCosineSimilarity(a, a, Opts(0.8)), 1.0);
+  EXPECT_DOUBLE_EQ(FuzzyDiceSimilarity(a, a, Opts(0.8)), 1.0);
+}
+
+TEST(FuzzyMeasuresTest, EmptySets) {
+  const Tokens empty;
+  const Tokens a = {"x"};
+  for (auto measure : {FuzzyJaccardSimilarity, FuzzyCosineSimilarity,
+                       FuzzyDiceSimilarity}) {
+    EXPECT_DOUBLE_EQ(measure(empty, empty, Opts(0.8)), 1.0);
+    EXPECT_DOUBLE_EQ(measure(a, empty, Opts(0.8)), 0.0);
+  }
+}
+
+TEST(FuzzyMeasuresTest, SymmetricAndBounded) {
+  Rng rng(81);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 0, 3, 1, 5, 3);
+    const auto y = testutil::RandomTokenizedString(&rng, 0, 3, 1, 5, 3);
+    for (auto measure : {FuzzyJaccardSimilarity, FuzzyCosineSimilarity,
+                         FuzzyDiceSimilarity}) {
+      const double xy = measure(x, y, Opts(0.7));
+      EXPECT_NEAR(xy, measure(y, x, Opts(0.7)), 1e-12);
+      EXPECT_GE(xy, 0.0);
+      EXPECT_LE(xy, 1.0);
+    }
+  }
+}
+
+TEST(FuzzyMeasuresTest, ReducesToExactWhenThresholdIsOne) {
+  // token_threshold = 1.0 admits only exact token matches, so fuzzy
+  // Jaccard with uniform weights equals plain (matching-based) overlap.
+  const Tokens a = {"barak", "obama"};
+  const Tokens b = {"barak", "obamma"};
+  EXPECT_DOUBLE_EQ(FuzzyJaccardSimilarity(a, b, Opts(1.0)), 1.0 / 3.0);
+}
+
+TEST(FuzzyMeasuresTest, IdfWeightsEmphasizeRareTokens) {
+  FuzzyMeasureOptions options;
+  options.token_threshold = 0.8;
+  options.weight = [](const std::string& token) {
+    return token == "john" ? 0.1 : 1.0;  // "john" is common, low weight
+  };
+  // Sharing only the common token scores lower than sharing a rare one.
+  const double common = FuzzyJaccardSimilarity({"john", "aaaa"},
+                                               {"john", "bbbb"}, options);
+  const double rare = FuzzyJaccardSimilarity({"john", "aaaa"},
+                                             {"pete", "aaaa"}, options);
+  EXPECT_LT(common, rare);
+}
+
+TEST(FuzzyMeasuresTest, MonotoneInTokenThreshold) {
+  // A stricter token threshold can only remove overlap.
+  Rng rng(82);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 1, 3, 2, 5, 3);
+    const auto y = testutil::RandomTokenizedString(&rng, 1, 3, 2, 5, 3);
+    EXPECT_GE(FuzzyOverlap(x, y, Opts(0.5)),
+              FuzzyOverlap(x, y, Opts(0.9)) - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,80 @@
+#include <utility>
+#include <vector>
+
+#include "graph/similarity_graph.h"
+#include "graph/union_find.h"
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already merged
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_EQ(uf.SetSize(2), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  EXPECT_NE(uf.Find(0), uf.Find(3));
+}
+
+TEST(UnionFindTest, TransitiveChain) {
+  UnionFind uf(100);
+  for (uint32_t i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.SetSize(0), 100u);
+  EXPECT_EQ(uf.Find(0), uf.Find(99));
+}
+
+TEST(SimilarityGraphTest, ConnectedComponentsAreClusters) {
+  // Edges: {0,1,2} chained, {4,5} paired, 3 isolated.
+  const std::vector<std::pair<uint32_t, uint32_t>> edges = {
+      {0, 1}, {1, 2}, {4, 5}};
+  const auto clusters = ClusterBySimilarity(6, edges);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (Cluster{0, 1, 2}));  // sorted by size desc
+  EXPECT_EQ(clusters[1], (Cluster{4, 5}));
+}
+
+TEST(SimilarityGraphTest, MinClusterSizeFiltersSmallComponents) {
+  const std::vector<std::pair<uint32_t, uint32_t>> edges = {
+      {0, 1}, {2, 3}, {3, 4}};
+  const auto clusters = ClusterBySimilarity(6, edges, /*min_cluster_size=*/3);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (Cluster{2, 3, 4}));
+}
+
+TEST(SimilarityGraphTest, NoEdgesNoClusters) {
+  EXPECT_TRUE(ClusterBySimilarity(10, {}).empty());
+}
+
+TEST(SimilarityGraphTest, DuplicateAndReversedEdgesAreHarmless) {
+  const std::vector<std::pair<uint32_t, uint32_t>> edges = {
+      {0, 1}, {1, 0}, {0, 1}};
+  const auto clusters = ClusterBySimilarity(3, edges);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (Cluster{0, 1}));
+}
+
+TEST(SimilarityGraphTest, DeterministicOrderingForEqualSizes) {
+  const std::vector<std::pair<uint32_t, uint32_t>> edges = {
+      {4, 5}, {0, 1}, {2, 3}};
+  const auto a = ClusterBySimilarity(6, edges);
+  const auto b = ClusterBySimilarity(6, edges);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], (Cluster{0, 1}));  // ties break on member order
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,84 @@
+#include "assignment/greedy_matching.h"
+
+#include <vector>
+
+#include "assignment/hungarian.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+bool IsPermutation(const std::vector<size_t>& assignment, size_t n) {
+  std::vector<bool> seen(n, false);
+  for (size_t col : assignment) {
+    if (col >= n || seen[col]) return false;
+    seen[col] = true;
+  }
+  return assignment.size() == n;
+}
+
+TEST(GreedyMatchingTest, EmptyProblem) {
+  const AssignmentResult result = SolveAssignmentGreedy({}, 0);
+  EXPECT_EQ(result.total_cost, 0);
+}
+
+TEST(GreedyMatchingTest, PicksGlobalMinimumFirst) {
+  // Greedy takes the 0 at (0,1), then is forced into 9 + 9; exact would
+  // pick 1 + 1 + 2 = 4 — the canonical greedy-suboptimality example.
+  const std::vector<int64_t> costs = {
+      1, 0, 9,  //
+      1, 9, 9,  //
+      9, 9, 2,
+  };
+  const AssignmentResult greedy = SolveAssignmentGreedy(costs, 3);
+  EXPECT_TRUE(IsPermutation(greedy.assignment, 3));
+  EXPECT_EQ(greedy.assignment[0], 1u);  // the global minimum edge
+  const AssignmentResult exact = SolveAssignment(costs, 3);
+  EXPECT_GE(greedy.total_cost, exact.total_cost);
+}
+
+TEST(GreedyMatchingTest, NeverBeatsExactAndIsPermutation) {
+  // The core contract behind greedy-token-aligning (Sec. III-G.5): the
+  // greedy cost upper-bounds the exact SLD, so the approximation can only
+  // produce false negatives, never false positives.
+  Rng rng(31337);
+  for (size_t n = 1; n <= 7; ++n) {
+    for (int trial = 0; trial < 60; ++trial) {
+      std::vector<int64_t> costs(n * n);
+      for (auto& c : costs) c = static_cast<int64_t>(rng.Uniform(25));
+      const AssignmentResult greedy = SolveAssignmentGreedy(costs, n);
+      const AssignmentResult exact = SolveAssignment(costs, n);
+      EXPECT_TRUE(IsPermutation(greedy.assignment, n));
+      EXPECT_GE(greedy.total_cost, exact.total_cost);
+      // Cost consistent with assignment.
+      int64_t recomputed = 0;
+      for (size_t i = 0; i < n; ++i) {
+        recomputed += costs[i * n + greedy.assignment[i]];
+      }
+      EXPECT_EQ(greedy.total_cost, recomputed);
+    }
+  }
+}
+
+TEST(GreedyMatchingTest, OptimalWhenMatrixHasZeroDiagonal) {
+  const std::vector<int64_t> costs = {
+      0, 4, 4,  //
+      4, 0, 4,  //
+      4, 4, 0,
+  };
+  const AssignmentResult greedy = SolveAssignmentGreedy(costs, 3);
+  EXPECT_EQ(greedy.total_cost, 0);
+}
+
+TEST(GreedyMatchingTest, DeterministicTieBreaking) {
+  const std::vector<int64_t> costs(16, 5);  // all ties
+  const AssignmentResult a = SolveAssignmentGreedy(costs, 4);
+  const AssignmentResult b = SolveAssignmentGreedy(costs, 4);
+  EXPECT_EQ(a.assignment, b.assignment);
+  // Row i pairs with column i under (cost, row, col) ordering.
+  EXPECT_EQ(a.assignment, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,202 @@
+#include "hmj/hmj.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "eval/join_metrics.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tokenized/corpus.h"
+
+namespace tsj {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet ToSet(const std::vector<TsjPair>& pairs) {
+  PairSet s;
+  for (const auto& p : pairs) s.emplace(p.a, p.b);
+  return s;
+}
+
+Corpus MakeCorpus(Rng* rng, size_t n) {
+  Corpus corpus;
+  size_t added = 0;
+  while (added < n) {
+    auto base = testutil::RandomTokenizedString(rng, 1, 3, 2, 7, 4);
+    corpus.AddString(base);
+    ++added;
+    if (rng->Bernoulli(0.4) && added < n) {
+      auto variant = base;
+      const size_t tok = rng->Uniform(variant.size());
+      variant[tok] = testutil::RandomEdit(rng, variant[tok], 4);
+      corpus.AddString(variant);
+      ++added;
+    }
+  }
+  return corpus;
+}
+
+class HmjExactnessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HmjExactnessTest, MatchesBruteForce) {
+  const double t = GetParam();
+  Rng rng(42 + static_cast<uint64_t>(t * 1000));
+  for (int round = 0; round < 3; ++round) {
+    Corpus corpus = MakeCorpus(&rng, 60);
+    const auto expected = BruteForceNsldSelfJoin(corpus, t);
+    HmjOptions options;
+    options.threshold = t;
+    options.num_partitions = 8;
+    options.seed = 17 + round;
+    HybridMetricJoiner joiner(options);
+    const auto actual = joiner.SelfJoin(corpus);
+    ASSERT_TRUE(actual.ok());
+    EXPECT_EQ(ToSet(*actual), ToSet(expected)) << "T=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, HmjExactnessTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3));
+
+TEST(HmjTest, RecursiveRepartitioningPreservesCorrectness) {
+  Rng rng(77);
+  Corpus corpus = MakeCorpus(&rng, 120);
+  const double t = 0.15;
+  const auto expected = BruteForceNsldSelfJoin(corpus, t);
+  HmjOptions options;
+  options.threshold = t;
+  options.num_partitions = 4;
+  options.max_partition_size = 10;  // force deep recursion
+  options.num_subpartitions = 3;
+  options.max_recursion_depth = 5;
+  const auto actual = HybridMetricJoiner(options).SelfJoin(corpus);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(ToSet(*actual), ToSet(expected));
+}
+
+TEST(HmjTest, SinglePartitionDegeneratesToQuadraticJoin) {
+  Rng rng(78);
+  Corpus corpus = MakeCorpus(&rng, 40);
+  const double t = 0.2;
+  HmjOptions options;
+  options.threshold = t;
+  options.num_partitions = 1;
+  options.max_partition_size = 1u << 20;
+  const auto actual = HybridMetricJoiner(options).SelfJoin(corpus);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(ToSet(*actual), ToSet(BruteForceNsldSelfJoin(corpus, t)));
+}
+
+TEST(HmjTest, WorkLimitTriggersDnf) {
+  Rng rng(79);
+  Corpus corpus = MakeCorpus(&rng, 100);
+  HmjOptions options;
+  options.threshold = 0.2;
+  options.work_limit = 50;  // absurdly small budget
+  HmjRunInfo info;
+  const auto result = HybridMetricJoiner(options).SelfJoin(corpus, &info);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(info.completed);
+}
+
+TEST(HmjTest, PivotFilterSkipsComputations) {
+  Rng rng(80);
+  Corpus corpus = MakeCorpus(&rng, 150);
+  HmjOptions options;
+  options.threshold = 0.05;  // tight threshold: filter bites hard
+  options.num_partitions = 4;
+  HmjRunInfo info;
+  ASSERT_TRUE(HybridMetricJoiner(options).SelfJoin(corpus, &info).ok());
+  EXPECT_GT(info.pivot_filtered, 0u);
+  EXPECT_TRUE(info.completed);
+}
+
+TEST(HmjTest, ComputesManyMoreDistancesThanOutputPairs) {
+  // The structural weakness the paper exploits in Fig. 7: HMJ's
+  // partitioning alone costs k NSLD evaluations per record.
+  Rng rng(81);
+  Corpus corpus = MakeCorpus(&rng, 100);
+  HmjOptions options;
+  options.threshold = 0.1;
+  options.num_partitions = 16;
+  HmjRunInfo info;
+  const auto result = HybridMetricJoiner(options).SelfJoin(corpus, &info);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(info.distance_computations,
+            corpus.size() * options.num_partitions);
+}
+
+TEST(HmjTest, EmptyCorpus) {
+  Corpus corpus;
+  HmjOptions options;
+  const auto result = HybridMetricJoiner(options).SelfJoin(corpus);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(HmjTest, RejectsInvalidOptions) {
+  HmjOptions options;
+  options.threshold = 1.5;
+  Corpus corpus;
+  EXPECT_FALSE(HybridMetricJoiner(options).SelfJoin(corpus).ok());
+  options.threshold = 0.1;
+  options.num_partitions = 0;
+  EXPECT_FALSE(HybridMetricJoiner(options).SelfJoin(corpus).ok());
+}
+
+TEST(HmjTest, GreedyAligningNeverAddsPairs) {
+  // Greedy SLD over-estimates distances, so greedy HMJ returns a subset of
+  // the exact join (same one-sided guarantee as TSJ's approximation).
+  Rng rng(83);
+  Corpus corpus = MakeCorpus(&rng, 80);
+  HmjOptions exact, greedy;
+  exact.threshold = greedy.threshold = 0.2;
+  exact.num_partitions = greedy.num_partitions = 8;
+  greedy.aligning = TokenAligning::kGreedy;
+  const auto exact_result = HybridMetricJoiner(exact).SelfJoin(corpus);
+  const auto greedy_result = HybridMetricJoiner(greedy).SelfJoin(corpus);
+  ASSERT_TRUE(exact_result.ok());
+  ASSERT_TRUE(greedy_result.ok());
+  const PairSet exact_set = ToSet(*exact_result);
+  for (const auto& pair : ToSet(*greedy_result)) {
+    EXPECT_TRUE(exact_set.count(pair));
+  }
+}
+
+TEST(HmjTest, RunInfoFieldsPopulated) {
+  Rng rng(84);
+  Corpus corpus = MakeCorpus(&rng, 60);
+  HmjOptions options;
+  options.threshold = 0.15;
+  options.num_partitions = 8;
+  HmjRunInfo info;
+  ASSERT_TRUE(HybridMetricJoiner(options).SelfJoin(corpus, &info).ok());
+  EXPECT_TRUE(info.completed);
+  EXPECT_GT(info.distance_computations, 0u);
+  EXPECT_GT(info.assignments, 0u);
+  ASSERT_EQ(info.pipeline.jobs.size(), 2u);
+  EXPECT_EQ(info.pipeline.jobs[0].name, "hmj-partition-join");
+  EXPECT_EQ(info.pipeline.jobs[1].name, "hmj-dedup");
+}
+
+TEST(HmjTest, ResultIndependentOfSeed) {
+  Rng rng(82);
+  Corpus corpus = MakeCorpus(&rng, 80);
+  const double t = 0.15;
+  HmjOptions a, b;
+  a.threshold = b.threshold = t;
+  a.num_partitions = b.num_partitions = 8;
+  a.seed = 1;
+  b.seed = 999;
+  const auto ra = HybridMetricJoiner(a).SelfJoin(corpus);
+  const auto rb = HybridMetricJoiner(b).SelfJoin(corpus);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ToSet(*ra), ToSet(*rb));
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,114 @@
+#include "assignment/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+// Exhaustive reference: tries every permutation. Only viable for n <= 8.
+int64_t BruteForceAssignmentCost(const std::vector<int64_t>& costs, size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  int64_t best = std::numeric_limits<int64_t>::max();
+  do {
+    int64_t total = 0;
+    for (size_t i = 0; i < n; ++i) total += costs[i * n + perm[i]];
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+bool IsPermutation(const std::vector<size_t>& assignment, size_t n) {
+  std::vector<bool> seen(n, false);
+  for (size_t col : assignment) {
+    if (col >= n || seen[col]) return false;
+    seen[col] = true;
+  }
+  return assignment.size() == n;
+}
+
+TEST(HungarianTest, EmptyProblem) {
+  const AssignmentResult result = SolveAssignment({}, 0);
+  EXPECT_EQ(result.total_cost, 0);
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(HungarianTest, SingleElement) {
+  const AssignmentResult result = SolveAssignment({7}, 1);
+  EXPECT_EQ(result.total_cost, 7);
+  ASSERT_EQ(result.assignment.size(), 1u);
+  EXPECT_EQ(result.assignment[0], 0u);
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  // Classic example: optimal is 1+2+1 = 4 on the anti-diagonal-ish matrix.
+  const std::vector<int64_t> costs = {
+      1, 2, 3,  //
+      2, 4, 6,  //
+      3, 6, 9,
+  };
+  const AssignmentResult result = SolveAssignment(costs, 3);
+  EXPECT_EQ(result.total_cost, BruteForceAssignmentCost(costs, 3));
+  EXPECT_TRUE(IsPermutation(result.assignment, 3));
+}
+
+TEST(HungarianTest, PrefersZeroDiagonal) {
+  const std::vector<int64_t> costs = {
+      0, 5, 5,  //
+      5, 0, 5,  //
+      5, 5, 0,
+  };
+  const AssignmentResult result = SolveAssignment(costs, 3);
+  EXPECT_EQ(result.total_cost, 0);
+  EXPECT_EQ(result.assignment, (std::vector<size_t>{0, 1, 2}));
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForce) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<int64_t> costs(n * n);
+    for (auto& c : costs) c = static_cast<int64_t>(rng.Uniform(30));
+    const AssignmentResult result = SolveAssignment(costs, n);
+    EXPECT_TRUE(IsPermutation(result.assignment, n));
+    // Reported cost is consistent with the reported assignment.
+    int64_t recomputed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      recomputed += costs[i * n + result.assignment[i]];
+    }
+    EXPECT_EQ(result.total_cost, recomputed);
+    EXPECT_EQ(result.total_cost, BruteForceAssignmentCost(costs, n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianRandomTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(HungarianTest, LargeUniformMatrixIsAnyPermutation) {
+  const size_t n = 50;
+  std::vector<int64_t> costs(n * n, 3);
+  const AssignmentResult result = SolveAssignment(costs, n);
+  EXPECT_EQ(result.total_cost, static_cast<int64_t>(3 * n));
+  EXPECT_TRUE(IsPermutation(result.assignment, n));
+}
+
+TEST(HungarianTest, HandlesLargeCosts) {
+  const int64_t big = int64_t{1} << 40;
+  const std::vector<int64_t> costs = {
+      big, big + 1,  //
+      big + 1, big,
+  };
+  const AssignmentResult result = SolveAssignment(costs, 2);
+  EXPECT_EQ(result.total_cost, 2 * big);
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,95 @@
+#include "distance/jaro.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+TEST(JaroTest, IdenticalStringsAreOne) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+}
+
+TEST(JaroTest, DisjointStringsAreZero) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+}
+
+TEST(JaroTest, ClassicTextbookValues) {
+  // Standard worked examples from the record-linkage literature.
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("JELLYFISH", "SMELLYFISH"), 0.896296, 1e-5);
+}
+
+TEST(JaroTest, SymmetricOnRandomStrings) {
+  Rng rng(61);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string x = testutil::RandomString(&rng, 0, 10);
+    const std::string y = testutil::RandomString(&rng, 0, 10);
+    EXPECT_DOUBLE_EQ(JaroSimilarity(x, y), JaroSimilarity(y, x));
+  }
+}
+
+TEST(JaroTest, RangeIsZeroToOne) {
+  Rng rng(62);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string x = testutil::RandomString(&rng, 0, 12);
+    const std::string y = testutil::RandomString(&rng, 0, 12);
+    const double sim = JaroSimilarity(x, y);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+TEST(JaroWinklerTest, ClassicValue) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBonusNeverDecreasesSimilarity) {
+  Rng rng(63);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string x = testutil::RandomString(&rng, 0, 10);
+    const std::string y = testutil::RandomString(&rng, 0, 10);
+    EXPECT_GE(JaroWinklerSimilarity(x, y), JaroSimilarity(x, y) - 1e-12);
+    EXPECT_LE(JaroWinklerSimilarity(x, y), 1.0 + 1e-12);
+  }
+}
+
+TEST(JaroWinklerTest, PrefixCappedAtFourCharacters) {
+  // Identical 4-char prefixes: extending the shared prefix further cannot
+  // add more than the 4-char bonus.
+  const double base = JaroWinklerSimilarity("abcdxx", "abcdyy");
+  const double longer = JaroWinklerSimilarity("abcdexx", "abcdeyy");
+  EXPECT_GT(base, JaroSimilarity("abcdxx", "abcdyy"));
+  EXPECT_GT(longer, 0.0);
+}
+
+TEST(JaroWinklerTest, TriangleInequalityViolationExists) {
+  // The paper (Sec. IV) rejects JW-based measures because JW is provably
+  // non-metric. Exhibit a concrete triangle violation of the distance.
+  Rng rng(64);
+  bool violated = false;
+  for (int trial = 0; trial < 20000 && !violated; ++trial) {
+    const std::string a = testutil::RandomString(&rng, 1, 6, 3);
+    const std::string b = testutil::RandomString(&rng, 1, 6, 3);
+    const std::string c = testutil::RandomString(&rng, 1, 6, 3);
+    if (JaroWinklerDistance(a, b) + JaroWinklerDistance(b, c) <
+        JaroWinklerDistance(a, c) - 1e-9) {
+      violated = true;
+    }
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(JaroWinklerTest, DistanceIsComplementOfSimilarity) {
+  EXPECT_DOUBLE_EQ(JaroWinklerDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerDistance("abc", "xyz"), 1.0);
+}
+
+}  // namespace
+}  // namespace tsj

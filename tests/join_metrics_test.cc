@@ -1,0 +1,81 @@
+#include "eval/join_metrics.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tokenized/corpus.h"
+
+namespace tsj {
+namespace {
+
+TsjPair P(uint32_t a, uint32_t b) { return TsjPair{a, b, 0.0}; }
+
+TEST(ComparePairSetsTest, IdenticalSets) {
+  const std::vector<TsjPair> pairs = {P(1, 2), P(3, 4)};
+  const auto m = ComparePairSets(pairs, pairs);
+  EXPECT_EQ(m.expected_pairs, 2u);
+  EXPECT_EQ(m.actual_pairs, 2u);
+  EXPECT_EQ(m.missing_pairs, 0u);
+  EXPECT_EQ(m.spurious_pairs, 0u);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST(ComparePairSetsTest, MissingPairsLowerRecall) {
+  const std::vector<TsjPair> expected = {P(1, 2), P(3, 4), P(5, 6), P(7, 8)};
+  const std::vector<TsjPair> actual = {P(1, 2), P(3, 4), P(5, 6)};
+  const auto m = ComparePairSets(expected, actual);
+  EXPECT_EQ(m.missing_pairs, 1u);
+  EXPECT_DOUBLE_EQ(m.recall, 0.75);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST(ComparePairSetsTest, SpuriousPairsLowerPrecision) {
+  const std::vector<TsjPair> expected = {P(1, 2)};
+  const std::vector<TsjPair> actual = {P(1, 2), P(9, 10)};
+  const auto m = ComparePairSets(expected, actual);
+  EXPECT_EQ(m.spurious_pairs, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(ComparePairSetsTest, OrientationAndDuplicatesNormalized) {
+  const std::vector<TsjPair> expected = {P(2, 1)};
+  const std::vector<TsjPair> actual = {P(1, 2), P(2, 1)};
+  const auto m = ComparePairSets(expected, actual);
+  EXPECT_EQ(m.actual_pairs, 1u);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST(ComparePairSetsTest, EmptyExpectedGivesRecallOne) {
+  const auto m = ComparePairSets({}, {P(1, 2)});
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+}
+
+TEST(BruteForceJoinTest, SmallCorpusKnownAnswer) {
+  Corpus corpus;
+  corpus.AddString({"chan", "kalan"});   // 0
+  corpus.AddString({"chank", "alan"});   // 1: NSLD = 0.2 (paper example)
+  corpus.AddString({"zzz", "qqq"});      // 2: unrelated
+  const auto pairs = BruteForceNsldSelfJoin(corpus, 0.2);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].nsld, 0.2);
+}
+
+TEST(BruteForceJoinTest, ThresholdZeroFindsDuplicatesOnly) {
+  Corpus corpus;
+  corpus.AddString({"a", "b"});
+  corpus.AddString({"b", "a"});  // same multiset
+  corpus.AddString({"a", "c"});
+  const auto pairs = BruteForceNsldSelfJoin(corpus, 0.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,274 @@
+#include "mapreduce/mapreduce.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+// Canonical word count: map emits (word, 1), reduce sums.
+std::vector<std::pair<std::string, int>> WordCount(
+    const std::vector<std::string>& docs, const MapReduceOptions& options,
+    JobStats* stats = nullptr) {
+  auto result = RunMapReduce<std::string, std::string, int,
+                             std::pair<std::string, int>>(
+      "wordcount", docs,
+      [](const std::string& doc, Emitter<std::string, int>* out) {
+        std::string word;
+        for (char c : doc) {
+          if (c == ' ') {
+            if (!word.empty()) out->Emit(word, 1);
+            word.clear();
+          } else {
+            word.push_back(c);
+          }
+        }
+        if (!word.empty()) out->Emit(word, 1);
+      },
+      [](const std::string& word, std::vector<int>* values,
+         std::vector<std::pair<std::string, int>>* out) {
+        int total = 0;
+        for (int v : *values) total += v;
+        out->emplace_back(word, total);
+      },
+      options, stats);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+TEST(MapReduceTest, WordCountBasic) {
+  const std::vector<std::string> docs = {"a b a", "b c", "a"};
+  const auto counts = WordCount(docs, {});
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"a", 3}, {"b", 2}, {"c", 1}};
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(MapReduceTest, EmptyInput) {
+  const auto counts = WordCount({}, {});
+  EXPECT_TRUE(counts.empty());
+}
+
+TEST(MapReduceTest, ResultIndependentOfWorkerAndPartitionCount) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 500; ++i) {
+    docs.push_back("w" + std::to_string(i % 37) + " w" +
+                   std::to_string(i % 11));
+  }
+  const auto reference = WordCount(docs, {});
+  for (size_t workers : {1u, 2u, 7u}) {
+    for (size_t partitions : {1u, 3u, 64u, 257u}) {
+      MapReduceOptions options;
+      options.num_workers = workers;
+      options.num_partitions = partitions;
+      EXPECT_EQ(WordCount(docs, options), reference)
+          << "workers=" << workers << " partitions=" << partitions;
+    }
+  }
+}
+
+TEST(MapReduceTest, StatsCountRecordsCorrectly) {
+  const std::vector<std::string> docs = {"a b a", "b c", "a"};
+  JobStats stats;
+  WordCount(docs, {}, &stats);
+  EXPECT_EQ(stats.name, "wordcount");
+  EXPECT_EQ(stats.input_records, 3u);
+  EXPECT_EQ(stats.map_output_records, 6u);  // six word occurrences
+  EXPECT_EQ(stats.num_groups, 3u);          // a, b, c
+  EXPECT_EQ(stats.reduce_output_records, 3u);
+}
+
+TEST(MapReduceTest, GroupLoadsSumToMapOutput) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 200; ++i) docs.push_back("x y" + std::to_string(i % 5));
+  JobStats stats;
+  WordCount(docs, {}, &stats);
+  uint64_t total = 0;
+  for (const auto& g : stats.group_loads) total += g.records;
+  EXPECT_EQ(total, stats.map_output_records);
+  EXPECT_EQ(stats.group_loads.size(), stats.num_groups);
+}
+
+TEST(MapReduceTest, GroupLoadCollectionCanBeDisabled) {
+  MapReduceOptions options;
+  options.collect_group_loads = false;
+  JobStats stats;
+  WordCount({"a b"}, options, &stats);
+  EXPECT_TRUE(stats.group_loads.empty());
+  EXPECT_EQ(stats.num_groups, 2u);
+}
+
+TEST(MapReduceTest, ReducerSeesAllValuesForItsKey) {
+  // A skewed key: one group receives 1000 values; they must all arrive at
+  // a single reduce invocation.
+  std::vector<int> inputs(1000, 7);
+  auto result = RunMapReduce<int, int, int, std::pair<int, size_t>>(
+      "skew", inputs,
+      [](const int& v, Emitter<int, int>* out) { out->Emit(1, v); },
+      [](const int& key, std::vector<int>* values,
+         std::vector<std::pair<int, size_t>>* out) {
+        out->emplace_back(key, values->size());
+      },
+      {});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].second, 1000u);
+}
+
+TEST(MapReduceTest, MapCanEmitNothing) {
+  auto result = RunMapReduce<int, int, int, int>(
+      "empty-map", {1, 2, 3},
+      [](const int&, Emitter<int, int>*) {},
+      [](const int&, std::vector<int>*, std::vector<int>*) {}, {});
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(MapReduceTest, PairKeysWork) {
+  using Key = std::pair<uint32_t, uint32_t>;
+  std::vector<int> inputs = {1, 2, 3, 4, 5, 6};
+  auto result = RunMapReduce<int, Key, int, std::pair<Key, int>>(
+      "pair-keys", inputs,
+      [](const int& v, Emitter<Key, int>* out) {
+        out->Emit({static_cast<uint32_t>(v % 2), static_cast<uint32_t>(v % 3)},
+                  v);
+      },
+      [](const Key& key, std::vector<int>* values,
+         std::vector<std::pair<Key, int>>* out) {
+        int total = 0;
+        for (int v : *values) total += v;
+        out->emplace_back(key, total);
+      },
+      {});
+  std::map<Key, int> by_key(result.begin(), result.end());
+  EXPECT_EQ(by_key[Key(0u, 0u)], 6);  // v = 6
+  EXPECT_EQ(by_key[Key(1u, 1u)], 1);  // v = 1
+  EXPECT_EQ(by_key[Key(0u, 1u)], 4);  // v = 4
+  EXPECT_EQ(by_key.size(), 6u);
+}
+
+TEST(MapReduceTest, WallTimesAreRecorded) {
+  JobStats stats;
+  WordCount({"a b c d e f g"}, {}, &stats);
+  EXPECT_GE(stats.map_wall_seconds, 0.0);
+  EXPECT_GE(stats.shuffle_wall_seconds, 0.0);
+  EXPECT_GE(stats.reduce_wall_seconds, 0.0);
+  EXPECT_GE(stats.total_wall_seconds(), 0.0);
+}
+
+TEST(MapReduceTest, ReduceWorkUnitsRecordedPerGroup) {
+  // Each reduce group reports 10 * values units; the engine must attribute
+  // them to the right GroupLoad.
+  std::vector<int> inputs = {1, 2, 3, 4, 5, 6};
+  JobStats stats;
+  RunMapReduce<int, int, int, int>(
+      "units", inputs,
+      [](const int& v, Emitter<int, int>* out) { out->Emit(v % 2, v); },
+      [](const int&, std::vector<int>* values, std::vector<int>*) {
+        AddWorkUnits(10 * values->size());
+      },
+      {}, &stats);
+  ASSERT_EQ(stats.group_loads.size(), 2u);
+  for (const auto& group : stats.group_loads) {
+    EXPECT_EQ(group.work_units, 10 * group.records);
+  }
+}
+
+TEST(MapReduceTest, MapWorkUnitsAccumulateAcrossTasks) {
+  std::vector<int> inputs(100, 1);
+  JobStats stats;
+  RunMapReduce<int, int, int, int>(
+      "map-units", inputs,
+      [](const int&, Emitter<int, int>* out) {
+        AddWorkUnits(7);
+        out->Emit(0, 1);
+      },
+      [](const int&, std::vector<int>*, std::vector<int>*) {}, {}, &stats);
+  EXPECT_EQ(stats.map_work_units, 700u);
+}
+
+TEST(MapReduceTest, UnreportedUnitsStayZero) {
+  JobStats stats;
+  WordCount({"a b"}, {}, &stats);
+  EXPECT_EQ(stats.map_work_units, 0u);
+  for (const auto& group : stats.group_loads) {
+    EXPECT_EQ(group.work_units, 0u);
+  }
+}
+
+TEST(MapReduceTest, CombinerPreAggregatesWithoutChangingResult) {
+  std::vector<std::string> docs(50, "w w w");
+  MapReduceOptions options;
+  options.num_workers = 2;  // few tasks so per-task combining is visible
+
+  // Reference without combiner.
+  JobStats plain_stats;
+  auto count = [](const std::string& doc, Emitter<std::string, int>* out) {
+    std::string word;
+    for (char c : doc) {
+      if (c == ' ') {
+        if (!word.empty()) out->Emit(word, 1);
+        word.clear();
+      } else {
+        word.push_back(c);
+      }
+    }
+    if (!word.empty()) out->Emit(word, 1);
+  };
+  auto sum = [](const std::string& word, std::vector<int>* values,
+                std::vector<std::pair<std::string, int>>* out) {
+    int total = 0;
+    for (int v : *values) total += v;
+    out->emplace_back(word, total);
+  };
+  auto plain =
+      RunMapReduce<std::string, std::string, int,
+                   std::pair<std::string, int>>("plain", docs, count, sum,
+                                                options, &plain_stats);
+
+  JobStats combined_stats;
+  CombinerFn<std::string, int> combiner = [](const std::string&,
+                                             std::vector<int>* values) {
+    int total = 0;
+    for (int v : *values) total += v;
+    values->assign(1, total);
+  };
+  auto combined =
+      RunMapReduce<std::string, std::string, int,
+                   std::pair<std::string, int>>("combined", docs, count, sum,
+                                                options, &combined_stats,
+                                                combiner);
+
+  std::sort(plain.begin(), plain.end());
+  std::sort(combined.begin(), combined.end());
+  EXPECT_EQ(plain, combined);
+  EXPECT_EQ(plain[0], (std::pair<std::string, int>{"w", 150}));
+  // The combiner shrank the shuffle: one record per (task, key) instead of
+  // one per occurrence.
+  EXPECT_LT(combined_stats.map_output_records,
+            plain_stats.map_output_records);
+}
+
+TEST(MapReduceTest, SinglePartitionStillGroupsCorrectly) {
+  MapReduceOptions options;
+  options.num_partitions = 1;
+  const auto counts = WordCount({"x y x", "y"}, options);
+  const std::vector<std::pair<std::string, int>> expected = {{"x", 2},
+                                                             {"y", 2}};
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(MapReduceTest, ManyMorePartitionsThanKeys) {
+  MapReduceOptions options;
+  options.num_partitions = 1000;
+  const auto counts = WordCount({"a b", "b"}, options);
+  const std::vector<std::pair<std::string, int>> expected = {{"a", 1},
+                                                             {"b", 2}};
+  EXPECT_EQ(counts, expected);
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,114 @@
+#include "massjoin/mass_join.h"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/levenshtein.h"
+#include "distance/normalized_levenshtein.h"
+#include "gtest/gtest.h"
+#include "passjoin/pass_join.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet ToSet(const std::vector<NldPair>& pairs) {
+  PairSet s;
+  for (const auto& p : pairs) s.emplace(p.a, p.b);
+  return s;
+}
+
+std::vector<std::string> MakeTokens(Rng* rng, size_t n) {
+  std::set<std::string> distinct;  // token spaces are distinct by nature
+  while (distinct.size() < n) {
+    distinct.insert(testutil::RandomString(rng, 2, 9, 3));
+  }
+  return std::vector<std::string>(distinct.begin(), distinct.end());
+}
+
+class MassJoinTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MassJoinTest, MatchesSerialPassJoin) {
+  const double t = GetParam();
+  Rng rng(3000 + static_cast<uint64_t>(t * 1000));
+  for (int round = 0; round < 5; ++round) {
+    const auto tokens = MakeTokens(&rng, 80);
+    const auto serial = PassJoinSelfNld(tokens, t);
+    const auto distributed = MassJoinSelfNld(tokens, t);
+    EXPECT_EQ(ToSet(distributed), ToSet(serial)) << "T=" << t;
+  }
+}
+
+TEST_P(MassJoinTest, MatchesBruteForce) {
+  const double t = GetParam();
+  Rng rng(4000 + static_cast<uint64_t>(t * 1000));
+  const auto tokens = MakeTokens(&rng, 60);
+  PairSet expected;
+  for (uint32_t i = 0; i < tokens.size(); ++i) {
+    for (uint32_t j = i + 1; j < tokens.size(); ++j) {
+      if (NormalizedLevenshtein(tokens[i], tokens[j]) <= t + 1e-12) {
+        expected.emplace(i, j);
+      }
+    }
+  }
+  EXPECT_EQ(ToSet(MassJoinSelfNld(tokens, t)), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, MassJoinTest,
+                         ::testing::Values(0.05, 0.1, 0.15, 0.225, 0.3));
+
+TEST(MassJoinTest, EmptyInput) {
+  EXPECT_TRUE(MassJoinSelfNld({}, 0.1).empty());
+}
+
+TEST(MassJoinTest, ReportsPerJobStats) {
+  Rng rng(5000);
+  const auto tokens = MakeTokens(&rng, 50);
+  PipelineStats stats;
+  MassJoinSelfNld(tokens, 0.2, {}, &stats);
+  ASSERT_EQ(stats.jobs.size(), 2u);
+  EXPECT_EQ(stats.jobs[0].name, "massjoin-generate");
+  EXPECT_EQ(stats.jobs[1].name, "massjoin-verify");
+  EXPECT_EQ(stats.jobs[0].input_records, tokens.size());
+  EXPECT_GT(stats.jobs[0].map_output_records, 0u);
+}
+
+TEST(MassJoinTest, ResultIndependentOfWorkerCount) {
+  Rng rng(6000);
+  const auto tokens = MakeTokens(&rng, 70);
+  MassJoinOptions one_worker, many_workers;
+  one_worker.mapreduce.num_workers = 1;
+  many_workers.mapreduce.num_workers = 8;
+  many_workers.mapreduce.num_partitions = 7;
+  EXPECT_EQ(ToSet(MassJoinSelfNld(tokens, 0.15, one_worker)),
+            ToSet(MassJoinSelfNld(tokens, 0.15, many_workers)));
+}
+
+TEST(MassJoinTest, NoDuplicateOrSelfPairs) {
+  Rng rng(7000);
+  const auto tokens = MakeTokens(&rng, 90);
+  const auto pairs = MassJoinSelfNld(tokens, 0.25);
+  PairSet seen;
+  for (const auto& p : pairs) {
+    EXPECT_LT(p.a, p.b);
+    EXPECT_TRUE(seen.emplace(p.a, p.b).second) << "duplicate pair";
+  }
+}
+
+TEST(MassJoinTest, ReportedDistancesAreExact) {
+  Rng rng(8000);
+  const auto tokens = MakeTokens(&rng, 60);
+  for (const auto& p : MassJoinSelfNld(tokens, 0.3)) {
+    EXPECT_EQ(p.ld, Levenshtein(tokens[p.a], tokens[p.b]));
+    EXPECT_DOUBLE_EQ(p.nld, NldFromLd(p.ld, tokens[p.a].size(),
+                                      tokens[p.b].size()));
+  }
+}
+
+}  // namespace
+}  // namespace tsj

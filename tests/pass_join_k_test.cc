@@ -1,0 +1,98 @@
+#include "passjoin/pass_join_k.h"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/levenshtein.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet ToSet(const std::vector<std::pair<uint32_t, uint32_t>>& pairs) {
+  return PairSet(pairs.begin(), pairs.end());
+}
+
+std::vector<std::string> MakeCorpus(Rng* rng, size_t n) {
+  std::vector<std::string> strings;
+  while (strings.size() < n) {
+    std::string base = testutil::RandomString(rng, 4, 12, 3);
+    strings.push_back(base);
+    if (rng->Bernoulli(0.5) && strings.size() < n) {
+      std::string variant = base;
+      const int edits = 1 + static_cast<int>(rng->Uniform(3));
+      for (int e = 0; e < edits; ++e) {
+        variant = testutil::RandomEdit(rng, variant, 3);
+      }
+      strings.push_back(variant);
+    }
+  }
+  return strings;
+}
+
+struct Params {
+  uint32_t tau;
+  uint32_t k;
+};
+
+class PassJoinKTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(PassJoinKTest, MatchesBruteForce) {
+  const auto [tau, k] = GetParam();
+  Rng rng(7000 + tau * 10 + k);
+  for (int round = 0; round < 8; ++round) {
+    const auto strings = MakeCorpus(&rng, 60);
+    const auto expected = testutil::BruteForcePairs(
+        strings.size(), [&](uint32_t i, uint32_t j) {
+          return Levenshtein(strings[i], strings[j]) <= tau;
+        });
+    const auto actual = PassJoinKSelfLd(strings, tau, k);
+    EXPECT_EQ(ToSet(actual), ToSet(expected)) << "tau=" << tau << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PassJoinKTest,
+    ::testing::Values(Params{1, 1}, Params{1, 2}, Params{2, 1}, Params{2, 2},
+                      Params{2, 3}, Params{3, 2}, Params{3, 3}));
+
+TEST(PassJoinKTest, LargerKPrunesMoreCandidates) {
+  // The K-signature trade-off: more signatures, fewer verified candidates.
+  // Only pays off when segments stay selective, i.e. on long-enough
+  // strings (tau + k segments of >= 3 characters each).
+  Rng rng(7777);
+  std::vector<std::string> strings;
+  while (strings.size() < 250) {
+    std::string base = testutil::RandomString(&rng, 15, 25, 4);
+    strings.push_back(base);
+    if (rng.Bernoulli(0.5) && strings.size() < 250) {
+      std::string variant = testutil::RandomEdit(&rng, base, 4);
+      strings.push_back(testutil::RandomEdit(&rng, variant, 4));
+    }
+  }
+  PassJoinStats k1, k3;
+  PassJoinKSelfLd(strings, 2, 1, &k1);
+  PassJoinKSelfLd(strings, 2, 3, &k3);
+  EXPECT_EQ(k1.result_pairs, k3.result_pairs);  // same join result
+  EXPECT_LE(k3.candidate_pairs, k1.candidate_pairs);
+  EXPECT_GT(k3.index.index_entries, k1.index.index_entries);
+}
+
+TEST(PassJoinKTest, EmptyInputAndNoDuplicates) {
+  EXPECT_TRUE(PassJoinKSelfLd({}, 2, 2).empty());
+  Rng rng(7778);
+  const auto strings = MakeCorpus(&rng, 80);
+  const auto pairs = PassJoinKSelfLd(strings, 2, 2);
+  const PairSet unique = ToSet(pairs);
+  EXPECT_EQ(unique.size(), pairs.size());
+  for (const auto& [a, b] : unique) EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace tsj

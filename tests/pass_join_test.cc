@@ -1,0 +1,175 @@
+#include "passjoin/pass_join.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/levenshtein.h"
+#include "distance/normalized_levenshtein.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet ToSet(const std::vector<std::pair<uint32_t, uint32_t>>& pairs) {
+  return PairSet(pairs.begin(), pairs.end());
+}
+
+PairSet ToSet(const std::vector<NldPair>& pairs) {
+  PairSet s;
+  for (const auto& p : pairs) s.emplace(p.a, p.b);
+  return s;
+}
+
+// Generates a corpus with planted near-duplicates so joins are non-trivial.
+std::vector<std::string> MakeCorpus(Rng* rng, size_t n, int max_edits) {
+  std::vector<std::string> strings;
+  strings.reserve(n);
+  while (strings.size() < n) {
+    std::string base = testutil::RandomString(rng, 2, 10, 3);
+    strings.push_back(base);
+    const size_t copies = rng->Uniform(3);
+    for (size_t c = 0; c < copies && strings.size() < n; ++c) {
+      std::string variant = base;
+      const int edits = 1 + static_cast<int>(rng->Uniform(max_edits));
+      for (int e = 0; e < edits; ++e) {
+        variant = testutil::RandomEdit(rng, variant, 3);
+      }
+      strings.push_back(variant);
+    }
+  }
+  return strings;
+}
+
+class PassJoinLdTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PassJoinLdTest, MatchesBruteForce) {
+  const uint32_t tau = GetParam();
+  Rng rng(555 + tau);
+  for (int round = 0; round < 10; ++round) {
+    const auto strings = MakeCorpus(&rng, 60, 3);
+    const auto expected = testutil::BruteForcePairs(
+        strings.size(), [&](uint32_t i, uint32_t j) {
+          return Levenshtein(strings[i], strings[j]) <= tau;
+        });
+    PassJoinStats stats;
+    const auto actual = PassJoinSelfLd(strings, tau, &stats);
+    EXPECT_EQ(ToSet(actual), ToSet(expected)) << "tau=" << tau;
+    EXPECT_EQ(stats.result_pairs, actual.size());
+    // The filter must not have examined every possible pair (that is the
+    // whole point) unless tau is so large everything matches.
+    if (tau <= 1) {
+      EXPECT_LT(stats.candidate_pairs,
+                strings.size() * (strings.size() - 1) / 2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, PassJoinLdTest,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST(PassJoinLdTest, NoDuplicatePairs) {
+  Rng rng(808);
+  const auto strings = MakeCorpus(&rng, 80, 2);
+  const auto pairs = PassJoinSelfLd(strings, 2);
+  const PairSet unique = ToSet(pairs);
+  EXPECT_EQ(unique.size(), pairs.size());
+  for (const auto& [a, b] : unique) EXPECT_LT(a, b);
+}
+
+TEST(PassJoinLdTest, EmptyInput) {
+  EXPECT_TRUE(PassJoinSelfLd({}, 2).empty());
+}
+
+TEST(PassJoinLdTest, DuplicateStringsAllPair) {
+  const std::vector<std::string> strings = {"abc", "abc", "abc"};
+  const auto pairs = PassJoinSelfLd(strings, 0);
+  EXPECT_EQ(pairs.size(), 3u);  // all three unordered pairs
+}
+
+class PassJoinNldTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PassJoinNldTest, MatchesBruteForce) {
+  const double t = GetParam();
+  Rng rng(1234 + static_cast<uint64_t>(t * 1000));
+  for (int round = 0; round < 8; ++round) {
+    const auto strings = MakeCorpus(&rng, 50, 2);
+    const auto expected = testutil::BruteForcePairs(
+        strings.size(), [&](uint32_t i, uint32_t j) {
+          return NormalizedLevenshtein(strings[i], strings[j]) <= t + 1e-12;
+        });
+    PassJoinStats stats;
+    const auto actual = PassJoinSelfNld(strings, t, &stats);
+    EXPECT_EQ(ToSet(actual), ToSet(expected)) << "T=" << t;
+    // Reported per-pair metadata is accurate.
+    for (const auto& p : actual) {
+      EXPECT_EQ(p.ld, Levenshtein(strings[p.a], strings[p.b]));
+      EXPECT_LE(p.nld, t + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PassJoinNldTest,
+                         ::testing::Values(0.025, 0.1, 0.15, 0.225, 0.35));
+
+TEST(PassJoinNldTest, SelfJoinExcludesSelfPairs) {
+  const std::vector<std::string> strings = {"aaa", "aaa", "bbb"};
+  const auto pairs = PassJoinSelfNld(strings, 0.2);
+  for (const auto& p : pairs) EXPECT_NE(p.a, p.b);
+  // The two identical strings form exactly one pair.
+  EXPECT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+}
+
+TEST(PassJoinNldTest, RPJoinMatchesBruteForce) {
+  Rng rng(4242);
+  const double t = 0.2;
+  for (int round = 0; round < 8; ++round) {
+    const auto r = MakeCorpus(&rng, 30, 2);
+    const auto p = MakeCorpus(&rng, 35, 2);
+    std::set<std::pair<uint32_t, uint32_t>> expected;
+    for (uint32_t i = 0; i < r.size(); ++i) {
+      for (uint32_t j = 0; j < p.size(); ++j) {
+        if (NormalizedLevenshtein(r[i], p[j]) <= t + 1e-12) {
+          expected.emplace(i, j);
+        }
+      }
+    }
+    const auto actual = PassJoinNldRP(r, p, t);
+    std::set<std::pair<uint32_t, uint32_t>> actual_set;
+    for (const auto& pair : actual) actual_set.emplace(pair.a, pair.b);
+    EXPECT_EQ(actual_set, expected);
+    EXPECT_EQ(actual_set.size(), actual.size()) << "duplicates emitted";
+  }
+}
+
+TEST(PassJoinNldTest, ZeroThresholdIsExactDuplicateDetection) {
+  const std::vector<std::string> strings = {"anna", "anna", "bob", "bob",
+                                            "carol"};
+  const auto pairs = PassJoinSelfNld(strings, 0.0);
+  EXPECT_EQ(pairs.size(), 2u);
+  for (const auto& p : pairs) {
+    EXPECT_EQ(strings[p.a], strings[p.b]);
+    EXPECT_EQ(p.ld, 0u);
+  }
+}
+
+TEST(PassJoinNldTest, StatsAreConsistent) {
+  Rng rng(999);
+  const auto strings = MakeCorpus(&rng, 70, 2);
+  PassJoinStats stats;
+  const auto pairs = PassJoinSelfNld(strings, 0.15, &stats);
+  EXPECT_EQ(stats.result_pairs, pairs.size());
+  EXPECT_GE(stats.candidate_pairs, stats.result_pairs);
+  EXPECT_GT(stats.index.index_entries, 0u);
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,131 @@
+#include "setjoin/prefix_filter_join.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet ToSet(const std::vector<SetJoinPair>& pairs) {
+  PairSet s;
+  for (const auto& p : pairs) s.emplace(p.a, p.b);
+  return s;
+}
+
+double Jaccard(std::vector<uint32_t> x, std::vector<uint32_t> y) {
+  std::sort(x.begin(), x.end());
+  x.erase(std::unique(x.begin(), x.end()), x.end());
+  std::sort(y.begin(), y.end());
+  y.erase(std::unique(y.begin(), y.end()), y.end());
+  std::vector<uint32_t> common;
+  std::set_intersection(x.begin(), x.end(), y.begin(), y.end(),
+                        std::back_inserter(common));
+  const size_t uni = x.size() + y.size() - common.size();
+  if (uni == 0) return 1.0;
+  return static_cast<double>(common.size()) / static_cast<double>(uni);
+}
+
+std::vector<std::vector<uint32_t>> RandomSets(Rng* rng, size_t n,
+                                              uint32_t universe) {
+  std::vector<std::vector<uint32_t>> sets(n);
+  for (auto& set : sets) {
+    const size_t size = 1 + rng->Uniform(5);
+    for (size_t i = 0; i < size; ++i) {
+      set.push_back(static_cast<uint32_t>(rng->Uniform(universe)));
+    }
+  }
+  return sets;
+}
+
+TEST(PrefixFilterJoinTest, KnownSmallCase) {
+  const std::vector<std::vector<uint32_t>> sets = {
+      {1, 2, 3},  // 0
+      {1, 2, 4},  // 1: Jaccard(0,1) = 2/4 = 0.5
+      {9, 8},     // 2: disjoint from the others
+      {1, 2, 3},  // 3: identical to 0
+  };
+  const auto pairs = PrefixFilterJaccardSelfJoin(sets, 0.5);
+  EXPECT_EQ(ToSet(pairs), (PairSet{{0u, 1u}, {0u, 3u}, {1u, 3u}}));
+}
+
+class PrefixFilterJoinParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrefixFilterJoinParamTest, MatchesBruteForce) {
+  const double t = GetParam();
+  Rng rng(600 + static_cast<uint64_t>(t * 100));
+  for (int round = 0; round < 10; ++round) {
+    const auto sets = RandomSets(&rng, 80, 25);
+    PairSet expected;
+    for (uint32_t i = 0; i < sets.size(); ++i) {
+      for (uint32_t j = i + 1; j < sets.size(); ++j) {
+        if (Jaccard(sets[i], sets[j]) >= t - 1e-12) expected.emplace(i, j);
+      }
+    }
+    SetJoinStats stats;
+    const auto pairs = PrefixFilterJaccardSelfJoin(sets, t, &stats);
+    EXPECT_EQ(ToSet(pairs), expected) << "t=" << t;
+    EXPECT_EQ(stats.result_pairs, pairs.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PrefixFilterJoinParamTest,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9, 1.0));
+
+TEST(PrefixFilterJoinTest, PrefixFilterActuallyPrunes) {
+  Rng rng(601);
+  const auto sets = RandomSets(&rng, 300, 400);  // large universe: selective
+  SetJoinStats stats;
+  PrefixFilterJaccardSelfJoin(sets, 0.7, &stats);
+  EXPECT_LT(stats.candidate_pairs, sets.size() * (sets.size() - 1) / 2 / 4);
+}
+
+TEST(PrefixFilterJoinTest, ReportedJaccardIsExact) {
+  Rng rng(602);
+  const auto sets = RandomSets(&rng, 60, 15);
+  for (const auto& pair : PrefixFilterJaccardSelfJoin(sets, 0.4)) {
+    EXPECT_NEAR(pair.jaccard, Jaccard(sets[pair.a], sets[pair.b]), 1e-12);
+  }
+}
+
+TEST(PrefixFilterJoinTest, HandlesShufflesButNotEdits) {
+  // The paper's Sec. IV criticism, demonstrated: token order never matters
+  // (sets), but editing one token drops the pair below the threshold.
+  const std::vector<std::vector<uint32_t>> sets = {
+      {10, 20, 30},  // 0
+      {30, 10, 20},  // 1: shuffle of 0 -> identical set
+      {10, 20, 99},  // 2: one token "edited" (different id) -> J = 0.5
+  };
+  const auto pairs = PrefixFilterJaccardSelfJoin(sets, 0.9);
+  EXPECT_EQ(ToSet(pairs), (PairSet{{0u, 1u}}));
+}
+
+TEST(PrefixFilterJoinTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(PrefixFilterJaccardSelfJoin({}, 0.5).empty());
+  const std::vector<std::vector<uint32_t>> only_empty = {{}, {}};
+  EXPECT_TRUE(PrefixFilterJaccardSelfJoin(only_empty, 0.5).empty());
+}
+
+TEST(PrefixFilterJoinTest, DuplicateTokensCollapse) {
+  // Multiset input {1,1,2} is treated as the set {1,2}.
+  const std::vector<std::vector<uint32_t>> sets = {{1, 1, 2}, {2, 1}};
+  const auto pairs = PrefixFilterJaccardSelfJoin(sets, 1.0);
+  EXPECT_EQ(ToSet(pairs), (PairSet{{0u, 1u}}));
+  EXPECT_DOUBLE_EQ(pairs[0].jaccard, 1.0);
+}
+
+TEST(PrefixFilterJoinTest, ThresholdOneIsExactSetEquality) {
+  Rng rng(603);
+  const auto sets = RandomSets(&rng, 100, 8);
+  for (const auto& pair : PrefixFilterJaccardSelfJoin(sets, 1.0)) {
+    EXPECT_DOUBLE_EQ(Jaccard(sets[pair.a], sets[pair.b]), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,121 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(6);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 7000; ++i) ++counts[rng.Uniform(7)];
+  EXPECT_EQ(counts.size(), 7u);
+  for (const auto& [v, c] : counts) EXPECT_GT(c, 500) << v;
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {1.0, 3.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfSamplerTest, SkewZeroIsUniform) {
+  Rng rng(13);
+  ZipfSampler zipf(5, 0.0);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 25000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c / 25000.0, 0.2, 0.02);
+}
+
+TEST(ZipfSamplerTest, HigherRanksAreLessPopular) {
+  Rng rng(14);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  Rng rng(15);
+  ZipfSampler zipf(7, 1.5);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,104 @@
+#include "eval/roc.h"
+
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+TEST(RocTest, PerfectSeparation) {
+  // Positives all score higher than negatives: AUC = 1.
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> labels = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(ComputeAuc(scores, labels), 1.0);
+}
+
+TEST(RocTest, PerfectInversion) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> labels = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(ComputeAuc(scores, labels), 0.0);
+}
+
+TEST(RocTest, AllTiedScoresGiveHalf) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<bool> labels = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(ComputeAuc(scores, labels), 0.5);
+}
+
+TEST(RocTest, RandomScoresGiveRoughlyHalf) {
+  Rng rng(13);
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.NextDouble());
+    labels.push_back(rng.Bernoulli(0.5));
+  }
+  EXPECT_NEAR(ComputeAuc(scores, labels), 0.5, 0.03);
+}
+
+TEST(RocTest, CurveIsMonotone) {
+  Rng rng(14);
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  for (int i = 0; i < 500; ++i) {
+    const bool positive = rng.Bernoulli(0.5);
+    scores.push_back(rng.NextDouble() + (positive ? 0.3 : 0.0));
+    labels.push_back(positive);
+  }
+  const auto curve = ComputeRocCurve(scores, labels);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(RocTest, AucMatchesPairwiseProbability) {
+  // AUC == P(random positive outscores random negative), ties half.
+  Rng rng(15);
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  for (int i = 0; i < 300; ++i) {
+    const bool positive = rng.Bernoulli(0.4);
+    scores.push_back(static_cast<double>(rng.Uniform(20)));  // many ties
+    labels.push_back(positive);
+  }
+  double wins = 0, comparisons = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!labels[i]) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j]) continue;
+      comparisons += 1;
+      if (scores[i] > scores[j]) {
+        wins += 1;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(ComputeAuc(scores, labels), wins / comparisons, 1e-9);
+}
+
+TEST(RocTest, TprAtFprPicksOperatingPoint) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6, 0.5};
+  const std::vector<bool> labels = {true, true, false, true, false};
+  const auto curve = ComputeRocCurve(scores, labels);
+  // At FPR 0 (threshold above 0.7) we catch 2 of 3 positives.
+  EXPECT_NEAR(TprAtFpr(curve, 0.0), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(TprAtFpr(curve, 1.0), 1.0);
+}
+
+TEST(RocTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({}, {}), 0.5);
+}
+
+TEST(RocTest, SingleClassInput) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1, 0.9}, {true, true}), 0.5);
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,90 @@
+#include "passjoin/segment_index.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/normalized_levenshtein.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+TEST(NldSegmentIndexTest, FindsExactDuplicates) {
+  NldSegmentIndex index(0.1);
+  index.Insert(0, "barak");
+  index.Insert(1, "obama");
+  std::vector<uint32_t> candidates;
+  index.Probe("barak", /*include_equal_length=*/true, &candidates);
+  EXPECT_EQ(candidates, (std::vector<uint32_t>{0}));
+}
+
+TEST(NldSegmentIndexTest, EqualLengthExclusionFlag) {
+  NldSegmentIndex index(0.2);
+  index.Insert(0, "barak");
+  std::vector<uint32_t> candidates;
+  index.Probe("barak", /*include_equal_length=*/false, &candidates);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(NldSegmentIndexTest, CandidatesAreDeduplicated) {
+  // A probe sharing several segments with the same indexed token must
+  // return it once.
+  NldSegmentIndex index(0.3);
+  index.Insert(0, "abcabcabc");
+  std::vector<uint32_t> candidates;
+  index.Probe("abcabcabc", /*include_equal_length=*/true, &candidates);
+  EXPECT_EQ(candidates, (std::vector<uint32_t>{0}));
+}
+
+TEST(NldSegmentIndexTest, CompletenessOnRandomTokens) {
+  // Soundness of the whole signature scheme: every NLD-similar pair with
+  // the indexed side shorter-or-equal must surface as a candidate.
+  const double thresholds[] = {0.1, 0.2, 0.3};
+  for (double t : thresholds) {
+    Rng rng(5100 + static_cast<uint64_t>(t * 100));
+    std::vector<std::string> tokens;
+    for (int i = 0; i < 120; ++i) {
+      tokens.push_back(testutil::RandomString(&rng, 2, 9, 3));
+    }
+    NldSegmentIndex index(t);
+    for (uint32_t i = 0; i < tokens.size(); ++i) index.Insert(i, tokens[i]);
+    for (const auto& probe_base : tokens) {
+      // Probe with light edits of corpus tokens to hit near-misses.
+      const std::string probe = testutil::RandomEdit(&rng, probe_base, 3);
+      std::vector<uint32_t> candidates;
+      index.Probe(probe, /*include_equal_length=*/true, &candidates);
+      for (uint32_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].size() > probe.size()) continue;  // indexed = shorter
+        if (NormalizedLevenshtein(tokens[i], probe) <= t + 1e-12) {
+          EXPECT_TRUE(std::binary_search(candidates.begin(),
+                                         candidates.end(), i))
+              << "probe=" << probe << " token=" << tokens[i] << " T=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(NldSegmentIndexTest, StatsAccumulate) {
+  NldSegmentIndex index(0.2);
+  index.Insert(0, "barak");
+  index.Insert(1, "obama");
+  EXPECT_GT(index.stats().index_entries, 0u);
+  std::vector<uint32_t> candidates;
+  index.Probe("barack", true, &candidates);
+  EXPECT_GT(index.stats().probe_lookups, 0u);
+}
+
+TEST(NldSegmentIndexTest, EmptyStringHandling) {
+  NldSegmentIndex index(0.3);
+  index.Insert(0, "");
+  std::vector<uint32_t> candidates;
+  index.Probe("", /*include_equal_length=*/true, &candidates);
+  EXPECT_EQ(candidates, (std::vector<uint32_t>{0}));
+}
+
+}  // namespace
+}  // namespace tsj

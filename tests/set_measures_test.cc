@@ -1,0 +1,96 @@
+#include "distance/set_measures.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"c", "d"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(JaccardTest, MultisetSemantics) {
+  // {a, a} vs {a}: intersection min(2,1)=1, union max(2,1)=2.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a"}, {"a"}), 0.5);
+}
+
+TEST(JaccardTest, RigidUnderTokenEdits) {
+  // The paper's core criticism (Sec. II-D): one character edit removes the
+  // token from the intersection entirely.
+  const double exact = JaccardSimilarity({"barak", "obama"},
+                                         {"barak", "obama"});
+  const double edited = JaccardSimilarity({"barak", "obama"},
+                                          {"barak", "obamma"});
+  EXPECT_DOUBLE_EQ(exact, 1.0);
+  EXPECT_DOUBLE_EQ(edited, 1.0 / 3.0);  // common {barak}, union 3 tokens
+}
+
+TEST(DiceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a", "b"}, {"b", "c"}), 0.5);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(CosineTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({"a"}, {"b"}), 0.0);
+  // {a,b} vs {b,c}: dot = 1, norms = sqrt(2) each -> 0.5.
+  EXPECT_DOUBLE_EQ(CosineSimilarity({"a", "b"}, {"b", "c"}), 0.5);
+}
+
+TEST(RuzickaTest, MatchesMultisetJaccard) {
+  Rng rng(71);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 0, 4, 1, 3, 3);
+    const auto y = testutil::RandomTokenizedString(&rng, 0, 4, 1, 3, 3);
+    EXPECT_DOUBLE_EQ(RuzickaSimilarity(x, y), JaccardSimilarity(x, y));
+  }
+}
+
+TEST(SetMeasuresTest, AllMeasuresSymmetricAndBounded) {
+  Rng rng(72);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 0, 4, 1, 3, 3);
+    const auto y = testutil::RandomTokenizedString(&rng, 0, 4, 1, 3, 3);
+    for (auto measure : {JaccardSimilarity, DiceSimilarity, CosineSimilarity}) {
+      const double xy = measure(x, y);
+      EXPECT_DOUBLE_EQ(xy, measure(y, x));
+      EXPECT_GE(xy, 0.0);
+      EXPECT_LE(xy, 1.0 + 1e-12);
+      EXPECT_DOUBLE_EQ(measure(x, x), 1.0);
+    }
+  }
+}
+
+TEST(SetMeasuresTest, OrderInvariance) {
+  const Tokens a = {"x", "y", "z"};
+  const Tokens b = {"z", "x", "y"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 1.0);
+}
+
+TEST(SetMeasuresTest, DiceAtLeastJaccard) {
+  // Dice >= Jaccard always (2i/(s1+s2) >= i/u since s1+s2 <= 2u... holds
+  // for multisets with i + u = s1 + s2).
+  Rng rng(73);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 1, 4, 1, 3, 3);
+    const auto y = testutil::RandomTokenizedString(&rng, 1, 4, 1, 3, 3);
+    EXPECT_GE(DiceSimilarity(x, y), JaccardSimilarity(x, y) - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,198 @@
+#include "tokenized/sld.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/levenshtein.h"
+#include "distance/normalized_levenshtein.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tokenized/tokenized_string.h"
+
+namespace tsj {
+namespace {
+
+TEST(SldTest, PaperSecIIDExamples) {
+  // x = {chan, kalan}, y = {chank, alan}, z = {alan}:
+  // SLD(x,y) = 2 (chan->chank, kalan->alan), SLD(x,z) = 5.
+  const TokenizedString x = {"chan", "kalan"};
+  const TokenizedString y = {"chank", "alan"};
+  const TokenizedString z = {"alan"};
+  EXPECT_EQ(Sld(x, y), 2);
+  EXPECT_EQ(Sld(x, z), 5);
+  // NSLD(x,y) = 2*2/(9+9+2) = 0.2.
+  EXPECT_DOUBLE_EQ(Nsld(x, y), 0.2);
+}
+
+TEST(SldTest, IdenticalMultisetsHaveZeroDistance) {
+  const TokenizedString x = {"barak", "obama"};
+  EXPECT_EQ(Sld(x, x), 0);
+  EXPECT_DOUBLE_EQ(Nsld(x, x), 0.0);
+}
+
+TEST(SldTest, TokenOrderDoesNotMatter) {
+  // NSLD is setwise: shuffling tokens leaves the distance unchanged —
+  // exactly the property FMS lacks (Sec. IV).
+  const TokenizedString a = {"barak", "obama"};
+  const TokenizedString b = {"obama", "barak"};
+  EXPECT_EQ(Sld(a, b), 0);
+  const TokenizedString c = {"obamma", "boraak", "h"};
+  EXPECT_EQ(Sld(a, c), Sld(b, c));
+}
+
+TEST(SldTest, EmptyVersusNonEmpty) {
+  // Lemma 5's extreme: SLD({}, y) = L(y), NSLD = 1.
+  const TokenizedString empty;
+  const TokenizedString y = {"abc", "de"};
+  EXPECT_EQ(Sld(empty, y), 5);
+  EXPECT_DOUBLE_EQ(Nsld(empty, y), 1.0);
+  EXPECT_EQ(Sld(empty, empty), 0);
+  EXPECT_DOUBLE_EQ(Nsld(empty, empty), 0.0);
+}
+
+TEST(SldTest, DifferentCardinalitiesPadWithEmptyTokens) {
+  // {ab} vs {ab, cd}: matching ab<->ab costs 0, cd pairs with an empty
+  // token costing |cd| = 2.
+  EXPECT_EQ(Sld({"ab"}, {"ab", "cd"}), 2);
+  // {abc} vs {a, b, c}: best is abc<->a (2 edits) + |b| + |c| = 4, or
+  // abc<->b etc. — all cost 4.
+  EXPECT_EQ(Sld({"abc"}, {"a", "b", "c"}), 4);
+}
+
+TEST(SldTest, MetricAxiomsOnRandomSamples) {
+  // Lemma 4 (SLD) and Theorem 2 (NSLD): identity, symmetry, triangle.
+  Rng rng(21);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto a = testutil::RandomTokenizedString(&rng, 0, 3, 1, 5);
+    const auto b = testutil::RandomTokenizedString(&rng, 0, 3, 1, 5);
+    const auto c = testutil::RandomTokenizedString(&rng, 0, 3, 1, 5);
+    EXPECT_EQ(Sld(a, a), 0);
+    EXPECT_EQ(Sld(a, b), Sld(b, a));
+    EXPECT_GE(Sld(a, b) + Sld(b, c), Sld(a, c));
+    EXPECT_DOUBLE_EQ(Nsld(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(Nsld(a, b), Nsld(b, a));
+    EXPECT_GE(Nsld(a, b) + Nsld(b, c), Nsld(a, c) - 1e-12);
+  }
+}
+
+TEST(SldTest, NsldRangeIsZeroToOne) {
+  Rng rng(22);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto a = testutil::RandomTokenizedString(&rng, 0, 4, 0, 6);
+    const auto b = testutil::RandomTokenizedString(&rng, 0, 4, 0, 6);
+    const double nsld = Nsld(a, b);
+    EXPECT_GE(nsld, 0.0);
+    EXPECT_LE(nsld, 1.0);
+  }
+}
+
+TEST(SldTest, GreedyNeverUnderestimates) {
+  // Greedy-token-aligning (Sec. III-G.5) upper-bounds the exact SLD: it
+  // can only push pairs *out* of the join, keeping precision at 1.0.
+  Rng rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = testutil::RandomTokenizedString(&rng, 0, 4, 1, 5);
+    const auto b = testutil::RandomTokenizedString(&rng, 0, 4, 1, 5);
+    EXPECT_GE(Sld(a, b, TokenAligning::kGreedy),
+              Sld(a, b, TokenAligning::kExact));
+  }
+}
+
+TEST(SldTest, GreedyExactOnSingleTokens) {
+  // With one token per side the bigraph is 1x1: greedy == exact.
+  Rng rng(24);
+  for (int trial = 0; trial < 200; ++trial) {
+    const TokenizedString a = {testutil::RandomString(&rng, 1, 8)};
+    const TokenizedString b = {testutil::RandomString(&rng, 1, 8)};
+    EXPECT_EQ(Sld(a, b, TokenAligning::kGreedy),
+              Sld(a, b, TokenAligning::kExact));
+  }
+}
+
+TEST(SldTest, Theorem3TokenThresholdCarriesOver) {
+  // If NSLD(x, y) <= T then some token pair has NLD <= T. This is the
+  // insight enabling TSJ's similar-token candidate generation.
+  Rng rng(25);
+  const double thresholds[] = {0.1, 0.2, 0.35, 0.5};
+  int checked = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 1, 3, 1, 5);
+    const auto y = testutil::RandomTokenizedString(&rng, 1, 3, 1, 5);
+    const double nsld = Nsld(x, y);
+    for (double t : thresholds) {
+      if (nsld > t) continue;
+      ++checked;
+      bool found = false;
+      for (const auto& xt : x) {
+        for (const auto& yt : y) {
+          if (NormalizedLevenshtein(xt, yt) <= t + 1e-12) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      EXPECT_TRUE(found) << "NSLD=" << nsld << " T=" << t;
+    }
+  }
+  EXPECT_GT(checked, 50);  // the property was actually exercised
+}
+
+TEST(SldTest, NsldWithinHonorsLemma6Filter) {
+  // Strings whose aggregate lengths alone violate Lemma 6 are rejected
+  // without computing SLD.
+  const TokenizedString tiny = {"a"};
+  const TokenizedString huge = {"abcdefghij", "klmnopqrst"};
+  EXPECT_FALSE(NsldWithin(tiny, huge, 0.5));
+  EXPECT_TRUE(NsldWithin(tiny, tiny, 0.0));
+}
+
+TEST(SldTest, NsldWithinMatchesDirectComparison) {
+  Rng rng(26);
+  const double thresholds[] = {0.05, 0.1, 0.25, 0.5};
+  for (double t : thresholds) {
+    for (int trial = 0; trial < 300; ++trial) {
+      const auto a = testutil::RandomTokenizedString(&rng, 0, 3, 1, 5);
+      const auto b = testutil::RandomTokenizedString(&rng, 0, 3, 1, 5);
+      EXPECT_EQ(NsldWithin(a, b, t), Nsld(a, b) <= t) << "T=" << t;
+    }
+  }
+}
+
+TEST(SldTest, SingleTokenStringsReduceToPlainEditDistance) {
+  // With one token per side the bigraph is 1x1, so SLD == LD and
+  // NSLD == NLD — the setwise metric is a conservative extension.
+  Rng rng(27);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string a = testutil::RandomString(&rng, 1, 9);
+    const std::string b = testutil::RandomString(&rng, 1, 9);
+    EXPECT_EQ(Sld({a}, {b}), static_cast<int64_t>(Levenshtein(a, b)));
+    EXPECT_DOUBLE_EQ(Nsld({a}, {b}), NormalizedLevenshtein(a, b));
+  }
+}
+
+TEST(SldWorkUnitsTest, ExactCostsMoreThanGreedyAndGrowsWithSize) {
+  // The deterministic cost model behind the Figs. 2/3 runtime ordering.
+  EXPECT_GT(SldWorkUnits(10, 10, 4, 4, TokenAligning::kExact),
+            SldWorkUnits(10, 10, 4, 4, TokenAligning::kGreedy));
+  EXPECT_GT(SldWorkUnits(20, 20, 4, 4, TokenAligning::kExact),
+            SldWorkUnits(10, 10, 4, 4, TokenAligning::kExact));
+  EXPECT_GT(SldWorkUnits(10, 10, 6, 6, TokenAligning::kExact),
+            SldWorkUnits(10, 10, 3, 3, TokenAligning::kExact));
+  // Never zero, even for degenerate inputs.
+  EXPECT_GT(SldWorkUnits(0, 0, 0, 0, TokenAligning::kGreedy), 0u);
+}
+
+TEST(AggregateLengthTest, SumsTokenLengths) {
+  EXPECT_EQ(AggregateLength({}), 0u);
+  EXPECT_EQ(AggregateLength({"chan", "kalan"}), 9u);
+}
+
+TEST(SortedTokenLengthsTest, SortsAscending) {
+  EXPECT_EQ(SortedTokenLengths({"kalan", "ab", "chan"}),
+            (std::vector<uint32_t>{2, 4, 5}));
+}
+
+}  // namespace
+}  // namespace tsj

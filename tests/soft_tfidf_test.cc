@@ -1,0 +1,95 @@
+#include "distance/soft_tfidf.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(SoftTfIdfTest, IdenticalSetsScoreOne) {
+  const Tokens a = {"barak", "obama"};
+  EXPECT_NEAR(SoftTfIdfSimilarity(a, a), 1.0, 1e-9);
+}
+
+TEST(SoftTfIdfTest, DisjointSetsScoreZero) {
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity({"aaaa"}, {"zzzz"}), 0.0);
+}
+
+TEST(SoftTfIdfTest, EmptyCases) {
+  const Tokens empty;
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity({"x"}, empty), 0.0);
+}
+
+TEST(SoftTfIdfTest, SoftMatchingToleratesTypos) {
+  // "obama" vs "obamma" passes the JW threshold, so the pair still scores
+  // highly — the improvement over plain TF-IDF cosine.
+  const Tokens a = {"barak", "obama"};
+  const Tokens b = {"barak", "obamma"};
+  EXPECT_GT(SoftTfIdfSimilarity(a, b), 0.9);
+}
+
+TEST(SoftTfIdfTest, TokenThresholdGovernsMatching) {
+  // The two-threshold usability problem (Sec. IV): the result depends
+  // discontinuously on T1.
+  const Tokens a = {"jonson"};
+  const Tokens b = {"johnson"};
+  SoftTfIdfOptions strict, loose;
+  strict.token_threshold = 0.99;
+  loose.token_threshold = 0.85;
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity(a, b, strict), 0.0);
+  EXPECT_GT(SoftTfIdfSimilarity(a, b, loose), 0.9);
+}
+
+TEST(SoftTfIdfTest, SymmetricAndBounded) {
+  Rng rng(316);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const auto y = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const double xy = SoftTfIdfSimilarity(x, y);
+    EXPECT_NEAR(xy, SoftTfIdfSimilarity(y, x), 1e-9);
+    EXPECT_GE(xy, 0.0);
+    EXPECT_LE(xy, 1.0);
+  }
+}
+
+TEST(SoftTfIdfTest, NotAMetricTriangleViolation) {
+  // 1 - SoftTfIdf violates the triangle inequality (it inherits JW's
+  // violation and adds its own from thresholding) — the paper's reason to
+  // prefer NSLD for metric-space algorithms.
+  Rng rng(317);
+  bool violated = false;
+  for (int trial = 0; trial < 30000 && !violated; ++trial) {
+    const auto a = testutil::RandomTokenizedString(&rng, 1, 2, 2, 5, 3);
+    const auto b = testutil::RandomTokenizedString(&rng, 1, 2, 2, 5, 3);
+    const auto c = testutil::RandomTokenizedString(&rng, 1, 2, 2, 5, 3);
+    const double dab = 1.0 - SoftTfIdfSimilarity(a, b);
+    const double dbc = 1.0 - SoftTfIdfSimilarity(b, c);
+    const double dac = 1.0 - SoftTfIdfSimilarity(a, c);
+    if (dab + dbc < dac - 1e-9) violated = true;
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(SoftTfIdfTest, IdfWeightsChangeTheRanking) {
+  SoftTfIdfOptions idf;
+  idf.weight = [](const std::string& token) {
+    return token == "john" ? 0.05 : 1.0;
+  };
+  // Sharing only the ubiquitous token scores lower than sharing the rare
+  // one under IDF weights.
+  const double share_common =
+      SoftTfIdfSimilarity({"john", "abcde"}, {"john", "vwxyz"}, idf);
+  const double share_rare =
+      SoftTfIdfSimilarity({"john", "abcde"}, {"pete", "abcde"}, idf);
+  EXPECT_LT(share_common, share_rare);
+}
+
+}  // namespace
+}  // namespace tsj

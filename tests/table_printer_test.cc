@@ -1,0 +1,46 @@
+#include "eval/table_printer.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| longer-name |"), std::string::npos);
+  EXPECT_NE(out.find("|        name |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{12345}), "12345");
+  EXPECT_EQ(TablePrinter::Fmt(0.5, 0), "0");  // rounds toward even/away
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"a", "b"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| a | b |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowsPrintInInsertionOrder) {
+  TablePrinter table({"k"});
+  table.AddRow({"first"});
+  table.AddRow({"second"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_LT(os.str().find("first"), os.str().find("second"));
+}
+
+}  // namespace
+}  // namespace tsj

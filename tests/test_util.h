@@ -1,0 +1,84 @@
+// Shared helpers for the test suite: random string/token generation over a
+// small alphabet (so that collisions and near-misses are common enough to
+// exercise boundary behaviour), and brute-force reference joins.
+
+#ifndef TSJ_TESTS_TEST_UTIL_H_
+#define TSJ_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "tokenized/tokenized_string.h"
+
+namespace tsj {
+namespace testutil {
+
+/// Random string of length in [min_len, max_len] over the first
+/// `alphabet_size` lower-case letters.
+inline std::string RandomString(Rng* rng, size_t min_len, size_t max_len,
+                                int alphabet_size = 4) {
+  const size_t len =
+      static_cast<size_t>(rng->UniformInt(static_cast<int64_t>(min_len),
+                                          static_cast<int64_t>(max_len)));
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(
+        'a' + rng->Uniform(static_cast<uint64_t>(alphabet_size))));
+  }
+  return s;
+}
+
+/// Random tokenized string: [min_tokens, max_tokens] random tokens.
+inline TokenizedString RandomTokenizedString(Rng* rng, size_t min_tokens,
+                                             size_t max_tokens,
+                                             size_t min_len, size_t max_len,
+                                             int alphabet_size = 4) {
+  const size_t n = static_cast<size_t>(
+      rng->UniformInt(static_cast<int64_t>(min_tokens),
+                      static_cast<int64_t>(max_tokens)));
+  TokenizedString tokens;
+  tokens.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tokens.push_back(RandomString(rng, min_len, max_len, alphabet_size));
+  }
+  return tokens;
+}
+
+/// Applies one random character-level edit (insert/delete/substitute).
+inline std::string RandomEdit(Rng* rng, std::string s, int alphabet_size = 4) {
+  const char c = static_cast<char>(
+      'a' + rng->Uniform(static_cast<uint64_t>(alphabet_size)));
+  const uint64_t op = rng->Uniform(3);
+  if (op == 0 || s.empty()) {  // insert
+    const size_t pos = rng->Uniform(s.size() + 1);
+    s.insert(s.begin() + static_cast<ptrdiff_t>(pos), c);
+  } else if (op == 1) {  // delete
+    const size_t pos = rng->Uniform(s.size());
+    s.erase(s.begin() + static_cast<ptrdiff_t>(pos));
+  } else {  // substitute
+    const size_t pos = rng->Uniform(s.size());
+    s[pos] = c;
+  }
+  return s;
+}
+
+/// All unordered pairs (i, j), i < j, for which pred(i, j) holds.
+template <typename Pred>
+std::vector<std::pair<uint32_t, uint32_t>> BruteForcePairs(size_t n,
+                                                           Pred pred) {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (pred(i, j)) pairs.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace testutil
+}  // namespace tsj
+
+#endif  // TSJ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,138 @@
+#include "tokenized/bounds.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tokenized/sld.h"
+#include "tokenized/tokenized_string.h"
+
+namespace tsj {
+namespace {
+
+TEST(AggregateLengthBoundsTest, Lemma6LowerBoundHoldsOnRandomSamples) {
+  // Only the lower bound of Lemma 6 is provable (and it is the only half
+  // TSJ prunes with); see the upper-bound erratum test below.
+  Rng rng(41);
+  for (int trial = 0; trial < 600; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 1, 4, 1, 6);
+    const auto y = testutil::RandomTokenizedString(&rng, 1, 4, 1, 6);
+    const double nsld = Nsld(x, y);
+    const size_t lx = AggregateLength(x);
+    const size_t ly = AggregateLength(y);
+    EXPECT_GE(nsld, NsldLowerBoundFromAggregateLengths(lx, ly) - 1e-12);
+  }
+}
+
+TEST(AggregateLengthBoundsTest, Lemma6UpperBoundErratumCounterexample) {
+  // Paper erratum (see bounds.h): the Lemma 6 upper bound fails when token
+  // counts differ, because tokens cannot merge. x = {aaa} vs
+  // y = {b,b,b,b,b,b}: SLD = LD(aaa,b) + 5*|b| = 8 > L(y) = 6, so
+  // NSLD = 16/17 exceeds the claimed bound 2/(3/6 + 2) = 0.8.
+  const TokenizedString x = {"aaa"};
+  const TokenizedString y = {"b", "b", "b", "b", "b", "b"};
+  EXPECT_EQ(Sld(x, y), 8);
+  EXPECT_DOUBLE_EQ(Nsld(x, y), 16.0 / 17.0);
+  EXPECT_GT(Nsld(x, y), NsldUpperBoundFromAggregateLengths(3, 6));
+}
+
+TEST(AggregateLengthBoundsTest, Lemma6UpperBoundHoldsForEqualSingleTokens) {
+  // In the regime the Lemma 6 proof implicitly assumes (one token each,
+  // where SLD reduces to LD and Lemma 3 applies), the upper bound holds.
+  Rng rng(45);
+  for (int trial = 0; trial < 400; ++trial) {
+    const TokenizedString x = {testutil::RandomString(&rng, 1, 8)};
+    const TokenizedString y = {testutil::RandomString(&rng, 1, 8)};
+    EXPECT_LE(Nsld(x, y),
+              NsldUpperBoundFromAggregateLengths(AggregateLength(x),
+                                                 AggregateLength(y)) +
+                  1e-12);
+  }
+}
+
+TEST(AggregateLengthBoundsTest, OrderInsensitive) {
+  EXPECT_DOUBLE_EQ(NsldLowerBoundFromAggregateLengths(3, 9),
+                   NsldLowerBoundFromAggregateLengths(9, 3));
+  EXPECT_DOUBLE_EQ(NsldUpperBoundFromAggregateLengths(3, 9),
+                   NsldUpperBoundFromAggregateLengths(9, 3));
+}
+
+TEST(AggregateLengthBoundsTest, EqualLengthsGiveZeroLowerBound) {
+  EXPECT_DOUBLE_EQ(NsldLowerBoundFromAggregateLengths(5, 5), 0.0);
+}
+
+TEST(HistogramBoundTest, IdenticalHistogramsGiveZero) {
+  const std::vector<uint32_t> h = {2, 4, 5};
+  EXPECT_EQ(SldLowerBoundFromHistograms(h, h), 0);
+  EXPECT_DOUBLE_EQ(NsldLowerBoundFromHistograms(h, h), 0.0);
+}
+
+TEST(HistogramBoundTest, PaddingChargesFullTokenLength) {
+  // {5} vs {} — the lone token must be deleted entirely.
+  EXPECT_EQ(SldLowerBoundFromHistograms({5}, {}), 5);
+  EXPECT_EQ(SldLowerBoundFromHistograms({}, {5}), 5);
+  // {2, 3} vs {3}: zero pads against the smaller entry (2), and 3 pairs
+  // with 3 -> bound 2.
+  EXPECT_EQ(SldLowerBoundFromHistograms({2, 3}, {3}), 2);
+}
+
+TEST(HistogramBoundTest, SortedPairingOfLengths) {
+  // {1, 9} vs {2, 8}: |1-2| + |9-8| = 2 (not |1-8| + |9-2| = 14).
+  EXPECT_EQ(SldLowerBoundFromHistograms({1, 9}, {2, 8}), 2);
+}
+
+TEST(HistogramBoundTest, NeverExceedsTrueSldOnRandomSamples) {
+  // Soundness: the histogram bound must lower-bound the exact SLD for the
+  // filter (Sec. III-E.2) to be lossless.
+  Rng rng(42);
+  for (int trial = 0; trial < 800; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const auto y = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const int64_t bound =
+        SldLowerBoundFromHistograms(SortedTokenLengths(x),
+                                    SortedTokenLengths(y));
+    EXPECT_LE(bound, Sld(x, y)) << "trial " << trial;
+  }
+}
+
+TEST(HistogramBoundTest, NsldBoundNeverExceedsTrueNsld) {
+  Rng rng(43);
+  for (int trial = 0; trial < 800; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const auto y = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const double bound = NsldLowerBoundFromHistograms(
+        SortedTokenLengths(x), SortedTokenLengths(y));
+    EXPECT_LE(bound, Nsld(x, y) + 1e-12);
+  }
+}
+
+TEST(HistogramBoundTest, TightWhenOnlyLengthsDiffer) {
+  // Tokens drawn from a unary alphabet: LD equals the length difference,
+  // so the histogram bound is exact.
+  const TokenizedString x = {"aaa", "a"};
+  const TokenizedString y = {"aa", "aaaa"};
+  const int64_t bound = SldLowerBoundFromHistograms(SortedTokenLengths(x),
+                                                    SortedTokenLengths(y));
+  EXPECT_EQ(bound, Sld(x, y));
+}
+
+TEST(HistogramBoundTest, HistogramBoundAtLeastAggregateBound) {
+  // The histogram bound dominates (is at least as strong as) Lemma 6's
+  // aggregate-length bound: sum |ai - bi| >= |sum ai - sum bi|.
+  Rng rng(44);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto x = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const auto y = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const auto hx = SortedTokenLengths(x);
+    const auto hy = SortedTokenLengths(y);
+    EXPECT_GE(NsldLowerBoundFromHistograms(hx, hy),
+              NsldLowerBoundFromAggregateLengths(AggregateLength(x),
+                                                 AggregateLength(y)) -
+                  1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tsj

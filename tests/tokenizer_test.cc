@@ -1,0 +1,122 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(TokenizerTest, DefaultSplitsOnWhitespaceAndPunctuation) {
+  // The paper's evaluation tokenizes names "using whitespaces and
+  // punctuation characters".
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Obamma, Boraak H."),
+            (Tokens{"obamma", "boraak", "h"}));
+  EXPECT_EQ(tok.Tokenize("Burak Ubama"), (Tokens{"burak", "ubama"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnlyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  \t , .;  ").empty());
+}
+
+TEST(TokenizerTest, PreservesDuplicates) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("ana ana banana"), (Tokens{"ana", "ana", "banana"}));
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("John MARY mIxEd"), (Tokens{"john", "mary", "mixed"}));
+}
+
+TEST(TokenizerTest, CaseFoldingCanBeDisabled) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("John MARY"), (Tokens{"John", "MARY"}));
+}
+
+TEST(TokenizerTest, PunctuationSplitCanBeDisabled) {
+  TokenizerOptions options;
+  options.split_on_punctuation = false;
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("o'neill smith-jones"),
+            (Tokens{"o'neill", "smith-jones"}));
+}
+
+TEST(TokenizerTest, WhitespaceSplitCanBeDisabled) {
+  TokenizerOptions options;
+  options.split_on_whitespace = false;
+  options.split_on_punctuation = true;
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("a.b c"), (Tokens{"a", "b c"}));
+}
+
+TEST(TokenizerTest, MinTokenLengthDropsShortTokens) {
+  TokenizerOptions options;
+  options.min_token_length = 2;
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("barak h obama"), (Tokens{"barak", "obama"}));
+}
+
+TEST(TokenizerTest, ConsecutiveSeparatorsProduceNoEmptyTokens) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("a,,b  ..  c"), (Tokens{"a", "b", "c"}));
+}
+
+TEST(TokenizerTest, MixedSeparatorsInRealNames) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Smith-Jones, Dr. Mary-Ann"),
+            (Tokens{"smith", "jones", "dr", "mary", "ann"}));
+}
+
+TEST(TokenizerTest, FuzzRandomBytesNeverProduceSeparatorsInTokens) {
+  // Robustness on arbitrary byte content (names arrive from the wild):
+  // no crash, and every produced token is separator-free and lowercase.
+  Rng rng(2024);
+  Tokenizer tok;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string raw;
+    const size_t len = rng.Uniform(64);
+    for (size_t i = 0; i < len; ++i) {
+      raw.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    for (const std::string& token : tok.Tokenize(raw)) {
+      ASSERT_FALSE(token.empty());
+      for (char c : token) {
+        const unsigned char uc = static_cast<unsigned char>(c);
+        EXPECT_FALSE(std::isspace(uc));
+        EXPECT_FALSE(std::ispunct(uc));
+        if (std::isalpha(uc)) {
+          EXPECT_TRUE(std::islower(uc));
+        }
+      }
+    }
+  }
+}
+
+TEST(TokenizerTest, TokenizationIsIdempotentOnItsOutput) {
+  Rng rng(2025);
+  Tokenizer tok;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string raw;
+    const size_t len = rng.Uniform(40);
+    for (size_t i = 0; i < len; ++i) {
+      raw.push_back(static_cast<char>('A' + rng.Uniform(60)));
+    }
+    for (const std::string& token : tok.Tokenize(raw)) {
+      EXPECT_EQ(tok.Tokenize(token), (Tokens{token}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsj

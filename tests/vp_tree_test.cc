@@ -1,0 +1,204 @@
+#include "metric/vp_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "metric/nsld_index.h"
+#include "test_util.h"
+#include "tokenized/corpus.h"
+#include "tokenized/sld.h"
+
+namespace tsj {
+namespace {
+
+// A simple 1-D metric space for exact reference checks.
+struct Line {
+  std::vector<double> points;
+  double Distance(uint32_t a, uint32_t b) const {
+    return std::abs(points[a] - points[b]);
+  }
+};
+
+Line RandomLine(Rng* rng, size_t n) {
+  Line line;
+  for (size_t i = 0; i < n; ++i) {
+    line.points.push_back(rng->NextDouble() * 100.0);
+  }
+  return line;
+}
+
+std::vector<MetricMatch> BruteRange(const Line& line, double query,
+                                    double radius) {
+  std::vector<MetricMatch> matches;
+  for (uint32_t i = 0; i < line.points.size(); ++i) {
+    const double d = std::abs(line.points[i] - query);
+    if (d <= radius) matches.push_back(MetricMatch{i, d});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const MetricMatch& a, const MetricMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return matches;
+}
+
+TEST(VpTreeTest, EmptyTree) {
+  VpTree tree(0, [](uint32_t, uint32_t) { return 0.0; });
+  EXPECT_TRUE(tree.RangeSearch([](uint32_t) { return 0.0; }, 1.0).empty());
+  EXPECT_TRUE(tree.KNearest([](uint32_t) { return 0.0; }, 3).empty());
+}
+
+TEST(VpTreeTest, RangeSearchMatchesBruteForceOnLine) {
+  Rng rng(1001);
+  for (int round = 0; round < 20; ++round) {
+    const Line line = RandomLine(&rng, 200);
+    VpTree tree(line.points.size(),
+                [&line](uint32_t a, uint32_t b) { return line.Distance(a, b); },
+                round);
+    for (int q = 0; q < 10; ++q) {
+      const double query = rng.NextDouble() * 100.0;
+      const double radius = rng.NextDouble() * 10.0;
+      const auto result = tree.RangeSearch(
+          [&](uint32_t id) { return std::abs(line.points[id] - query); },
+          radius);
+      EXPECT_EQ(result, BruteRange(line, query, radius));
+    }
+  }
+}
+
+TEST(VpTreeTest, KNearestMatchesBruteForceOnLine) {
+  Rng rng(1002);
+  for (int round = 0; round < 20; ++round) {
+    const Line line = RandomLine(&rng, 150);
+    VpTree tree(line.points.size(),
+                [&line](uint32_t a, uint32_t b) { return line.Distance(a, b); },
+                round);
+    for (size_t k : {1u, 3u, 10u, 200u}) {
+      const double query = rng.NextDouble() * 100.0;
+      const auto result = tree.KNearest(
+          [&](uint32_t id) { return std::abs(line.points[id] - query); }, k);
+      auto expected = BruteRange(line, query, 1e18);
+      expected.resize(std::min(expected.size(), static_cast<size_t>(k)));
+      ASSERT_EQ(result.size(), expected.size());
+      for (size_t i = 0; i < result.size(); ++i) {
+        EXPECT_DOUBLE_EQ(result[i].distance, expected[i].distance) << i;
+      }
+    }
+  }
+}
+
+TEST(VpTreeTest, PruningSkipsDistanceCalls) {
+  // With a tight radius on well-spread data, far fewer than n distances
+  // should be evaluated.
+  Rng rng(1003);
+  const Line line = RandomLine(&rng, 5000);
+  VpTree tree(line.points.size(), [&line](uint32_t a, uint32_t b) {
+    return line.Distance(a, b);
+  });
+  VpQueryStats stats;
+  tree.RangeSearch([&](uint32_t id) { return std::abs(line.points[id] - 50.0); },
+                   0.5, &stats);
+  EXPECT_LT(stats.distance_calls, line.points.size() / 2);
+}
+
+TEST(VpTreeTest, DuplicateHeavyDataDoesNotRecurseForever) {
+  // All points identical: degenerate splits must fall back to buckets.
+  VpTree tree(1000, [](uint32_t, uint32_t) { return 0.0; });
+  const auto result =
+      tree.RangeSearch([](uint32_t) { return 0.0; }, 0.0);
+  EXPECT_EQ(result.size(), 1000u);
+}
+
+TEST(VpTreeTest, KZeroReturnsNothing) {
+  Rng rng(1004);
+  const Line line = RandomLine(&rng, 50);
+  VpTree tree(line.points.size(), [&line](uint32_t a, uint32_t b) {
+    return line.Distance(a, b);
+  });
+  EXPECT_TRUE(
+      tree.KNearest([&](uint32_t id) { return line.points[id]; }, 0).empty());
+}
+
+// ---- NSLD index over a corpus. -------------------------------------------
+
+Corpus MakeNameCorpus(Rng* rng, size_t n) {
+  Corpus corpus;
+  for (size_t i = 0; i < n; ++i) {
+    corpus.AddString(testutil::RandomTokenizedString(rng, 1, 3, 2, 6, 4));
+  }
+  return corpus;
+}
+
+TEST(NsldIndexTest, RangeSearchMatchesBruteForce) {
+  Rng rng(1005);
+  Corpus corpus = MakeNameCorpus(&rng, 150);
+  NsldIndex index(corpus);
+  for (int q = 0; q < 20; ++q) {
+    const auto query = testutil::RandomTokenizedString(&rng, 1, 3, 2, 6, 4);
+    const double radius = 0.3;
+    const auto result = index.RangeSearch(query, radius);
+    std::vector<MetricMatch> expected;
+    for (uint32_t s = 0; s < corpus.size(); ++s) {
+      const double d = Nsld(query, corpus.Materialize(s));
+      if (d <= radius) expected.push_back(MetricMatch{s, d});
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const MetricMatch& a, const MetricMatch& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    EXPECT_EQ(result, expected) << "query " << q;
+  }
+}
+
+TEST(NsldIndexTest, KNearestFindsPlantedNeighbour) {
+  Rng rng(1006);
+  Corpus corpus = MakeNameCorpus(&rng, 200);
+  // Plant a near-duplicate of a known name.
+  const TokenizedString target = {"chandler", "kalantari"};
+  const StringId planted = corpus.AddString(target);
+  NsldIndex index(corpus);
+  const auto result = index.KNearest({"chandler", "kalantari"}, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, planted);
+  EXPECT_DOUBLE_EQ(result[0].distance, 0.0);
+  // A one-edit variant is still the nearest.
+  const auto near = index.KNearest({"chandler", "kalantary"}, 1);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0].id, planted);
+}
+
+TEST(NsldIndexTest, KNearestDistancesMatchBruteForce) {
+  Rng rng(1007);
+  Corpus corpus = MakeNameCorpus(&rng, 120);
+  NsldIndex index(corpus);
+  for (int q = 0; q < 10; ++q) {
+    const auto query = testutil::RandomTokenizedString(&rng, 1, 3, 2, 6, 4);
+    const auto result = index.KNearest(query, 5);
+    std::vector<double> expected;
+    for (uint32_t s = 0; s < corpus.size(); ++s) {
+      expected.push_back(Nsld(query, corpus.Materialize(s)));
+    }
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(result.size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_DOUBLE_EQ(result[i].distance, expected[i]) << i;
+    }
+  }
+}
+
+TEST(NsldIndexTest, StatsReportPruning) {
+  Rng rng(1008);
+  Corpus corpus = MakeNameCorpus(&rng, 800);
+  NsldIndex index(corpus);
+  VpQueryStats stats;
+  index.RangeSearch({"qqqq", "zzzz"}, 0.05, &stats);
+  EXPECT_GT(stats.distance_calls, 0u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+}  // namespace
+}  // namespace tsj

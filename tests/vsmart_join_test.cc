@@ -1,0 +1,152 @@
+#include "setjoin/vsmart_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace tsj {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet ToSet(const std::vector<VsmartPair>& pairs) {
+  PairSet s;
+  for (const auto& p : pairs) s.emplace(p.a, p.b);
+  return s;
+}
+
+// Reference multiset measures.
+double RefSimilarity(const std::vector<uint32_t>& x,
+                     const std::vector<uint32_t>& y,
+                     MultisetMeasure measure) {
+  std::map<uint32_t, uint32_t> cx, cy;
+  for (uint32_t t : x) ++cx[t];
+  for (uint32_t t : y) ++cy[t];
+  double sum_min = 0, dot = 0, norm_x = 0, norm_y = 0;
+  for (const auto& [t, c] : cx) {
+    norm_x += static_cast<double>(c) * c;
+    auto it = cy.find(t);
+    const uint32_t other = it == cy.end() ? 0 : it->second;
+    sum_min += std::min(c, other);
+    dot += static_cast<double>(c) * other;
+  }
+  for (const auto& [t, c] : cy) norm_y += static_cast<double>(c) * c;
+  switch (measure) {
+    case MultisetMeasure::kJaccard: {
+      const double denom = static_cast<double>(x.size() + y.size()) - sum_min;
+      return denom <= 0 ? 1.0 : sum_min / denom;
+    }
+    case MultisetMeasure::kDice:
+      return 2.0 * sum_min / static_cast<double>(x.size() + y.size());
+    case MultisetMeasure::kCosine:
+      return (norm_x == 0 || norm_y == 0)
+                 ? 0.0
+                 : dot / (std::sqrt(norm_x) * std::sqrt(norm_y));
+  }
+  return 0;
+}
+
+std::vector<std::vector<uint32_t>> RandomMultisets(Rng* rng, size_t n,
+                                                   uint32_t universe) {
+  std::vector<std::vector<uint32_t>> sets(n);
+  for (auto& set : sets) {
+    const size_t size = 1 + rng->Uniform(6);
+    for (size_t i = 0; i < size; ++i) {
+      set.push_back(static_cast<uint32_t>(rng->Uniform(universe)));
+    }
+  }
+  return sets;
+}
+
+struct Config {
+  MultisetMeasure measure;
+  double threshold;
+};
+
+class VsmartJoinTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(VsmartJoinTest, MatchesBruteForce) {
+  const auto [measure, threshold] = GetParam();
+  Rng rng(800 + static_cast<uint64_t>(threshold * 100) +
+          static_cast<uint64_t>(measure));
+  for (int round = 0; round < 6; ++round) {
+    const auto sets = RandomMultisets(&rng, 60, 15);
+    PairSet expected;
+    for (uint32_t i = 0; i < sets.size(); ++i) {
+      for (uint32_t j = i + 1; j < sets.size(); ++j) {
+        if (RefSimilarity(sets[i], sets[j], measure) >= threshold - 1e-12) {
+          expected.emplace(i, j);
+        }
+      }
+    }
+    VsmartOptions options;
+    options.measure = measure;
+    EXPECT_EQ(ToSet(VsmartSelfJoin(sets, threshold, options)), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, VsmartJoinTest,
+    ::testing::Values(Config{MultisetMeasure::kJaccard, 0.4},
+                      Config{MultisetMeasure::kJaccard, 0.7},
+                      Config{MultisetMeasure::kDice, 0.5},
+                      Config{MultisetMeasure::kDice, 0.8},
+                      Config{MultisetMeasure::kCosine, 0.6},
+                      Config{MultisetMeasure::kCosine, 0.9}));
+
+TEST(VsmartJoinTest, ReportedSimilaritiesAreExact) {
+  Rng rng(801);
+  const auto sets = RandomMultisets(&rng, 50, 12);
+  VsmartOptions options;
+  options.measure = MultisetMeasure::kJaccard;
+  for (const auto& pair : VsmartSelfJoin(sets, 0.3, options)) {
+    EXPECT_NEAR(pair.similarity,
+                RefSimilarity(sets[pair.a], sets[pair.b],
+                              MultisetMeasure::kJaccard),
+                1e-12);
+  }
+}
+
+TEST(VsmartJoinTest, MultiplicityMatters) {
+  // {a, a} vs {a}: multiset Jaccard = 1/2, not 1 (set semantics).
+  const std::vector<std::vector<uint32_t>> sets = {{7, 7}, {7}};
+  const auto at_half = VsmartSelfJoin(sets, 0.5);
+  ASSERT_EQ(at_half.size(), 1u);
+  EXPECT_DOUBLE_EQ(at_half[0].similarity, 0.5);
+  EXPECT_TRUE(VsmartSelfJoin(sets, 0.6).empty());
+}
+
+TEST(VsmartJoinTest, FrequencyCutoffDropsUbiquitousTokens) {
+  std::vector<std::vector<uint32_t>> sets;
+  for (uint32_t i = 0; i < 10; ++i) {
+    sets.push_back({1, 100 + i});  // token 1 in every set
+  }
+  VsmartOptions capped;
+  capped.max_token_frequency = 5;
+  EXPECT_TRUE(VsmartSelfJoin(sets, 0.4, capped).empty());
+  // Without the cutoff every pair shares token 1 (Jaccard 1/3).
+  EXPECT_EQ(VsmartSelfJoin(sets, 0.33).size(), 45u);
+}
+
+TEST(VsmartJoinTest, PipelineHasTwoPhases) {
+  Rng rng(802);
+  const auto sets = RandomMultisets(&rng, 40, 10);
+  PipelineStats stats;
+  VsmartSelfJoin(sets, 0.5, {}, &stats);
+  ASSERT_EQ(stats.jobs.size(), 2u);
+  EXPECT_EQ(stats.jobs[0].name, "vsmart-joining");
+  EXPECT_EQ(stats.jobs[1].name, "vsmart-similarity");
+}
+
+TEST(VsmartJoinTest, EmptyInput) {
+  EXPECT_TRUE(VsmartSelfJoin({}, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace tsj

@@ -1,0 +1,225 @@
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "distance/levenshtein.h"
+#include "gtest/gtest.h"
+#include "tokenized/sld.h"
+#include "workload/name_change.h"
+#include "workload/name_generator.h"
+#include "workload/perturb.h"
+#include "workload/ring_workload.h"
+
+namespace tsj {
+namespace {
+
+TEST(NameGeneratorTest, VocabularyHasRequestedSizeAndDistinctTokens) {
+  NameGeneratorOptions options;
+  options.vocabulary_size = 500;
+  NameGenerator gen(options);
+  EXPECT_EQ(gen.vocabulary().size(), 500u);
+  std::set<std::string> distinct(gen.vocabulary().begin(),
+                                 gen.vocabulary().end());
+  EXPECT_EQ(distinct.size(), 500u);
+}
+
+TEST(NameGeneratorTest, DeterministicForSameSeed) {
+  NameGeneratorOptions options;
+  options.vocabulary_size = 100;
+  NameGenerator a(options), b(options);
+  EXPECT_EQ(a.vocabulary(), b.vocabulary());
+  Rng ra(5), rb(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.Sample(&ra), b.Sample(&rb));
+}
+
+TEST(NameGeneratorTest, NamesRespectTokenCountBounds) {
+  NameGeneratorOptions options;
+  options.min_tokens = 2;
+  options.max_tokens = 3;
+  NameGenerator gen(options);
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const auto name = gen.Sample(&rng);
+    EXPECT_GE(name.size(), 2u);
+    EXPECT_LE(name.size(), 3u);
+  }
+}
+
+TEST(NameGeneratorTest, PopularityIsSkewed) {
+  NameGeneratorOptions options;
+  options.vocabulary_size = 200;
+  options.zipf_skew = 1.0;
+  NameGenerator gen(options);
+  Rng rng(7);
+  std::unordered_map<std::string, int> counts;
+  for (int i = 0; i < 5000; ++i) {
+    for (const auto& token : gen.Sample(&rng)) ++counts[token];
+  }
+  // The most popular token dominates the median token by a wide margin.
+  EXPECT_GT(counts[gen.vocabulary()[0]], 20 * std::max(1, counts[gen.vocabulary()[150]]));
+}
+
+TEST(PerturbTest, CharEditChangesExactlyOneToken) {
+  Rng rng(8);
+  const TokenizedString name = {"barak", "obama"};
+  for (int i = 0; i < 100; ++i) {
+    const auto edited = ApplyCharEdit(name, &rng);
+    ASSERT_EQ(edited.size(), 2u);
+    int changed = 0;
+    for (size_t t = 0; t < 2; ++t) changed += (edited[t] != name[t]);
+    EXPECT_LE(changed, 1);
+    // One character edit means token-level LD <= 1.
+    for (size_t t = 0; t < 2; ++t) {
+      EXPECT_LE(Levenshtein(edited[t], name[t]), 1u);
+    }
+  }
+}
+
+TEST(PerturbTest, PerturbedNameStaysNearUnderNsld) {
+  // Ring members must stay joinable at moderate thresholds: with
+  // conservative options the NSLD between base and variant stays small.
+  Rng rng(9);
+  PerturbOptions options;
+  options.min_char_edits = 1;
+  options.max_char_edits = 1;
+  options.boundary_shift_probability = 0;
+  options.abbreviate_probability = 0;
+  options.drop_token_probability = 0;
+  const TokenizedString base = {"chandler", "kalantari"};
+  for (int i = 0; i < 100; ++i) {
+    const auto variant = PerturbName(base, &rng, options);
+    EXPECT_LE(Sld(base, variant), 1);  // one char edit, shuffles are free
+  }
+}
+
+TEST(PerturbTest, NeverReturnsEmptyForNonEmptyInput) {
+  Rng rng(10);
+  PerturbOptions aggressive;
+  aggressive.drop_token_probability = 1.0;
+  aggressive.abbreviate_probability = 1.0;
+  TokenizedString name = {"ab"};
+  for (int i = 0; i < 100; ++i) {
+    name = PerturbName(name, &rng, aggressive);
+    ASSERT_FALSE(name.empty());
+    ASSERT_FALSE(name[0].empty());
+  }
+}
+
+TEST(PerturbTest, BoundaryShiftPreservesCharacterMass) {
+  Rng rng(11);
+  PerturbOptions options;
+  options.min_char_edits = 0;
+  options.max_char_edits = 0;
+  options.boundary_shift_probability = 1.0;
+  options.shuffle_probability = 0;
+  options.abbreviate_probability = 0;
+  options.drop_token_probability = 0;
+  const TokenizedString base = {"chan", "kalan"};
+  for (int i = 0; i < 50; ++i) {
+    const auto shifted = PerturbName(base, &rng, options);
+    EXPECT_EQ(AggregateLength(shifted), AggregateLength(base));
+  }
+}
+
+TEST(RingWorkloadTest, GeneratesRequestedShape) {
+  RingWorkloadOptions options;
+  options.num_accounts = 500;
+  options.num_rings = 10;
+  const RingWorkload workload = GenerateRingWorkload(options);
+  EXPECT_EQ(workload.names.size(), 500u);
+  EXPECT_EQ(workload.corpus.size(), 500u);
+  EXPECT_EQ(workload.ring_of.size(), 500u);
+  EXPECT_EQ(workload.rings.size(), 10u);
+  for (const auto& ring : workload.rings) {
+    EXPECT_GE(ring.size(), options.min_ring_size);
+    EXPECT_LE(ring.size(), options.max_ring_size);
+    for (uint32_t member : ring) {
+      EXPECT_EQ(workload.ring_of[member],
+                workload.ring_of[ring.front()]);
+    }
+  }
+}
+
+TEST(RingWorkloadTest, RingMembersShareABaseName) {
+  RingWorkloadOptions options;
+  options.num_accounts = 300;
+  options.num_rings = 8;
+  options.perturb.min_char_edits = 1;
+  options.perturb.max_char_edits = 1;
+  options.perturb.drop_token_probability = 0;
+  options.perturb.abbreviate_probability = 0;
+  options.perturb.boundary_shift_probability = 0;
+  const RingWorkload workload = GenerateRingWorkload(options);
+  for (const auto& ring : workload.rings) {
+    const auto& base = workload.names[ring.front()];
+    for (size_t m = 1; m < ring.size(); ++m) {
+      // One char edit from the base: SLD <= 1.
+      EXPECT_LE(Sld(base, workload.names[ring[m]]), 1);
+    }
+  }
+}
+
+TEST(RingWorkloadTest, DeterministicForSameOptions) {
+  RingWorkloadOptions options;
+  options.num_accounts = 200;
+  const RingWorkload a = GenerateRingWorkload(options);
+  const RingWorkload b = GenerateRingWorkload(options);
+  EXPECT_EQ(a.names, b.names);
+  EXPECT_EQ(a.ring_of, b.ring_of);
+}
+
+TEST(NameChangeTest, GeneratesRequestedCounts) {
+  NameChangeOptions options;
+  options.num_legitimate = 100;
+  options.num_fraudulent = 150;
+  const auto sample = GenerateNameChangeSample(options);
+  ASSERT_EQ(sample.size(), 250u);
+  size_t fraud = 0;
+  for (const auto& pair : sample) fraud += pair.is_fraud;
+  EXPECT_EQ(fraud, 150u);
+}
+
+TEST(NameChangeTest, LegitimateChangesAreSmallerOnAverage) {
+  // The separation the ROC study relies on: fraud renames are drastic.
+  NameChangeOptions options;
+  options.num_legitimate = 400;
+  options.num_fraudulent = 400;
+  const auto sample = GenerateNameChangeSample(options);
+  double legit_total = 0, fraud_total = 0;
+  size_t legit_n = 0, fraud_n = 0;
+  for (const auto& pair : sample) {
+    const double d = Nsld(pair.old_name, pair.new_name);
+    if (pair.is_fraud) {
+      fraud_total += d;
+      ++fraud_n;
+    } else {
+      legit_total += d;
+      ++legit_n;
+    }
+  }
+  EXPECT_LT(legit_total / legit_n + 0.15, fraud_total / fraud_n);
+}
+
+TEST(NameChangeTest, ClassesOverlap) {
+  // With keep-token noise the classes must NOT be perfectly separable,
+  // otherwise the ROC comparison is degenerate.
+  NameChangeOptions options;
+  options.num_legitimate = 300;
+  options.num_fraudulent = 300;
+  const auto sample = GenerateNameChangeSample(options);
+  double max_legit = 0, min_fraud = 1;
+  for (const auto& pair : sample) {
+    const double d = Nsld(pair.old_name, pair.new_name);
+    if (pair.is_fraud) {
+      min_fraud = std::min(min_fraud, d);
+    } else {
+      max_legit = std::max(max_legit, d);
+    }
+  }
+  EXPECT_GT(max_legit, min_fraud);
+}
+
+}  // namespace
+}  // namespace tsj

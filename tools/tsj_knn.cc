@@ -1,0 +1,86 @@
+// tsj_knn: command-line K-nearest-neighbour queries under NSLD.
+//
+// Builds an NSLD VP-tree over a file of strings (one per line), then
+// answers queries: each query string (from --query or stdin lines) is
+// answered with its K nearest records as "rank<TAB>id<TAB>nsld<TAB>line".
+//
+// Usage:
+//   tsj_knn --input names.txt [--k 10] [--query "barak obama"]
+//
+// Without --query, queries are read from stdin, one per line.
+
+#include <iostream>
+#include <string>
+
+#include "metric/nsld_index.h"
+#include "text/tokenizer.h"
+#include "tokenized/corpus_io.h"
+
+namespace {
+
+void Answer(const tsj::NsldIndex& index,
+            const std::vector<std::string>& raw_lines,
+            const tsj::Tokenizer& tokenizer, const std::string& query,
+            size_t k) {
+  const auto matches = index.KNearest(tokenizer.Tokenize(query), k);
+  std::cout << "query: " << query << "\n";
+  size_t rank = 1;
+  for (const auto& match : matches) {
+    std::cout << rank++ << '\t' << match.id << '\t' << match.distance << '\t'
+              << raw_lines[match.id] << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string query;
+  size_t k = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--input") {
+      const char* v = next();
+      if (v == nullptr) break;
+      input_path = v;
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) break;
+      query = v;
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (v == nullptr) break;
+      k = static_cast<size_t>(std::atoll(v));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (input_path.empty()) {
+    std::cerr << "usage: tsj_knn --input FILE [--k K] [--query STRING]\n";
+    return 2;
+  }
+
+  tsj::Tokenizer tokenizer;
+  const auto loaded = tsj::ReadCorpusFromFile(input_path, tokenizer);
+  if (!loaded.ok()) {
+    std::cerr << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "indexing " << loaded->corpus.size() << " records...\n";
+  tsj::NsldIndex index(loaded->corpus);
+
+  if (!query.empty()) {
+    Answer(index, loaded->raw_lines, tokenizer, query, k);
+    return 0;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    Answer(index, loaded->raw_lines, tokenizer, line, k);
+  }
+  return 0;
+}
