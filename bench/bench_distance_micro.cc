@@ -109,6 +109,62 @@ void BM_SldExact(benchmark::State& state) {
 }
 BENCHMARK(BM_SldExact)->Arg(2)->Arg(4)->Arg(8);
 
+void BM_HungarianBounded(benchmark::State& state) {
+  // Budget set to half the optimal cost: the bounded solver must abort
+  // partway — the verify-stage fate of most surviving candidates.
+  Rng rng(9);
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> costs(k * k);
+  for (auto& c : costs) c = static_cast<int64_t>(rng.Uniform(20));
+  const int64_t budget = SolveAssignment(costs, k).total_cost / 2;
+  HungarianScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SolveAssignmentBounded(costs, k, budget, &scratch));
+  }
+}
+BENCHMARK(BM_HungarianBounded)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Budgeted-vs-exact verification: BM_SldExact above is the unbounded
+// baseline; these two bound the budget at the NSLD-threshold budget for a
+// dissimilar pair (early abort, the common case) and at a permissive budget
+// (full verification with banded weights).
+void BM_BoundedSldReject(benchmark::State& state) {
+  Rng rng(10);
+  const size_t tokens = static_cast<size_t>(state.range(0));
+  TokenizedString x, y;
+  for (size_t i = 0; i < tokens; ++i) {
+    x.push_back(MakeString(&rng, 6));
+    y.push_back(MakeString(&rng, 6));
+  }
+  const int64_t budget = SldBudgetFromThreshold(0.1, AggregateLength(x),
+                                                AggregateLength(y));
+  SldVerifyScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BoundedSld(x, y, budget, TokenAligning::kExact, &scratch));
+  }
+}
+BENCHMARK(BM_BoundedSldReject)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BoundedSldAccept(benchmark::State& state) {
+  Rng rng(11);
+  const size_t tokens = static_cast<size_t>(state.range(0));
+  TokenizedString x, y;
+  for (size_t i = 0; i < tokens; ++i) {
+    x.push_back(MakeString(&rng, 6));
+    y.push_back(x.back());  // identical multisets: SLD = 0, always accepted
+  }
+  const int64_t budget = SldBudgetFromThreshold(0.1, AggregateLength(x),
+                                                AggregateLength(y));
+  SldVerifyScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BoundedSld(x, y, budget, TokenAligning::kExact, &scratch));
+  }
+}
+BENCHMARK(BM_BoundedSldAccept)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_SldGreedy(benchmark::State& state) {
   Rng rng(8);
   const size_t tokens = static_cast<size_t>(state.range(0));

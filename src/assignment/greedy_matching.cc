@@ -7,6 +7,34 @@ namespace tsj {
 
 namespace {
 
+// The cheapest edge whose row and column are both still free, under the
+// canonical (cost, row, col) tie-break every greedy path must share: the
+// row-major scan picks the first occurrence of the minimum, i.e. the
+// lexicographic minimum. Keeping this in one place is what guarantees
+// SolveAssignmentGreedyBounded reproduces SolveAssignmentGreedy exactly.
+struct EdgePick {
+  int64_t cost = 0;
+  size_t row = 0;
+  size_t col = 0;
+};
+EdgePick PickCheapestFreeEdge(const int64_t* costs, size_t n,
+                              const char* row_used, const char* col_used) {
+  EdgePick best;
+  bool found = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (row_used[i]) continue;
+    for (size_t j = 0; j < n; ++j) {
+      if (col_used[j]) continue;
+      const int64_t c = costs[i * n + j];
+      if (!found || c < best.cost) {
+        best = EdgePick{c, i, j};
+        found = true;
+      }
+    }
+  }
+  return best;
+}
+
 // Allocation-free variant for the small bigraphs that dominate name
 // workloads (T(x^t) <= 8): repeatedly scan the remaining matrix for the
 // cheapest edge. O(n^3) scans but with trivial constants; equivalent
@@ -15,31 +43,51 @@ AssignmentResult SolveSmallGreedy(const std::vector<int64_t>& costs,
                                   size_t n) {
   AssignmentResult result;
   result.assignment.assign(n, n);
-  bool row_used[8] = {}, col_used[8] = {};
+  char row_used[8] = {}, col_used[8] = {};
   for (size_t round = 0; round < n; ++round) {
-    int64_t best_cost = 0;
-    size_t best_row = n, best_col = n;
-    for (size_t i = 0; i < n; ++i) {
-      if (row_used[i]) continue;
-      for (size_t j = 0; j < n; ++j) {
-        if (col_used[j]) continue;
-        const int64_t c = costs[i * n + j];
-        if (best_row == n || c < best_cost) {
-          best_cost = c;
-          best_row = i;
-          best_col = j;
-        }
-      }
-    }
-    row_used[best_row] = true;
-    col_used[best_col] = true;
-    result.assignment[best_row] = best_col;
-    result.total_cost += best_cost;
+    const EdgePick pick =
+        PickCheapestFreeEdge(costs.data(), n, row_used, col_used);
+    row_used[pick.row] = 1;
+    col_used[pick.col] = 1;
+    result.assignment[pick.row] = pick.col;
+    result.total_cost += pick.cost;
   }
   return result;
 }
 
 }  // namespace
+
+BoundedAssignmentResult SolveAssignmentGreedyBounded(
+    const std::vector<int64_t>& costs, size_t n, int64_t budget) {
+  assert(costs.size() == n * n);
+  BoundedAssignmentResult result;
+  if (budget < 0) {
+    result.within_budget = false;
+    return result;
+  }
+  if (n == 0) return result;
+
+  // Greedy costs accumulate monotonically (all edges non-negative), which
+  // makes the per-round budget check lossless; the shared edge picker
+  // guarantees a within-budget run reports SolveAssignmentGreedy's total.
+  thread_local std::vector<char> row_used, col_used;
+  row_used.assign(n, 0);
+  col_used.assign(n, 0);
+  for (size_t round = 0; round < n; ++round) {
+    const EdgePick pick =
+        PickCheapestFreeEdge(costs.data(), n, row_used.data(),
+                             col_used.data());
+    row_used[pick.row] = 1;
+    col_used[pick.col] = 1;
+    result.total_cost += pick.cost;
+    result.rows_completed = round + 1;
+    if (result.total_cost > budget) {
+      result.within_budget = false;
+      return result;
+    }
+  }
+  return result;
+}
 
 AssignmentResult SolveAssignmentGreedy(const std::vector<int64_t>& costs,
                                        size_t n) {

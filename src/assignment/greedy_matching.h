@@ -20,6 +20,15 @@ namespace tsj {
 AssignmentResult SolveAssignmentGreedy(const std::vector<int64_t>& costs,
                                        size_t n);
 
+/// Budget-bounded greedy matching with the identical (cost, row, column)
+/// selection order: the running total is monotone, so the solve stops as
+/// soon as it exceeds `budget`. When within_budget is true the reported
+/// cost equals SolveAssignmentGreedy's total_cost exactly. Allocation-free
+/// after per-thread warm-up (the token bigraphs it serves are small, so it
+/// always uses the scan formulation). rows_completed counts greedy rounds.
+BoundedAssignmentResult SolveAssignmentGreedyBounded(
+    const std::vector<int64_t>& costs, size_t n, int64_t budget);
+
 }  // namespace tsj
 
 #endif  // TSJ_ASSIGNMENT_GREEDY_MATCHING_H_

@@ -5,67 +5,117 @@
 
 namespace tsj {
 
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+
+// Budget sentinel for the unbounded SolveAssignment path: disables the
+// early exit entirely, since documented-legal cost matrices (totals up to
+// ~2^62) can push the partial matching cost past any finite check value
+// while the solve is still obligated to complete.
+constexpr int64_t kNoBudget = std::numeric_limits<int64_t>::max();
+
+HungarianScratch& ThreadScratch() {
+  thread_local HungarianScratch scratch;
+  return scratch;
+}
+
+// Hungarian algorithm with row/column potentials, the standard O(n^3)
+// shortest-augmenting-path formulation (1-indexed internal arrays). Inserts
+// rows one at a time; after row i the invariant -v[0] == cost of the
+// minimum-weight matching of rows 1..i holds, and with non-negative costs
+// that value is monotone in i — the budget check exploits exactly this.
+// On a within-budget return, scratch->p[j] holds the row matched to column
+// j (0 = unmatched), from which the assignment is recovered.
+BoundedAssignmentResult RunHungarian(const int64_t* costs, size_t n,
+                                     int64_t budget, HungarianScratch* s) {
+  BoundedAssignmentResult result;
+  if (budget < 0) {
+    result.within_budget = false;
+    return result;
+  }
+  if (n == 0) return result;
+
+  s->u.assign(n + 1, 0);
+  s->v.assign(n + 1, 0);
+  s->p.assign(n + 1, 0);    // p[j] = row matched to column j
+  s->way.assign(n + 1, 0);  // back-pointers along the path
+
+  for (size_t i = 1; i <= n; ++i) {
+    s->p[0] = i;
+    size_t j0 = 0;  // virtual column holding the unmatched row
+    s->minv.assign(n + 1, kInf);
+    s->used.assign(n + 1, 0);
+    do {
+      s->used[j0] = 1;
+      const size_t i0 = s->p[j0];
+      int64_t delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (s->used[j]) continue;
+        const int64_t cur = costs[(i0 - 1) * n + (j - 1)] - s->u[i0] - s->v[j];
+        if (cur < s->minv[j]) {
+          s->minv[j] = cur;
+          s->way[j] = j0;
+        }
+        if (s->minv[j] < delta) {
+          delta = s->minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (s->used[j]) {
+          s->u[s->p[j]] += delta;
+          s->v[j] -= delta;
+        } else {
+          s->minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (s->p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const size_t j1 = s->way[j0];
+      s->p[j0] = s->p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+
+    result.rows_completed = i;
+    result.total_cost = -s->v[0];
+    if (budget != kNoBudget && result.total_cost > budget) {
+      result.within_budget = false;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
 AssignmentResult SolveAssignment(const std::vector<int64_t>& costs, size_t n) {
   assert(costs.size() == n * n);
   AssignmentResult result;
   if (n == 0) return result;
 
-  // Hungarian algorithm with row/column potentials, the standard O(n^3)
-  // shortest-augmenting-path formulation (1-indexed internal arrays).
-  constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
-  std::vector<int64_t> u(n + 1, 0), v(n + 1, 0);
-  std::vector<size_t> p(n + 1, 0);    // p[j] = row matched to column j
-  std::vector<size_t> way(n + 1, 0);  // back-pointers along the path
-
-  for (size_t i = 1; i <= n; ++i) {
-    p[0] = i;
-    size_t j0 = 0;  // virtual column holding the unmatched row
-    std::vector<int64_t> minv(n + 1, kInf);
-    std::vector<bool> used(n + 1, false);
-    do {
-      used[j0] = true;
-      const size_t i0 = p[j0];
-      int64_t delta = kInf;
-      size_t j1 = 0;
-      for (size_t j = 1; j <= n; ++j) {
-        if (used[j]) continue;
-        const int64_t cur =
-            costs[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
-        if (cur < minv[j]) {
-          minv[j] = cur;
-          way[j] = j0;
-        }
-        if (minv[j] < delta) {
-          delta = minv[j];
-          j1 = j;
-        }
-      }
-      for (size_t j = 0; j <= n; ++j) {
-        if (used[j]) {
-          u[p[j]] += delta;
-          v[j] -= delta;
-        } else {
-          minv[j] -= delta;
-        }
-      }
-      j0 = j1;
-    } while (p[j0] != 0);
-    // Augment along the alternating path.
-    do {
-      const size_t j1 = way[j0];
-      p[j0] = p[j1];
-      j0 = j1;
-    } while (j0 != 0);
-  }
+  HungarianScratch* scratch = &ThreadScratch();
+  RunHungarian(costs.data(), n, kNoBudget, scratch);
 
   result.assignment.resize(n);
   for (size_t j = 1; j <= n; ++j) {
-    result.assignment[p[j] - 1] = j - 1;
+    result.assignment[scratch->p[j] - 1] = j - 1;
   }
   for (size_t i = 0; i < n; ++i) {
     result.total_cost += costs[i * n + result.assignment[i]];
   }
   return result;
+}
+
+BoundedAssignmentResult SolveAssignmentBounded(
+    const std::vector<int64_t>& costs, size_t n, int64_t budget,
+    HungarianScratch* scratch) {
+  assert(costs.size() == n * n);
+  if (scratch == nullptr) scratch = &ThreadScratch();
+  return RunHungarian(costs.data(), n, budget, scratch);
 }
 
 }  // namespace tsj

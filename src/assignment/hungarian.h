@@ -4,6 +4,18 @@
 // TSJ's final verification (Sec. III-F) computes SLD(x^t, y^t) as the
 // minimum-weight perfect matching of the token bigraph whose edge weights
 // are token-level Levenshtein distances; this module supplies that solver.
+//
+// Two entry points:
+//  * SolveAssignment: full solve, returns the optimal assignment and cost.
+//  * SolveAssignmentBounded: threshold-aware variant for the budget-aware
+//    verification engine (tokenized/sld.h). In the shortest-augmenting-path
+//    formulation the cost of the optimal matching of the rows inserted so
+//    far equals -v[0], and with non-negative costs that partial cost is
+//    monotone non-decreasing in the number of rows; the bounded solver
+//    checks it after every row insertion and stops as soon as it exceeds
+//    the budget — certifying cost > budget without finishing the solve. It
+//    never returns a wrong total: when within_budget is true the reported
+//    cost is the exact optimum.
 
 #ifndef TSJ_ASSIGNMENT_HUNGARIAN_H_
 #define TSJ_ASSIGNMENT_HUNGARIAN_H_
@@ -22,10 +34,41 @@ struct AssignmentResult {
   int64_t total_cost = 0;
 };
 
+/// Result of a budget-bounded assignment solve.
+struct BoundedAssignmentResult {
+  /// Exact optimal cost when within_budget; otherwise a partial-matching
+  /// lower bound that already exceeds the budget.
+  int64_t total_cost = 0;
+  /// True iff the optimal matching costs at most the budget.
+  bool within_budget = true;
+  /// Rows inserted before the solve finished or gave up; the per-row work
+  /// is O(n^2), so rows_completed * n^2 approximates the work done.
+  size_t rows_completed = 0;
+};
+
+/// Reusable per-call workspace for the solvers. The verify loop solves one
+/// assignment per surviving candidate; passing the same scratch from a
+/// worker thread makes the loop allocation-free after warm-up.
+struct HungarianScratch {
+  std::vector<int64_t> u, v, minv;
+  std::vector<size_t> p, way;
+  std::vector<char> used;
+};
+
 /// Solves the n x n assignment problem exactly. `costs` must have n*n
 /// entries; costs may be any non-negative int64 (larger values are fine,
 /// no overflow for totals below ~2^62). n == 0 yields an empty matching.
 AssignmentResult SolveAssignment(const std::vector<int64_t>& costs, size_t n);
+
+/// Budget-bounded exact solve: returns {cost, true} with the exact optimal
+/// cost when it is at most `budget`, and {partial cost > budget, false} as
+/// soon as the monotone partial-matching cost proves the optimum exceeds
+/// the budget. A negative budget fails immediately (any matching of
+/// non-negative costs is at least 0). `scratch` may be nullptr (a
+/// thread-local workspace is used); no allocation occurs on a warm scratch.
+BoundedAssignmentResult SolveAssignmentBounded(
+    const std::vector<int64_t>& costs, size_t n, int64_t budget,
+    HungarianScratch* scratch = nullptr);
 
 }  // namespace tsj
 

@@ -6,14 +6,55 @@
 
 namespace tsj {
 
+namespace {
+
+// Strips the common prefix and suffix of x and y in place. Any optimal edit
+// script maps equal ends onto each other, so LD is unchanged by trimming;
+// the DP then runs only on the differing core. Trims the prefix first, so a
+// fully shared string collapses to two empty views.
+void TrimCommonAffixes(std::string_view* x, std::string_view* y) {
+  size_t prefix = 0;
+  const size_t shorter = std::min(x->size(), y->size());
+  while (prefix < shorter && (*x)[prefix] == (*y)[prefix]) ++prefix;
+  x->remove_prefix(prefix);
+  y->remove_prefix(prefix);
+  size_t suffix = 0;
+  const size_t core = std::min(x->size(), y->size());
+  while (suffix < core &&
+         (*x)[x->size() - 1 - suffix] == (*y)[y->size() - 1 - suffix]) {
+    ++suffix;
+  }
+  x->remove_suffix(suffix);
+  y->remove_suffix(suffix);
+}
+
+// Per-thread DP rows, reused across calls: the verify loop computes millions
+// of token-level distances and must not allocate per call.
+struct LevenshteinScratch {
+  std::vector<uint32_t> prev;
+  std::vector<uint32_t> curr;
+};
+
+LevenshteinScratch& Scratch() {
+  thread_local LevenshteinScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 uint32_t Levenshtein(std::string_view x, std::string_view y) {
+  TrimCommonAffixes(&x, &y);
   if (x.size() > y.size()) std::swap(x, y);  // x is the shorter row.
   const size_t n = x.size();
   const size_t m = y.size();
   if (n == 0) return static_cast<uint32_t>(m);
 
   // Two-row DP over the shorter string.
-  std::vector<uint32_t> prev(n + 1), curr(n + 1);
+  LevenshteinScratch& scratch = Scratch();
+  std::vector<uint32_t>& prev = scratch.prev;
+  std::vector<uint32_t>& curr = scratch.curr;
+  prev.resize(n + 1);
+  curr.resize(n + 1);
   for (size_t i = 0; i <= n; ++i) prev[i] = static_cast<uint32_t>(i);
   for (size_t j = 1; j <= m; ++j) {
     curr[0] = static_cast<uint32_t>(j);
@@ -31,6 +72,7 @@ uint32_t Levenshtein(std::string_view x, std::string_view y) {
 
 uint32_t BoundedLevenshtein(std::string_view x, std::string_view y,
                             uint32_t bound) {
+  TrimCommonAffixes(&x, &y);
   if (x.size() > y.size()) std::swap(x, y);
   const size_t n = x.size();
   const size_t m = y.size();
@@ -42,7 +84,11 @@ uint32_t BoundedLevenshtein(std::string_view x, std::string_view y,
   const uint32_t kInf = bound + 1;
   // Banded DP: only cells with |i - j| <= bound can hold values <= bound.
   // Row j covers i in [lo, hi].
-  std::vector<uint32_t> prev(n + 1, kInf), curr(n + 1, kInf);
+  LevenshteinScratch& scratch = Scratch();
+  std::vector<uint32_t>& prev = scratch.prev;
+  std::vector<uint32_t>& curr = scratch.curr;
+  prev.assign(n + 1, kInf);
+  curr.assign(n + 1, kInf);
   const size_t band = bound;
   for (size_t i = 0; i <= std::min(n, band); ++i) {
     prev[i] = static_cast<uint32_t>(i);

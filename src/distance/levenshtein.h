@@ -5,6 +5,10 @@
 // needed (e.g. SLD bigraph weights). The banded verifier is the workhorse of
 // candidate verification: given a bound U it runs in O((2U+1)·min(|x|,|y|))
 // and stops early once every cell of a row exceeds U.
+//
+// Both kernels strip the common prefix and suffix before the DP (equal ends
+// never contribute edits) and keep their DP rows in per-thread scratch, so
+// the verify loop's millions of token-level calls allocate nothing.
 
 #ifndef TSJ_DISTANCE_LEVENSHTEIN_H_
 #define TSJ_DISTANCE_LEVENSHTEIN_H_

@@ -62,6 +62,32 @@ class HmjRunner {
                        corpus_.aggregate_length(b));
   }
 
+  // Budget-bounded leaf verification: partitioning needs full distance
+  // values (Distance above), but the final join check only needs a verdict
+  // against the threshold, so the NSLD threshold converts to an integer SLD
+  // budget and the bounded engine skips the work a doomed pair would waste.
+  // Returns true iff NSLD(a, b) <= threshold, with *nsld then holding the
+  // exact NSLD — identical to the Distance-based decision and value.
+  bool DistanceWithin(uint32_t a, uint32_t b, double* nsld) {
+    const uint64_t done =
+        state_->distance_computations.fetch_add(1, std::memory_order_relaxed);
+    if (options_.work_limit > 0 && done >= options_.work_limit) {
+      state_->aborted.store(true, std::memory_order_relaxed);
+    }
+    const size_t la = corpus_.aggregate_length(a);
+    const size_t lb = corpus_.aggregate_length(b);
+    const int64_t budget =
+        SldBudgetFromThreshold(options_.threshold, la, lb);
+    thread_local SldVerifyScratch scratch;
+    const BoundedSldResult verdict =
+        BoundedSld(strings_[a], strings_[b], budget, options_.aligning,
+                   &scratch);
+    AddWorkUnits(verdict.work_units);
+    if (!verdict.within_budget) return false;
+    *nsld = NsldFromSld(verdict.sld, la, lb);
+    return true;
+  }
+
   bool aborted() const {
     return state_->aborted.load(std::memory_order_relaxed);
   }
@@ -139,8 +165,8 @@ class HmjRunner {
           state_->pivot_filtered.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        const double d = Distance(u.id, v.id);
-        if (d <= options_.threshold) {
+        double d = 0.0;
+        if (DistanceWithin(u.id, v.id, &d)) {
           out->push_back(TsjPair{std::min(u.id, v.id), std::max(u.id, v.id),
                                  d});
         }

@@ -62,6 +62,12 @@ class Corpus {
   /// verification resolves ids to strings, Sec. III-F).
   TokenizedString Materialize(StringId id) const;
 
+  /// Materializes string `id` into `*out`, reusing its existing token and
+  /// character capacity. Verify-loop workers call this with a per-thread
+  /// scratch buffer (e.g. SldVerifyScratch::x/y) instead of Materialize,
+  /// so steady-state verification allocates nothing per candidate.
+  void MaterializeInto(StringId id, TokenizedString* out) const;
+
   /// Number of tokenized strings that contain each token at least once
   /// (document frequency); indexed by TokenId. Used for the
   /// high-frequency-token optimization (Sec. III-G.2) and IDF weights.

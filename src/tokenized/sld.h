@@ -8,12 +8,47 @@
 // weight LD(token_i, token_j) (Sec. III-F). The exact solver uses the
 // Hungarian algorithm in O(max(T(x),T(y))^3); the greedy-token-aligning
 // approximation (Sec. III-G.5) repeatedly picks the cheapest remaining edge.
+//
+// Budget-aware verification engine
+// --------------------------------
+// The join's verify stage only needs a yes/no answer against the NSLD
+// threshold, and Def. 4 converts that threshold into an integer SLD budget:
+//
+//   NSLD(x, y) <= t  <=>  2*sld / (L(x)+L(y)+sld) <= t
+//                    <=>  sld <= t * (L(x)+L(y)) / (2 - t)
+//
+// so  B = floor(t*(L(x)+L(y))/(2-t))  (SldBudgetFromThreshold; the floor is
+// FP-proofed against the exact NsldFromSld predicate) and the verification
+// becomes "is SLD <= B". BoundedSld threads that budget through every layer:
+//
+//   * each bigraph edge is computed with BoundedLevenshtein capped at the
+//     budget still available to its row, and clamped to cap+1 on overflow —
+//     a matching that uses a clamped edge provably costs more than B, so
+//     clamping never changes the within-budget decision or, when within,
+//     the exact SLD value (see the invariants below);
+//   * identical tokens short-circuit to cost 0 without running the DP, and
+//     duplicate tokens within either multiset reuse the memoized row/entry;
+//   * the running sum of per-row minima is a lossless lower bound on the
+//     matching cost; the build aborts as soon as it exceeds B;
+//   * the assignment solve itself is budget-bounded (SolveAssignmentBounded
+//     / SolveAssignmentGreedyBounded) and stops once its monotone partial
+//     cost passes B.
+//
+// Invariants of the bounded path (relied on by tsj/tsj.cc and hmj/hmj.cc):
+//   1. within_budget == (SLD(x, y) <= B) under the chosen aligning — the
+//      bounded path may skip work but never flips the join decision;
+//   2. when within_budget, BoundedSldResult::sld is the *exact* SLD (resp.
+//      the exact greedy-aligning cost), so reported NSLD values are
+//      byte-identical to the unbounded path;
+//   3. work_units never exceeds the unbounded cost model of SldWorkUnits.
 
 #ifndef TSJ_TOKENIZED_SLD_H_
 #define TSJ_TOKENIZED_SLD_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "assignment/hungarian.h"
 #include "tokenized/tokenized_string.h"
 
 namespace tsj {
@@ -40,16 +75,58 @@ double Nsld(const TokenizedString& x, const TokenizedString& y,
             TokenAligning aligning = TokenAligning::kExact);
 
 /// True iff NSLD(x, y) <= threshold under the chosen aligning. Applies the
-/// Lemma 6 length filter before computing any edit distance.
+/// Lemma 6 length filter, then runs the budget-bounded SLD.
 bool NsldWithin(const TokenizedString& x, const TokenizedString& y,
                 double threshold,
                 TokenAligning aligning = TokenAligning::kExact);
 
-/// Deterministic operation count of one SLD evaluation, used for cluster
-/// cost accounting (mapreduce/work_units.h): the L(x)*L(y) DP cells of the
-/// bigraph weights plus the assignment-solver steps — 3*k^3 for the
-/// Hungarian algorithm, 2*k^2 for the small-k greedy scan, constants
-/// calibrated against bench_distance_micro.
+/// The largest integer SLD consistent with NSLD <= threshold for strings
+/// of aggregate lengths len_x and len_y: max{s >= 0 : NsldFromSld(s) <=
+/// threshold}, i.e. floor(t*(L(x)+L(y))/(2-t)) FP-proofed against the
+/// NsldFromSld predicate so that  sld <= budget  <=>  NSLD <= threshold
+/// holds exactly. Returns -1 for threshold < 0 (nothing joins) and
+/// len_x+len_y for threshold >= 1 (SLD never exceeds L(x)+L(y)).
+int64_t SldBudgetFromThreshold(double threshold, size_t len_x, size_t len_y);
+
+/// Reusable workspace for BoundedSld: the bigraph cost matrix, the
+/// duplicate-token memoization tables, the Hungarian solver scratch, and
+/// two TokenizedString buffers callers may use with
+/// Corpus::MaterializeInto so the whole verify loop is allocation-free
+/// after per-thread warm-up. BoundedSld never touches `x`/`y`.
+struct SldVerifyScratch {
+  std::vector<int64_t> costs;
+  std::vector<uint32_t> rep_x, rep_y;
+  HungarianScratch hungarian;
+  TokenizedString x, y;
+};
+
+/// Result of one budget-bounded SLD evaluation.
+struct BoundedSldResult {
+  /// Exact SLD under the chosen aligning when within_budget; otherwise
+  /// some value > budget (typically a partial lower bound).
+  int64_t sld = 0;
+  /// True iff SLD(x, y) <= budget under the chosen aligning.
+  bool within_budget = true;
+  /// Deterministic count of the operations actually performed (banded DP
+  /// cells, solver rows), in the same units as SldWorkUnits.
+  uint64_t work_units = 0;
+};
+
+/// Budget-bounded SLD (see the file comment for the derivation and the
+/// invariants). `scratch` may be nullptr (a thread-local workspace is
+/// used). A negative budget fails immediately.
+BoundedSldResult BoundedSld(const TokenizedString& x,
+                            const TokenizedString& y, int64_t budget,
+                            TokenAligning aligning = TokenAligning::kExact,
+                            SldVerifyScratch* scratch = nullptr);
+
+/// Deterministic operation count of one *unbounded* SLD evaluation, used
+/// for cluster cost accounting (mapreduce/work_units.h): the L(x)*L(y) DP
+/// cells of the bigraph weights plus the assignment-solver steps — 3*k^3
+/// for the Hungarian algorithm, 2*k^2 for the small-k greedy scan,
+/// constants calibrated against bench_distance_micro. The budgeted verify
+/// path reports the work actually performed through
+/// BoundedSldResult::work_units instead (same units, never larger).
 uint64_t SldWorkUnits(size_t len_x, size_t len_y, size_t num_tokens_x,
                       size_t num_tokens_y, TokenAligning aligning);
 

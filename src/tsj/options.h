@@ -58,6 +58,14 @@ struct TsjOptions {
   /// Token-length-histogram filter (Sec. III-E.2). Lossless.
   bool enable_histogram_filter = true;
 
+  /// Budget-aware verification (tokenized/sld.h): converts the NSLD
+  /// threshold into an integer SLD budget per candidate and verifies with
+  /// BoundedSld, which skips DP/solver work as soon as the pair provably
+  /// misses the threshold. Lossless: joins the same pairs with the same
+  /// NSLD values as the unbounded path. Disable only to measure the
+  /// unbounded baseline (bench_ablation does).
+  bool enable_budgeted_verify = true;
+
   /// MapReduce engine configuration shared by all pipeline jobs.
   MapReduceOptions mapreduce;
 

@@ -42,6 +42,7 @@ struct Counters {
   std::atomic<uint64_t> length_filtered{0};
   std::atomic<uint64_t> histogram_filtered{0};
   std::atomic<uint64_t> verified_candidates{0};
+  std::atomic<uint64_t> verify_work_units{0};
 };
 
 // Filter + verify one distinct candidate pair, with `a` resolved against
@@ -68,12 +69,31 @@ void FilterAndVerify(const Corpus& corpus_a, const Corpus& corpus_b,
     return;
   }
   counters->verified_candidates.fetch_add(1, std::memory_order_relaxed);
-  // Final verification (Sec. III-F): resolve ids to token multisets and
-  // compute SLD under the configured aligning.
-  const TokenizedString x = corpus_a.Materialize(a);
-  const TokenizedString y = corpus_b.Materialize(b);
-  AddWorkUnits(SldWorkUnits(la, lb, x.size(), y.size(), options.aligning));
-  const int64_t sld = Sld(x, y, options.aligning);
+  // Final verification (Sec. III-F): resolve ids to token multisets into
+  // per-thread scratch and run the budget-aware SLD engine — the NSLD
+  // threshold converts to an integer SLD budget (tokenized/sld.h), and the
+  // bounded path only ever skips work, never changes the decision or the
+  // reported NSLD.
+  thread_local SldVerifyScratch scratch;
+  corpus_a.MaterializeInto(a, &scratch.x);
+  corpus_b.MaterializeInto(b, &scratch.y);
+  if (options.enable_budgeted_verify) {
+    const int64_t budget = SldBudgetFromThreshold(t, la, lb);
+    const BoundedSldResult verdict =
+        BoundedSld(scratch.x, scratch.y, budget, options.aligning, &scratch);
+    AddWorkUnits(verdict.work_units);
+    counters->verify_work_units.fetch_add(verdict.work_units,
+                                          std::memory_order_relaxed);
+    if (verdict.within_budget) {
+      out->push_back(TsjPair{a, b, NsldFromSld(verdict.sld, la, lb)});
+    }
+    return;
+  }
+  const uint64_t work = SldWorkUnits(la, lb, scratch.x.size(),
+                                     scratch.y.size(), options.aligning);
+  AddWorkUnits(work);
+  counters->verify_work_units.fetch_add(work, std::memory_order_relaxed);
+  const int64_t sld = Sld(scratch.x, scratch.y, options.aligning);
   const double nsld = NsldFromSld(sld, la, lb);
   if (nsld <= t) {
     out->push_back(TsjPair{a, b, nsld});
@@ -109,7 +129,10 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   // reduce: token  -> all unordered pairs of its strings.
   auto map_tokens = [&corpus, &surviving](const uint32_t& s,
                                           Emitter<uint32_t, uint32_t>* out) {
-    std::vector<TokenId> distinct(corpus.tokens(s));
+    // Sort/unique into a per-thread buffer: the map side runs once per
+    // string and must not allocate a token-vector copy every call.
+    thread_local std::vector<TokenId> distinct;
+    distinct.assign(corpus.tokens(s).begin(), corpus.tokens(s).end());
     std::sort(distinct.begin(), distinct.end());
     distinct.erase(std::unique(distinct.begin(), distinct.end()),
                    distinct.end());
@@ -164,8 +187,9 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
     local_info.similar_token_pairs = token_pairs.size();
 
     postings.resize(corpus.num_distinct_tokens());
+    std::vector<TokenId> distinct;
     for (uint32_t s = 0; s < corpus.size(); ++s) {
-      std::vector<TokenId> distinct(corpus.tokens(s));
+      distinct.assign(corpus.tokens(s).begin(), corpus.tokens(s).end());
       std::sort(distinct.begin(), distinct.end());
       distinct.erase(std::unique(distinct.begin(), distinct.end()),
                      distinct.end());
@@ -276,6 +300,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   local_info.length_filtered = counters.length_filtered;
   local_info.histogram_filtered = counters.histogram_filtered;
   local_info.verified_candidates = counters.verified_candidates;
+  local_info.verify_work_units = counters.verify_work_units;
   local_info.result_pairs = results.size();
   if (info != nullptr) *info = std::move(local_info);
   return results;
@@ -541,6 +566,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
   local_info.length_filtered = counters.length_filtered;
   local_info.histogram_filtered = counters.histogram_filtered;
   local_info.verified_candidates = counters.verified_candidates;
+  local_info.verify_work_units = counters.verify_work_units;
   local_info.result_pairs = results.size();
   if (info != nullptr) *info = std::move(local_info);
   return results;

@@ -9,8 +9,14 @@
 //             candidates pruned by the Lemma 6 length filter and the
 //             token-length-histogram SLD lower bound (Sec. III-E) — both
 //             lossless;
-//   verify:   surviving pairs resolved to token multisets and checked with
-//             SLD (exact Hungarian, or greedy-token-aligning, Sec. III-F).
+//   verify:   surviving pairs resolved to token multisets (into per-thread
+//             scratch via Corpus::MaterializeInto) and checked with the
+//             budget-aware SLD engine (tokenized/sld.h): the NSLD threshold
+//             becomes an integer SLD budget, and BoundedSld certifies
+//             "within" (with the exact SLD, so reported NSLD values match
+//             the unbounded path byte-for-byte) or "over" while skipping
+//             the DP/solver work a doomed pair would waste (Sec. III-F;
+//             exact Hungarian or greedy-token-aligning per Sec. III-G.5).
 //
 // Every stage runs on the in-process MapReduce engine and records JobStats,
 // so a run can be replayed through the simulated-cluster model at any
@@ -62,6 +68,12 @@ struct TsjRunInfo {
   uint64_t histogram_filtered = 0;
   /// Candidates that reached full SLD verification.
   uint64_t verified_candidates = 0;
+  /// Deterministic work units spent inside SLD verification (same units as
+  /// SldWorkUnits). With budgeted verify this counts the operations
+  /// actually performed, so comparing it against an
+  /// enable_budgeted_verify=false run measures the verification saving
+  /// directly (bench_ablation does exactly that).
+  uint64_t verify_work_units = 0;
   /// Pairs in the final result.
   uint64_t result_pairs = 0;
 };

@@ -71,6 +71,40 @@ TEST(GreedyMatchingTest, OptimalWhenMatrixHasZeroDiagonal) {
   EXPECT_EQ(greedy.total_cost, 0);
 }
 
+TEST(GreedyMatchingBoundedTest, AgreesWithGreedyAcrossBudgets) {
+  // The bounded greedy must reproduce SolveAssignmentGreedy bit-for-bit
+  // whenever the greedy total fits the budget — including above n = 8,
+  // where the unbounded solver switches to its sort-based formulation.
+  Rng rng(777);
+  for (size_t n = 1; n <= 12; ++n) {
+    for (int trial = 0; trial < 30; ++trial) {
+      std::vector<int64_t> costs(n * n);
+      for (auto& c : costs) c = static_cast<int64_t>(rng.Uniform(25));
+      const int64_t greedy = SolveAssignmentGreedy(costs, n).total_cost;
+      const int64_t budgets[] = {0,          greedy - 2, greedy,
+                                 greedy + 1, 1 << 20};
+      for (int64_t budget : budgets) {
+        const BoundedAssignmentResult bounded =
+            SolveAssignmentGreedyBounded(costs, n, budget);
+        EXPECT_EQ(bounded.within_budget, greedy <= budget)
+            << "n=" << n << " budget=" << budget << " greedy=" << greedy;
+        if (bounded.within_budget) {
+          EXPECT_EQ(bounded.total_cost, greedy);
+        } else {
+          EXPECT_GT(bounded.total_cost, budget);
+        }
+      }
+    }
+  }
+}
+
+TEST(GreedyMatchingBoundedTest, EdgeCases) {
+  EXPECT_TRUE(SolveAssignmentGreedyBounded({}, 0, 0).within_budget);
+  EXPECT_FALSE(SolveAssignmentGreedyBounded({}, 0, -1).within_budget);
+  EXPECT_TRUE(SolveAssignmentGreedyBounded({3}, 1, 3).within_budget);
+  EXPECT_FALSE(SolveAssignmentGreedyBounded({3}, 1, 2).within_budget);
+}
+
 TEST(GreedyMatchingTest, DeterministicTieBreaking) {
   const std::vector<int64_t> costs(16, 5);  // all ties
   const AssignmentResult a = SolveAssignmentGreedy(costs, 4);

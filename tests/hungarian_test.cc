@@ -100,6 +100,60 @@ TEST(HungarianTest, LargeUniformMatrixIsAnyPermutation) {
   EXPECT_TRUE(IsPermutation(result.assignment, n));
 }
 
+TEST(SolveAssignmentBoundedTest, EmptyProblem) {
+  const BoundedAssignmentResult zero = SolveAssignmentBounded({}, 0, 0);
+  EXPECT_TRUE(zero.within_budget);
+  EXPECT_EQ(zero.total_cost, 0);
+  const BoundedAssignmentResult negative = SolveAssignmentBounded({}, 0, -1);
+  EXPECT_FALSE(negative.within_budget);
+}
+
+TEST(SolveAssignmentBoundedTest, SingleElement) {
+  EXPECT_TRUE(SolveAssignmentBounded({7}, 1, 7).within_budget);
+  EXPECT_EQ(SolveAssignmentBounded({7}, 1, 7).total_cost, 7);
+  EXPECT_FALSE(SolveAssignmentBounded({7}, 1, 6).within_budget);
+}
+
+TEST(SolveAssignmentBoundedTest, AgreesWithExactAcrossBudgets) {
+  // The bounded solver's contract: within_budget iff the exact optimum is
+  // at most the budget, and an exact total whenever within. Budgets sweep
+  // across the optimum so both the early-exit and the completing paths run.
+  Rng rng(4242);
+  HungarianScratch scratch;  // reused across every solve: must stay clean
+  for (size_t n = 1; n <= 7; ++n) {
+    for (int trial = 0; trial < 40; ++trial) {
+      std::vector<int64_t> costs(n * n);
+      for (auto& c : costs) c = static_cast<int64_t>(rng.Uniform(30));
+      const int64_t exact = SolveAssignment(costs, n).total_cost;
+      const int64_t budgets[] = {0,         exact - 3, exact - 1, exact,
+                                 exact + 1, exact + 5, 1 << 20};
+      for (int64_t budget : budgets) {
+        const BoundedAssignmentResult bounded =
+            SolveAssignmentBounded(costs, n, budget, &scratch);
+        EXPECT_EQ(bounded.within_budget, exact <= budget)
+            << "n=" << n << " budget=" << budget << " exact=" << exact;
+        if (bounded.within_budget) {
+          EXPECT_EQ(bounded.total_cost, exact);
+          EXPECT_EQ(bounded.rows_completed, n);
+        } else {
+          EXPECT_GT(bounded.total_cost, budget);
+        }
+      }
+    }
+  }
+}
+
+TEST(SolveAssignmentBoundedTest, EarlyExitReportsPartialRows) {
+  // A diagonal of 10s: after the first row the partial matching already
+  // costs 10 > 5, so the solve must stop without touching all rows.
+  const size_t n = 6;
+  std::vector<int64_t> costs(n * n, 10);
+  const BoundedAssignmentResult bounded = SolveAssignmentBounded(costs, n, 5);
+  EXPECT_FALSE(bounded.within_budget);
+  EXPECT_EQ(bounded.rows_completed, 1u);
+  EXPECT_GT(bounded.total_cost, 5);
+}
+
 TEST(HungarianTest, HandlesLargeCosts) {
   const int64_t big = int64_t{1} << 40;
   const std::vector<int64_t> costs = {
@@ -108,6 +162,19 @@ TEST(HungarianTest, HandlesLargeCosts) {
   };
   const AssignmentResult result = SolveAssignment(costs, 2);
   EXPECT_EQ(result.total_cost, 2 * big);
+}
+
+TEST(HungarianTest, HandlesCostsNearDocumentedLimit) {
+  // Totals close to the documented ~2^62 ceiling: the unbounded solve must
+  // complete (never trip the bounded path's early exit) and still return a
+  // full permutation with the exact optimal total.
+  const int64_t big = int64_t{1} << 60;
+  const size_t n = 4;
+  std::vector<int64_t> costs(n * n, big + 7);
+  for (size_t i = 0; i < n; ++i) costs[i * n + i] = big;
+  const AssignmentResult result = SolveAssignment(costs, n);
+  EXPECT_TRUE(IsPermutation(result.assignment, n));
+  EXPECT_EQ(result.total_cost, static_cast<int64_t>(n) * big);
 }
 
 }  // namespace

@@ -172,6 +172,123 @@ TEST(SldTest, SingleTokenStringsReduceToPlainEditDistance) {
   }
 }
 
+TEST(SldBudgetFromThresholdTest, ExactThresholdBoundary) {
+  // budget = max{s : NsldFromSld(s) <= t}: the integer budget and the NSLD
+  // comparison must agree exactly, or the bounded verify path would flip
+  // join decisions at the threshold boundary.
+  Rng rng(41);
+  const double thresholds[] = {0.0, 0.05, 0.1, 0.15, 0.25, 0.5, 0.75, 0.99};
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t lx = rng.Uniform(40);
+    const size_t ly = rng.Uniform(40);
+    const int64_t total = static_cast<int64_t>(lx + ly);
+    for (double t : thresholds) {
+      const int64_t budget = SldBudgetFromThreshold(t, lx, ly);
+      ASSERT_GE(budget, 0);
+      ASSERT_LE(budget, total);
+      EXPECT_LE(NsldFromSld(budget, lx, ly), t);
+      if (budget < total) EXPECT_GT(NsldFromSld(budget + 1, lx, ly), t);
+    }
+  }
+  EXPECT_EQ(SldBudgetFromThreshold(-0.1, 10, 10), -1);
+  EXPECT_EQ(SldBudgetFromThreshold(1.0, 10, 10), 20);
+}
+
+TEST(BoundedSldTest, MatchesExactAcrossBudgets) {
+  // The engine's core invariants: within_budget iff SLD <= budget, and the
+  // exact SLD whenever within — for both alignings, across budgets on both
+  // sides of the true distance (exercising the completing path, the
+  // row-minima abort, and the solver early exit).
+  Rng rng(42);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto a = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const auto b = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    for (TokenAligning aligning :
+         {TokenAligning::kExact, TokenAligning::kGreedy}) {
+      const int64_t exact = Sld(a, b, aligning);
+      const int64_t budgets[] = {0,         exact - 2, exact - 1, exact,
+                                 exact + 1, exact + 4, 1 << 20};
+      for (int64_t budget : budgets) {
+        const BoundedSldResult bounded = BoundedSld(a, b, budget, aligning);
+        EXPECT_EQ(bounded.within_budget, exact <= budget)
+            << "aligning=" << (aligning == TokenAligning::kExact ? "ex" : "gr")
+            << " budget=" << budget << " exact=" << exact;
+        if (bounded.within_budget) EXPECT_EQ(bounded.sld, exact);
+      }
+    }
+  }
+}
+
+TEST(BoundedSldTest, EdgeCardinalities) {
+  // k = 0: SLD = 0 fits any non-negative budget; a negative budget
+  // (threshold < 0) rejects even identical strings.
+  const TokenizedString empty;
+  EXPECT_TRUE(BoundedSld(empty, empty, 0).within_budget);
+  EXPECT_EQ(BoundedSld(empty, empty, 0).sld, 0);
+  EXPECT_FALSE(BoundedSld(empty, empty, -1).within_budget);
+  // k = 1 against empty: SLD = L(y).
+  const TokenizedString y = {"abc", "de"};
+  EXPECT_TRUE(BoundedSld(empty, y, 5).within_budget);
+  EXPECT_EQ(BoundedSld(empty, y, 5).sld, 5);
+  EXPECT_FALSE(BoundedSld(empty, y, 4).within_budget);
+  // k = 1 on both sides reduces to plain bounded LD.
+  EXPECT_TRUE(BoundedSld({"chan"}, {"chank"}, 1).within_budget);
+  EXPECT_EQ(BoundedSld({"chan"}, {"chank"}, 1).sld, 1);
+  EXPECT_FALSE(BoundedSld({"chan"}, {"chank"}, 0).within_budget);
+}
+
+TEST(BoundedSldTest, DuplicateTokensStayExact) {
+  // Multisets with repeated tokens drive the memoized row/entry path; the
+  // copied entries must behave exactly like freshly computed ones.
+  Rng rng(43);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto a = testutil::RandomTokenizedString(&rng, 1, 3, 1, 4, 2);
+    auto b = testutil::RandomTokenizedString(&rng, 1, 3, 1, 4, 2);
+    // Duplicate a random token on each side to force repetitions.
+    a.push_back(a[rng.Uniform(a.size())]);
+    b.push_back(b[rng.Uniform(b.size())]);
+    const int64_t exact = Sld(a, b);
+    for (int64_t budget : {exact - 1, exact, exact + 2}) {
+      const BoundedSldResult bounded = BoundedSld(a, b, budget);
+      EXPECT_EQ(bounded.within_budget, exact <= budget);
+      if (bounded.within_budget) EXPECT_EQ(bounded.sld, exact);
+    }
+  }
+}
+
+TEST(BoundedSldTest, WorkNeverExceedsUnboundedModel) {
+  // Invariant 3 of the header: the bounded path may only skip work, so its
+  // deterministic operation count stays within the SldWorkUnits model the
+  // exact path charges.
+  Rng rng(44);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const auto b = testutil::RandomTokenizedString(&rng, 0, 4, 1, 6);
+    const int64_t exact = Sld(a, b);
+    for (TokenAligning aligning :
+         {TokenAligning::kExact, TokenAligning::kGreedy}) {
+      for (int64_t budget : {int64_t{0}, exact, exact + 3}) {
+        const BoundedSldResult bounded = BoundedSld(a, b, budget, aligning);
+        EXPECT_LE(bounded.work_units,
+                  SldWorkUnits(AggregateLength(a), AggregateLength(b),
+                               a.size(), b.size(), aligning));
+      }
+    }
+  }
+}
+
+TEST(BoundedSldTest, TightBudgetSkipsWork) {
+  // A hopeless pair must cost far less than its unbounded verification:
+  // identical-token short-circuits plus the row-minima abort mean the DP
+  // never runs for most of the bigraph.
+  const TokenizedString x = {"aaaaaaaaaa", "bbbbbbbbbb", "cccccccccc"};
+  const TokenizedString y = {"dddddddddd", "eeeeeeeeee", "ffffffffff"};
+  const BoundedSldResult bounded = BoundedSld(x, y, 2);
+  EXPECT_FALSE(bounded.within_budget);
+  const uint64_t unbounded = SldWorkUnits(30, 30, 3, 3, TokenAligning::kExact);
+  EXPECT_LT(bounded.work_units, unbounded / 2);
+}
+
 TEST(SldWorkUnitsTest, ExactCostsMoreThanGreedyAndGrowsWithSize) {
   // The deterministic cost model behind the Figs. 2/3 runtime ordering.
   EXPECT_GT(SldWorkUnits(10, 10, 4, 4, TokenAligning::kExact),

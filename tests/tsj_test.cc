@@ -287,6 +287,46 @@ TEST(TsjTest, RunInfoCountersAreConsistent) {
             0u);
 }
 
+TEST(TsjTest, BudgetedVerifyIsByteIdenticalToUnbounded) {
+  // The budget-aware verification engine may only skip work: the joined
+  // pairs AND their reported NSLD values must match the unbounded path
+  // bit-for-bit, across thresholds and both alignings, while doing no more
+  // verify work.
+  Rng rng(5150);
+  Corpus corpus = MakeCorpus(&rng, 80);
+  for (double t : {0.05, 0.1, 0.2, 0.35}) {
+    for (TokenAligning aligning :
+         {TokenAligning::kExact, TokenAligning::kGreedy}) {
+      TsjOptions budgeted = Lossless(t);
+      budgeted.aligning = aligning;
+      TsjOptions unbounded = budgeted;
+      unbounded.enable_budgeted_verify = false;
+      TsjRunInfo budgeted_info, unbounded_info;
+      auto budgeted_result =
+          TokenizedStringJoiner(budgeted).SelfJoin(corpus, &budgeted_info);
+      auto unbounded_result =
+          TokenizedStringJoiner(unbounded).SelfJoin(corpus, &unbounded_info);
+      ASSERT_TRUE(budgeted_result.ok());
+      ASSERT_TRUE(unbounded_result.ok());
+      auto by_pair = [](const TsjPair& p, const TsjPair& q) {
+        return std::make_pair(p.a, p.b) < std::make_pair(q.a, q.b);
+      };
+      std::sort(budgeted_result->begin(), budgeted_result->end(), by_pair);
+      std::sort(unbounded_result->begin(), unbounded_result->end(), by_pair);
+      ASSERT_EQ(budgeted_result->size(), unbounded_result->size())
+          << "T=" << t;
+      for (size_t i = 0; i < budgeted_result->size(); ++i) {
+        EXPECT_EQ((*budgeted_result)[i].a, (*unbounded_result)[i].a);
+        EXPECT_EQ((*budgeted_result)[i].b, (*unbounded_result)[i].b);
+        // Byte-identical NSLD, not just approximately equal.
+        EXPECT_EQ((*budgeted_result)[i].nsld, (*unbounded_result)[i].nsld);
+      }
+      EXPECT_LE(budgeted_info.verify_work_units,
+                unbounded_info.verify_work_units);
+    }
+  }
+}
+
 TEST(TsjTest, FindsShuffledAndEditedRingNames) {
   // End-to-end sanity on the motivating example (Sec. I-A).
   Corpus corpus;
