@@ -12,8 +12,11 @@
 #include "common/random.h"
 #include "distance/jaro.h"
 #include "distance/levenshtein.h"
+#include "distance/myers.h"
 #include "distance/normalized_levenshtein.h"
+#include "tokenized/corpus.h"
 #include "tokenized/sld.h"
+#include "tokenized/token_pair_cache.h"
 
 namespace tsj {
 namespace {
@@ -52,6 +55,89 @@ BENCHMARK(BM_BoundedLevenshtein)
     ->Args({32, 4})
     ->Args({128, 1})
     ->Args({128, 4});
+
+// The Myers bit-parallel kernels against the DP baselines above: same
+// seeds, same shapes, so BM_MyersLevenshtein/len pairs off against
+// BM_Levenshtein/len and BM_MyersBoundedLevenshtein/{len,bound} against
+// BM_BoundedLevenshtein/{len,bound}. The acceptance bar for the default
+// edge kernel is >= 2x over the banded DP on <= 64-char tokens.
+void BM_MyersLevenshtein(benchmark::State& state) {
+  Rng rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  const std::string x = MakeString(&rng, len);
+  const std::string y = MakeString(&rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MyersLevenshtein(x, y));
+  }
+}
+BENCHMARK(BM_MyersLevenshtein)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MyersBoundedLevenshtein(benchmark::State& state) {
+  Rng rng(2);
+  const size_t len = static_cast<size_t>(state.range(0));
+  const uint32_t bound = static_cast<uint32_t>(state.range(1));
+  const std::string x = MakeString(&rng, len);
+  const std::string y = MakeString(&rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MyersBoundedLevenshtein(x, y, bound));
+  }
+}
+BENCHMARK(BM_MyersBoundedLevenshtein)
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({128, 1})
+    ->Args({128, 4});
+
+// Accept-path variants: y is x after `bound` random edits, so the
+// distance is within the bound and neither kernel can abort early — the
+// regime of every near-threshold candidate the verify stage must fully
+// resolve (the reject-path configs above measure the early-exit race on
+// far-apart random strings instead).
+std::string ApplyEdits(Rng* rng, std::string s, size_t edits) {
+  for (size_t e = 0; e < edits; ++e) {
+    const char c = static_cast<char>('a' + rng->Uniform(6));
+    const uint64_t op = rng->Uniform(3);
+    if (op == 0 || s.empty()) {
+      s.insert(s.begin() + static_cast<ptrdiff_t>(rng->Uniform(s.size() + 1)),
+               c);
+    } else if (op == 1) {
+      s.erase(s.begin() + static_cast<ptrdiff_t>(rng->Uniform(s.size())));
+    } else {
+      s[rng->Uniform(s.size())] = c;
+    }
+  }
+  return s;
+}
+
+void BM_BoundedLevenshteinSimilar(benchmark::State& state) {
+  Rng rng(12);
+  const size_t len = static_cast<size_t>(state.range(0));
+  const uint32_t bound = static_cast<uint32_t>(state.range(1));
+  const std::string x = MakeString(&rng, len);
+  const std::string y = ApplyEdits(&rng, x, bound);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundedLevenshtein(x, y, bound));
+  }
+}
+BENCHMARK(BM_BoundedLevenshteinSimilar)
+    ->Args({32, 4})
+    ->Args({64, 4})
+    ->Args({64, 8});
+
+void BM_MyersBoundedLevenshteinSimilar(benchmark::State& state) {
+  Rng rng(12);
+  const size_t len = static_cast<size_t>(state.range(0));
+  const uint32_t bound = static_cast<uint32_t>(state.range(1));
+  const std::string x = MakeString(&rng, len);
+  const std::string y = ApplyEdits(&rng, x, bound);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MyersBoundedLevenshtein(x, y, bound));
+  }
+}
+BENCHMARK(BM_MyersBoundedLevenshteinSimilar)
+    ->Args({32, 4})
+    ->Args({64, 4})
+    ->Args({64, 8});
 
 void BM_NldWithin(benchmark::State& state) {
   Rng rng(3);
@@ -164,6 +250,38 @@ void BM_BoundedSldAccept(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BoundedSldAccept)->Arg(2)->Arg(4)->Arg(8);
+
+// Token-id verification: the same accept-path workload as
+// BM_BoundedSldAccept but running on interned id spans, cold (no cache)
+// and warm (corpus-wide TokenPairCache primed by the first iteration).
+void BM_BoundedSldTokenIds(benchmark::State& state) {
+  Rng rng(11);
+  const size_t num_tokens = static_cast<size_t>(state.range(0));
+  const bool cached = state.range(1) != 0;
+  TokenizedString x, y;
+  for (size_t i = 0; i < num_tokens; ++i) {
+    x.push_back(MakeString(&rng, 6));
+    y.push_back(x.back());
+  }
+  Corpus corpus;
+  const StringId xid = corpus.AddString(x);
+  const StringId yid = corpus.AddString(y);
+  const int64_t budget = SldBudgetFromThreshold(0.1, AggregateLength(x),
+                                                AggregateLength(y));
+  SldVerifyScratch scratch;
+  TokenPairCache cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundedSld(corpus, corpus.tokens(xid),
+                                        corpus.tokens(yid), budget,
+                                        TokenAligning::kExact, &scratch,
+                                        cached ? &cache : nullptr));
+  }
+}
+BENCHMARK(BM_BoundedSldTokenIds)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
 
 void BM_SldGreedy(benchmark::State& state) {
   Rng rng(8);

@@ -58,7 +58,8 @@ AssignmentResult SolveSmallGreedy(const std::vector<int64_t>& costs,
 }  // namespace
 
 BoundedAssignmentResult SolveAssignmentGreedyBounded(
-    const std::vector<int64_t>& costs, size_t n, int64_t budget) {
+    const std::vector<int64_t>& costs, size_t n, int64_t budget,
+    GreedyScratch* scratch) {
   assert(costs.size() == n * n);
   BoundedAssignmentResult result;
   if (budget < 0) {
@@ -70,7 +71,12 @@ BoundedAssignmentResult SolveAssignmentGreedyBounded(
   // Greedy costs accumulate monotonically (all edges non-negative), which
   // makes the per-round budget check lossless; the shared edge picker
   // guarantees a within-budget run reports SolveAssignmentGreedy's total.
-  thread_local std::vector<char> row_used, col_used;
+  if (scratch == nullptr) {
+    thread_local GreedyScratch fallback;
+    scratch = &fallback;
+  }
+  std::vector<char>& row_used = scratch->row_used;
+  std::vector<char>& col_used = scratch->col_used;
   row_used.assign(n, 0);
   col_used.assign(n, 0);
   for (size_t round = 0; round < n; ++round) {

@@ -20,14 +20,24 @@ namespace tsj {
 AssignmentResult SolveAssignmentGreedy(const std::vector<int64_t>& costs,
                                        size_t n);
 
+/// Reusable workspace for SolveAssignmentGreedyBounded, analogous to
+/// HungarianScratch: the verify loop solves one matching per candidate,
+/// and passing a per-thread scratch (e.g. SldVerifyScratch::greedy) keeps
+/// the loop allocation-free after warm-up.
+struct GreedyScratch {
+  std::vector<char> row_used, col_used;
+};
+
 /// Budget-bounded greedy matching with the identical (cost, row, column)
 /// selection order: the running total is monotone, so the solve stops as
 /// soon as it exceeds `budget`. When within_budget is true the reported
-/// cost equals SolveAssignmentGreedy's total_cost exactly. Allocation-free
-/// after per-thread warm-up (the token bigraphs it serves are small, so it
-/// always uses the scan formulation). rows_completed counts greedy rounds.
+/// cost equals SolveAssignmentGreedy's total_cost exactly. `scratch` may
+/// be nullptr (a thread-local workspace is used); the token bigraphs it
+/// serves are small, so it always uses the scan formulation.
+/// rows_completed counts greedy rounds.
 BoundedAssignmentResult SolveAssignmentGreedyBounded(
-    const std::vector<int64_t>& costs, size_t n, int64_t budget);
+    const std::vector<int64_t>& costs, size_t n, int64_t budget,
+    GreedyScratch* scratch = nullptr);
 
 }  // namespace tsj
 

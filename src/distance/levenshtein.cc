@@ -4,29 +4,13 @@
 #include <cstdlib>
 #include <vector>
 
+#include "distance/affix.h"
+
 namespace tsj {
 
 namespace {
 
-// Strips the common prefix and suffix of x and y in place. Any optimal edit
-// script maps equal ends onto each other, so LD is unchanged by trimming;
-// the DP then runs only on the differing core. Trims the prefix first, so a
-// fully shared string collapses to two empty views.
-void TrimCommonAffixes(std::string_view* x, std::string_view* y) {
-  size_t prefix = 0;
-  const size_t shorter = std::min(x->size(), y->size());
-  while (prefix < shorter && (*x)[prefix] == (*y)[prefix]) ++prefix;
-  x->remove_prefix(prefix);
-  y->remove_prefix(prefix);
-  size_t suffix = 0;
-  const size_t core = std::min(x->size(), y->size());
-  while (suffix < core &&
-         (*x)[x->size() - 1 - suffix] == (*y)[y->size() - 1 - suffix]) {
-    ++suffix;
-  }
-  x->remove_suffix(suffix);
-  y->remove_suffix(suffix);
-}
+using internal::TrimCommonAffixes;
 
 // Per-thread DP rows, reused across calls: the verify loop computes millions
 // of token-level distances and must not allocate per call.
@@ -72,12 +56,16 @@ uint32_t Levenshtein(std::string_view x, std::string_view y) {
 
 uint32_t BoundedLevenshtein(std::string_view x, std::string_view y,
                             uint32_t bound) {
+  // The length difference is a lower bound on LD, and trimming removes
+  // equal counts from both strings, so |len(x) - len(y)| is unchanged by
+  // it: check the trivial bound first, before touching any bytes.
+  if (std::max(x.size(), y.size()) - std::min(x.size(), y.size()) > bound) {
+    return bound + 1;
+  }
   TrimCommonAffixes(&x, &y);
   if (x.size() > y.size()) std::swap(x, y);
   const size_t n = x.size();
   const size_t m = y.size();
-  // Length difference is a lower bound on LD.
-  if (m - n > bound) return bound + 1;
   if (n == 0) return static_cast<uint32_t>(m);  // m <= bound here.
   if (bound == 0) return x == y ? 0 : 1;
 

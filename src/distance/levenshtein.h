@@ -23,11 +23,16 @@ namespace tsj {
 uint32_t Levenshtein(std::string_view x, std::string_view y);
 
 /// Sentinel returned by BoundedLevenshtein when the distance exceeds the
-/// bound: the value `bound + 1` is returned (never the true distance).
+/// bound: exactly the value `bound + 1` is returned (never the true
+/// distance, whatever it is).
 ///
 /// Computes LD(x, y) if it is <= bound, otherwise returns bound + 1.
 /// Equivalent to Levenshtein(x, y) clamped at bound + 1, but runs in
-/// O((2*bound+1) * min(|x|,|y|)) with early exit.
+/// O((2*bound+1) * min(|x|,|y|)) with early exit. The trivial
+/// ||x| - |y|| > bound early-out runs before any byte of the strings is
+/// read. The bit-parallel drop-in replacement with the same contract is
+/// MyersBoundedLevenshtein (distance/myers.h); this banded DP remains the
+/// differential-test reference for it.
 uint32_t BoundedLevenshtein(std::string_view x, std::string_view y,
                             uint32_t bound);
 

@@ -1,0 +1,52 @@
+// Myers bit-parallel Levenshtein distance (Myers, JACM 1999; the
+// edit-distance formulation of Hyyrö 2003).
+//
+// The dynamic-programming matrix of LD is encoded column-wise as bit
+// vectors of the vertical deltas D[i][j] - D[i-1][j] in {-1, 0, +1}; one
+// text character then advances a whole 64-row column slice with a dozen
+// word operations, so a token of up to 64 characters costs O(|y|) words
+// instead of O(|x|*|y|) DP cells. Patterns longer than 64 characters use
+// the blocked variant (ceil(|x|/64) words per text character with
+// horizontal carries chained between blocks).
+//
+// MyersBoundedLevenshtein honours the exact contract of
+// BoundedLevenshtein (distance/levenshtein.h): the trivial
+// length-difference early-out runs first, common affixes are trimmed, the
+// exact distance is returned when it is <= bound, and exactly bound + 1
+// is returned otherwise. The bounded run also exits early once the score
+// can no longer descend back under the bound in the columns that remain
+// (each text column changes the bottom-row score by at most one).
+//
+// This is the default edge kernel of the budget-aware SLD verification
+// engine (tokenized/sld.h); the banded DP remains available for
+// differential testing (tests/differential_test.cc pits the two against a
+// naive reference on randomized inputs).
+
+#ifndef TSJ_DISTANCE_MYERS_H_
+#define TSJ_DISTANCE_MYERS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tsj {
+
+/// Exact Levenshtein distance between x and y via the bit-parallel
+/// algorithm. Identical values to Levenshtein() on every input.
+uint32_t MyersLevenshtein(std::string_view x, std::string_view y);
+
+/// Computes LD(x, y) if it is <= bound, otherwise returns exactly
+/// bound + 1 (never the true distance). Identical contract and values to
+/// BoundedLevenshtein(); runs in O(ceil(min/64) * max) word operations
+/// after affix trimming.
+uint32_t MyersBoundedLevenshtein(std::string_view x, std::string_view y,
+                                 uint32_t bound);
+
+/// True iff LD(x, y) <= bound.
+inline bool MyersLevenshteinWithin(std::string_view x, std::string_view y,
+                                   uint32_t bound) {
+  return MyersBoundedLevenshtein(x, y, bound) <= bound;
+}
+
+}  // namespace tsj
+
+#endif  // TSJ_DISTANCE_MYERS_H_

@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "mapreduce/work_units.h"
 #include "tokenized/sld.h"
+#include "tokenized/token_pair_cache.h"
 
 namespace tsj {
 
@@ -66,8 +67,11 @@ class HmjRunner {
   // values (Distance above), but the final join check only needs a verdict
   // against the threshold, so the NSLD threshold converts to an integer SLD
   // budget and the bounded engine skips the work a doomed pair would waste.
-  // Returns true iff NSLD(a, b) <= threshold, with *nsld then holding the
-  // exact NSLD — identical to the Distance-based decision and value.
+  // Runs on the interned token-id spans (no materialized strings) with the
+  // run-wide token-pair cache — leaves of neighbouring partitions repeat
+  // the same token pairs constantly. Returns true iff NSLD(a, b) <=
+  // threshold, with *nsld then holding the exact NSLD — identical to the
+  // Distance-based decision and value.
   bool DistanceWithin(uint32_t a, uint32_t b, double* nsld) {
     const uint64_t done =
         state_->distance_computations.fetch_add(1, std::memory_order_relaxed);
@@ -80,8 +84,8 @@ class HmjRunner {
         SldBudgetFromThreshold(options_.threshold, la, lb);
     thread_local SldVerifyScratch scratch;
     const BoundedSldResult verdict =
-        BoundedSld(strings_[a], strings_[b], budget, options_.aligning,
-                   &scratch);
+        BoundedSld(corpus_, corpus_.tokens(a), corpus_.tokens(b), budget,
+                   options_.aligning, &scratch, &pair_cache_);
     AddWorkUnits(verdict.work_units);
     if (!verdict.within_budget) return false;
     *nsld = NsldFromSld(verdict.sld, la, lb);
@@ -101,7 +105,7 @@ class HmjRunner {
                       depth >= options_.max_recursion_depth ||
                       members.size() <= options_.num_subpartitions;
     if (leaf) {
-      JoinLeaf(members, out);
+      JoinLeaf(std::move(members), out);
       return;
     }
     const size_t parent_size = members.size();
@@ -138,7 +142,7 @@ class HmjRunner {
       // sub-partition and recursion stops shrinking anything — join such a
       // partition quadratically instead of recursing forever.
       if (sub.size() * 10 >= parent_size * 9) {
-        JoinLeaf(sub, out);
+        JoinLeaf(std::move(sub), out);
       } else {
         JoinPartition(std::move(sub), depth + 1, out);
       }
@@ -146,8 +150,19 @@ class HmjRunner {
   }
 
  private:
-  void JoinLeaf(const std::vector<Member>& members,
-                std::vector<TsjPair>* out) {
+  void JoinLeaf(std::vector<Member> members, std::vector<TsjPair>* out) {
+    // Length-sorted batching: pairs scan in aggregate-length order, so
+    // consecutive verifications see similarly sized bigraphs and the
+    // per-thread scratch stays cache-resident. The pair set is unchanged
+    // (all i < j pairs; emitted ids are min/max-normalized and the dedup
+    // job is order-insensitive).
+    std::sort(members.begin(), members.end(),
+              [&](const Member& u, const Member& v) {
+                const size_t lu = corpus_.aggregate_length(u.id);
+                const size_t lv = corpus_.aggregate_length(v.id);
+                if (lu != lv) return lu < lv;
+                return u.id < v.id;
+              });
     for (size_t i = 0; i < members.size(); ++i) {
       if (aborted()) return;
       for (size_t j = i + 1; j < members.size(); ++j) {
@@ -178,6 +193,9 @@ class HmjRunner {
   const HmjOptions& options_;
   WorkState* state_;
   std::vector<TokenizedString> strings_;
+  // Run-wide memoization of token-pair edge distances for the token-id
+  // verification path (thread-safe; leaves run on the pool).
+  TokenPairCache pair_cache_;
 };
 
 }  // namespace

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "assignment/greedy_matching.h"
 #include "assignment/hungarian.h"
 #include "distance/levenshtein.h"
+#include "distance/myers.h"
 #include "tokenized/bounds.h"
+#include "tokenized/corpus.h"
+#include "tokenized/token_pair_cache.h"
 
 namespace tsj {
 
@@ -46,25 +51,66 @@ SldVerifyScratch& ThreadVerifyScratch() {
   return scratch;
 }
 
+// One side of the token bigraph, abstracting how the tokens are stored so
+// BoundedSldImpl runs identically on materialized byte strings and on
+// interned token ids. Both expose size/view/length plus same-side token
+// equality; the id side additionally exposes the interned id (the
+// TokenPairCache key) and compares tokens by id instead of by bytes —
+// interning makes the two comparisons equivalent within one corpus.
+struct ByteTokenSide {
+  static constexpr bool kHasIds = false;
+  const TokenizedString* tokens;
+
+  size_t size() const { return tokens->size(); }
+  std::string_view view(size_t i) const { return (*tokens)[i]; }
+  size_t length(size_t i) const { return (*tokens)[i].size(); }
+  bool TokenEquals(size_t i, const ByteTokenSide& other, size_t j) const {
+    return (*tokens)[i] == (*other.tokens)[j];
+  }
+};
+
+struct IdTokenSide {
+  static constexpr bool kHasIds = true;
+  const Corpus* corpus;
+  std::span<const TokenId> ids;
+
+  size_t size() const { return ids.size(); }
+  std::string_view view(size_t i) const { return corpus->token_text(ids[i]); }
+  size_t length(size_t i) const { return corpus->token_length(ids[i]); }
+  TokenId id(size_t i) const { return ids[i]; }
+  bool TokenEquals(size_t i, const IdTokenSide& other, size_t j) const {
+    return ids[i] == other.ids[j];
+  }
+};
+
+template <typename Side>
+size_t SideAggregateLength(const Side& side) {
+  size_t total = 0;
+  for (size_t i = 0; i < side.size(); ++i) total += side.length(i);
+  return total;
+}
+
 // rep[i] = smallest index holding the same token as position i, so matrix
 // rows/entries of duplicate tokens can be copied instead of recomputed.
-// Padding positions (i >= tokens.size()) all hold the empty token and share
-// the first padding index. O(T^2) string compares, trivial next to the DP.
-void ComputeDuplicateReps(const TokenizedString& tokens, size_t k,
+// Padding positions (i >= side.size()) all hold the empty token and share
+// the first padding index. O(T^2) compares (integer compares on the id
+// side), trivial next to the DP.
+template <typename Side>
+void ComputeDuplicateReps(const Side& side, size_t k,
                           std::vector<uint32_t>* rep) {
   rep->resize(k);
-  for (size_t i = 0; i < tokens.size(); ++i) {
+  for (size_t i = 0; i < side.size(); ++i) {
     uint32_t r = static_cast<uint32_t>(i);
     for (size_t prior = 0; prior < i; ++prior) {
-      if (tokens[prior] == tokens[i]) {
+      if (side.TokenEquals(prior, side, i)) {
         r = static_cast<uint32_t>(prior);
         break;
       }
     }
     (*rep)[i] = r;
   }
-  for (size_t i = tokens.size(); i < k; ++i) {
-    (*rep)[i] = static_cast<uint32_t>(tokens.size());
+  for (size_t i = side.size(); i < k; ++i) {
+    (*rep)[i] = static_cast<uint32_t>(side.size());
   }
 }
 
@@ -131,9 +177,16 @@ int64_t SldBudgetFromThreshold(double threshold, size_t len_x, size_t len_y) {
   return budget;
 }
 
-BoundedSldResult BoundedSld(const TokenizedString& x, const TokenizedString& y,
-                            int64_t budget, TokenAligning aligning,
-                            SldVerifyScratch* scratch) {
+// The budget-bounded SLD engine, templated over the token-side
+// representation (byte strings or interned ids). `cache` participates
+// only when the side carries ids; it is consulted at the edge kernel's
+// effective bound — min(row cap, longer token length) — so a served value
+// is bit-identical to what the Myers kernel would have computed.
+template <typename Side>
+BoundedSldResult BoundedSldImpl(const Side& x, const Side& y, int64_t budget,
+                                TokenAligning aligning,
+                                SldVerifyScratch* scratch,
+                                TokenPairCache* cache) {
   BoundedSldResult result;
   result.work_units = 1;
   if (budget < 0) {
@@ -149,8 +202,8 @@ BoundedSldResult BoundedSld(const TokenizedString& x, const TokenizedString& y,
 
   // SLD never exceeds L(x) + L(y); clamping an oversized caller budget to
   // that ceiling changes no decision and keeps cap + 1 arithmetic safe.
-  const uint64_t lx = static_cast<uint64_t>(AggregateLength(x));
-  const uint64_t ly = static_cast<uint64_t>(AggregateLength(y));
+  const uint64_t lx = static_cast<uint64_t>(SideAggregateLength(x));
+  const uint64_t ly = static_cast<uint64_t>(SideAggregateLength(y));
   budget = std::min(budget, static_cast<int64_t>(lx + ly));
 
   // Per-row budget caps. For the exact aligning, row i's edges can be
@@ -194,29 +247,50 @@ BoundedSldResult BoundedSld(const TokenizedString& x, const TokenizedString& y,
         } else {
           const bool yj_real = j < ky;
           if (xi_real && yj_real) {
-            if (x[i] == y[j]) {
+            if (x.TokenEquals(i, y, j)) {
               cost = 0;  // identical tokens: no DP
               result.work_units += 1;
+            } else if (cap == 0) {
+              // Non-identical tokens have LD >= 1 > cap: clamp without
+              // touching the kernel or the cache.
+              cost = 1;
+              result.work_units += 1;
             } else {
-              // LD never exceeds the longer token, so a cap beyond that
-              // length cannot constrain the band — the plain two-row DP is
-              // then cheaper than the banded one's per-cell bound checks.
+              // Myers edge kernel at the effective bound: LD never exceeds
+              // the longer token, so a cap beyond that length constrains
+              // nothing and the bound saturates there. A result above the
+              // bound means LD > cap, which clamps to cap + 1.
               const int64_t longer = static_cast<int64_t>(
-                  std::max(x[i].size(), y[j].size()));
+                  std::max(x.length(i), y.length(j)));
               const uint32_t bound =
                   static_cast<uint32_t>(std::min(cap, longer));
-              const uint32_t ld = (cap >= longer)
-                                      ? Levenshtein(x[i], y[j])
-                                      : BoundedLevenshtein(x[i], y[j], bound);
+              uint32_t ld = 0;
+              bool cached = false;
+              if constexpr (Side::kHasIds) {
+                cached = cache != nullptr &&
+                         cache->Lookup(x.id(i), y.id(j), bound, &ld);
+              }
+              if (!cached) {
+                ld = MyersBoundedLevenshtein(x.view(i), y.view(j), bound);
+                if constexpr (Side::kHasIds) {
+                  if (cache != nullptr) {
+                    cache->Insert(x.id(i), y.id(j), bound, ld);
+                  }
+                }
+              }
               cost = (ld > bound) ? cap + 1 : static_cast<int64_t>(ld);
+              // Work accounting stays in banded-DP cell units (the
+              // calibrated cost model of SldWorkUnits); a cache hit skips
+              // the kernel entirely and costs one unit.
               result.work_units +=
-                  BandedLdWorkUnits(x[i].size(), y[j].size(), bound);
+                  cached ? 1
+                         : BandedLdWorkUnits(x.length(i), y.length(j), bound);
             }
           } else if (xi_real) {
-            cost = std::min(static_cast<int64_t>(x[i].size()), cap + 1);
+            cost = std::min(static_cast<int64_t>(x.length(i)), cap + 1);
             result.work_units += 1;
           } else if (yj_real) {
-            cost = std::min(static_cast<int64_t>(y[j].size()), cap + 1);
+            cost = std::min(static_cast<int64_t>(y.length(j)), cap + 1);
             result.work_units += 1;
           } else {
             cost = 0;
@@ -246,7 +320,8 @@ BoundedSldResult BoundedSld(const TokenizedString& x, const TokenizedString& y,
         static_cast<uint64_t>(solved.rows_completed) * 3 * k * k;
   } else {
     const BoundedAssignmentResult solved =
-        SolveAssignmentGreedyBounded(scratch->costs, k, budget);
+        SolveAssignmentGreedyBounded(scratch->costs, k, budget,
+                                     &scratch->greedy);
     result.sld = solved.total_cost;
     result.within_budget = solved.within_budget;
     result.work_units += static_cast<uint64_t>(solved.rows_completed) * 2 * k;
@@ -257,6 +332,23 @@ BoundedSldResult BoundedSld(const TokenizedString& x, const TokenizedString& y,
   result.work_units =
       std::min(result.work_units, SldWorkUnits(lx, ly, kx, ky, aligning));
   return result;
+}
+
+BoundedSldResult BoundedSld(const TokenizedString& x, const TokenizedString& y,
+                            int64_t budget, TokenAligning aligning,
+                            SldVerifyScratch* scratch) {
+  return BoundedSldImpl(ByteTokenSide{&x}, ByteTokenSide{&y}, budget,
+                        aligning, scratch, /*cache=*/nullptr);
+}
+
+BoundedSldResult BoundedSld(const Corpus& corpus,
+                            std::span<const TokenId> x_ids,
+                            std::span<const TokenId> y_ids, int64_t budget,
+                            TokenAligning aligning, SldVerifyScratch* scratch,
+                            TokenPairCache* cache) {
+  return BoundedSldImpl(IdTokenSide{&corpus, x_ids},
+                        IdTokenSide{&corpus, y_ids}, budget, aligning,
+                        scratch, cache);
 }
 
 uint64_t SldWorkUnits(size_t len_x, size_t len_y, size_t num_tokens_x,

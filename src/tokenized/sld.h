@@ -41,17 +41,46 @@
 //      the exact greedy-aligning cost), so reported NSLD values are
 //      byte-identical to the unbounded path;
 //   3. work_units never exceeds the unbounded cost model of SldWorkUnits.
+//
+// Myers/clamp contract of the edge kernel. Every bigraph edge is computed
+// by the Myers bit-parallel kernel (distance/myers.h) with bound
+// min(cap_i, longer-token-length): like BoundedLevenshtein, it returns
+// the exact LD when it is <= bound and exactly bound + 1 otherwise, so an
+// edge value is either exact or a certificate that the true LD exceeds
+// the row cap — the clamp value cap_i + 1 then makes any matching through
+// that edge provably exceed the budget, exactly as with the banded DP.
+// The kernels are interchangeable bit for bit; the randomized
+// differential harness (tests/differential_test.cc) pins Myers == banded
+// DP == naive DP on every input family and cap.
+//
+// Token-id verification path. The overload taking std::span<const
+// TokenId> verifies directly on a Corpus's interned ids — no
+// MaterializeInto, no byte copies: token texts are read in place through
+// string_views, identical tokens short-circuit on id equality, and
+// duplicate detection is integer comparison instead of string
+// comparison. Its results (sld, within_budget) are byte-identical to the
+// byte path on the materialized multisets. An optional corpus-wide
+// TokenPairCache memoizes edge LDs across *candidates*: entries record
+// the cap they were computed at, so a cached value is only served when
+// it is exact or its certificate is at least as strong as the current
+// row cap (see token_pair_cache.h); served values equal what the kernel
+// would have computed, keeping the path lossless.
 
 #ifndef TSJ_TOKENIZED_SLD_H_
 #define TSJ_TOKENIZED_SLD_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "assignment/greedy_matching.h"
 #include "assignment/hungarian.h"
 #include "tokenized/tokenized_string.h"
 
 namespace tsj {
+
+class Corpus;
+class TokenPairCache;
 
 /// How the token bigraph matching is solved.
 enum class TokenAligning {
@@ -97,6 +126,7 @@ struct SldVerifyScratch {
   std::vector<int64_t> costs;
   std::vector<uint32_t> rep_x, rep_y;
   HungarianScratch hungarian;
+  GreedyScratch greedy;
   TokenizedString x, y;
 };
 
@@ -119,6 +149,18 @@ BoundedSldResult BoundedSld(const TokenizedString& x,
                             const TokenizedString& y, int64_t budget,
                             TokenAligning aligning = TokenAligning::kExact,
                             SldVerifyScratch* scratch = nullptr);
+
+/// Token-id overload: verifies two of `corpus`'s token-id multisets
+/// without materializing them (see the file comment). Both spans must
+/// hold ids interned by the same `corpus`, and `cache` (optional) must
+/// only ever be shared between calls using that corpus. Returns results
+/// byte-identical to the byte overload on the materialized multisets.
+BoundedSldResult BoundedSld(const Corpus& corpus,
+                            std::span<const TokenId> x_ids,
+                            std::span<const TokenId> y_ids, int64_t budget,
+                            TokenAligning aligning = TokenAligning::kExact,
+                            SldVerifyScratch* scratch = nullptr,
+                            TokenPairCache* cache = nullptr);
 
 /// Deterministic operation count of one *unbounded* SLD evaluation, used
 /// for cluster cost accounting (mapreduce/work_units.h): the L(x)*L(y) DP

@@ -1,0 +1,166 @@
+#include "tokenized/token_pair_cache.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace tsj {
+
+namespace {
+
+// An all-ones key doubles as the empty-slot sentinel; it corresponds to
+// the pair (UINT32_MAX, UINT32_MAX), which no real corpus interns (ids
+// are dense from 0). Pairs hashing to it are simply never cached.
+constexpr uint64_t kEmptyKey = ~uint64_t{0};
+constexpr size_t kInitialSlots = 64;  // per shard; doubles at ~60% load
+
+// Symmetric key: LD(a, b) == LD(b, a), so the smaller id always goes in
+// the high half.
+inline uint64_t PairKey(TokenId a, TokenId b) {
+  const TokenId lo = std::min(a, b);
+  const TokenId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+// Caps arrive as int64 row budgets but token distances fit easily in
+// uint32; saturate so huge caller budgets stay "exact for any cap".
+inline uint32_t ClampCap(int64_t cap) {
+  return static_cast<uint32_t>(
+      std::min<int64_t>(std::max<int64_t>(cap, 0), UINT32_MAX - 1));
+}
+
+inline uint64_t PackEntry(uint32_t cap, uint32_t dist) {
+  return (static_cast<uint64_t>(cap) << 32) | dist;
+}
+inline uint32_t EntryCap(uint64_t packed) {
+  return static_cast<uint32_t>(packed >> 32);
+}
+inline uint32_t EntryDist(uint64_t packed) {
+  return static_cast<uint32_t>(packed);
+}
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag* lock) : lock_(lock) {
+    while (lock_->test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~SpinGuard() { lock_->clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag* lock_;
+};
+
+// Slot holding `key`, or the first empty slot of its probe chain.
+// Capacity is a power of two and the load factor stays under 60%, so the
+// scan terminates.
+inline size_t FindSlot(const std::vector<uint64_t>& keys, uint64_t key,
+                       uint64_t hash) {
+  const size_t mask = keys.size() - 1;
+  size_t idx = static_cast<size_t>(hash) & mask;
+  while (keys[idx] != key && keys[idx] != kEmptyKey) {
+    idx = (idx + 1) & mask;
+  }
+  return idx;
+}
+
+}  // namespace
+
+TokenPairCache::TokenPairCache() : shards_(new Shard[kNumShards]) {}
+
+bool TokenPairCache::Lookup(TokenId a, TokenId b, int64_t cap,
+                            uint32_t* dist) {
+  const uint64_t key = PairKey(a, b);
+  const uint32_t query_cap = ClampCap(cap);
+  if (key != kEmptyKey) {
+    const uint64_t hash = Mix64(key);
+    Shard& shard = shards_[hash & (kNumShards - 1)];
+    SpinGuard guard(&shard.lock);
+    if (!shard.keys.empty()) {
+      const size_t idx = FindSlot(shard.keys, key, hash);
+      if (shard.keys[idx] == key) {
+        const uint64_t entry = shard.vals[idx];
+        const uint32_t entry_cap = EntryCap(entry);
+        const uint32_t entry_dist = EntryDist(entry);
+        if (entry_dist <= entry_cap) {
+          // Exact distance: valid at any cap, re-clamped to the query's.
+          *dist = std::min(entry_dist, query_cap + 1);
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        if (query_cap <= entry_cap) {
+          // Certificate LD > entry_cap >= query_cap.
+          *dist = query_cap + 1;
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        // Entry computed at a smaller cap than asked: too weak to serve.
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void TokenPairCache::Insert(TokenId a, TokenId b, int64_t cap,
+                            uint32_t dist) {
+  const uint64_t key = PairKey(a, b);
+  if (key == kEmptyKey) return;  // collides with the empty sentinel
+  const uint64_t fresh = PackEntry(ClampCap(cap), dist);
+  const uint64_t hash = Mix64(key);
+  Shard& shard = shards_[hash & (kNumShards - 1)];
+  SpinGuard guard(&shard.lock);
+  if (shard.keys.empty()) {
+    shard.keys.assign(kInitialSlots, kEmptyKey);
+    shard.vals.assign(kInitialSlots, 0);
+  }
+  size_t idx = FindSlot(shard.keys, key, hash);
+  if (shard.keys[idx] == key) {
+    const uint64_t existing = shard.vals[idx];
+    if (EntryDist(existing) <= EntryCap(existing)) return;  // already exact
+    const bool fresh_exact = EntryDist(fresh) <= EntryCap(fresh);
+    if (fresh_exact || EntryCap(fresh) > EntryCap(existing)) {
+      shard.vals[idx] = fresh;
+    }
+    return;
+  }
+  if ((shard.count + 1) * 10 >= shard.keys.size() * 6) {
+    // Rehash into a doubled table, then land the new key.
+    std::vector<uint64_t> old_keys(shard.keys.size() * 2, kEmptyKey);
+    std::vector<uint64_t> old_vals(shard.vals.size() * 2, 0);
+    old_keys.swap(shard.keys);
+    old_vals.swap(shard.vals);
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      const size_t slot = FindSlot(shard.keys, old_keys[i], Mix64(old_keys[i]));
+      shard.keys[slot] = old_keys[i];
+      shard.vals[slot] = old_vals[i];
+    }
+    idx = FindSlot(shard.keys, key, hash);
+  }
+  shard.keys[idx] = key;
+  shard.vals[idx] = fresh;
+  ++shard.count;
+}
+
+size_t TokenPairCache::size() const {
+  size_t total = 0;
+  for (size_t s = 0; s < kNumShards; ++s) {
+    SpinGuard guard(&shards_[s].lock);
+    total += shards_[s].count;
+  }
+  return total;
+}
+
+void TokenPairCache::Clear() {
+  for (size_t s = 0; s < kNumShards; ++s) {
+    SpinGuard guard(&shards_[s].lock);
+    shards_[s].keys.clear();
+    shards_[s].vals.clear();
+    shards_[s].count = 0;
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tsj

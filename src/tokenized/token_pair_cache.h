@@ -1,0 +1,92 @@
+// Corpus-wide memoization of token-level Levenshtein distances, keyed on
+// interned token-id pairs.
+//
+// The verify stage (Sec. III-F) computes LD between tokens of candidate
+// pairs, and real corpora repeat tokens heavily across *candidates*, not
+// just within one bigraph: "Smith" meets "Smyth" once per candidate pair
+// that contains them. BoundedSld's in-pair duplicate memoization cannot
+// see those repeats; this cache can, because Corpus interns every distinct
+// token to a TokenId and the id pair (min, max) — LD is symmetric —
+// identifies the computation globally.
+//
+// Budget-dependent entries. The bounded edge kernel computes
+// min(LD, cap + 1) for a row-dependent cap, so a cached value is not
+// always the exact distance. Each entry therefore records the cap it was
+// computed at, and the pair (dist, cap) is interpreted as:
+//   * dist <= cap  — dist is the exact LD (the bounded kernel returns the
+//     true distance whenever it is within the cap); the entry answers a
+//     query at ANY cap as min(dist, query_cap + 1);
+//   * dist == cap + 1 — only a certificate that LD > cap; the entry
+//     answers queries at query_cap <= cap (the answer is query_cap + 1)
+//     and MISSES for larger caps, which must recompute and may then
+//     upgrade the entry. An entry is never served below its computed cap's
+//     strength, and Insert never downgrades: exact beats certificate, and
+//     a larger-cap certificate beats a smaller-cap one.
+//
+// The edge kernel it short-circuits costs tens of nanoseconds on typical
+// tokens, so the cache must too: entries are 16 bytes (64-bit key, 64-bit
+// packed dist/cap) in open-addressed flat tables — no node allocations,
+// one or two cache lines per probe — sharded 64 ways behind one spinlock
+// each (lookups hold it for a handful of instructions; hit/miss counters
+// are relaxed atomics), so the verify thread pool stays thread-safe.
+// Tokens are id-interned per Corpus, so one cache must only ever be used
+// with one corpus (BoundedSld's token-id overload takes both).
+
+#ifndef TSJ_TOKENIZED_TOKEN_PAIR_CACHE_H_
+#define TSJ_TOKENIZED_TOKEN_PAIR_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tokenized/tokenized_string.h"
+
+namespace tsj {
+
+/// Sharded, thread-safe cache of bounded token-pair Levenshtein results.
+class TokenPairCache {
+ public:
+  TokenPairCache();
+  TokenPairCache(const TokenPairCache&) = delete;
+  TokenPairCache& operator=(const TokenPairCache&) = delete;
+
+  /// Answers LD(a, b) clamped at cap + 1 from the cache if an entry of
+  /// sufficient strength exists (see the file comment); returns true and
+  /// sets *dist on a hit. A miss (false) leaves *dist untouched.
+  bool Lookup(TokenId a, TokenId b, int64_t cap, uint32_t* dist);
+
+  /// Records dist = min(LD(a, b), cap + 1) computed at `cap`. Never
+  /// downgrades an existing entry.
+  void Insert(TokenId a, TokenId b, int64_t cap, uint32_t dist);
+
+  /// Lookup calls answered from the cache.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Lookup calls that had to fall through to the DP.
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Distinct token-id pairs currently cached.
+  size_t size() const;
+
+  /// Drops all entries and resets the hit/miss counters.
+  void Clear();
+
+ private:
+  // Open-addressed table with linear probing; slot i is keys[i]/vals[i].
+  // keys hold the packed (min, max) id pair, vals the packed (cap, dist).
+  // Grows by doubling at ~60% load under the shard lock.
+  struct Shard {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> vals;
+    size_t count = 0;
+  };
+  static constexpr size_t kNumShards = 64;
+
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_TOKENIZED_TOKEN_PAIR_CACHE_H_

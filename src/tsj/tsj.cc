@@ -48,10 +48,12 @@ struct Counters {
 // Filter + verify one distinct candidate pair, with `a` resolved against
 // `corpus_a` and `b` against `corpus_b` (the same corpus twice for
 // self-joins); appends to `out` when the pair joins. Lossless filters only
-// (Sec. III-E).
+// (Sec. III-E). `cache` (may be null) is the run's corpus-wide token-pair
+// cache, only consulted on the token-id path.
 void FilterAndVerify(const Corpus& corpus_a, const Corpus& corpus_b,
                      const TsjOptions& options, Counters* counters,
-                     uint32_t a, uint32_t b, std::vector<TsjPair>* out) {
+                     TokenPairCache* cache, uint32_t a, uint32_t b,
+                     std::vector<TsjPair>* out) {
   const double t = options.threshold;
   const size_t la = corpus_a.aggregate_length(a);
   const size_t lb = corpus_b.aggregate_length(b);
@@ -69,18 +71,26 @@ void FilterAndVerify(const Corpus& corpus_a, const Corpus& corpus_b,
     return;
   }
   counters->verified_candidates.fetch_add(1, std::memory_order_relaxed);
-  // Final verification (Sec. III-F): resolve ids to token multisets into
-  // per-thread scratch and run the budget-aware SLD engine — the NSLD
-  // threshold converts to an integer SLD budget (tokenized/sld.h), and the
-  // bounded path only ever skips work, never changes the decision or the
-  // reported NSLD.
+  // Final verification (Sec. III-F) through the budget-aware SLD engine —
+  // the NSLD threshold converts to an integer SLD budget (tokenized/sld.h),
+  // and the bounded path only ever skips work, never changes the decision
+  // or the reported NSLD.
   thread_local SldVerifyScratch scratch;
-  corpus_a.MaterializeInto(a, &scratch.x);
-  corpus_b.MaterializeInto(b, &scratch.y);
   if (options.enable_budgeted_verify) {
     const int64_t budget = SldBudgetFromThreshold(t, la, lb);
-    const BoundedSldResult verdict =
-        BoundedSld(scratch.x, scratch.y, budget, options.aligning, &scratch);
+    BoundedSldResult verdict;
+    if (options.enable_token_id_verify && &corpus_a == &corpus_b) {
+      // Token-id verification: both sides live in one interned id space,
+      // so the engine reads token texts in place — no materialization —
+      // and the corpus-wide cache can short-circuit repeated edges.
+      verdict = BoundedSld(corpus_a, corpus_a.tokens(a), corpus_b.tokens(b),
+                           budget, options.aligning, &scratch, cache);
+    } else {
+      corpus_a.MaterializeInto(a, &scratch.x);
+      corpus_b.MaterializeInto(b, &scratch.y);
+      verdict =
+          BoundedSld(scratch.x, scratch.y, budget, options.aligning, &scratch);
+    }
     AddWorkUnits(verdict.work_units);
     counters->verify_work_units.fetch_add(verdict.work_units,
                                           std::memory_order_relaxed);
@@ -89,6 +99,8 @@ void FilterAndVerify(const Corpus& corpus_a, const Corpus& corpus_b,
     }
     return;
   }
+  corpus_a.MaterializeInto(a, &scratch.x);
+  corpus_b.MaterializeInto(b, &scratch.y);
   const uint64_t work = SldWorkUnits(la, lb, scratch.x.size(),
                                      scratch.y.size(), options.aligning);
   AddWorkUnits(work);
@@ -100,6 +112,36 @@ void FilterAndVerify(const Corpus& corpus_a, const Corpus& corpus_b,
   }
 }
 
+// The run's token-pair cache: the caller-shared one when provided (warm
+// starts across runs), otherwise `local`; null when the id path or the
+// cache is disabled, which turns every lookup off.
+TokenPairCache* SelectPairCache(const TsjOptions& options,
+                                TokenPairCache* local) {
+  if (!options.enable_budgeted_verify || !options.enable_token_id_verify ||
+      !options.enable_token_pair_cache) {
+    return nullptr;
+  }
+  return options.shared_token_pair_cache != nullptr
+             ? options.shared_token_pair_cache
+             : local;
+}
+
+// Length-sorted candidate batching: one reduce group verifies its
+// candidates in ascending aggregate-length order (ids break ties for
+// determinism), so consecutive bigraphs have similar dimensions and the
+// verify scratch, DP rows and cache lines stay resident instead of being
+// resized around by a random length sequence.
+template <typename LengthOf>
+void SortByAggregateLength(std::vector<uint32_t>* ids,
+                           const LengthOf& length_of) {
+  std::sort(ids->begin(), ids->end(), [&](uint32_t p, uint32_t q) {
+    const size_t lp = length_of(p);
+    const size_t lq = length_of(q);
+    if (lp != lq) return lp < lq;
+    return p < q;
+  });
+}
+
 }  // namespace
 
 StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
@@ -108,6 +150,12 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   TsjRunInfo local_info;
   Counters counters;
   const double t = options_.threshold;
+  TokenPairCache local_cache;
+  TokenPairCache* const pair_cache = SelectPairCache(options_, &local_cache);
+  const uint64_t cache_hits_before =
+      pair_cache != nullptr ? pair_cache->hits() : 0;
+  const uint64_t cache_misses_before =
+      pair_cache != nullptr ? pair_cache->misses() : 0;
 
   // ---- Token statistics: frequencies and the high-frequency cutoff. ----
   const std::vector<uint32_t> frequency =
@@ -254,13 +302,13 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
       expand(cand,
              [&](uint32_t a, uint32_t b) { out->Emit(PairKey{a, b}, 0); });
     };
-    auto reduce_fn = [&corpus_ref, &options_ref, &counters](
+    auto reduce_fn = [&corpus_ref, &options_ref, &counters, pair_cache](
                          const PairKey& key, std::vector<char>* values,
                          std::vector<TsjPair>* out) {
       counters.distinct_candidates.fetch_add(1, std::memory_order_relaxed);
       AddWorkUnits(values->size());  // duplicate copies read and discarded
       FilterAndVerify(corpus_ref, corpus_ref, options_ref, &counters,
-                      key.first, key.second, out);
+                      pair_cache, key.first, key.second, out);
     };
     results = RunMapReduce<RawCandidate, PairKey, char, TsjPair>(
         "tsj-dedup-verify-both", candidates, map_fn, reduce_fn,
@@ -273,20 +321,25 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
         out->Emit(key, key == a ? b : a);
       });
     };
-    auto reduce_fn = [&corpus_ref, &options_ref, &counters](
+    auto reduce_fn = [&corpus_ref, &options_ref, &counters, pair_cache](
                          const uint32_t& key, std::vector<uint32_t>* others,
                          std::vector<TsjPair>* out) {
       // Dedup the reduce value list (the paper uses a hash set; sorting
-      // gives identical semantics and deterministic verification order).
+      // gives identical semantics and deterministic verification order),
+      // then verify in aggregate-length order (length-sorted batching).
       AddWorkUnits(others->size());
       std::sort(others->begin(), others->end());
       others->erase(std::unique(others->begin(), others->end()),
                     others->end());
       counters.distinct_candidates.fetch_add(others->size(),
                                              std::memory_order_relaxed);
+      SortByAggregateLength(others, [&](uint32_t s) {
+        return corpus_ref.aggregate_length(s);
+      });
       for (uint32_t other : *others) {
         FilterAndVerify(corpus_ref, corpus_ref, options_ref, &counters,
-                        std::min(key, other), std::max(key, other), out);
+                        pair_cache, std::min(key, other), std::max(key, other),
+                        out);
       }
     };
     results = RunMapReduce<RawCandidate, uint32_t, uint32_t, TsjPair>(
@@ -301,6 +354,12 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   local_info.histogram_filtered = counters.histogram_filtered;
   local_info.verified_candidates = counters.verified_candidates;
   local_info.verify_work_units = counters.verify_work_units;
+  if (pair_cache != nullptr) {
+    // Deltas, so a caller-shared warm cache reports this run's traffic.
+    local_info.token_pair_cache_hits = pair_cache->hits() - cache_hits_before;
+    local_info.token_pair_cache_misses =
+        pair_cache->misses() - cache_misses_before;
+  }
   local_info.result_pairs = results.size();
   if (info != nullptr) *info = std::move(local_info);
   return results;
@@ -326,6 +385,18 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
   TsjRunInfo local_info;
   Counters counters;
   const double t = options_.threshold;
+  // The id-space-sharing precondition of the cache only holds when both
+  // sides are literally the same corpus (then Join degenerates to the
+  // self-join's verification situation); otherwise the verify falls back
+  // to the materialized byte path and the cache stays unused.
+  TokenPairCache local_cache;
+  TokenPairCache* const pair_cache =
+      (&r_corpus == &p_corpus) ? SelectPairCache(options_, &local_cache)
+                               : nullptr;
+  const uint64_t cache_hits_before =
+      pair_cache != nullptr ? pair_cache->hits() : 0;
+  const uint64_t cache_misses_before =
+      pair_cache != nullptr ? pair_cache->misses() : 0;
 
   // ---- Joint token space. ------------------------------------------------
   // Tokens are interned per corpus; the join needs one id space covering
@@ -518,8 +589,8 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
                          std::vector<TsjPair>* out) {
       counters.distinct_candidates.fetch_add(1, std::memory_order_relaxed);
       AddWorkUnits(values->size());
-      FilterAndVerify(r_corpus, p_corpus, options_, &counters, key.first,
-                      key.second, out);
+      FilterAndVerify(r_corpus, p_corpus, options_, &counters, pair_cache,
+                      key.first, key.second, out);
     };
     results = RunMapReduce<RawCandidate, PairKey, char, TsjPair>(
         "tsj-rp-dedup-verify-both", candidates, map_fn, reduce_fn,
@@ -549,10 +620,17 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
                                              std::memory_order_relaxed);
       const bool key_is_p = TagIsP(key);
       const uint32_t key_id = TagStringId(key);
+      // Length-sorted batching: `others` all come from the collection
+      // opposite the key.
+      const Corpus& other_corpus = key_is_p ? r_corpus : p_corpus;
+      SortByAggregateLength(others, [&](uint32_t s) {
+        return other_corpus.aggregate_length(s);
+      });
       for (uint32_t other : *others) {
         const uint32_t r = key_is_p ? other : key_id;
         const uint32_t p = key_is_p ? key_id : other;
-        FilterAndVerify(r_corpus, p_corpus, options_, &counters, r, p, out);
+        FilterAndVerify(r_corpus, p_corpus, options_, &counters, pair_cache,
+                        r, p, out);
       }
     };
     results = RunMapReduce<RawCandidate, uint64_t, uint32_t, TsjPair>(
@@ -567,6 +645,11 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
   local_info.histogram_filtered = counters.histogram_filtered;
   local_info.verified_candidates = counters.verified_candidates;
   local_info.verify_work_units = counters.verify_work_units;
+  if (pair_cache != nullptr) {
+    local_info.token_pair_cache_hits = pair_cache->hits() - cache_hits_before;
+    local_info.token_pair_cache_misses =
+        pair_cache->misses() - cache_misses_before;
+  }
   local_info.result_pairs = results.size();
   if (info != nullptr) *info = std::move(local_info);
   return results;

@@ -9,14 +9,20 @@
 //             candidates pruned by the Lemma 6 length filter and the
 //             token-length-histogram SLD lower bound (Sec. III-E) — both
 //             lossless;
-//   verify:   surviving pairs resolved to token multisets (into per-thread
-//             scratch via Corpus::MaterializeInto) and checked with the
-//             budget-aware SLD engine (tokenized/sld.h): the NSLD threshold
-//             becomes an integer SLD budget, and BoundedSld certifies
-//             "within" (with the exact SLD, so reported NSLD values match
-//             the unbounded path byte-for-byte) or "over" while skipping
-//             the DP/solver work a doomed pair would waste (Sec. III-F;
-//             exact Hungarian or greedy-token-aligning per Sec. III-G.5).
+//   verify:   surviving pairs checked with the budget-aware SLD engine
+//             (tokenized/sld.h): the NSLD threshold becomes an integer SLD
+//             budget, and BoundedSld certifies "within" (with the exact
+//             SLD, so reported NSLD values match the unbounded path
+//             byte-for-byte) or "over" while skipping the DP/solver work a
+//             doomed pair would waste (Sec. III-F; exact Hungarian or
+//             greedy-token-aligning per Sec. III-G.5). When both sides
+//             share one Corpus the engine runs directly on interned
+//             token-id spans — Myers bit-parallel edge kernel, a
+//             corpus-wide TokenPairCache across candidates, and no
+//             per-candidate materialization; cross-corpus joins resolve
+//             ids into per-thread scratch via Corpus::MaterializeInto.
+//             Candidates of one reduce group verify in aggregate-length
+//             order so DP scratch and cache lines stay resident.
 //
 // Every stage runs on the in-process MapReduce engine and records JobStats,
 // so a run can be replayed through the simulated-cluster model at any
@@ -74,6 +80,10 @@ struct TsjRunInfo {
   /// enable_budgeted_verify=false run measures the verification saving
   /// directly (bench_ablation does exactly that).
   uint64_t verify_work_units = 0;
+  /// Token-pair-cache lookups answered from the cache (token-id path).
+  uint64_t token_pair_cache_hits = 0;
+  /// Token-pair-cache lookups that fell through to the LD kernel.
+  uint64_t token_pair_cache_misses = 0;
   /// Pairs in the final result.
   uint64_t result_pairs = 0;
 };

@@ -1,0 +1,219 @@
+// Randomized differential harness for the verification kernels (the
+// "slow" ctest label; CI runs it as its own job).
+//
+// A wrong bit-vector or memo entry in the fast paths silently flips join
+// decisions, so every fast kernel is pitted against the slowest, most
+// obviously correct reference on tens of thousands of seeded random
+// inputs:
+//
+//   * Myers bit-parallel LD (single-word and blocked) == banded DP ==
+//     naive full-matrix DP, for every input family (ASCII, raw bytes,
+//     UTF-8-ish sequences, long common affixes, all-equal, empty) and
+//     cap family (0, 1, small, huge);
+//   * BoundedSld on interned token-id spans (with and without the
+//     TokenPairCache, exact and greedy aligning) == BoundedSld on the
+//     materialized byte multisets, on random corpora and budgets.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/levenshtein.h"
+#include "distance/myers.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tokenized/corpus.h"
+#include "tokenized/sld.h"
+#include "tokenized/token_pair_cache.h"
+
+namespace tsj {
+namespace {
+
+// Naive full-matrix DP, deliberately the dumbest possible reference: no
+// trimming, no banding, no bit tricks.
+uint32_t NaiveLd(const std::string& x, const std::string& y) {
+  std::vector<std::vector<uint32_t>> d(
+      x.size() + 1, std::vector<uint32_t>(y.size() + 1, 0));
+  for (size_t i = 0; i <= x.size(); ++i) d[i][0] = static_cast<uint32_t>(i);
+  for (size_t j = 0; j <= y.size(); ++j) d[0][j] = static_cast<uint32_t>(j);
+  for (size_t i = 1; i <= x.size(); ++i) {
+    for (size_t j = 1; j <= y.size(); ++j) {
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + (x[i - 1] == y[j - 1] ? 0u : 1u)});
+    }
+  }
+  return d[x.size()][y.size()];
+}
+
+// One random string pair drawn from the harness's input families. Long
+// variants (well past 64 chars) exercise the blocked Myers path.
+std::pair<std::string, std::string> RandomPair(Rng* rng) {
+  std::string x, y;
+  switch (rng->Uniform(8)) {
+    case 0:  // short ASCII over a tiny alphabet: collisions everywhere
+      x = testutil::RandomString(rng, 0, 14, 3);
+      y = testutil::RandomString(rng, 0, 14, 3);
+      break;
+    case 1:  // raw bytes, full 8-bit range
+      x = testutil::RandomByteString(rng, 0, 20);
+      y = testutil::RandomByteString(rng, 0, 20);
+      break;
+    case 2:  // UTF-8-ish multi-byte runs
+      x = testutil::RandomUtf8ishString(rng, 0, 10);
+      y = testutil::RandomUtf8ishString(rng, 0, 10);
+      break;
+    case 3:  // long common affixes around a small differing core
+      x = testutil::RandomString(rng, 0, 6, 4);
+      y = testutil::RandomString(rng, 0, 6, 4);
+      testutil::AddCommonAffixes(rng, 40, &x, &y);
+      break;
+    case 4:  // all-equal (after possibly zero edits)
+      x = testutil::RandomString(rng, 0, 30, 5);
+      y = x;
+      break;
+    case 5:  // empty vs. anything
+      x.clear();
+      y = testutil::RandomString(rng, 0, 25, 5);
+      if (rng->Bernoulli(0.5)) std::swap(x, y);
+      break;
+    case 6:  // edit chains: known-small distances on medium strings
+      x = testutil::RandomString(rng, 5, 40, 6);
+      y = x;
+      for (uint64_t e = rng->Uniform(6); e > 0; --e) {
+        y = testutil::RandomEdit(rng, y, 6);
+      }
+      break;
+    default:  // long strings straddling the 64-char single-word limit
+      x = testutil::RandomString(rng, 40, 150, 4);
+      y = testutil::RandomString(rng, 40, 150, 4);
+      if (rng->Bernoulli(0.3)) testutil::AddCommonAffixes(rng, 30, &x, &y);
+      break;
+  }
+  return {x, y};
+}
+
+// The cap families of the harness: 0, 1, a small random cap, and a cap
+// far beyond any generated distance.
+std::vector<uint32_t> CapFamilies(Rng* rng) {
+  return {0u, 1u, static_cast<uint32_t>(2 + rng->Uniform(8)), 1000000u};
+}
+
+TEST(DifferentialTest, MyersAgreesWithBandedAndNaiveDp) {
+  Rng rng(20260726);
+  constexpr int kPairs = 12000;
+  for (int trial = 0; trial < kPairs; ++trial) {
+    const auto [x, y] = RandomPair(&rng);
+    const uint32_t naive = NaiveLd(x, y);
+    ASSERT_EQ(Levenshtein(x, y), naive)
+        << "trial=" << trial << " |x|=" << x.size() << " |y|=" << y.size();
+    ASSERT_EQ(MyersLevenshtein(x, y), naive)
+        << "trial=" << trial << " |x|=" << x.size() << " |y|=" << y.size();
+    for (const uint32_t cap : CapFamilies(&rng)) {
+      // The shared clamp contract: exact when <= cap, else exactly cap+1.
+      const uint32_t expected = std::min(naive, cap + 1);
+      ASSERT_EQ(BoundedLevenshtein(x, y, cap), expected)
+          << "trial=" << trial << " cap=" << cap << " naive=" << naive
+          << " |x|=" << x.size() << " |y|=" << y.size();
+      ASSERT_EQ(MyersBoundedLevenshtein(x, y, cap), expected)
+          << "trial=" << trial << " cap=" << cap << " naive=" << naive
+          << " |x|=" << x.size() << " |y|=" << y.size();
+    }
+  }
+}
+
+// Focused single-word/blocked boundary sweep: every pattern length around
+// the 64-char word limit, against the naive DP.
+TEST(DifferentialTest, MyersWordBoundarySweep) {
+  Rng rng(64646464);
+  for (size_t len = 56; len <= 72; ++len) {
+    for (int trial = 0; trial < 250; ++trial) {
+      const std::string x = testutil::RandomString(&rng, len, len, 4);
+      const std::string y =
+          testutil::RandomString(&rng, len > 8 ? len - 8 : 0, len + 8, 4);
+      const uint32_t naive = NaiveLd(x, y);
+      ASSERT_EQ(MyersLevenshtein(x, y), naive) << "len=" << len;
+      const uint32_t cap = static_cast<uint32_t>(rng.Uniform(12));
+      ASSERT_EQ(MyersBoundedLevenshtein(x, y, cap),
+                std::min(naive, cap + 1))
+          << "len=" << len << " cap=" << cap;
+    }
+  }
+}
+
+// Random corpora for the SLD-level differential: small alphabet and token
+// counts so duplicate tokens (within and across strings) are common.
+Corpus RandomCorpus(Rng* rng, size_t n) {
+  Corpus corpus;
+  for (size_t s = 0; s < n; ++s) {
+    TokenizedString tokens =
+        testutil::RandomTokenizedString(rng, 0, 4, 0, 8, 3);
+    corpus.AddString(tokens);
+  }
+  return corpus;
+}
+
+TEST(DifferentialTest, BoundedSldOnTokenIdsMatchesBytes) {
+  Rng rng(987654321);
+  constexpr int kRounds = 25;
+  constexpr int kPairsPerRound = 450;  // > 10k pairs in total
+  for (int round = 0; round < kRounds; ++round) {
+    const Corpus corpus = RandomCorpus(&rng, 30);
+    TokenPairCache cache;  // shared across the round: warms up quickly
+    SldVerifyScratch scratch;
+    for (int trial = 0; trial < kPairsPerRound; ++trial) {
+      const uint32_t a = static_cast<uint32_t>(rng.Uniform(corpus.size()));
+      const uint32_t b = static_cast<uint32_t>(rng.Uniform(corpus.size()));
+      const size_t la = corpus.aggregate_length(a);
+      const size_t lb = corpus.aggregate_length(b);
+      // Budget families: 0, 1, a small cap, a threshold-derived budget,
+      // and the unbounded ceiling.
+      int64_t budget = 0;
+      switch (rng.Uniform(5)) {
+        case 0: budget = 0; break;
+        case 1: budget = 1; break;
+        case 2: budget = static_cast<int64_t>(rng.Uniform(6)); break;
+        case 3:
+          budget = SldBudgetFromThreshold(0.05 + 0.3 * rng.NextDouble(), la,
+                                          lb);
+          break;
+        default: budget = static_cast<int64_t>(la + lb); break;
+      }
+      const TokenAligning aligning = rng.Bernoulli(0.5)
+                                         ? TokenAligning::kExact
+                                         : TokenAligning::kGreedy;
+      corpus.MaterializeInto(a, &scratch.x);
+      corpus.MaterializeInto(b, &scratch.y);
+      const BoundedSldResult byte_result =
+          BoundedSld(scratch.x, scratch.y, budget, aligning);
+      const BoundedSldResult id_plain =
+          BoundedSld(corpus, corpus.tokens(a), corpus.tokens(b), budget,
+                     aligning, /*scratch=*/nullptr, /*cache=*/nullptr);
+      const BoundedSldResult id_cached =
+          BoundedSld(corpus, corpus.tokens(a), corpus.tokens(b), budget,
+                     aligning, /*scratch=*/nullptr, &cache);
+      for (const BoundedSldResult* id_result : {&id_plain, &id_cached}) {
+        ASSERT_EQ(id_result->within_budget, byte_result.within_budget)
+            << "round=" << round << " trial=" << trial << " a=" << a
+            << " b=" << b << " budget=" << budget
+            << " exact=" << (aligning == TokenAligning::kExact)
+            << " cached=" << (id_result == &id_cached);
+        if (byte_result.within_budget) {
+          ASSERT_EQ(id_result->sld, byte_result.sld)
+              << "round=" << round << " trial=" << trial << " a=" << a
+              << " b=" << b << " budget=" << budget
+              << " exact=" << (aligning == TokenAligning::kExact)
+              << " cached=" << (id_result == &id_cached);
+        }
+      }
+      // Within budget, the id path must also agree with the unbounded
+      // ground truth.
+      if (byte_result.within_budget) {
+        ASSERT_EQ(byte_result.sld, Sld(scratch.x, scratch.y, aligning));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsj

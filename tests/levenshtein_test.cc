@@ -106,6 +106,50 @@ TEST(BoundedLevenshteinTest, LengthDifferenceFastPath) {
   EXPECT_EQ(BoundedLevenshtein("abcdefgh", "ab", 2), 3u);
 }
 
+// Regression for the silent-cap smell: when ||x| - |y|| > cap, the
+// early-out must fire before affix trimming and return EXACTLY cap + 1 —
+// never the true distance, never some other value above the cap. The
+// pairs below share long affixes precisely so a trim-first implementation
+// would take a different route to the answer; the pinned value may not
+// change either way.
+TEST(BoundedLevenshteinTest, LengthGapReturnsExactlyCapPlusOne) {
+  struct Case {
+    std::string x, y;
+  };
+  const Case cases[] = {
+      {"prefix_short_suffix", "prefix_muchmuchlonger_suffix"},
+      {"aaaaaaaaaab", "aaaaaaaaaabbbbbbbbbb"},  // shared 11-char prefix
+      {"", "0123456789"},
+      {"core", "prefixcoresuffix"},
+  };
+  for (const auto& c : cases) {
+    const size_t gap = c.y.size() > c.x.size() ? c.y.size() - c.x.size()
+                                               : c.x.size() - c.y.size();
+    ASSERT_GT(gap, 0u);
+    for (uint32_t cap = 0; cap < gap; ++cap) {
+      EXPECT_EQ(BoundedLevenshtein(c.x, c.y, cap), cap + 1)
+          << "x=" << c.x << " y=" << c.y << " cap=" << cap;
+      EXPECT_EQ(BoundedLevenshtein(c.y, c.x, cap), cap + 1)
+          << "(swapped) cap=" << cap;
+    }
+  }
+}
+
+// The clamp contract holds beyond the trivial length gap too: any
+// distance above the cap comes back as exactly cap + 1.
+TEST(BoundedLevenshteinTest, OverCapAlwaysClampsToCapPlusOne) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string x = testutil::RandomString(&rng, 0, 12, 3);
+    const std::string y = testutil::RandomString(&rng, 0, 12, 3);
+    const uint32_t exact = Levenshtein(x, y);
+    for (uint32_t cap = 0; cap < exact; ++cap) {
+      EXPECT_EQ(BoundedLevenshtein(x, y, cap), cap + 1)
+          << "x=" << x << " y=" << y << " cap=" << cap;
+    }
+  }
+}
+
 TEST(BoundedLevenshteinTest, ZeroBoundIsEqualityTest) {
   EXPECT_EQ(BoundedLevenshtein("same", "same", 0), 0u);
   EXPECT_EQ(BoundedLevenshtein("same", "sane", 0), 1u);

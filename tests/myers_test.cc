@@ -1,0 +1,85 @@
+// Fast-tier unit tests for the Myers bit-parallel kernels. The heavy
+// randomized cross-validation lives in differential_test.cc (the "slow"
+// ctest label); these pin known values, the clamp contract, and the
+// single-word/blocked seams so a broken kernel fails within milliseconds.
+
+#include "distance/myers.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "distance/levenshtein.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tsj {
+namespace {
+
+TEST(MyersLevenshteinTest, KnownValues) {
+  EXPECT_EQ(MyersLevenshtein("", ""), 0u);
+  EXPECT_EQ(MyersLevenshtein("abc", "abc"), 0u);
+  EXPECT_EQ(MyersLevenshtein("", "abc"), 3u);
+  EXPECT_EQ(MyersLevenshtein("abc", ""), 3u);
+  EXPECT_EQ(MyersLevenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(MyersLevenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(MyersLevenshtein("Thomson", "Thompson"), 1u);
+  EXPECT_EQ(MyersLevenshtein("Alex", "Alexa"), 1u);
+}
+
+TEST(MyersLevenshteinTest, MatchesBandedDpOnRandomStrings) {
+  Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string x = testutil::RandomString(&rng, 0, 20, 4);
+    const std::string y = testutil::RandomString(&rng, 0, 20, 4);
+    EXPECT_EQ(MyersLevenshtein(x, y), Levenshtein(x, y))
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(MyersLevenshteinTest, ExactAt64And65CharPatterns) {
+  // The single-word/blocked seam: patterns of exactly 64 and 65 chars.
+  Rng rng(6465);
+  for (const size_t len : {64u, 65u}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const std::string x = testutil::RandomString(&rng, len, len, 4);
+      const std::string y = testutil::RandomString(&rng, len, len + 4, 4);
+      EXPECT_EQ(MyersLevenshtein(x, y), Levenshtein(x, y)) << "len=" << len;
+    }
+  }
+}
+
+TEST(MyersBoundedLevenshteinTest, SharesTheClampContract) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string x = testutil::RandomString(&rng, 0, 14, 3);
+    const std::string y = testutil::RandomString(&rng, 0, 14, 3);
+    for (const uint32_t cap : {0u, 1u, 3u, 8u, 100u}) {
+      EXPECT_EQ(MyersBoundedLevenshtein(x, y, cap),
+                BoundedLevenshtein(x, y, cap))
+          << "x=" << x << " y=" << y << " cap=" << cap;
+    }
+  }
+}
+
+TEST(MyersBoundedLevenshteinTest, LengthGapReturnsExactlyCapPlusOne) {
+  for (uint32_t cap = 0; cap < 6; ++cap) {
+    EXPECT_EQ(MyersBoundedLevenshtein("ab", "abcdefgh", cap), cap + 1);
+    EXPECT_EQ(MyersBoundedLevenshtein("abcdefgh", "ab", cap), cap + 1);
+  }
+}
+
+TEST(MyersBoundedLevenshteinTest, HandlesHighBytes) {
+  // 8-bit-clean Peq indexing: bytes >= 0x80 (signed-char traps).
+  const std::string a = "\xE2\x82\xAC caf\xC3\xA9";
+  const std::string b = "\xE2\x82\xAC cafe";
+  EXPECT_EQ(MyersLevenshtein(a, b), Levenshtein(a, b));
+  EXPECT_EQ(MyersBoundedLevenshtein(a, b, 1), BoundedLevenshtein(a, b, 1));
+}
+
+TEST(MyersLevenshteinWithinTest, Basic) {
+  EXPECT_TRUE(MyersLevenshteinWithin("kitten", "sitting", 3));
+  EXPECT_FALSE(MyersLevenshteinWithin("kitten", "sitting", 2));
+}
+
+}  // namespace
+}  // namespace tsj

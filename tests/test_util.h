@@ -47,6 +47,59 @@ inline TokenizedString RandomTokenizedString(Rng* rng, size_t min_tokens,
   return tokens;
 }
 
+/// Random string over the full byte range (0x00..0xFF), for kernels that
+/// must be 8-bit clean (the Myers Peq table indexes by unsigned byte; a
+/// signed-char slip shows up immediately on these).
+inline std::string RandomByteString(Rng* rng, size_t min_len,
+                                    size_t max_len) {
+  const size_t len =
+      static_cast<size_t>(rng->UniformInt(static_cast<int64_t>(min_len),
+                                          static_cast<int64_t>(max_len)));
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return s;
+}
+
+/// Random UTF-8-ish string: a mix of ASCII characters and 2-3 byte
+/// sequences with a 0xC0..0xEF lead and 0x80..0xBF continuations. The
+/// Levenshtein kernels operate on bytes, so this only needs to *look*
+/// like UTF-8 (high bits set, multi-byte runs), not validate.
+inline std::string RandomUtf8ishString(Rng* rng, size_t min_cps,
+                                       size_t max_cps) {
+  const size_t cps =
+      static_cast<size_t>(rng->UniformInt(static_cast<int64_t>(min_cps),
+                                          static_cast<int64_t>(max_cps)));
+  std::string s;
+  for (size_t i = 0; i < cps; ++i) {
+    const uint64_t kind = rng->Uniform(3);
+    if (kind == 0) {  // ASCII
+      s.push_back(static_cast<char>('a' + rng->Uniform(26)));
+    } else {
+      const size_t continuations = kind;  // 1 or 2
+      s.push_back(static_cast<char>((continuations == 1 ? 0xC0 : 0xE0) +
+                                    rng->Uniform(16)));
+      for (size_t c = 0; c < continuations; ++c) {
+        s.push_back(static_cast<char>(0x80 + rng->Uniform(64)));
+      }
+    }
+  }
+  return s;
+}
+
+/// Wraps x and y in the same random prefix and suffix (each up to
+/// max_affix chars), producing pairs whose differing core hides behind
+/// long shared ends — the input family affix trimming must get right.
+inline void AddCommonAffixes(Rng* rng, size_t max_affix, std::string* x,
+                             std::string* y) {
+  const std::string prefix = RandomString(rng, 0, max_affix, 26);
+  const std::string suffix = RandomString(rng, 0, max_affix, 26);
+  *x = prefix + *x + suffix;
+  *y = prefix + *y + suffix;
+}
+
 /// Applies one random character-level edit (insert/delete/substitute).
 inline std::string RandomEdit(Rng* rng, std::string s, int alphabet_size = 4) {
   const char c = static_cast<char>(

@@ -1,0 +1,198 @@
+#include "tokenized/token_pair_cache.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tokenized/corpus.h"
+#include "tsj/tsj.h"
+
+namespace tsj {
+namespace {
+
+TEST(TokenPairCacheTest, MissThenHitWithAccounting) {
+  TokenPairCache cache;
+  uint32_t dist = 0;
+  EXPECT_FALSE(cache.Lookup(1, 2, 10, &dist));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Insert(1, 2, /*cap=*/10, /*dist=*/3);  // exact: 3 <= 10
+  ASSERT_TRUE(cache.Lookup(1, 2, 10, &dist));
+  EXPECT_EQ(dist, 3u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TokenPairCacheTest, KeyIsSymmetric) {
+  TokenPairCache cache;
+  cache.Insert(7, 3, /*cap=*/5, /*dist=*/2);
+  uint32_t dist = 0;
+  ASSERT_TRUE(cache.Lookup(3, 7, 5, &dist));
+  EXPECT_EQ(dist, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TokenPairCacheTest, ExactEntryServesEveryCapWithReclamp) {
+  TokenPairCache cache;
+  cache.Insert(1, 2, /*cap=*/10, /*dist=*/4);  // exact LD = 4
+  uint32_t dist = 0;
+  // Larger cap: still exact.
+  ASSERT_TRUE(cache.Lookup(1, 2, 100, &dist));
+  EXPECT_EQ(dist, 4u);
+  // Smaller cap that still covers the distance: exact.
+  ASSERT_TRUE(cache.Lookup(1, 2, 4, &dist));
+  EXPECT_EQ(dist, 4u);
+  // Cap below the distance: re-clamped to cap + 1, like the kernel.
+  ASSERT_TRUE(cache.Lookup(1, 2, 2, &dist));
+  EXPECT_EQ(dist, 3u);
+  ASSERT_TRUE(cache.Lookup(1, 2, 0, &dist));
+  EXPECT_EQ(dist, 1u);
+}
+
+TEST(TokenPairCacheTest, ClampedEntryNeverServedAboveItsCap) {
+  TokenPairCache cache;
+  // Computed at cap 3 and clamped: only certifies LD > 3.
+  cache.Insert(1, 2, /*cap=*/3, /*dist=*/4);
+  uint32_t dist = 0;
+  // At or below the computed cap: certificate applies, answer is cap + 1.
+  ASSERT_TRUE(cache.Lookup(1, 2, 3, &dist));
+  EXPECT_EQ(dist, 4u);
+  ASSERT_TRUE(cache.Lookup(1, 2, 1, &dist));
+  EXPECT_EQ(dist, 2u);
+  // Above the computed cap the entry is too weak: must miss (the caller
+  // recomputes at the larger cap).
+  EXPECT_FALSE(cache.Lookup(1, 2, 4, &dist));
+  EXPECT_FALSE(cache.Lookup(1, 2, 100, &dist));
+}
+
+TEST(TokenPairCacheTest, InsertNeverDowngrades) {
+  TokenPairCache cache;
+  uint32_t dist = 0;
+
+  // Certificate upgraded by a stronger certificate...
+  cache.Insert(1, 2, /*cap=*/2, /*dist=*/3);
+  cache.Insert(1, 2, /*cap=*/5, /*dist=*/6);
+  ASSERT_TRUE(cache.Lookup(1, 2, 5, &dist));
+  EXPECT_EQ(dist, 6u);
+  // ...but not downgraded by a weaker one.
+  cache.Insert(1, 2, /*cap=*/1, /*dist=*/2);
+  ASSERT_TRUE(cache.Lookup(1, 2, 5, &dist));
+  EXPECT_EQ(dist, 6u);
+
+  // Exact beats any certificate and is never replaced.
+  cache.Insert(1, 2, /*cap=*/10, /*dist=*/7);
+  ASSERT_TRUE(cache.Lookup(1, 2, 100, &dist));
+  EXPECT_EQ(dist, 7u);
+  cache.Insert(1, 2, /*cap=*/3, /*dist=*/4);  // stale clamp arrives late
+  ASSERT_TRUE(cache.Lookup(1, 2, 100, &dist));
+  EXPECT_EQ(dist, 7u);
+}
+
+TEST(TokenPairCacheTest, ClearResetsEntriesAndCounters) {
+  TokenPairCache cache;
+  cache.Insert(1, 2, 5, 2);
+  uint32_t dist = 0;
+  ASSERT_TRUE(cache.Lookup(1, 2, 5, &dist));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.Lookup(1, 2, 5, &dist));
+}
+
+// ---- Join-level stress: warm vs. cold cache ------------------------------
+
+using PairNsld = std::set<std::pair<std::pair<uint32_t, uint32_t>, double>>;
+
+PairNsld ToPairNsld(const std::vector<TsjPair>& pairs) {
+  PairNsld s;
+  for (const auto& p : pairs) s.insert({{p.a, p.b}, p.nsld});
+  return s;
+}
+
+Corpus StressCorpus(Rng* rng, size_t n) {
+  Corpus corpus;
+  size_t added = 0;
+  while (added < n) {
+    auto base = testutil::RandomTokenizedString(rng, 1, 3, 2, 7, 3);
+    corpus.AddString(base);
+    ++added;
+    for (uint64_t c = rng->Uniform(3); c > 0 && added < n; --c) {
+      auto variant = base;
+      const size_t tok = rng->Uniform(variant.size());
+      variant[tok] = testutil::RandomEdit(rng, variant[tok], 3);
+      corpus.AddString(variant);
+      ++added;
+    }
+  }
+  return corpus;
+}
+
+TEST(TokenPairCacheStressTest, WarmAndColdJoinsAreByteIdentical) {
+  Rng rng(24680);
+  const Corpus corpus = StressCorpus(&rng, 120);
+
+  TsjOptions options;
+  options.threshold = 0.2;
+  options.max_token_frequency = 1u << 30;
+
+  // Reference: token-id path with the cache disabled entirely.
+  TsjOptions uncached = options;
+  uncached.enable_token_pair_cache = false;
+  TsjRunInfo uncached_info;
+  const auto expected =
+      TokenizedStringJoiner(uncached).SelfJoin(corpus, &uncached_info);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(uncached_info.token_pair_cache_hits, 0u);
+  EXPECT_EQ(uncached_info.token_pair_cache_misses, 0u);
+
+  // Cold: same join against a fresh shared cache.
+  TokenPairCache shared;
+  TsjOptions with_shared = options;
+  with_shared.shared_token_pair_cache = &shared;
+  TsjRunInfo cold_info;
+  const auto cold =
+      TokenizedStringJoiner(with_shared).SelfJoin(corpus, &cold_info);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(ToPairNsld(*cold), ToPairNsld(*expected));
+  EXPECT_GT(cold_info.token_pair_cache_misses, 0u);
+
+  // Warm: joining the same corpus again reuses the shared cache; the
+  // result stays byte-identical and the cache now answers lookups.
+  TsjRunInfo warm_info;
+  const auto warm =
+      TokenizedStringJoiner(with_shared).SelfJoin(corpus, &warm_info);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(ToPairNsld(*warm), ToPairNsld(*expected));
+  EXPECT_GT(warm_info.token_pair_cache_hits, 0u);
+  // Every edge the cold run certified at its cap (or resolved exactly) is
+  // a warm hit: the warm run repeats the same lookups, so it misses at
+  // most as often as the cold run.
+  EXPECT_LE(warm_info.token_pair_cache_misses,
+            cold_info.token_pair_cache_misses);
+  // And the warm hit rate strictly improves on the cold run's.
+  EXPECT_GT(warm_info.token_pair_cache_hits, cold_info.token_pair_cache_hits);
+}
+
+TEST(TokenPairCacheStressTest, TokenIdPathOffMatchesOn) {
+  Rng rng(13579);
+  const Corpus corpus = StressCorpus(&rng, 100);
+  TsjOptions on;
+  on.threshold = 0.15;
+  on.max_token_frequency = 1u << 30;
+  TsjOptions off = on;
+  off.enable_token_id_verify = false;  // materialized byte path
+  const auto with_ids = TokenizedStringJoiner(on).SelfJoin(corpus);
+  const auto with_bytes = TokenizedStringJoiner(off).SelfJoin(corpus);
+  ASSERT_TRUE(with_ids.ok());
+  ASSERT_TRUE(with_bytes.ok());
+  EXPECT_EQ(ToPairNsld(*with_ids), ToPairNsld(*with_bytes));
+}
+
+}  // namespace
+}  // namespace tsj
