@@ -1,9 +1,16 @@
 // Ablation study of TSJ's design choices (DESIGN.md, not a paper figure):
-// measures, on one workload, what each lossless filter (Sec. III-E) and
-// the dedup strategy contribute in candidate/verification counts and
-// measured wall time. Complements Figs. 1-5, which report the paper's own
-// parameter sweeps.
+// measures, on one workload, what each lossless filter (Sec. III-E), the
+// dedup strategy, the verification engine tiers and the shuffle engine
+// contribute in candidate/verification counts, peak shuffle-resident
+// records and measured wall time. Complements Figs. 1-5, which report the
+// paper's own parameter sweeps.
+//
+// With --shuffle_json <path>, additionally writes the legacy-vs-streaming
+// shuffle counters (map output records, pipeline peak shuffle-resident
+// records, reduction factor) as JSON, which CI merges into
+// BENCH_verify.json so the memory win is tracked in the perf trajectory.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -20,7 +27,13 @@ struct AblationRow {
   TsjOptions options;
 };
 
-void Run() {
+struct ShuffleNumbers {
+  uint64_t map_output_records = 0;
+  uint64_t peak_shuffle_records = 0;
+  double wall_ms = 0;
+};
+
+void Run(const std::string& shuffle_json_path) {
   bench::PrintHeader("Ablation", "contribution of each TSJ design choice");
   const auto workload =
       GenerateRingWorkload(bench::DefaultWorkload(bench::Scaled(10000)));
@@ -85,10 +98,21 @@ void Run() {
     o.enable_token_pair_cache = false;
     rows.push_back({"- token pair cache", o});
   }
+  {
+    // Shuffle-engine ablation: the legacy two-job hash-shuffle pipeline
+    // that materializes the pre-dedup candidate universe between jobs.
+    // Identical pairs, NSLD values and candidate counters; only the
+    // shuffle-residency and wall columns move.
+    TsjOptions o = base;
+    o.enable_streaming_shuffle = false;
+    rows.push_back({"- streaming shuffle (legacy engine)", o});
+  }
 
   TablePrinter table({"configuration", "pairs", "distinct cands", "filtered",
-                      "verified", "verify work", "cache hit%", "wall (ms)"});
+                      "verified", "verify work", "cache hit%", "peak shuffle",
+                      "wall (ms)"});
   uint64_t budgeted_work = 0, unbounded_work = 0;
+  ShuffleNumbers streaming_numbers, legacy_numbers;
   for (const auto& row : rows) {
     Stopwatch watch;
     TsjRunInfo info;
@@ -96,9 +120,17 @@ void Run() {
         TokenizedStringJoiner(row.options).SelfJoin(workload.corpus, &info);
     const double ms = watch.ElapsedMillis();
     if (!result.ok()) continue;
-    if (row.name == rows.front().name) budgeted_work = info.verify_work_units;
+    if (row.name == rows.front().name) {
+      budgeted_work = info.verify_work_units;
+      streaming_numbers = {info.pipeline.total_map_output_records(),
+                           info.peak_shuffle_records, ms};
+    }
     if (!row.options.enable_budgeted_verify) {
       unbounded_work = info.verify_work_units;
+    }
+    if (!row.options.enable_streaming_shuffle) {
+      legacy_numbers = {info.pipeline.total_map_output_records(),
+                        info.peak_shuffle_records, ms};
     }
     const uint64_t lookups =
         info.token_pair_cache_hits + info.token_pair_cache_misses;
@@ -115,6 +147,7 @@ void Run() {
                                         info.token_pair_cache_hits) /
                                 static_cast<double>(lookups),
                             1),
+                  TablePrinter::Fmt(info.peak_shuffle_records),
                   TablePrinter::Fmt(ms, 0)});
   }
   table.Print(std::cout);
@@ -124,17 +157,63 @@ void Run() {
                      static_cast<double>(budgeted_work)
               << "x fewer verify work units than unbounded SLD\n";
   }
+  if (streaming_numbers.peak_shuffle_records > 0 &&
+      legacy_numbers.peak_shuffle_records > 0) {
+    std::cout << "streaming shuffle saving: "
+              << static_cast<double>(legacy_numbers.peak_shuffle_records) /
+                     static_cast<double>(
+                         streaming_numbers.peak_shuffle_records)
+              << "x fewer peak shuffle-resident records than the legacy "
+                 "engine ("
+              << legacy_numbers.peak_shuffle_records << " -> "
+              << streaming_numbers.peak_shuffle_records << ")\n";
+  }
   std::cout << "\nexpectations: removing filters raises 'verified' with the "
                "same result pairs; the approximations only shrink the "
-               "result; disabling budgeted verify, token-id verify, or the "
-               "token pair cache changes nothing but the verify work/wall "
-               "columns (byte-identical pairs and NSLD values).\n";
+               "result; disabling budgeted verify, token-id verify, the "
+               "token pair cache, or the streaming shuffle changes nothing "
+               "but the verify work/peak shuffle/wall columns "
+               "(byte-identical pairs and NSLD values).\n";
+
+  if (!shuffle_json_path.empty()) {
+    std::ofstream json(shuffle_json_path);
+    json << "{\n"
+         << "  \"workload\": {\"accounts\": " << workload.corpus.size()
+         << ", \"threshold\": " << base.threshold
+         << ", \"max_token_frequency\": " << base.max_token_frequency
+         << "},\n"
+         << "  \"streaming\": {\"map_output_records\": "
+         << streaming_numbers.map_output_records
+         << ", \"peak_shuffle_records\": "
+         << streaming_numbers.peak_shuffle_records
+         << ", \"wall_ms\": " << streaming_numbers.wall_ms << "},\n"
+         << "  \"legacy\": {\"map_output_records\": "
+         << legacy_numbers.map_output_records
+         << ", \"peak_shuffle_records\": "
+         << legacy_numbers.peak_shuffle_records
+         << ", \"wall_ms\": " << legacy_numbers.wall_ms << "},\n"
+         << "  \"peak_reduction\": "
+         << (streaming_numbers.peak_shuffle_records > 0
+                 ? static_cast<double>(legacy_numbers.peak_shuffle_records) /
+                       static_cast<double>(
+                           streaming_numbers.peak_shuffle_records)
+                 : 0.0)
+         << "\n}\n";
+    std::cout << "\nshuffle counters written to " << shuffle_json_path
+              << "\n";
+  }
 }
 
 }  // namespace
 }  // namespace tsj
 
-int main() {
-  tsj::Run();
+int main(int argc, char** argv) {
+  std::string shuffle_json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--shuffle_json") {
+      shuffle_json_path = argv[i + 1];
+    }
+  }
+  tsj::Run(shuffle_json_path);
   return 0;
 }

@@ -52,7 +52,12 @@ void Run() {
   std::cout << "result pairs: " << result_one->size()
             << " (strategies agree: "
             << (result_one->size() == result_both->size() ? "yes" : "NO")
-            << ")\n\n";
+            << ")\n";
+  std::cout << "shuffle records: "
+            << info_one.pipeline.total_shuffle_records()
+            << "  peak resident: " << info_one.peak_shuffle_records
+            << " (group-on-one, streaming engine; see bench_ablation for "
+               "the legacy comparison)\n\n";
 
   const auto params = bench::DefaultClusterParams();
   TablePrinter table({"machines", "group-on-one (s)", "group-on-both (s)",

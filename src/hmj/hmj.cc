@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -222,9 +223,13 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   }
 
   // ---- Job 1: Voronoi partitioning + per-partition join. ----------------
+  // Both jobs run on the streaming sorted-shuffle engine: records scatter
+  // into partition buckets at emit time and reduce groups are contiguous
+  // key runs (mapreduce.h).
   const double t = options_.threshold;
   auto map_assign = [&runner, &pivots, &state, t](
-                        const uint32_t& s, Emitter<uint32_t, Member>* out) {
+                        const uint32_t& s,
+                        PartitionedEmitter<uint32_t, Member>* out) {
     if (runner.aborted()) return;
     std::vector<double> dists(pivots.size());
     for (size_t j = 0; j < pivots.size(); ++j) {
@@ -241,29 +246,32 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
     }
   };
   auto reduce_join = [&runner](const uint32_t& /*partition*/,
-                               std::vector<Member>* members,
+                               std::span<Member> members,
                                std::vector<TsjPair>* out) {
-    runner.JoinPartition(std::move(*members), /*depth=*/0, out);
+    runner.JoinPartition(
+        std::vector<Member>(members.begin(), members.end()), /*depth=*/0,
+        out);
   };
   JobStats join_stats;
   std::vector<TsjPair> raw_pairs =
-      RunMapReduce<uint32_t, uint32_t, Member, TsjPair>(
+      RunMapReduceSorted<uint32_t, uint32_t, Member, TsjPair>(
           "hmj-partition-join", all_ids, map_assign, reduce_join,
           options_.mapreduce, &join_stats);
   local_info.pipeline.Add(join_stats);
 
   // ---- Job 2: dedup (a pair may surface in several partitions). ---------
   using PairKey = std::pair<uint32_t, uint32_t>;
-  auto map_pairs = [](const TsjPair& pair, Emitter<PairKey, double>* out) {
+  auto map_pairs = [](const TsjPair& pair,
+                      PartitionedEmitter<PairKey, double>* out) {
     out->Emit(PairKey{pair.a, pair.b}, pair.nsld);
   };
-  auto reduce_dedup = [](const PairKey& key, std::vector<double>* values,
+  auto reduce_dedup = [](const PairKey& key, std::span<double> values,
                          std::vector<TsjPair>* out) {
-    out->push_back(TsjPair{key.first, key.second, values->front()});
+    out->push_back(TsjPair{key.first, key.second, values.front()});
   };
   JobStats dedup_stats;
   std::vector<TsjPair> results =
-      RunMapReduce<TsjPair, PairKey, double, TsjPair>(
+      RunMapReduceSorted<TsjPair, PairKey, double, TsjPair>(
           "hmj-dedup", raw_pairs, map_pairs, reduce_dedup, options_.mapreduce,
           &dedup_stats);
   local_info.pipeline.Add(dedup_stats);

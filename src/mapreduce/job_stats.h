@@ -12,12 +12,42 @@
 #ifndef TSJ_MAPREDUCE_JOB_STATS_H_
 #define TSJ_MAPREDUCE_JOB_STATS_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace tsj {
+
+/// High-water-mark gauge of records resident in shuffle buffers (map-side
+/// emitter buckets, merged partitions, grouping buffers, and — when a
+/// pipeline threads one gauge through several jobs — the intermediate
+/// record vectors between jobs). The engines Add/Sub at task granularity,
+/// so `peak()` is accurate to within one task's output. Thread-safe.
+class ShuffleGauge {
+ public:
+  void Add(uint64_t n) {
+    const uint64_t now =
+        current_.fetch_add(n, std::memory_order_relaxed) + n;
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(uint64_t n) { current_.fetch_sub(n, std::memory_order_relaxed); }
+
+  uint64_t current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+};
 
 /// One reduce group: its stable key hash (used for machine assignment), the
 /// number of records that flowed into it, the deterministic work units the
@@ -51,6 +81,16 @@ struct JobStats {
   /// 0 when the map function reports none.
   uint64_t map_work_units = 0;
 
+  /// Records that entered this job's shuffle (scattered into partition
+  /// buckets). Equals map_output_records for plain jobs; for the second
+  /// stage of a fused job it additionally counts the records the first
+  /// stage's reduce emitted directly into the shuffle.
+  uint64_t shuffle_records = 0;
+  /// High-water mark of records resident in this job's shuffle buffers
+  /// (ShuffleGauge), tracked at task granularity. The two stages of a
+  /// fused job share one gauge and report the same peak.
+  uint64_t peak_shuffle_records = 0;
+
   /// Per-group loads for the simulated-cluster model. Populated when
   /// MapReduceOptions::collect_group_loads is set.
   std::vector<GroupLoad> group_loads;
@@ -80,6 +120,24 @@ struct PipelineStats {
     uint64_t total = 0;
     for (const auto& j : jobs) total += j.map_output_records;
     return total;
+  }
+
+  uint64_t total_shuffle_records() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.shuffle_records;
+    return total;
+  }
+
+  /// Largest per-job shuffle high-water mark. A pipeline that threads one
+  /// ShuffleGauge through all of its jobs (e.g. TsjRunInfo) reports a
+  /// pipeline-wide peak instead, which additionally covers the record
+  /// vectors living *between* jobs.
+  uint64_t max_peak_shuffle_records() const {
+    uint64_t peak = 0;
+    for (const auto& j : jobs) {
+      peak = std::max(peak, j.peak_shuffle_records);
+    }
+    return peak;
   }
 };
 

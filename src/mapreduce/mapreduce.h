@@ -3,17 +3,44 @@
 // The engine expresses computations as the classic pair of functions
 //   map:    <key1, value1>        -> [<key2, value2>]
 //   reduce: <key2, [value2]>      -> [value3]
-// and executes them on a thread pool with a hash shuffle in between, i.e. a
-// faithful shared-nothing simulation running in one address space:
-//  * map tasks process disjoint input slices and emit (key, value) pairs;
-//  * the shuffle partitions emitted pairs by a *stable* key hash and groups
-//    them per key (order of values within a group follows map-task order,
-//    matching the non-determinism real MapReduce exposes);
-//  * reduce tasks process whole partitions, one group at a time.
-// JobStats records per-phase record counts, wall times and per-group loads;
-// cluster_model.h turns those into simulated wall times for a cluster of W
-// machines, which is how the repository reproduces the paper's
-// 100-to-1,000-machine sweeps (Figs. 1, 7) on a single host.
+// and executes them on a thread pool with a shuffle in between, i.e. a
+// faithful shared-nothing simulation running in one address space. Two
+// execution modes share that contract:
+//
+//  * RunMapReduce — the legacy hash shuffle, kept as the differential
+//    reference: map tasks buffer every emission in a flat Emitter vector,
+//    a separate scatter pass partitions the records by stable key hash,
+//    and each reduce partition groups its records into an
+//    unordered_map<Key, vector<Value>> before reducing group by group.
+//    Simple and obviously correct, but every record is resident in three
+//    successive buffers and every distinct key costs a heap node.
+//
+//  * RunMapReduceSorted — the streaming shuffle: map tasks emit through a
+//    PartitionedEmitter that scatters records into per-partition buckets
+//    *at emit time* (the scatter pass disappears), each partition is
+//    grouped by stable-sorting its records by key, and the reducer runs
+//    over contiguous key runs exposed as std::spans of a single reused
+//    buffer — no per-key vector<Value>, no grouping hash map. Requires
+//    Key to be less-than-comparable (on top of the equality/StableHash
+//    requirements of the legacy mode); within one run, values keep
+//    map-task emission order, exactly like the legacy grouping. Prefer
+//    this mode; use the legacy mode to cross-check it or when a key
+//    cannot be ordered.
+//
+// RunFusedMapReduceSorted chains two sorted-shuffle stages without
+// materializing the intermediate record vector between them: stage 1's
+// reduce emits (key2, value2) records straight into stage 2's
+// partition-at-emit shuffle (plus an optional stage-2 side input mapped
+// into the same shuffle), so the peak number of shuffle-resident records
+// is bounded by one stage's records instead of the sum of both. TSJ's
+// candidate-generation → dedup/verify pipeline runs on it (tsj/tsj.cc).
+//
+// JobStats records per-phase record counts, wall times, per-group loads,
+// and — new with the streaming engine — shuffle-record and peak-resident
+// counters (ShuffleGauge); cluster_model.h turns the group loads into
+// simulated wall times for a cluster of W machines, which is how the
+// repository reproduces the paper's 100-to-1,000-machine sweeps (Figs. 1,
+// 7) on a single host.
 
 #ifndef TSJ_MAPREDUCE_MAPREDUCE_H_
 #define TSJ_MAPREDUCE_MAPREDUCE_H_
@@ -21,6 +48,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -43,6 +71,11 @@ struct MapReduceOptions {
   size_t num_partitions = 64;
   /// Record per-group loads into JobStats for the cluster model.
   bool collect_group_loads = true;
+  /// Optional pipeline-wide gauge (not owned): every Add/Sub the engine
+  /// performs on its job-local gauge is mirrored here, so a multi-job
+  /// pipeline can observe one peak across all of its jobs plus whatever
+  /// intermediate vectors it adds manually (tsj/tsj.cc does).
+  ShuffleGauge* shuffle_gauge = nullptr;
 
   size_t effective_workers() const {
     if (num_workers > 0) return num_workers;
@@ -51,7 +84,8 @@ struct MapReduceOptions {
   }
 };
 
-/// Collects the (key, value) pairs emitted by one map task.
+/// Collects the (key, value) pairs emitted by one map task (legacy mode:
+/// one flat buffer, partitioned later by the scatter pass).
 template <typename Key, typename Value>
 class Emitter {
  public:
@@ -65,15 +99,133 @@ class Emitter {
   std::vector<std::pair<Key, Value>> pairs_;
 };
 
-/// Optional combiner: merges the values of one key *within one map task*
-/// before the shuffle, cutting shuffle volume for associative reductions
-/// (the standard MapReduce optimization). Receives the values collected so
-/// far and replaces them with a (usually shorter) combined list.
+/// Scatters emitted (key, value) records into per-partition buckets at
+/// emit time — the streaming shuffle's map-side sink. One producer task
+/// owns one PartitionedEmitter; buckets are later concatenated per
+/// partition in producer order and sorted (RunMapReduceSorted).
+template <typename Key, typename Value>
+class PartitionedEmitter {
+ public:
+  explicit PartitionedEmitter(size_t num_partitions)
+      : buckets_(std::max<size_t>(1, num_partitions)) {}
+
+  void Emit(Key key, Value value) {
+    auto& bucket = buckets_[hasher_(key) % buckets_.size()];
+    bucket.emplace_back(std::move(key), std::move(value));
+    ++size_;
+  }
+
+  /// Total records emitted through this emitter.
+  size_t size() const { return size_; }
+  size_t num_partitions() const { return buckets_.size(); }
+  std::vector<std::pair<Key, Value>>& bucket(size_t p) {
+    return buckets_[p];
+  }
+
+ private:
+  StableHash hasher_;
+  std::vector<std::vector<std::pair<Key, Value>>> buckets_;
+  size_t size_ = 0;
+};
+
+/// Optional combiner (legacy mode): merges the values of one key *within
+/// one map task* before the shuffle, cutting shuffle volume for
+/// associative reductions (the standard MapReduce optimization). Receives
+/// the values collected so far and replaces them with a (usually shorter)
+/// combined list.
 template <typename Key, typename Value>
 using CombinerFn =
     std::function<void(const Key&, std::vector<Value>*)>;
 
-/// Runs one MapReduce job.
+namespace mapreduce_internal {
+
+// Job-local gauge plus the optional pipeline-wide mirror.
+struct GaugePair {
+  ShuffleGauge* local;
+  ShuffleGauge* shared;
+  void Add(uint64_t n) const {
+    local->Add(n);
+    if (shared != nullptr) shared->Add(n);
+  }
+  void Sub(uint64_t n) const {
+    local->Sub(n);
+    if (shared != nullptr) shared->Sub(n);
+  }
+};
+
+// Number of logical map tasks for `num_inputs` records: more tasks than
+// workers so stragglers even out, as in real MapReduce.
+inline size_t NumMapTasks(size_t num_inputs, size_t num_workers) {
+  return std::max<size_t>(1, std::min(num_inputs, num_workers * 4));
+}
+
+// Builds partition `p` of the sorted shuffle: concatenates every
+// producer's bucket `p` in producer order (freeing the buckets), then
+// stable-sorts by key, so equal keys form contiguous runs whose values
+// keep producer emission order — the same per-group value order the
+// legacy grouping produces.
+template <typename Key, typename Value, typename Producers>
+std::vector<std::pair<Key, Value>> MergeSortPartition(
+    Producers* producers, size_t p, const GaugePair& gauge) {
+  size_t total = 0;
+  for (auto& producer : *producers) total += producer.bucket(p).size();
+  std::vector<std::pair<Key, Value>> partition;
+  partition.reserve(total);
+  gauge.Add(total);
+  for (auto& producer : *producers) {
+    auto& bucket = producer.bucket(p);
+    std::move(bucket.begin(), bucket.end(), std::back_inserter(partition));
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  gauge.Sub(total);  // the source buckets are gone; the partition remains
+  std::stable_sort(
+      partition.begin(), partition.end(),
+      [](const std::pair<Key, Value>& a, const std::pair<Key, Value>& b) {
+        return a.first < b.first;
+      });
+  return partition;
+}
+
+// Scans one sorted partition run by run, moving each run's values into
+// the reused `run_values` buffer and invoking `reduce_run(key, span)`
+// per run, with optional per-group load collection.
+template <typename Key, typename Value, typename ReduceRun>
+void ReduceSortedRuns(std::vector<std::pair<Key, Value>>* partition,
+                      bool collect_loads, std::vector<GroupLoad>* loads,
+                      uint64_t* num_groups,
+                      const ReduceRun& reduce_run) {
+  StableHash hasher;
+  std::vector<Value> run_values;  // reused across runs: no per-key node
+  size_t i = 0;
+  while (i < partition->size()) {
+    const Key& key = (*partition)[i].first;
+    size_t j = i + 1;
+    while (j < partition->size() && (*partition)[j].first == key) ++j;
+    run_values.clear();
+    for (size_t r = i; r < j; ++r) {
+      run_values.push_back(std::move((*partition)[r].second));
+    }
+    ++*num_groups;
+    if (collect_loads) {
+      // Deterministic work units (work_units.h) are the preferred cost
+      // source for the simulated-cluster makespan; per-group wall time
+      // is kept as a fallback for reduce functions that report none.
+      Stopwatch group_watch;
+      TakeWorkUnits();
+      reduce_run(key, std::span<Value>(run_values));
+      loads->push_back(GroupLoad{hasher(key), j - i, TakeWorkUnits(),
+                                 group_watch.ElapsedSeconds()});
+    } else {
+      reduce_run(key, std::span<Value>(run_values));
+    }
+    i = j;
+  }
+}
+
+}  // namespace mapreduce_internal
+
+/// Runs one MapReduce job (legacy hash-shuffle mode).
 ///
 /// `map_fn(input, emitter)` is called once per input record; it may emit any
 /// number of (Key, Value) pairs. `reduce_fn(key, values, output)` is called
@@ -100,12 +252,14 @@ std::vector<Output> RunMapReduce(
   local_stats.name = job_name;
   local_stats.input_records = inputs.size();
   local_stats.executed_workers = num_workers;
+  ShuffleGauge local_gauge;
+  const mapreduce_internal::GaugePair gauge{&local_gauge,
+                                            options.shuffle_gauge};
 
   // ---- Map phase -----------------------------------------------------
   Stopwatch map_watch;
-  // More tasks than workers so stragglers even out, as in real MapReduce.
   const size_t num_map_tasks =
-      std::max<size_t>(1, std::min(inputs.size(), num_workers * 4));
+      mapreduce_internal::NumMapTasks(inputs.size(), num_workers);
   std::vector<Emitter<Key, Value>> emitters(num_map_tasks);
   std::vector<uint64_t> map_task_units(num_map_tasks, 0);
   pool.ParallelFor(num_map_tasks, [&](size_t task) {
@@ -135,6 +289,7 @@ std::vector<Output> RunMapReduce(
       }
     }
     map_task_units[task] = TakeWorkUnits();
+    gauge.Add(emitters[task].pairs().size());
   });
   uint64_t map_output_records = 0;
   for (const auto& e : emitters) map_output_records += e.pairs().size();
@@ -142,6 +297,7 @@ std::vector<Output> RunMapReduce(
     local_stats.map_work_units += units;
   }
   local_stats.map_output_records = map_output_records;
+  local_stats.shuffle_records = map_output_records;
   local_stats.map_wall_seconds = map_watch.ElapsedSeconds();
 
   // ---- Shuffle phase ---------------------------------------------------
@@ -154,12 +310,15 @@ std::vector<Output> RunMapReduce(
   pool.ParallelFor(num_map_tasks, [&](size_t task) {
     auto& buckets = scattered[task];
     buckets.resize(num_partitions);
+    const size_t task_records = emitters[task].pairs().size();
+    gauge.Add(task_records);  // buckets fill while the emitter still lives
     for (auto& kv : emitters[task].pairs()) {
       const size_t p = hasher(kv.first) % num_partitions;
       buckets[p].push_back(std::move(kv));
     }
     emitters[task].pairs().clear();
     emitters[task].pairs().shrink_to_fit();
+    gauge.Sub(task_records);
   });
   std::vector<std::vector<std::pair<Key, Value>>> partitions(num_partitions);
   pool.ParallelFor(num_partitions, [&](size_t p) {
@@ -168,6 +327,7 @@ std::vector<Output> RunMapReduce(
       total += scattered[task][p].size();
     }
     partitions[p].reserve(total);
+    gauge.Add(total);
     for (size_t task = 0; task < num_map_tasks; ++task) {
       auto& bucket = scattered[task][p];
       std::move(bucket.begin(), bucket.end(),
@@ -175,6 +335,7 @@ std::vector<Output> RunMapReduce(
       bucket.clear();
       bucket.shrink_to_fit();
     }
+    gauge.Sub(total);
   });
   scattered.clear();
   local_stats.shuffle_wall_seconds = shuffle_watch.ElapsedSeconds();
@@ -192,12 +353,15 @@ std::vector<Output> RunMapReduce(
     struct HashAdapter {
       size_t operator()(const Key& k) const { return StableHash()(k); }
     };
+    const size_t partition_records = partitions[p].size();
+    gauge.Add(partition_records);  // the grouping map duplicates the records
     std::unordered_map<Key, std::vector<Value>, HashAdapter> groups;
     for (auto& kv : partitions[p]) {
       groups[kv.first].push_back(std::move(kv.second));
     }
     partitions[p].clear();
     partitions[p].shrink_to_fit();
+    gauge.Sub(partition_records);
     auto& result = results[p];
     result.num_groups = groups.size();
     if (options.collect_group_loads) result.loads.reserve(groups.size());
@@ -217,6 +381,7 @@ std::vector<Output> RunMapReduce(
         reduce_fn(key, &values, &result.outputs);
       }
     }
+    gauge.Sub(partition_records);  // groups die with this task
   });
   std::vector<Output> outputs;
   {
@@ -235,8 +400,326 @@ std::vector<Output> RunMapReduce(
   }
   local_stats.reduce_output_records = outputs.size();
   local_stats.reduce_wall_seconds = reduce_watch.ElapsedSeconds();
+  local_stats.peak_shuffle_records = local_gauge.peak();
 
   if (stats != nullptr) *stats = std::move(local_stats);
+  return outputs;
+}
+
+/// Runs one MapReduce job in streaming sorted-shuffle mode (see the file
+/// comment): records are partitioned at emit time and each partition is
+/// grouped by stable-sorting by key, so the reducer sees each run's
+/// values as a mutable std::span (reducers may reorder in place; the
+/// values arrive in map-task emission order, like the legacy grouping).
+///
+/// Same contract and statistics as RunMapReduce, with two differences:
+/// Key must additionally be less-than-comparable, and there is no
+/// combiner (callers that need pre-aggregation keep the legacy mode).
+template <typename Input, typename Key, typename Value, typename Output>
+std::vector<Output> RunMapReduceSorted(
+    const std::string& job_name, const std::vector<Input>& inputs,
+    const std::function<void(const Input&, PartitionedEmitter<Key, Value>*)>&
+        map_fn,
+    const std::function<void(const Key&, std::span<Value>,
+                             std::vector<Output>*)>& reduce_fn,
+    const MapReduceOptions& options = {}, JobStats* stats = nullptr) {
+  const size_t num_workers = options.effective_workers();
+  const size_t num_partitions = std::max<size_t>(1, options.num_partitions);
+  ThreadPool pool(num_workers);
+  JobStats local_stats;
+  local_stats.name = job_name;
+  local_stats.input_records = inputs.size();
+  local_stats.executed_workers = num_workers;
+  ShuffleGauge local_gauge;
+  const mapreduce_internal::GaugePair gauge{&local_gauge,
+                                            options.shuffle_gauge};
+
+  // ---- Map phase: partition at emit. -----------------------------------
+  Stopwatch map_watch;
+  const size_t num_map_tasks =
+      mapreduce_internal::NumMapTasks(inputs.size(), num_workers);
+  std::vector<PartitionedEmitter<Key, Value>> emitters;
+  emitters.reserve(num_map_tasks);
+  for (size_t t = 0; t < num_map_tasks; ++t) {
+    emitters.emplace_back(num_partitions);
+  }
+  std::vector<uint64_t> map_task_units(num_map_tasks, 0);
+  pool.ParallelFor(num_map_tasks, [&](size_t task) {
+    const size_t begin = inputs.size() * task / num_map_tasks;
+    const size_t end = inputs.size() * (task + 1) / num_map_tasks;
+    TakeWorkUnits();  // clear leftovers from other tasks on this thread
+    for (size_t i = begin; i < end; ++i) {
+      map_fn(inputs[i], &emitters[task]);
+    }
+    map_task_units[task] = TakeWorkUnits();
+    gauge.Add(emitters[task].size());
+  });
+  for (const auto& e : emitters) {
+    local_stats.map_output_records += e.size();
+  }
+  for (uint64_t units : map_task_units) {
+    local_stats.map_work_units += units;
+  }
+  local_stats.shuffle_records = local_stats.map_output_records;
+  local_stats.map_wall_seconds = map_watch.ElapsedSeconds();
+
+  // ---- Shuffle phase: concatenate buckets, sort by key. -----------------
+  Stopwatch shuffle_watch;
+  std::vector<std::vector<std::pair<Key, Value>>> partitions(num_partitions);
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    partitions[p] = mapreduce_internal::MergeSortPartition<Key, Value>(
+        &emitters, p, gauge);
+  });
+  local_stats.shuffle_wall_seconds = shuffle_watch.ElapsedSeconds();
+
+  // ---- Reduce phase: contiguous key runs. -------------------------------
+  Stopwatch reduce_watch;
+  struct PartitionResult {
+    std::vector<Output> outputs;
+    std::vector<GroupLoad> loads;
+    uint64_t num_groups = 0;
+  };
+  std::vector<PartitionResult> results(num_partitions);
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    auto& partition = partitions[p];
+    auto& result = results[p];
+    mapreduce_internal::ReduceSortedRuns<Key, Value>(
+        &partition, options.collect_group_loads, &result.loads,
+        &result.num_groups, [&](const Key& key, std::span<Value> values) {
+          reduce_fn(key, values, &result.outputs);
+        });
+    gauge.Sub(partition.size());
+    partition.clear();
+    partition.shrink_to_fit();
+  });
+  std::vector<Output> outputs;
+  {
+    size_t total = 0;
+    for (const auto& r : results) total += r.outputs.size();
+    outputs.reserve(total);
+  }
+  for (auto& r : results) {
+    local_stats.num_groups += r.num_groups;
+    std::move(r.outputs.begin(), r.outputs.end(),
+              std::back_inserter(outputs));
+    if (options.collect_group_loads) {
+      local_stats.group_loads.insert(local_stats.group_loads.end(),
+                                     r.loads.begin(), r.loads.end());
+    }
+  }
+  local_stats.reduce_output_records = outputs.size();
+  local_stats.reduce_wall_seconds = reduce_watch.ElapsedSeconds();
+  local_stats.peak_shuffle_records = local_gauge.peak();
+
+  if (stats != nullptr) *stats = std::move(local_stats);
+  return outputs;
+}
+
+/// Runs two sorted-shuffle stages fused into one job: stage 1's reduce
+/// emits (Key2, Value2) records directly into stage 2's partition-at-emit
+/// shuffle — the intermediate record vector a two-job pipeline would
+/// materialize between them never exists — and `stage2_side_inputs` are
+/// mapped by `map2_fn` into the same shuffle (pass an empty vector and
+/// any map2_fn when there is no side input). Stage-1 partitions are freed
+/// as they are reduced, so the peak of shuffle-resident records is
+/// bounded by one stage's records plus transients instead of the sum of
+/// both stages.
+///
+/// Both stages record their own JobStats (names `stage1_name` /
+/// `stage2_name`, group loads included); they share one ShuffleGauge and
+/// report the same fused-job peak. Determinism: like the other modes,
+/// outputs are deterministic for fixed worker/partition counts; the order
+/// of values within a stage-2 run follows producer order (stage-1
+/// partitions first, then side-input map tasks), so reducers that must be
+/// invariant across partition counts should be value-order-insensitive.
+template <typename Input1, typename Key1, typename Value1, typename Input2,
+          typename Key2, typename Value2, typename Output>
+std::vector<Output> RunFusedMapReduceSorted(
+    const std::string& stage1_name, const std::string& stage2_name,
+    const std::vector<Input1>& stage1_inputs,
+    const std::function<void(const Input1&,
+                             PartitionedEmitter<Key1, Value1>*)>& map1_fn,
+    const std::function<void(const Key1&, std::span<Value1>,
+                             PartitionedEmitter<Key2, Value2>*)>& reduce1_fn,
+    const std::vector<Input2>& stage2_side_inputs,
+    const std::function<void(const Input2&,
+                             PartitionedEmitter<Key2, Value2>*)>& map2_fn,
+    const std::function<void(const Key2&, std::span<Value2>,
+                             std::vector<Output>*)>& reduce2_fn,
+    const MapReduceOptions& options = {}, JobStats* stage1_stats = nullptr,
+    JobStats* stage2_stats = nullptr) {
+  const size_t num_workers = options.effective_workers();
+  const size_t num_partitions = std::max<size_t>(1, options.num_partitions);
+  ThreadPool pool(num_workers);
+  JobStats s1, s2;
+  s1.name = stage1_name;
+  s1.input_records = stage1_inputs.size();
+  s1.executed_workers = num_workers;
+  s2.name = stage2_name;
+  s2.input_records = stage2_side_inputs.size();
+  s2.executed_workers = num_workers;
+  ShuffleGauge local_gauge;
+  const mapreduce_internal::GaugePair gauge{&local_gauge,
+                                            options.shuffle_gauge};
+
+  // ---- Stage 1 map. -----------------------------------------------------
+  Stopwatch map1_watch;
+  const size_t num_map1_tasks =
+      mapreduce_internal::NumMapTasks(stage1_inputs.size(), num_workers);
+  std::vector<PartitionedEmitter<Key1, Value1>> emitters1;
+  emitters1.reserve(num_map1_tasks);
+  for (size_t t = 0; t < num_map1_tasks; ++t) {
+    emitters1.emplace_back(num_partitions);
+  }
+  std::vector<uint64_t> map1_task_units(num_map1_tasks, 0);
+  pool.ParallelFor(num_map1_tasks, [&](size_t task) {
+    const size_t begin = stage1_inputs.size() * task / num_map1_tasks;
+    const size_t end = stage1_inputs.size() * (task + 1) / num_map1_tasks;
+    TakeWorkUnits();
+    for (size_t i = begin; i < end; ++i) {
+      map1_fn(stage1_inputs[i], &emitters1[task]);
+    }
+    map1_task_units[task] = TakeWorkUnits();
+    gauge.Add(emitters1[task].size());
+  });
+  for (const auto& e : emitters1) s1.map_output_records += e.size();
+  for (uint64_t units : map1_task_units) s1.map_work_units += units;
+  s1.shuffle_records = s1.map_output_records;
+  s1.map_wall_seconds = map1_watch.ElapsedSeconds();
+
+  // ---- Stage 1 shuffle. -------------------------------------------------
+  Stopwatch shuffle1_watch;
+  std::vector<std::vector<std::pair<Key1, Value1>>> partitions1(
+      num_partitions);
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    partitions1[p] = mapreduce_internal::MergeSortPartition<Key1, Value1>(
+        &emitters1, p, gauge);
+  });
+  s1.shuffle_wall_seconds = shuffle1_watch.ElapsedSeconds();
+
+  // ---- Stage 2 producers: one per stage-1 reduce partition, then one per
+  // side-input map task (fixed order keeps the run concatenation
+  // deterministic).
+  const size_t num_map2_tasks =
+      stage2_side_inputs.empty()
+          ? 0
+          : mapreduce_internal::NumMapTasks(stage2_side_inputs.size(),
+                                            num_workers);
+  std::vector<PartitionedEmitter<Key2, Value2>> producers2;
+  producers2.reserve(num_partitions + num_map2_tasks);
+  for (size_t t = 0; t < num_partitions + num_map2_tasks; ++t) {
+    producers2.emplace_back(num_partitions);
+  }
+
+  // ---- Stage 2 side map. -------------------------------------------------
+  Stopwatch map2_watch;
+  std::vector<uint64_t> map2_task_units(num_map2_tasks, 0);
+  pool.ParallelFor(num_map2_tasks, [&](size_t task) {
+    auto* out = &producers2[num_partitions + task];
+    const size_t begin = stage2_side_inputs.size() * task / num_map2_tasks;
+    const size_t end =
+        stage2_side_inputs.size() * (task + 1) / num_map2_tasks;
+    TakeWorkUnits();
+    for (size_t i = begin; i < end; ++i) {
+      map2_fn(stage2_side_inputs[i], out);
+    }
+    map2_task_units[task] = TakeWorkUnits();
+    gauge.Add(out->size());
+  });
+  for (uint64_t units : map2_task_units) s2.map_work_units += units;
+  s2.map_wall_seconds = map2_watch.ElapsedSeconds();
+
+  // ---- Stage 1 reduce, emitting into stage 2's shuffle. ------------------
+  Stopwatch reduce1_watch;
+  struct Stage1Result {
+    std::vector<GroupLoad> loads;
+    uint64_t num_groups = 0;
+  };
+  std::vector<Stage1Result> results1(num_partitions);
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    auto& partition = partitions1[p];
+    auto& result = results1[p];
+    auto* out = &producers2[p];
+    mapreduce_internal::ReduceSortedRuns<Key1, Value1>(
+        &partition, options.collect_group_loads, &result.loads,
+        &result.num_groups,
+        [&](const Key1& key, std::span<Value1> values) {
+          reduce1_fn(key, values, out);
+        });
+    gauge.Add(out->size());       // records now live in stage 2's buckets
+    gauge.Sub(partition.size());  // this stage-1 partition is done
+    partition.clear();
+    partition.shrink_to_fit();
+  });
+  for (auto& r : results1) {
+    s1.num_groups += r.num_groups;
+    if (options.collect_group_loads) {
+      s1.group_loads.insert(s1.group_loads.end(), r.loads.begin(),
+                            r.loads.end());
+    }
+  }
+  for (size_t p = 0; p < num_partitions; ++p) {
+    s1.reduce_output_records += producers2[p].size();
+  }
+  s1.reduce_wall_seconds = reduce1_watch.ElapsedSeconds();
+  for (const auto& producer : producers2) {
+    s2.map_output_records += producer.size();
+  }
+  s2.shuffle_records = s2.map_output_records;
+
+  // ---- Stage 2 shuffle. --------------------------------------------------
+  Stopwatch shuffle2_watch;
+  std::vector<std::vector<std::pair<Key2, Value2>>> partitions2(
+      num_partitions);
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    partitions2[p] = mapreduce_internal::MergeSortPartition<Key2, Value2>(
+        &producers2, p, gauge);
+  });
+  s2.shuffle_wall_seconds = shuffle2_watch.ElapsedSeconds();
+
+  // ---- Stage 2 reduce. ---------------------------------------------------
+  Stopwatch reduce2_watch;
+  struct Stage2Result {
+    std::vector<Output> outputs;
+    std::vector<GroupLoad> loads;
+    uint64_t num_groups = 0;
+  };
+  std::vector<Stage2Result> results2(num_partitions);
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    auto& partition = partitions2[p];
+    auto& result = results2[p];
+    mapreduce_internal::ReduceSortedRuns<Key2, Value2>(
+        &partition, options.collect_group_loads, &result.loads,
+        &result.num_groups,
+        [&](const Key2& key, std::span<Value2> values) {
+          reduce2_fn(key, values, &result.outputs);
+        });
+    gauge.Sub(partition.size());
+    partition.clear();
+    partition.shrink_to_fit();
+  });
+  std::vector<Output> outputs;
+  {
+    size_t total = 0;
+    for (const auto& r : results2) total += r.outputs.size();
+    outputs.reserve(total);
+  }
+  for (auto& r : results2) {
+    s2.num_groups += r.num_groups;
+    std::move(r.outputs.begin(), r.outputs.end(),
+              std::back_inserter(outputs));
+    if (options.collect_group_loads) {
+      s2.group_loads.insert(s2.group_loads.end(), r.loads.begin(),
+                            r.loads.end());
+    }
+  }
+  s2.reduce_output_records = outputs.size();
+  s2.reduce_wall_seconds = reduce2_watch.ElapsedSeconds();
+  s1.peak_shuffle_records = local_gauge.peak();
+  s2.peak_shuffle_records = local_gauge.peak();
+
+  if (stage1_stats != nullptr) *stage1_stats = std::move(s1);
+  if (stage2_stats != nullptr) *stage2_stats = std::move(s2);
   return outputs;
 }
 

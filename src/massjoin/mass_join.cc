@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 #include <tuple>
 #include <utility>
 
@@ -35,7 +36,12 @@ std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
                                      PipelineStats* stats) {
   assert(threshold >= 0.0 && threshold < 1.0);
 
-  // ---- Job 1: signature generation + candidate pairing. ----------------
+  // The two jobs run fused on the streaming sorted-shuffle engine
+  // (mapreduce.h): the candidate-pairing reduce of the generation stage
+  // emits straight into the dedup/verify shuffle, so the candidate-pair
+  // vector a two-job plan would materialize between them never exists.
+  //
+  // ---- Stage 1: signature generation + candidate pairing. ---------------
   // Input records are token ids; the token texts are read-only side data
   // (in a real deployment they ship with the record).
   std::vector<uint32_t> ids(tokens.size());
@@ -43,8 +49,8 @@ std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
 
   auto map_signatures = [&tokens, threshold](
                             const uint32_t& id,
-                            Emitter<SignatureKey, RoleValue>* out) {
-    const size_t emitted_before = out->pairs().size();
+                            PartitionedEmitter<SignatureKey, RoleValue>* out) {
+    const size_t emitted_before = out->size();
     const std::string& text = tokens[id];
     const uint32_t len = static_cast<uint32_t>(text.size());
     // Segment role: this token as the shorter side of a future pair.
@@ -78,47 +84,42 @@ std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
         }
       }
     }
-    AddWorkUnits(1 + (out->pairs().size() - emitted_before));
+    AddWorkUnits(1 + (out->size() - emitted_before));
   };
 
   auto reduce_candidates = [](const SignatureKey& /*key*/,
-                              std::vector<RoleValue>* values,
-                              std::vector<CandidatePair>* out) {
+                              std::span<RoleValue> values,
+                              PartitionedEmitter<CandidatePair, char>* out) {
     const size_t emitted_before = out->size();
-    // Pair every segment-role token with every substring-role token.
-    for (const RoleValue& seg : *values) {
+    // Pair every segment-role token with every substring-role token,
+    // streaming each candidate into the dedup/verify shuffle.
+    for (const RoleValue& seg : values) {
       if (seg.is_substring_role) continue;
-      for (const RoleValue& sub : *values) {
+      for (const RoleValue& sub : values) {
         if (!sub.is_substring_role) continue;
         if (seg.token_id == sub.token_id) continue;
-        out->emplace_back(std::min(seg.token_id, sub.token_id),
-                          std::max(seg.token_id, sub.token_id));
+        out->Emit(CandidatePair{std::min(seg.token_id, sub.token_id),
+                                std::max(seg.token_id, sub.token_id)},
+                  0);
       }
     }
-    AddWorkUnits(values->size() + (out->size() - emitted_before));
+    AddWorkUnits(values.size() + (out->size() - emitted_before));
   };
 
-  JobStats generate_stats;
-  std::vector<CandidatePair> candidates =
-      RunMapReduce<uint32_t, SignatureKey, RoleValue, CandidatePair>(
-          "massjoin-generate", ids, map_signatures, reduce_candidates,
-          options.mapreduce, &generate_stats);
-  if (stats != nullptr) stats->Add(generate_stats);
-
-  // ---- Job 2: dedup + verify. -------------------------------------------
-  auto map_identity = [](const CandidatePair& pair,
-                         Emitter<CandidatePair, char>* out) {
-    out->Emit(pair, 0);
-  };
+  // ---- Stage 2: dedup + verify (one contiguous run per distinct pair). --
+  // No side input: the fused call gets an empty input list and an
+  // explicit no-op mapper (never invoked).
+  auto map_side = [](const CandidatePair&,
+                     PartitionedEmitter<CandidatePair, char>*) {};
   auto reduce_verify = [&tokens, threshold](const CandidatePair& pair,
-                                            std::vector<char>* values,
+                                            std::span<char> values,
                                             std::vector<NldPair>* out) {
     const std::string& x = tokens[pair.first];
     const std::string& y = tokens[pair.second];
     const uint32_t tau = MaxLdForNld(threshold, std::max(x.size(), y.size()),
                                      /*x_is_shorter=*/true);
     // Banded verifier touches at most (2*tau+1) cells per row.
-    AddWorkUnits(values->size() +
+    AddWorkUnits(values.size() +
                  (2 * static_cast<uint64_t>(tau) + 1) *
                      std::min(x.size(), y.size()) +
                  1);
@@ -129,12 +130,17 @@ std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
     out->push_back(NldPair{pair.first, pair.second, ld, nld});
   };
 
-  JobStats verify_stats;
+  JobStats generate_stats, verify_stats;
   std::vector<NldPair> results =
-      RunMapReduce<CandidatePair, CandidatePair, char, NldPair>(
-          "massjoin-verify", candidates, map_identity, reduce_verify,
-          options.mapreduce, &verify_stats);
-  if (stats != nullptr) stats->Add(verify_stats);
+      RunFusedMapReduceSorted<uint32_t, SignatureKey, RoleValue,
+                              CandidatePair, CandidatePair, char, NldPair>(
+          "massjoin-generate", "massjoin-verify", ids, map_signatures,
+          reduce_candidates, /*stage2_side_inputs=*/{}, map_side,
+          reduce_verify, options.mapreduce, &generate_stats, &verify_stats);
+  if (stats != nullptr) {
+    stats->Add(std::move(generate_stats));
+    stats->Add(std::move(verify_stats));
+  }
   return results;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
@@ -53,11 +54,17 @@ std::vector<VsmartPair> VsmartSelfJoin(
   }
 
   // ---- Job 1: joining phase — per-token partial contributions. -----------
+  // Both phases run on the streaming sorted-shuffle engine (mapreduce.h).
+  // Note the engines are not bit-interchangeable here: job 1's output
+  // order (job 2's summation order) differs between the grouping modes,
+  // so a similarity within a float ulp of the threshold could flip. The
+  // measures themselves are order-insensitive up to FP rounding, and the
+  // threshold compare already carries a 1e-12 epsilon.
   std::vector<uint32_t> ids(multisets.size());
   for (uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
   const bool cosine = options.measure == MultisetMeasure::kCosine;
   auto map_postings = [&](const uint32_t& s,
-                          Emitter<uint32_t, Posting>* out) {
+                          PartitionedEmitter<uint32_t, Posting>* out) {
     AddWorkUnits(1 + counts[s].size());
     for (const auto& [token, count] : counts[s]) {
       if (options.max_token_frequency > 0 &&
@@ -68,13 +75,13 @@ std::vector<VsmartPair> VsmartSelfJoin(
     }
   };
   auto reduce_partials = [cosine](const uint32_t& /*token*/,
-                                  std::vector<Posting>* postings,
+                                  std::span<Posting> postings,
                                   std::vector<Partial>* out) {
     uint64_t pairs = 0;
-    for (size_t i = 0; i < postings->size(); ++i) {
-      for (size_t j = i + 1; j < postings->size(); ++j) {
-        const Posting& x = (*postings)[i];
-        const Posting& y = (*postings)[j];
+    for (size_t i = 0; i < postings.size(); ++i) {
+      for (size_t j = i + 1; j < postings.size(); ++j) {
+        const Posting& x = postings[i];
+        const Posting& y = postings[j];
         const double contribution =
             cosine ? static_cast<double>(x.count) * y.count
                    : static_cast<double>(std::min(x.count, y.count));
@@ -83,11 +90,11 @@ std::vector<VsmartPair> VsmartSelfJoin(
         ++pairs;
       }
     }
-    AddWorkUnits(postings->size() + pairs);
+    AddWorkUnits(postings.size() + pairs);
   };
   JobStats join_stats;
   const std::vector<Partial> partials =
-      RunMapReduce<uint32_t, uint32_t, Posting, Partial>(
+      RunMapReduceSorted<uint32_t, uint32_t, Posting, Partial>(
           "vsmart-joining", ids, map_postings, reduce_partials,
           options.mapreduce, &join_stats);
   if (stats != nullptr) stats->Add(join_stats);
@@ -95,17 +102,17 @@ std::vector<VsmartPair> VsmartSelfJoin(
   // ---- Job 2: similarity phase — aggregate and threshold. ---------------
   using PairKey = std::pair<uint32_t, uint32_t>;
   auto map_partials = [](const Partial& partial,
-                         Emitter<PairKey, double>* out) {
+                         PartitionedEmitter<PairKey, double>* out) {
     out->Emit(PairKey{partial.a, partial.b}, partial.contribution);
   };
   const MultisetMeasure measure = options.measure;
   auto reduce_similarity = [&profiles, measure, threshold](
                                const PairKey& key,
-                               std::vector<double>* contributions,
+                               std::span<double> contributions,
                                std::vector<VsmartPair>* out) {
-    AddWorkUnits(contributions->size() + 1);
+    AddWorkUnits(contributions.size() + 1);
     double overlap = 0;
-    for (double c : *contributions) overlap += c;
+    for (double c : contributions) overlap += c;
     const SetProfile& pa = profiles[key.first];
     const SetProfile& pb = profiles[key.second];
     double similarity = 0;
@@ -131,7 +138,7 @@ std::vector<VsmartPair> VsmartSelfJoin(
   };
   JobStats similarity_stats;
   std::vector<VsmartPair> results =
-      RunMapReduce<Partial, PairKey, double, VsmartPair>(
+      RunMapReduceSorted<Partial, PairKey, double, VsmartPair>(
           "vsmart-similarity", partials, map_partials, reduce_similarity,
           options.mapreduce, &similarity_stats);
   if (stats != nullptr) stats->Add(similarity_stats);

@@ -114,6 +114,17 @@ void ComputeDuplicateReps(const Side& side, size_t k,
   }
 }
 
+// Cost-model gate for the TokenPairCache: the shared-shard probe costs a
+// spinlock acquisition plus one or two cache lines (and an insert on a
+// miss), which the work-unit model prices at roughly this many banded-DP
+// cells (calibrated against bench_distance_micro: MyersBounded on ~tiny
+// tokens runs in a few tens of nanoseconds, about what the lock + probe
+// round-trip costs). Edges whose modeled kernel cost is below the gate
+// skip the cache entirely — recomputing is cheaper than the memory
+// round-trip. Lossless: gating changes only *whether* the cache is
+// consulted, never the value an edge uses.
+constexpr uint64_t kMinKernelUnitsToProbeCache = 32;
+
 // Deterministic cell count of one banded Levenshtein run with bound `cap`,
 // in the same units as the len_x*len_y term of SldWorkUnits (which it never
 // exceeds).
@@ -264,27 +275,33 @@ BoundedSldResult BoundedSldImpl(const Side& x, const Side& y, int64_t budget,
                   std::max(x.length(i), y.length(j)));
               const uint32_t bound =
                   static_cast<uint32_t>(std::min(cap, longer));
+              const uint64_t kernel_units =
+                  BandedLdWorkUnits(x.length(i), y.length(j), bound);
               uint32_t ld = 0;
               bool cached = false;
               if constexpr (Side::kHasIds) {
-                cached = cache != nullptr &&
-                         cache->Lookup(x.id(i), y.id(j), bound, &ld);
-              }
-              if (!cached) {
-                ld = MyersBoundedLevenshtein(x.view(i), y.view(j), bound);
-                if constexpr (Side::kHasIds) {
-                  if (cache != nullptr) {
+                // Cost-model gating: tiny edges recompute instead of
+                // probing the shared shards (see the gate constant above).
+                const bool probe =
+                    cache != nullptr &&
+                    kernel_units >= kMinKernelUnitsToProbeCache;
+                if (probe) {
+                  cached = cache->Lookup(x.id(i), y.id(j), bound, &ld);
+                  if (!cached) {
+                    ld = MyersBoundedLevenshtein(x.view(i), y.view(j), bound);
                     cache->Insert(x.id(i), y.id(j), bound, ld);
                   }
+                } else {
+                  ld = MyersBoundedLevenshtein(x.view(i), y.view(j), bound);
                 }
+              } else {
+                ld = MyersBoundedLevenshtein(x.view(i), y.view(j), bound);
               }
               cost = (ld > bound) ? cap + 1 : static_cast<int64_t>(ld);
               // Work accounting stays in banded-DP cell units (the
               // calibrated cost model of SldWorkUnits); a cache hit skips
               // the kernel entirely and costs one unit.
-              result.work_units +=
-                  cached ? 1
-                         : BandedLdWorkUnits(x.length(i), y.length(j), bound);
+              result.work_units += cached ? 1 : kernel_units;
             }
           } else if (xi_real) {
             cost = std::min(static_cast<int64_t>(x.length(i)), cap + 1);

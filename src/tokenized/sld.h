@@ -64,7 +64,11 @@
 // the cap they were computed at, so a cached value is only served when
 // it is exact or its certificate is at least as strong as the current
 // row cap (see token_pair_cache.h); served values equal what the kernel
-// would have computed, keeping the path lossless.
+// would have computed, keeping the path lossless. The probe is
+// cost-model gated: edges whose modeled kernel cost is below the price
+// of the shared-shard round-trip (tiny token pairs) recompute instead of
+// consulting the cache — same values either way, only the lookup traffic
+// changes.
 
 #ifndef TSJ_TOKENIZED_SLD_H_
 #define TSJ_TOKENIZED_SLD_H_

@@ -85,6 +85,17 @@ struct TsjOptions {
   /// baseline (bench_ablation does).
   bool enable_token_pair_cache = true;
 
+  /// Streaming shuffle engine: candidate generation, dedup and verify run
+  /// as one fused sorted-shuffle job (RunFusedMapReduceSorted) — the
+  /// shared-token reduce and the similar-token expansion emit candidates
+  /// directly into the dedup/verify shuffle, nothing materializes the
+  /// pre-dedup candidate universe, and dedup is a scan over sorted key
+  /// runs. Lossless: byte-identical pairs, NSLD values and
+  /// candidate/filter counters. Disable to run the legacy two-job
+  /// hash-shuffle pipeline (the differential reference, and what
+  /// bench_ablation compares against).
+  bool enable_streaming_shuffle = true;
+
   /// Optional externally owned cache to use instead of the per-run one,
   /// letting repeated joins over the same corpus start warm. Must have
   /// been used only with the corpus being joined (token ids are

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -17,7 +19,9 @@ namespace {
 
 // A pre-dedup candidate record flowing into the dedup/verify job: either a
 // string-id pair from the shared-token pass, or a similar-token pair still
-// to be expanded against the token postings.
+// to be expanded against the token postings. The streaming pipeline only
+// ever materializes the similar-token form (shared-token pairs stream
+// straight from the generating reduce into the dedup shuffle).
 struct RawCandidate {
   uint32_t a = 0;
   uint32_t b = 0;
@@ -37,6 +41,7 @@ inline uint32_t PickGroupKey(uint32_t a, uint32_t b) {
 
 // Thread-safe counters shared by the pipeline lambdas.
 struct Counters {
+  std::atomic<uint64_t> shared_token_candidates{0};
   std::atomic<uint64_t> similar_token_candidates{0};
   std::atomic<uint64_t> distinct_candidates{0};
   std::atomic<uint64_t> length_filtered{0};
@@ -132,14 +137,25 @@ TokenPairCache* SelectPairCache(const TsjOptions& options,
 // verify scratch, DP rows and cache lines stay resident instead of being
 // resized around by a random length sequence.
 template <typename LengthOf>
-void SortByAggregateLength(std::vector<uint32_t>* ids,
+void SortByAggregateLength(std::span<uint32_t> ids,
                            const LengthOf& length_of) {
-  std::sort(ids->begin(), ids->end(), [&](uint32_t p, uint32_t q) {
+  std::sort(ids.begin(), ids.end(), [&](uint32_t p, uint32_t q) {
     const size_t lp = length_of(p);
     const size_t lq = length_of(q);
     if (lp != lq) return lp < lq;
     return p < q;
   });
+}
+
+// Sorts a reduce group's value run in place, dedups it, and returns the
+// distinct prefix — the sorted-run grouping's dedup is this scan (the
+// paper uses a hash set; sorting gives identical semantics and
+// deterministic verification order).
+std::span<uint32_t> DedupRun(std::span<uint32_t> others) {
+  std::sort(others.begin(), others.end());
+  const size_t distinct = static_cast<size_t>(
+      std::unique(others.begin(), others.end()) - others.begin());
+  return others.first(distinct);
 }
 
 }  // namespace
@@ -156,6 +172,12 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
       pair_cache != nullptr ? pair_cache->hits() : 0;
   const uint64_t cache_misses_before =
       pair_cache != nullptr ? pair_cache->misses() : 0;
+  // One gauge threads through every job of the run (and the candidate
+  // vectors between jobs), so TsjRunInfo reports the pipeline-wide peak of
+  // shuffle-resident records.
+  ShuffleGauge gauge;
+  MapReduceOptions mr_options = options_.mapreduce;
+  mr_options.shuffle_gauge = &gauge;
 
   // ---- Token statistics: frequencies and the high-frequency cutoff. ----
   const std::vector<uint32_t> frequency =
@@ -172,13 +194,11 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   std::vector<uint32_t> string_ids(corpus.size());
   for (uint32_t i = 0; i < corpus.size(); ++i) string_ids[i] = i;
 
-  // ---- Job 1: shared-token candidate generation (Sec. III-C). ----------
-  // map:    string -> (token, string) for each distinct surviving token;
-  // reduce: token  -> all unordered pairs of its strings.
-  auto map_tokens = [&corpus, &surviving](const uint32_t& s,
-                                          Emitter<uint32_t, uint32_t>* out) {
-    // Sort/unique into a per-thread buffer: the map side runs once per
-    // string and must not allocate a token-vector copy every call.
+  // Distinct surviving tokens of one string, via a per-thread buffer: the
+  // map side runs once per string and must not allocate a token-vector
+  // copy every call.
+  auto for_each_distinct_token = [&corpus, &surviving](uint32_t s,
+                                                       const auto& fn) {
     thread_local std::vector<TokenId> distinct;
     distinct.assign(corpus.tokens(s).begin(), corpus.tokens(s).end());
     std::sort(distinct.begin(), distinct.end());
@@ -186,35 +206,19 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
                    distinct.end());
     AddWorkUnits(1 + distinct.size());
     for (TokenId token : distinct) {
-      if (surviving[token]) out->Emit(token, s);
+      if (surviving[token]) fn(token);
     }
   };
-  auto reduce_shared = [](const uint32_t& /*token*/,
-                          std::vector<uint32_t>* strings,
-                          std::vector<RawCandidate>* out) {
-    const uint64_t pairs = strings->size() * (strings->size() - 1) / 2;
-    AddWorkUnits(pairs);
-    out->reserve(out->size() + pairs);
-    for (size_t i = 0; i < strings->size(); ++i) {
-      for (size_t j = i + 1; j < strings->size(); ++j) {
-        const uint32_t a = std::min((*strings)[i], (*strings)[j]);
-        const uint32_t b = std::max((*strings)[i], (*strings)[j]);
-        out->push_back(RawCandidate{a, b, /*is_token_pair=*/false});
-      }
-    }
-  };
-  JobStats shared_stats;
-  std::vector<RawCandidate> candidates =
-      RunMapReduce<uint32_t, uint32_t, uint32_t, RawCandidate>(
-          "tsj-shared-token", string_ids, map_tokens, reduce_shared,
-          options_.mapreduce, &shared_stats);
-  local_info.shared_token_candidates = candidates.size();
-  local_info.pipeline.Add(shared_stats);
 
   // ---- Similar-token candidate generation (Sec. III-D). ----------------
-  // Token postings (token -> strings containing it), for expanding similar
-  // token pairs back into string pairs.
+  // Runs before the main job so its token pairs can feed the fused
+  // pipeline as side inputs; its JobStats are spliced into the pipeline in
+  // the documented order (shared-token, massjoin, dedup-verify) below.
+  // Token postings (token -> strings containing it) expand similar token
+  // pairs back into string pairs.
   std::vector<std::vector<uint32_t>> postings;
+  std::vector<RawCandidate> token_pair_candidates;
+  PipelineStats mass_stats;
   if (options_.matching == TokenMatching::kFuzzy) {
     // MassJoin NLD-join over the surviving token space. Distinct tokens
     // only: identical tokens are already covered by the shared-token pass.
@@ -227,11 +231,9 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
       }
     }
     MassJoinOptions mass_options;
-    mass_options.mapreduce = options_.mapreduce;
-    PipelineStats mass_stats;
+    mass_options.mapreduce = mr_options;
     const std::vector<NldPair> token_pairs =
         MassJoinSelfNld(token_texts, t, mass_options, &mass_stats);
-    local_info.pipeline.Append(mass_stats);
     local_info.similar_token_pairs = token_pairs.size();
 
     postings.resize(corpus.num_distinct_tokens());
@@ -245,16 +247,20 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
         if (surviving[token]) postings[token].push_back(s);
       }
     }
-    candidates.reserve(candidates.size() + token_pairs.size());
+    token_pair_candidates.reserve(token_pairs.size());
     for (const NldPair& pair : token_pairs) {
-      candidates.push_back(RawCandidate{token_of_index[pair.a],
-                                        token_of_index[pair.b],
-                                        /*is_token_pair=*/true});
+      token_pair_candidates.push_back(RawCandidate{token_of_index[pair.a],
+                                                   token_of_index[pair.b],
+                                                   /*is_token_pair=*/true});
     }
   }
 
   // Empty tokenized strings have no tokens and thus no signatures, yet any
-  // two of them are identical (NSLD = 0): pair them directly.
+  // two of them are identical (NSLD = 0): they are unconditional results,
+  // emitted directly instead of pushing O(e^2) candidates through the
+  // dedup/verify pipeline. No other pipeline path can rediscover them
+  // (token-free strings never reach a posting), so no dedup is needed.
+  std::vector<TsjPair> results;
   {
     std::vector<uint32_t> empties;
     for (uint32_t s = 0; s < corpus.size(); ++s) {
@@ -262,91 +268,240 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
     }
     for (size_t i = 0; i < empties.size(); ++i) {
       for (size_t j = i + 1; j < empties.size(); ++j) {
-        candidates.push_back(
-            RawCandidate{empties[i], empties[j], /*is_token_pair=*/false});
+        results.push_back(TsjPair{empties[i], empties[j], 0.0});
       }
     }
   }
 
-  // ---- Job 2: dedup + filter + verify. ----------------------------------
-  // The map side expands similar-token pairs through the postings and keys
-  // every candidate according to the dedup strategy; the reduce side
-  // deduplicates, applies the lossless filters, and verifies.
-  const Corpus& corpus_ref = corpus;
-  const TsjOptions& options_ref = options_;
-  auto expand = [&postings, &counters](
-                    const RawCandidate& cand,
-                    const std::function<void(uint32_t, uint32_t)>& emit) {
-    AddWorkUnits(1);
-    if (!cand.is_token_pair) {
-      emit(cand.a, cand.b);
-      return;
-    }
-    AddWorkUnits(postings[cand.a].size() * postings[cand.b].size());
+  // Expands one similar-token pair into string-pair candidates through the
+  // postings (the dedup/verify stage's map side).
+  auto expand_token_pair = [&postings, &counters](
+                               const RawCandidate& cand, const auto& emit) {
+    AddWorkUnits(1 + postings[cand.a].size() * postings[cand.b].size());
     for (uint32_t s1 : postings[cand.a]) {
       for (uint32_t s2 : postings[cand.b]) {
         if (s1 == s2) continue;
-        counters.similar_token_candidates.fetch_add(
-            1, std::memory_order_relaxed);
+        counters.similar_token_candidates.fetch_add(1,
+                                                    std::memory_order_relaxed);
         emit(std::min(s1, s2), std::max(s1, s2));
       }
     }
   };
 
-  std::vector<TsjPair> results;
-  JobStats verify_stats;
-  if (options_.dedup == DedupStrategy::kGroupOnBothStrings) {
-    using PairKey = std::pair<uint32_t, uint32_t>;
-    auto map_fn = [&expand](const RawCandidate& cand,
-                            Emitter<PairKey, char>* out) {
-      expand(cand,
-             [&](uint32_t a, uint32_t b) { out->Emit(PairKey{a, b}, 0); });
-    };
-    auto reduce_fn = [&corpus_ref, &options_ref, &counters, pair_cache](
-                         const PairKey& key, std::vector<char>* values,
-                         std::vector<TsjPair>* out) {
-      counters.distinct_candidates.fetch_add(1, std::memory_order_relaxed);
-      AddWorkUnits(values->size());  // duplicate copies read and discarded
+  const Corpus& corpus_ref = corpus;
+  const TsjOptions& options_ref = options_;
+
+  // One grouping-on-one-string dedup+verify body for both engine modes
+  // (the legacy reducer adapts its vector to a span): keeping a single
+  // copy is what makes the legacy path a trustworthy differential
+  // reference for the streaming one.
+  auto verify_one_string_group = [&corpus_ref, &options_ref, &counters,
+                                  pair_cache](const uint32_t& key,
+                                              std::span<uint32_t> others,
+                                              std::vector<TsjPair>* out) {
+    AddWorkUnits(others.size());
+    const std::span<uint32_t> distinct = DedupRun(others);
+    counters.distinct_candidates.fetch_add(distinct.size(),
+                                           std::memory_order_relaxed);
+    SortByAggregateLength(distinct, [&](uint32_t s) {
+      return corpus_ref.aggregate_length(s);
+    });
+    for (uint32_t other : distinct) {
       FilterAndVerify(corpus_ref, corpus_ref, options_ref, &counters,
-                      pair_cache, key.first, key.second, out);
+                      pair_cache, std::min(key, other), std::max(key, other),
+                      out);
+    }
+  };
+  // Likewise for grouping-on-both-strings: one distinct pair per group.
+  auto verify_pair_group = [&corpus_ref, &options_ref, &counters, pair_cache](
+                               const std::pair<uint32_t, uint32_t>& key,
+                               size_t duplicates, std::vector<TsjPair>* out) {
+    counters.distinct_candidates.fetch_add(1, std::memory_order_relaxed);
+    AddWorkUnits(duplicates);  // duplicate copies read and discarded
+    FilterAndVerify(corpus_ref, corpus_ref, options_ref, &counters,
+                    pair_cache, key.first, key.second, out);
+  };
+
+  if (options_.enable_streaming_shuffle) {
+    // ---- Fused streaming pipeline: candidate generation streams into the
+    // dedup/verify shuffle; the pre-dedup candidate universe is never
+    // materialized. The similar-token pairs ride along as side inputs.
+    auto map_tokens = [&](const uint32_t& s,
+                          PartitionedEmitter<uint32_t, uint32_t>* out) {
+      for_each_distinct_token(s, [&](TokenId token) { out->Emit(token, s); });
     };
-    results = RunMapReduce<RawCandidate, PairKey, char, TsjPair>(
-        "tsj-dedup-verify-both", candidates, map_fn, reduce_fn,
-        options_.mapreduce, &verify_stats);
-  } else {
-    auto map_fn = [&expand](const RawCandidate& cand,
-                            Emitter<uint32_t, uint32_t>* out) {
-      expand(cand, [&](uint32_t a, uint32_t b) {
+    // Emits every unordered pair of one token's strings straight into the
+    // dedup shuffle (Sec. III-C's reduce, fused with Job 2's map).
+    auto pair_count = [&counters](size_t group) {
+      const uint64_t pairs =
+          static_cast<uint64_t>(group) * (group - 1) / 2;
+      AddWorkUnits(pairs);
+      counters.shared_token_candidates.fetch_add(pairs,
+                                                 std::memory_order_relaxed);
+    };
+
+    JobStats stage1_stats, stage2_stats;
+    gauge.Add(token_pair_candidates.size());  // side-input vector
+    std::vector<TsjPair> streamed;
+    if (options_.dedup == DedupStrategy::kGroupOnBothStrings) {
+      using PairKey = std::pair<uint32_t, uint32_t>;
+      auto reduce_shared = [&](const uint32_t& /*token*/,
+                               std::span<uint32_t> strings,
+                               PartitionedEmitter<PairKey, char>* out) {
+        pair_count(strings.size());
+        for (size_t i = 0; i < strings.size(); ++i) {
+          for (size_t j = i + 1; j < strings.size(); ++j) {
+            const uint32_t a = std::min(strings[i], strings[j]);
+            const uint32_t b = std::max(strings[i], strings[j]);
+            out->Emit(PairKey{a, b}, 0);
+          }
+        }
+      };
+      auto map_expand = [&](const RawCandidate& cand,
+                            PartitionedEmitter<PairKey, char>* out) {
+        expand_token_pair(cand, [&](uint32_t a, uint32_t b) {
+          out->Emit(PairKey{a, b}, 0);
+        });
+      };
+      auto reduce_verify = [&verify_pair_group](const PairKey& key,
+                                                std::span<char> values,
+                                                std::vector<TsjPair>* out) {
+        verify_pair_group(key, values.size(), out);
+      };
+      streamed = RunFusedMapReduceSorted<uint32_t, uint32_t, uint32_t,
+                                         RawCandidate, PairKey, char,
+                                         TsjPair>(
+          "tsj-shared-token", "tsj-dedup-verify-both", string_ids, map_tokens,
+          reduce_shared, token_pair_candidates, map_expand, reduce_verify,
+          mr_options, &stage1_stats, &stage2_stats);
+    } else {
+      auto emit_keyed = [](uint32_t a, uint32_t b,
+                           PartitionedEmitter<uint32_t, uint32_t>* out) {
         const uint32_t key = PickGroupKey(a, b);
         out->Emit(key, key == a ? b : a);
-      });
+      };
+      auto reduce_shared = [&](const uint32_t& /*token*/,
+                               std::span<uint32_t> strings,
+                               PartitionedEmitter<uint32_t, uint32_t>* out) {
+        pair_count(strings.size());
+        for (size_t i = 0; i < strings.size(); ++i) {
+          for (size_t j = i + 1; j < strings.size(); ++j) {
+            emit_keyed(std::min(strings[i], strings[j]),
+                       std::max(strings[i], strings[j]), out);
+          }
+        }
+      };
+      auto map_expand = [&](const RawCandidate& cand,
+                            PartitionedEmitter<uint32_t, uint32_t>* out) {
+        expand_token_pair(
+            cand, [&](uint32_t a, uint32_t b) { emit_keyed(a, b, out); });
+      };
+      auto reduce_verify = [&verify_one_string_group](
+                               const uint32_t& key, std::span<uint32_t> others,
+                               std::vector<TsjPair>* out) {
+        verify_one_string_group(key, others, out);
+      };
+      streamed = RunFusedMapReduceSorted<uint32_t, uint32_t, uint32_t,
+                                         RawCandidate, uint32_t, uint32_t,
+                                         TsjPair>(
+          "tsj-shared-token", "tsj-dedup-verify-one", string_ids, map_tokens,
+          reduce_shared, token_pair_candidates, map_expand, reduce_verify,
+          mr_options, &stage1_stats, &stage2_stats);
+    }
+    gauge.Sub(token_pair_candidates.size());
+    results.insert(results.end(), streamed.begin(), streamed.end());
+    local_info.shared_token_candidates = counters.shared_token_candidates;
+    local_info.pipeline.Add(std::move(stage1_stats));
+    local_info.pipeline.Append(mass_stats);
+    local_info.pipeline.Add(std::move(stage2_stats));
+  } else {
+    // ---- Legacy two-job pipeline (the differential reference). ----------
+    // Job 1 materializes the pre-dedup candidate universe; Job 2 expands,
+    // scatters, groups per key, and verifies.
+    auto map_tokens = [&](const uint32_t& s,
+                          Emitter<uint32_t, uint32_t>* out) {
+      for_each_distinct_token(s, [&](TokenId token) { out->Emit(token, s); });
     };
-    auto reduce_fn = [&corpus_ref, &options_ref, &counters, pair_cache](
-                         const uint32_t& key, std::vector<uint32_t>* others,
-                         std::vector<TsjPair>* out) {
-      // Dedup the reduce value list (the paper uses a hash set; sorting
-      // gives identical semantics and deterministic verification order),
-      // then verify in aggregate-length order (length-sorted batching).
-      AddWorkUnits(others->size());
-      std::sort(others->begin(), others->end());
-      others->erase(std::unique(others->begin(), others->end()),
-                    others->end());
-      counters.distinct_candidates.fetch_add(others->size(),
-                                             std::memory_order_relaxed);
-      SortByAggregateLength(others, [&](uint32_t s) {
-        return corpus_ref.aggregate_length(s);
-      });
-      for (uint32_t other : *others) {
-        FilterAndVerify(corpus_ref, corpus_ref, options_ref, &counters,
-                        pair_cache, std::min(key, other), std::max(key, other),
-                        out);
+    auto reduce_shared = [](const uint32_t& /*token*/,
+                            std::vector<uint32_t>* strings,
+                            std::vector<RawCandidate>* out) {
+      const uint64_t pairs = strings->size() * (strings->size() - 1) / 2;
+      AddWorkUnits(pairs);
+      out->reserve(out->size() + pairs);
+      for (size_t i = 0; i < strings->size(); ++i) {
+        for (size_t j = i + 1; j < strings->size(); ++j) {
+          const uint32_t a = std::min((*strings)[i], (*strings)[j]);
+          const uint32_t b = std::max((*strings)[i], (*strings)[j]);
+          out->push_back(RawCandidate{a, b, /*is_token_pair=*/false});
+        }
       }
     };
-    results = RunMapReduce<RawCandidate, uint32_t, uint32_t, TsjPair>(
-        "tsj-dedup-verify-one", candidates, map_fn, reduce_fn,
-        options_.mapreduce, &verify_stats);
+    JobStats shared_stats;
+    std::vector<RawCandidate> candidates =
+        RunMapReduce<uint32_t, uint32_t, uint32_t, RawCandidate>(
+            "tsj-shared-token", string_ids, map_tokens, reduce_shared,
+            mr_options, &shared_stats);
+    local_info.shared_token_candidates = candidates.size();
+    counters.shared_token_candidates.store(candidates.size(),
+                                           std::memory_order_relaxed);
+    local_info.pipeline.Add(std::move(shared_stats));
+    local_info.pipeline.Append(mass_stats);
+    candidates.insert(candidates.end(), token_pair_candidates.begin(),
+                      token_pair_candidates.end());
+
+    // ---- Job 2: expand + dedup + filter + verify. -----------------------
+    auto expand = [&expand_token_pair](
+                      const RawCandidate& cand,
+                      const std::function<void(uint32_t, uint32_t)>& emit) {
+      if (!cand.is_token_pair) {
+        AddWorkUnits(1);
+        emit(cand.a, cand.b);
+        return;
+      }
+      expand_token_pair(cand, emit);
+    };
+
+    std::vector<TsjPair> verified;
+    JobStats verify_stats;
+    // The intermediate candidate vector is pipeline-resident while Job 2's
+    // map re-emits every record: the co-residency the fused mode removes.
+    gauge.Add(candidates.size());
+    if (options_.dedup == DedupStrategy::kGroupOnBothStrings) {
+      using PairKey = std::pair<uint32_t, uint32_t>;
+      auto map_fn = [&expand](const RawCandidate& cand,
+                              Emitter<PairKey, char>* out) {
+        expand(cand,
+               [&](uint32_t a, uint32_t b) { out->Emit(PairKey{a, b}, 0); });
+      };
+      auto reduce_fn = [&verify_pair_group](const PairKey& key,
+                                            std::vector<char>* values,
+                                            std::vector<TsjPair>* out) {
+        verify_pair_group(key, values->size(), out);
+      };
+      verified = RunMapReduce<RawCandidate, PairKey, char, TsjPair>(
+          "tsj-dedup-verify-both", candidates, map_fn, reduce_fn, mr_options,
+          &verify_stats);
+    } else {
+      auto map_fn = [&expand](const RawCandidate& cand,
+                              Emitter<uint32_t, uint32_t>* out) {
+        expand(cand, [&](uint32_t a, uint32_t b) {
+          const uint32_t key = PickGroupKey(a, b);
+          out->Emit(key, key == a ? b : a);
+        });
+      };
+      auto reduce_fn = [&verify_one_string_group](
+                           const uint32_t& key, std::vector<uint32_t>* others,
+                           std::vector<TsjPair>* out) {
+        verify_one_string_group(key, std::span<uint32_t>(*others), out);
+      };
+      verified = RunMapReduce<RawCandidate, uint32_t, uint32_t, TsjPair>(
+          "tsj-dedup-verify-one", candidates, map_fn, reduce_fn, mr_options,
+          &verify_stats);
+    }
+    gauge.Sub(candidates.size());
+    results.insert(results.end(), verified.begin(), verified.end());
+    local_info.pipeline.Add(std::move(verify_stats));
   }
-  local_info.pipeline.Add(verify_stats);
 
   local_info.similar_token_candidates = counters.similar_token_candidates;
   local_info.distinct_candidates = counters.distinct_candidates;
@@ -361,6 +516,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
         pair_cache->misses() - cache_misses_before;
   }
   local_info.result_pairs = results.size();
+  local_info.peak_shuffle_records = gauge.peak();
   if (info != nullptr) *info = std::move(local_info);
   return results;
 }
@@ -375,6 +531,15 @@ inline uint64_t TagId(bool is_p_side, uint32_t id) {
 inline bool TagIsP(uint64_t tagged) { return (tagged >> 32) != 0; }
 inline uint32_t TagStringId(uint64_t tagged) {
   return static_cast<uint32_t>(tagged);
+}
+
+// Hash-balanced key choice for grouping-on-one-string over the tagged id
+// space: either the R or the P string becomes the reduce key.
+inline bool KeyIsR(uint64_t tag_r, uint64_t tag_p) {
+  const uint64_t hr = Mix64(tag_r);
+  const uint64_t hp = Mix64(tag_p);
+  const uint64_t lt = (hr < hp) ? 1u : 0u;
+  return lt == ((hr + hp) & 1u);
 }
 
 }  // namespace
@@ -397,17 +562,27 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
       pair_cache != nullptr ? pair_cache->hits() : 0;
   const uint64_t cache_misses_before =
       pair_cache != nullptr ? pair_cache->misses() : 0;
+  ShuffleGauge gauge;
+  MapReduceOptions mr_options = options_.mapreduce;
+  mr_options.shuffle_gauge = &gauge;
 
   // ---- Joint token space. ------------------------------------------------
   // Tokens are interned per corpus; the join needs one id space covering
   // both, with document frequency summed across collections (M bounds a
   // token's total string count, matching the reduce-group size it causes).
-  std::unordered_map<std::string, uint32_t> joint_ids;
-  std::vector<std::string> joint_texts;
+  // Keys are string_views into the corpora's interned token texts (both
+  // corpora outlive the join), so building the joint space copies no token
+  // text; the map is pre-sized for the no-overlap worst case.
+  std::unordered_map<std::string_view, uint32_t> joint_ids;
+  joint_ids.reserve(r_corpus.num_distinct_tokens() +
+                    p_corpus.num_distinct_tokens());
+  std::vector<std::string_view> joint_texts;
+  joint_texts.reserve(r_corpus.num_distinct_tokens() +
+                      p_corpus.num_distinct_tokens());
   auto joint_of = [&](const std::string& text) {
-    auto [it, inserted] =
-        joint_ids.emplace(text, static_cast<uint32_t>(joint_texts.size()));
-    if (inserted) joint_texts.push_back(text);
+    const auto [it, inserted] = joint_ids.emplace(
+        std::string_view(text), static_cast<uint32_t>(joint_texts.size()));
+    if (inserted) joint_texts.push_back(it->first);
     return it->second;
   };
   std::vector<uint32_t> r_joint(r_corpus.num_distinct_tokens());
@@ -453,68 +628,24 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
     return joint;
   };
 
-  // ---- Job 1: shared-token candidates across collections. ---------------
-  std::vector<uint64_t> tagged_ids;
-  tagged_ids.reserve(r_corpus.size() + p_corpus.size());
-  for (uint32_t s = 0; s < r_corpus.size(); ++s) {
-    tagged_ids.push_back(TagId(false, s));
-  }
-  for (uint32_t s = 0; s < p_corpus.size(); ++s) {
-    tagged_ids.push_back(TagId(true, s));
-  }
-  auto map_tokens = [&](const uint64_t& tagged,
-                        Emitter<uint32_t, uint64_t>* out) {
-    const bool is_p = TagIsP(tagged);
-    const uint32_t s = TagStringId(tagged);
-    const auto joint = is_p ? distinct_joint(p_corpus, p_joint, s)
-                            : distinct_joint(r_corpus, r_joint, s);
-    AddWorkUnits(1 + joint.size());
-    for (uint32_t j : joint) out->Emit(j, tagged);
-  };
-  auto reduce_shared = [](const uint32_t& /*token*/,
-                          std::vector<uint64_t>* values,
-                          std::vector<RawCandidate>* out) {
-    // Cross product of the R-side and P-side strings sharing this token
-    // (the reduce of Sec. III-C, in its general two-collection form).
-    uint64_t pairs = 0;
-    for (uint64_t tagged_r : *values) {
-      if (TagIsP(tagged_r)) continue;
-      for (uint64_t tagged_p : *values) {
-        if (!TagIsP(tagged_p)) continue;
-        out->push_back(RawCandidate{TagStringId(tagged_r),
-                                    TagStringId(tagged_p),
-                                    /*is_token_pair=*/false});
-        ++pairs;
-      }
-    }
-    AddWorkUnits(values->size() + pairs);
-  };
-  JobStats shared_stats;
-  std::vector<RawCandidate> candidates =
-      RunMapReduce<uint64_t, uint32_t, uint64_t, RawCandidate>(
-          "tsj-rp-shared-token", tagged_ids, map_tokens, reduce_shared,
-          options_.mapreduce, &shared_stats);
-  local_info.shared_token_candidates = candidates.size();
-  local_info.pipeline.Add(shared_stats);
-
   // ---- Similar-token candidates (Sec. III-D, two-collection form). ------
   std::vector<std::vector<uint32_t>> r_postings;
   std::vector<std::vector<uint32_t>> p_postings;
+  std::vector<RawCandidate> token_pair_candidates;
+  PipelineStats mass_stats;
   if (options_.matching == TokenMatching::kFuzzy) {
     std::vector<std::string> survivor_texts;
     std::vector<uint32_t> survivor_joint;
     for (uint32_t j = 0; j < joint_texts.size(); ++j) {
       if (surviving[j]) {
-        survivor_texts.push_back(joint_texts[j]);
+        survivor_texts.emplace_back(joint_texts[j]);
         survivor_joint.push_back(j);
       }
     }
     MassJoinOptions mass_options;
-    mass_options.mapreduce = options_.mapreduce;
-    PipelineStats mass_stats;
+    mass_options.mapreduce = mr_options;
     const std::vector<NldPair> token_pairs =
         MassJoinSelfNld(survivor_texts, t, mass_options, &mass_stats);
-    local_info.pipeline.Append(mass_stats);
     local_info.similar_token_pairs = token_pairs.size();
 
     r_postings.resize(joint_texts.size());
@@ -529,14 +660,18 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
         p_postings[j].push_back(s);
       }
     }
+    token_pair_candidates.reserve(token_pairs.size());
     for (const NldPair& pair : token_pairs) {
-      candidates.push_back(RawCandidate{survivor_joint[pair.a],
-                                        survivor_joint[pair.b],
-                                        /*is_token_pair=*/true});
+      token_pair_candidates.push_back(RawCandidate{survivor_joint[pair.a],
+                                                   survivor_joint[pair.b],
+                                                   /*is_token_pair=*/true});
     }
   }
 
-  // Empty strings on both sides are identical (NSLD = 0) but signature-less.
+  // Empty strings on both sides are identical (NSLD = 0) but
+  // signature-less: unconditional results, emitted directly (no pipeline
+  // path can rediscover a token-free string).
+  std::vector<TsjPair> results;
   {
     std::vector<uint32_t> r_empty, p_empty;
     for (uint32_t s = 0; s < r_corpus.size(); ++s) {
@@ -547,21 +682,25 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
     }
     for (uint32_t r : r_empty) {
       for (uint32_t p : p_empty) {
-        candidates.push_back(RawCandidate{r, p, /*is_token_pair=*/false});
+        results.push_back(TsjPair{r, p, 0.0});
       }
     }
   }
 
-  // ---- Job 2: expand + dedup + filter + verify. --------------------------
-  auto expand = [&](const RawCandidate& cand,
-                    const std::function<void(uint32_t, uint32_t)>& emit) {
+  // ---- Candidate generation inputs. --------------------------------------
+  std::vector<uint64_t> tagged_ids;
+  tagged_ids.reserve(r_corpus.size() + p_corpus.size());
+  for (uint32_t s = 0; s < r_corpus.size(); ++s) {
+    tagged_ids.push_back(TagId(false, s));
+  }
+  for (uint32_t s = 0; s < p_corpus.size(); ++s) {
+    tagged_ids.push_back(TagId(true, s));
+  }
+
+  // A similar token pair (j1, j2) joins R strings containing either token
+  // with P strings containing the other.
+  auto expand_token_pair = [&](const RawCandidate& cand, const auto& emit) {
     AddWorkUnits(1);
-    if (!cand.is_token_pair) {
-      emit(cand.a, cand.b);
-      return;
-    }
-    // A similar token pair (j1, j2) joins R strings containing either
-    // token with P strings containing the other.
     auto cross = [&](uint32_t jr, uint32_t jp) {
       AddWorkUnits(r_postings[jr].size() * p_postings[jp].size());
       for (uint32_t r : r_postings[jr]) {
@@ -576,68 +715,231 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
     cross(cand.b, cand.a);
   };
 
-  std::vector<TsjPair> results;
-  JobStats verify_stats;
-  if (options_.dedup == DedupStrategy::kGroupOnBothStrings) {
-    using PairKey = std::pair<uint32_t, uint32_t>;
-    auto map_fn = [&expand](const RawCandidate& cand,
-                            Emitter<PairKey, char>* out) {
-      expand(cand,
-             [&](uint32_t r, uint32_t p) { out->Emit(PairKey{r, p}, 0); });
+  const Corpus& r_ref = r_corpus;
+  const Corpus& p_ref = p_corpus;
+
+  // Shared dedup+verify bodies for both engine modes (see SelfJoin): the
+  // legacy reducers adapt their vectors to spans, so the differential
+  // reference and the streaming path execute the same verification code.
+  auto verify_one_string_group = [&](const uint64_t& key,
+                                     std::span<uint32_t> others,
+                                     std::vector<TsjPair>* out) {
+    AddWorkUnits(others.size());
+    const std::span<uint32_t> distinct = DedupRun(others);
+    counters.distinct_candidates.fetch_add(distinct.size(),
+                                           std::memory_order_relaxed);
+    const bool key_is_p = TagIsP(key);
+    const uint32_t key_id = TagStringId(key);
+    // Length-sorted batching: `others` all come from the collection
+    // opposite the key.
+    const Corpus& other_corpus = key_is_p ? r_ref : p_ref;
+    SortByAggregateLength(distinct, [&](uint32_t s) {
+      return other_corpus.aggregate_length(s);
+    });
+    for (uint32_t other : distinct) {
+      const uint32_t r = key_is_p ? other : key_id;
+      const uint32_t p = key_is_p ? key_id : other;
+      FilterAndVerify(r_ref, p_ref, options_, &counters, pair_cache, r, p,
+                      out);
+    }
+  };
+  auto verify_pair_group = [&](const std::pair<uint32_t, uint32_t>& key,
+                               size_t duplicates, std::vector<TsjPair>* out) {
+    counters.distinct_candidates.fetch_add(1, std::memory_order_relaxed);
+    AddWorkUnits(duplicates);
+    FilterAndVerify(r_ref, p_ref, options_, &counters, pair_cache, key.first,
+                    key.second, out);
+  };
+
+  if (options_.enable_streaming_shuffle) {
+    // ---- Fused streaming pipeline (two-collection form). ----------------
+    auto map_tokens = [&](const uint64_t& tagged,
+                          PartitionedEmitter<uint32_t, uint64_t>* out) {
+      const bool is_p = TagIsP(tagged);
+      const uint32_t s = TagStringId(tagged);
+      const auto joint = is_p ? distinct_joint(p_corpus, p_joint, s)
+                              : distinct_joint(r_corpus, r_joint, s);
+      AddWorkUnits(1 + joint.size());
+      for (uint32_t j : joint) out->Emit(j, tagged);
     };
-    auto reduce_fn = [&](const PairKey& key, std::vector<char>* values,
-                         std::vector<TsjPair>* out) {
-      counters.distinct_candidates.fetch_add(1, std::memory_order_relaxed);
-      AddWorkUnits(values->size());
-      FilterAndVerify(r_corpus, p_corpus, options_, &counters, pair_cache,
-                      key.first, key.second, out);
+    // Cross product of the R-side and P-side strings sharing this token
+    // (the reduce of Sec. III-C in its two-collection form), streamed
+    // straight into the dedup shuffle.
+    auto for_each_cross = [&counters](std::span<uint64_t> values,
+                                      const auto& emit) {
+      uint64_t pairs = 0;
+      for (uint64_t tagged_r : values) {
+        if (TagIsP(tagged_r)) continue;
+        for (uint64_t tagged_p : values) {
+          if (!TagIsP(tagged_p)) continue;
+          emit(TagStringId(tagged_r), TagStringId(tagged_p));
+          ++pairs;
+        }
+      }
+      AddWorkUnits(values.size() + pairs);
+      counters.shared_token_candidates.fetch_add(pairs,
+                                                 std::memory_order_relaxed);
     };
-    results = RunMapReduce<RawCandidate, PairKey, char, TsjPair>(
-        "tsj-rp-dedup-verify-both", candidates, map_fn, reduce_fn,
-        options_.mapreduce, &verify_stats);
-  } else {
-    // grouping-on-one-string over the tagged id space: the hash-balanced
-    // rule picks either the R or the P string as the reduce key.
-    auto map_fn = [&](const RawCandidate& cand,
-                      Emitter<uint64_t, uint32_t>* out) {
-      expand(cand, [&](uint32_t r, uint32_t p) {
+
+    JobStats stage1_stats, stage2_stats;
+    gauge.Add(token_pair_candidates.size());  // side-input vector
+    std::vector<TsjPair> streamed;
+    if (options_.dedup == DedupStrategy::kGroupOnBothStrings) {
+      using PairKey = std::pair<uint32_t, uint32_t>;
+      auto reduce_shared = [&](const uint32_t& /*token*/,
+                               std::span<uint64_t> values,
+                               PartitionedEmitter<PairKey, char>* out) {
+        for_each_cross(values, [&](uint32_t r, uint32_t p) {
+          out->Emit(PairKey{r, p}, 0);
+        });
+      };
+      auto map_expand = [&](const RawCandidate& cand,
+                            PartitionedEmitter<PairKey, char>* out) {
+        expand_token_pair(cand, [&](uint32_t r, uint32_t p) {
+          out->Emit(PairKey{r, p}, 0);
+        });
+      };
+      auto reduce_verify = [&](const PairKey& key, std::span<char> values,
+                               std::vector<TsjPair>* out) {
+        verify_pair_group(key, values.size(), out);
+      };
+      streamed = RunFusedMapReduceSorted<uint64_t, uint32_t, uint64_t,
+                                         RawCandidate, PairKey, char,
+                                         TsjPair>(
+          "tsj-rp-shared-token", "tsj-rp-dedup-verify-both", tagged_ids,
+          map_tokens, reduce_shared, token_pair_candidates, map_expand,
+          reduce_verify, mr_options, &stage1_stats, &stage2_stats);
+    } else {
+      auto emit_keyed = [](uint32_t r, uint32_t p,
+                           PartitionedEmitter<uint64_t, uint32_t>* out) {
         const uint64_t tag_r = TagId(false, r);
         const uint64_t tag_p = TagId(true, p);
-        const uint64_t hr = Mix64(tag_r);
-        const uint64_t hp = Mix64(tag_p);
-        const uint64_t lt = (hr < hp) ? 1u : 0u;
-        const bool key_is_r = (lt == ((hr + hp) & 1u));
+        const bool key_is_r = KeyIsR(tag_r, tag_p);
         out->Emit(key_is_r ? tag_r : tag_p, key_is_r ? p : r);
-      });
+      };
+      auto reduce_shared = [&](const uint32_t& /*token*/,
+                               std::span<uint64_t> values,
+                               PartitionedEmitter<uint64_t, uint32_t>* out) {
+        for_each_cross(values, [&](uint32_t r, uint32_t p) {
+          emit_keyed(r, p, out);
+        });
+      };
+      auto map_expand = [&](const RawCandidate& cand,
+                            PartitionedEmitter<uint64_t, uint32_t>* out) {
+        expand_token_pair(
+            cand, [&](uint32_t r, uint32_t p) { emit_keyed(r, p, out); });
+      };
+      auto reduce_verify = [&](const uint64_t& key, std::span<uint32_t> others,
+                               std::vector<TsjPair>* out) {
+        verify_one_string_group(key, others, out);
+      };
+      streamed = RunFusedMapReduceSorted<uint64_t, uint32_t, uint64_t,
+                                         RawCandidate, uint64_t, uint32_t,
+                                         TsjPair>(
+          "tsj-rp-shared-token", "tsj-rp-dedup-verify-one", tagged_ids,
+          map_tokens, reduce_shared, token_pair_candidates, map_expand,
+          reduce_verify, mr_options, &stage1_stats, &stage2_stats);
+    }
+    gauge.Sub(token_pair_candidates.size());
+    results.insert(results.end(), streamed.begin(), streamed.end());
+    local_info.shared_token_candidates = counters.shared_token_candidates;
+    local_info.pipeline.Add(std::move(stage1_stats));
+    local_info.pipeline.Append(mass_stats);
+    local_info.pipeline.Add(std::move(stage2_stats));
+  } else {
+    // ---- Legacy two-job pipeline (the differential reference). ----------
+    auto map_tokens = [&](const uint64_t& tagged,
+                          Emitter<uint32_t, uint64_t>* out) {
+      const bool is_p = TagIsP(tagged);
+      const uint32_t s = TagStringId(tagged);
+      const auto joint = is_p ? distinct_joint(p_corpus, p_joint, s)
+                              : distinct_joint(r_corpus, r_joint, s);
+      AddWorkUnits(1 + joint.size());
+      for (uint32_t j : joint) out->Emit(j, tagged);
     };
-    auto reduce_fn = [&](const uint64_t& key, std::vector<uint32_t>* others,
-                         std::vector<TsjPair>* out) {
-      AddWorkUnits(others->size());
-      std::sort(others->begin(), others->end());
-      others->erase(std::unique(others->begin(), others->end()),
-                    others->end());
-      counters.distinct_candidates.fetch_add(others->size(),
-                                             std::memory_order_relaxed);
-      const bool key_is_p = TagIsP(key);
-      const uint32_t key_id = TagStringId(key);
-      // Length-sorted batching: `others` all come from the collection
-      // opposite the key.
-      const Corpus& other_corpus = key_is_p ? r_corpus : p_corpus;
-      SortByAggregateLength(others, [&](uint32_t s) {
-        return other_corpus.aggregate_length(s);
-      });
-      for (uint32_t other : *others) {
-        const uint32_t r = key_is_p ? other : key_id;
-        const uint32_t p = key_is_p ? key_id : other;
-        FilterAndVerify(r_corpus, p_corpus, options_, &counters, pair_cache,
-                        r, p, out);
+    auto reduce_shared = [](const uint32_t& /*token*/,
+                            std::vector<uint64_t>* values,
+                            std::vector<RawCandidate>* out) {
+      // Cross product of the R-side and P-side strings sharing this token
+      // (the reduce of Sec. III-C, in its general two-collection form).
+      uint64_t pairs = 0;
+      for (uint64_t tagged_r : *values) {
+        if (TagIsP(tagged_r)) continue;
+        for (uint64_t tagged_p : *values) {
+          if (!TagIsP(tagged_p)) continue;
+          out->push_back(RawCandidate{TagStringId(tagged_r),
+                                      TagStringId(tagged_p),
+                                      /*is_token_pair=*/false});
+          ++pairs;
+        }
       }
+      AddWorkUnits(values->size() + pairs);
     };
-    results = RunMapReduce<RawCandidate, uint64_t, uint32_t, TsjPair>(
-        "tsj-rp-dedup-verify-one", candidates, map_fn, reduce_fn,
-        options_.mapreduce, &verify_stats);
+    JobStats shared_stats;
+    std::vector<RawCandidate> candidates =
+        RunMapReduce<uint64_t, uint32_t, uint64_t, RawCandidate>(
+            "tsj-rp-shared-token", tagged_ids, map_tokens, reduce_shared,
+            mr_options, &shared_stats);
+    local_info.shared_token_candidates = candidates.size();
+    counters.shared_token_candidates.store(candidates.size(),
+                                           std::memory_order_relaxed);
+    local_info.pipeline.Add(std::move(shared_stats));
+    local_info.pipeline.Append(mass_stats);
+    candidates.insert(candidates.end(), token_pair_candidates.begin(),
+                      token_pair_candidates.end());
+
+    // ---- Job 2: expand + dedup + filter + verify. -----------------------
+    auto expand = [&](const RawCandidate& cand,
+                      const std::function<void(uint32_t, uint32_t)>& emit) {
+      if (!cand.is_token_pair) {
+        AddWorkUnits(1);
+        emit(cand.a, cand.b);
+        return;
+      }
+      expand_token_pair(cand, emit);
+    };
+
+    std::vector<TsjPair> verified;
+    JobStats verify_stats;
+    gauge.Add(candidates.size());
+    if (options_.dedup == DedupStrategy::kGroupOnBothStrings) {
+      using PairKey = std::pair<uint32_t, uint32_t>;
+      auto map_fn = [&expand](const RawCandidate& cand,
+                              Emitter<PairKey, char>* out) {
+        expand(cand,
+               [&](uint32_t r, uint32_t p) { out->Emit(PairKey{r, p}, 0); });
+      };
+      auto reduce_fn = [&](const PairKey& key, std::vector<char>* values,
+                           std::vector<TsjPair>* out) {
+        verify_pair_group(key, values->size(), out);
+      };
+      verified = RunMapReduce<RawCandidate, PairKey, char, TsjPair>(
+          "tsj-rp-dedup-verify-both", candidates, map_fn, reduce_fn,
+          mr_options, &verify_stats);
+    } else {
+      // grouping-on-one-string over the tagged id space: the hash-balanced
+      // rule picks either the R or the P string as the reduce key.
+      auto map_fn = [&](const RawCandidate& cand,
+                        Emitter<uint64_t, uint32_t>* out) {
+        expand(cand, [&](uint32_t r, uint32_t p) {
+          const uint64_t tag_r = TagId(false, r);
+          const uint64_t tag_p = TagId(true, p);
+          const bool key_is_r = KeyIsR(tag_r, tag_p);
+          out->Emit(key_is_r ? tag_r : tag_p, key_is_r ? p : r);
+        });
+      };
+      auto reduce_fn = [&](const uint64_t& key, std::vector<uint32_t>* others,
+                           std::vector<TsjPair>* out) {
+        verify_one_string_group(key, std::span<uint32_t>(*others), out);
+      };
+      verified = RunMapReduce<RawCandidate, uint64_t, uint32_t, TsjPair>(
+          "tsj-rp-dedup-verify-one", candidates, map_fn, reduce_fn,
+          mr_options, &verify_stats);
+    }
+    gauge.Sub(candidates.size());
+    results.insert(results.end(), verified.begin(), verified.end());
+    local_info.pipeline.Add(std::move(verify_stats));
   }
-  local_info.pipeline.Add(verify_stats);
 
   local_info.similar_token_candidates = counters.similar_token_candidates;
   local_info.distinct_candidates = counters.distinct_candidates;
@@ -651,6 +953,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
         pair_cache->misses() - cache_misses_before;
   }
   local_info.result_pairs = results.size();
+  local_info.peak_shuffle_records = gauge.peak();
   if (info != nullptr) *info = std::move(local_info);
   return results;
 }

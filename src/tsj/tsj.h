@@ -86,6 +86,13 @@ struct TsjRunInfo {
   uint64_t token_pair_cache_misses = 0;
   /// Pairs in the final result.
   uint64_t result_pairs = 0;
+  /// Pipeline-wide high-water mark of shuffle-resident records: one
+  /// ShuffleGauge threads through every MapReduce job of the run
+  /// (including the MassJoin sub-pipeline) plus the candidate vectors
+  /// living between jobs, so legacy-vs-streaming runs compare peak
+  /// candidate-universe residency directly (bench_ablation reports the
+  /// reduction).
+  uint64_t peak_shuffle_records = 0;
 };
 
 /// The joiner. Thread-compatible: one instance may run joins sequentially;

@@ -12,10 +12,18 @@
 //     cap family (0, 1, small, huge);
 //   * BoundedSld on interned token-id spans (with and without the
 //     TokenPairCache, exact and greedy aligning) == BoundedSld on the
-//     materialized byte multisets, on random corpora and budgets.
+//     materialized byte multisets, on random corpora and budgets;
+//   * the streaming fused TSJ pipeline (sorted-shuffle engine,
+//     candidate generation streaming into the dedup/verify shuffle) ==
+//     the legacy two-job hash-shuffle pipeline: identical sorted
+//     (pair, NSLD) sets and identical candidate/filter counters, across
+//     dedup strategies, matchings, worker and partition counts, for both
+//     SelfJoin and the two-collection Join.
 
 #include <algorithm>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -26,6 +34,7 @@
 #include "tokenized/corpus.h"
 #include "tokenized/sld.h"
 #include "tokenized/token_pair_cache.h"
+#include "tsj/tsj.h"
 
 namespace tsj {
 namespace {
@@ -213,6 +222,197 @@ TEST(DifferentialTest, BoundedSldOnTokenIdsMatchesBytes) {
       }
     }
   }
+}
+
+// ---- Streaming-vs-legacy shuffle engine ----------------------------------
+
+// (pair, NSLD) as an order-free set: the engines may emit results in any
+// order but must produce identical pairs with bit-identical NSLD values.
+using PairNsldSet = std::set<std::pair<std::pair<uint32_t, uint32_t>, double>>;
+
+PairNsldSet ToPairNsldSet(const std::vector<TsjPair>& pairs) {
+  PairNsldSet set;
+  for (const TsjPair& p : pairs) set.insert({{p.a, p.b}, p.nsld});
+  return set;
+}
+
+// A corpus with heavy token sharing plus a few empty strings, so the
+// shared-token pass, the similar-token expansion, and the empty-string
+// short-circuit all carry traffic.
+Corpus RandomJoinCorpus(Rng* rng, size_t n) {
+  Corpus corpus;
+  size_t added = 0;
+  while (added < n) {
+    TokenizedString base =
+        testutil::RandomTokenizedString(rng, 1, 4, 1, 7, 3);
+    corpus.AddString(base);
+    ++added;
+    for (uint64_t c = rng->Uniform(3); c > 0 && added < n; --c, ++added) {
+      TokenizedString variant = base;
+      const size_t tok = rng->Uniform(variant.size());
+      variant[tok] = testutil::RandomEdit(rng, variant[tok], 3);
+      corpus.AddString(variant);
+    }
+    if (rng->Bernoulli(0.05) && added < n) {
+      corpus.AddString({});
+      ++added;
+    }
+  }
+  return corpus;
+}
+
+// Asserts that the streaming fused pipeline and the legacy two-job
+// pipeline agree on results AND on the dedup/filter counters — the
+// streaming dedup is a sorted-run scan, so any grouping bug shows up as a
+// counter drift even when the result set happens to survive.
+void ExpectStreamingMatchesLegacy(const TsjRunInfo& streaming,
+                                  const TsjRunInfo& legacy,
+                                  const std::string& context) {
+  EXPECT_EQ(streaming.shared_token_candidates,
+            legacy.shared_token_candidates)
+      << context;
+  EXPECT_EQ(streaming.similar_token_pairs, legacy.similar_token_pairs)
+      << context;
+  EXPECT_EQ(streaming.similar_token_candidates,
+            legacy.similar_token_candidates)
+      << context;
+  EXPECT_EQ(streaming.distinct_candidates, legacy.distinct_candidates)
+      << context;
+  EXPECT_EQ(streaming.length_filtered, legacy.length_filtered) << context;
+  EXPECT_EQ(streaming.histogram_filtered, legacy.histogram_filtered)
+      << context;
+  EXPECT_EQ(streaming.verified_candidates, legacy.verified_candidates)
+      << context;
+  EXPECT_EQ(streaming.result_pairs, legacy.result_pairs) << context;
+}
+
+TEST(DifferentialTest, StreamingSelfJoinMatchesLegacyEngine) {
+  Rng rng(20260726);
+  constexpr int kRounds = 6;
+  const std::vector<size_t> worker_counts = {1, 4, 0};  // 0 = hardware
+  const std::vector<size_t> partition_counts = {1, 7, 64};
+  for (int round = 0; round < kRounds; ++round) {
+    const Corpus corpus = RandomJoinCorpus(&rng, 60);
+    const double t = 0.08 + 0.3 * rng.NextDouble();
+    for (DedupStrategy dedup : {DedupStrategy::kGroupOnOneString,
+                                DedupStrategy::kGroupOnBothStrings}) {
+      for (TokenMatching matching :
+           {TokenMatching::kFuzzy, TokenMatching::kExact}) {
+        TsjOptions options;
+        options.threshold = t;
+        options.max_token_frequency = 1u << 30;
+        options.dedup = dedup;
+        options.matching = matching;
+
+        TsjOptions legacy_options = options;
+        legacy_options.enable_streaming_shuffle = false;
+        TsjRunInfo legacy_info;
+        const auto legacy = TokenizedStringJoiner(legacy_options)
+                                .SelfJoin(corpus, &legacy_info);
+        ASSERT_TRUE(legacy.ok());
+        const PairNsldSet expected = ToPairNsldSet(*legacy);
+
+        // The streaming engine must agree with the legacy reference for
+        // every worker/partition combination (and, transitively, with
+        // itself across them: determinism).
+        for (size_t workers : worker_counts) {
+          for (size_t partitions : partition_counts) {
+            TsjOptions streaming_options = options;
+            streaming_options.enable_streaming_shuffle = true;
+            streaming_options.mapreduce.num_workers = workers;
+            streaming_options.mapreduce.num_partitions = partitions;
+            TsjRunInfo streaming_info;
+            const auto streaming =
+                TokenizedStringJoiner(streaming_options)
+                    .SelfJoin(corpus, &streaming_info);
+            ASSERT_TRUE(streaming.ok());
+            const std::string context =
+                "round=" + std::to_string(round) + " t=" + std::to_string(t) +
+                " dedup=" + std::to_string(static_cast<int>(dedup)) +
+                " matching=" + std::to_string(static_cast<int>(matching)) +
+                " workers=" + std::to_string(workers) +
+                " partitions=" + std::to_string(partitions);
+            EXPECT_EQ(ToPairNsldSet(*streaming), expected) << context;
+            ExpectStreamingMatchesLegacy(streaming_info, legacy_info,
+                                         context);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, StreamingRpJoinMatchesLegacyEngine) {
+  Rng rng(31415926);
+  constexpr int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    const Corpus r_corpus = RandomJoinCorpus(&rng, 45);
+    const Corpus p_corpus = RandomJoinCorpus(&rng, 35);
+    const double t = 0.08 + 0.3 * rng.NextDouble();
+    for (DedupStrategy dedup : {DedupStrategy::kGroupOnOneString,
+                                DedupStrategy::kGroupOnBothStrings}) {
+      TsjOptions options;
+      options.threshold = t;
+      options.max_token_frequency = 1u << 30;
+      options.dedup = dedup;
+
+      TsjOptions legacy_options = options;
+      legacy_options.enable_streaming_shuffle = false;
+      TsjRunInfo legacy_info;
+      const auto legacy = TokenizedStringJoiner(legacy_options)
+                              .Join(r_corpus, p_corpus, &legacy_info);
+      ASSERT_TRUE(legacy.ok());
+      const PairNsldSet expected = ToPairNsldSet(*legacy);
+
+      for (size_t workers : {size_t{1}, size_t{4}}) {
+        for (size_t partitions : {size_t{1}, size_t{7}, size_t{64}}) {
+          TsjOptions streaming_options = options;
+          streaming_options.enable_streaming_shuffle = true;
+          streaming_options.mapreduce.num_workers = workers;
+          streaming_options.mapreduce.num_partitions = partitions;
+          TsjRunInfo streaming_info;
+          const auto streaming =
+              TokenizedStringJoiner(streaming_options)
+                  .Join(r_corpus, p_corpus, &streaming_info);
+          ASSERT_TRUE(streaming.ok());
+          const std::string context =
+              "round=" + std::to_string(round) + " t=" + std::to_string(t) +
+              " dedup=" + std::to_string(static_cast<int>(dedup)) +
+              " workers=" + std::to_string(workers) +
+              " partitions=" + std::to_string(partitions);
+          EXPECT_EQ(ToPairNsldSet(*streaming), expected) << context;
+          ExpectStreamingMatchesLegacy(streaming_info, legacy_info, context);
+        }
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, StreamingSelfJoinPeaksBelowLegacy) {
+  // The reason the streaming engine exists: on a token-sharing-heavy
+  // corpus the legacy pipeline holds the pre-dedup candidate universe and
+  // the dedup job's map output at the same time, while the fused pipeline
+  // streams generation into the dedup shuffle. The differential suite
+  // pins the peak ordering so a fusion regression (re-materializing the
+  // universe) cannot land silently.
+  Rng rng(27182818);
+  const Corpus corpus = RandomJoinCorpus(&rng, 250);
+  TsjOptions options;
+  options.threshold = 0.1;
+  options.max_token_frequency = 1u << 30;
+
+  TsjOptions legacy_options = options;
+  legacy_options.enable_streaming_shuffle = false;
+  TsjRunInfo legacy_info, streaming_info;
+  ASSERT_TRUE(TokenizedStringJoiner(legacy_options)
+                  .SelfJoin(corpus, &legacy_info)
+                  .ok());
+  ASSERT_TRUE(
+      TokenizedStringJoiner(options).SelfJoin(corpus, &streaming_info).ok());
+  EXPECT_GT(legacy_info.peak_shuffle_records, 0u);
+  EXPECT_GT(streaming_info.peak_shuffle_records, 0u);
+  EXPECT_LT(streaming_info.peak_shuffle_records,
+            legacy_info.peak_shuffle_records);
 }
 
 }  // namespace
