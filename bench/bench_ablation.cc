@@ -1,18 +1,28 @@
 // Ablation study of TSJ's design choices (DESIGN.md, not a paper figure):
 // measures, on one workload, what each lossless filter (Sec. III-E), the
-// dedup strategy, the verification engine tiers and the shuffle engine
-// contribute in candidate/verification counts, peak shuffle-resident
-// records and measured wall time. Complements Figs. 1-5, which report the
-// paper's own parameter sweeps.
+// dedup strategy, the verification engine tiers (budgeted verify,
+// token-id path, shared token-pair cache, per-worker L1 tier) and the
+// shuffle engine (streaming fusion, combiner, skew-adaptive partitioning)
+// contribute in candidate/verification counts, per-tier cache hit rates,
+// combiner record reduction, peak shuffle-resident records and measured
+// wall time. Complements Figs. 1-5, which report the paper's own
+// parameter sweeps.
+//
+// A --workers sweep table shows the contention story directly: the same
+// full configuration at workers=1 vs workers=hw, with the L1/shared
+// hit split and flush-batch counts that explain where the multi-thread
+// win comes from.
 //
 // With --shuffle_json <path>, additionally writes the legacy-vs-streaming
 // shuffle counters (map output records, pipeline peak shuffle-resident
-// records, reduction factor) as JSON, which CI merges into
-// BENCH_verify.json so the memory win is tracked in the perf trajectory.
+// records, reduction factor) plus the cache-tier and combiner counters of
+// the workers=hw run as JSON, which CI merges into BENCH_verify.json so
+// the memory and contention wins are tracked in the perf trajectory.
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "bench_common.h"
 #include "common/stopwatch.h"
@@ -33,11 +43,33 @@ struct ShuffleNumbers {
   double wall_ms = 0;
 };
 
+// The counters one sweep run contributes to the JSON trajectory.
+struct SweepNumbers {
+  size_t workers = 0;
+  TsjRunInfo info;
+  double wall_ms = 0;
+};
+
+std::string PercentOrDash(uint64_t part, uint64_t whole) {
+  if (whole == 0) return "-";
+  return TablePrinter::Fmt(
+      100.0 * static_cast<double>(part) / static_cast<double>(whole), 1);
+}
+
+// "in->out" combiner column; "-" when no combiner ran.
+std::string CombinerColumn(const TsjRunInfo& info) {
+  if (info.combiner_input_records == 0) return "-";
+  return TablePrinter::Fmt(info.combiner_input_records) + ">" +
+         TablePrinter::Fmt(info.combiner_output_records);
+}
+
 void Run(const std::string& shuffle_json_path) {
   bench::PrintHeader("Ablation", "contribution of each TSJ design choice");
   const auto workload =
       GenerateRingWorkload(bench::DefaultWorkload(bench::Scaled(10000)));
-  std::cout << "accounts=" << workload.corpus.size() << " T=0.1 M=1000\n\n";
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "accounts=" << workload.corpus.size()
+            << " T=0.1 M=1000 hw=" << hw << "\n\n";
 
   TsjOptions base;
   base.threshold = 0.1;
@@ -99,6 +131,37 @@ void Run(const std::string& shuffle_json_path) {
     rows.push_back({"- token pair cache", o});
   }
   {
+    // L1-tier ablation: shared shards kept, the per-worker front dropped
+    // — every gated probe pays the spinlocked shard round-trip again.
+    TsjOptions o = base;
+    o.enable_l1_verify_cache = false;
+    rows.push_back({"- L1 verify cache (shared shards only)", o});
+  }
+  {
+    // Combiner ablation: every duplicate candidate record crosses the
+    // stage boundary again.
+    TsjOptions o = base;
+    o.enable_shuffle_combiner = false;
+    rows.push_back({"- shuffle combiner", o});
+  }
+  {
+    // Partition-planning ablation: back to the fixed knob.
+    TsjOptions o = base;
+    o.adaptive_partitions = false;
+    rows.push_back({"- adaptive partitions (fixed 64)", o});
+  }
+  {
+    // The PR 3 configuration: streaming shuffle, shared-shards-only
+    // cache, no combiner, fixed partitions — the baseline the
+    // contention-relief tier (L1 + combiner + adaptive partitions) is
+    // measured against.
+    TsjOptions o = base;
+    o.enable_l1_verify_cache = false;
+    o.enable_shuffle_combiner = false;
+    o.adaptive_partitions = false;
+    rows.push_back({"PR3 baseline (no L1/combiner/adaptive)", o});
+  }
+  {
     // Shuffle-engine ablation: the legacy two-job hash-shuffle pipeline
     // that materializes the pre-dedup candidate universe between jobs.
     // Identical pairs, NSLD values and candidate counters; only the
@@ -108,11 +171,13 @@ void Run(const std::string& shuffle_json_path) {
     rows.push_back({"- streaming shuffle (legacy engine)", o});
   }
 
-  TablePrinter table({"configuration", "pairs", "distinct cands", "filtered",
-                      "verified", "verify work", "cache hit%", "peak shuffle",
-                      "wall (ms)"});
+  TablePrinter table({"configuration", "pairs", "distinct cands", "verified",
+                      "verify work", "L1 hit%", "shared hit%", "flushes",
+                      "comb in>out", "peak shuffle", "wall (ms)"});
   uint64_t budgeted_work = 0, unbounded_work = 0;
   ShuffleNumbers streaming_numbers, legacy_numbers;
+  TsjRunInfo full_info;
+  double full_wall_ms = 0, pr3_wall_ms = 0;
   for (const auto& row : rows) {
     Stopwatch watch;
     TsjRunInfo info;
@@ -124,7 +189,10 @@ void Run(const std::string& shuffle_json_path) {
       budgeted_work = info.verify_work_units;
       streaming_numbers = {info.pipeline.total_map_output_records(),
                            info.peak_shuffle_records, ms};
+      full_info = info;
+      full_wall_ms = ms;
     }
+    if (row.name.rfind("PR3 baseline", 0) == 0) pr3_wall_ms = ms;
     if (!row.options.enable_budgeted_verify) {
       unbounded_work = info.verify_work_units;
     }
@@ -132,21 +200,20 @@ void Run(const std::string& shuffle_json_path) {
       legacy_numbers = {info.pipeline.total_map_output_records(),
                         info.peak_shuffle_records, ms};
     }
-    const uint64_t lookups =
+    const uint64_t l1_probes =
+        info.token_pair_cache_l1_hits + info.token_pair_cache_l1_misses;
+    const uint64_t shared_probes =
         info.token_pair_cache_hits + info.token_pair_cache_misses;
     table.AddRow({row.name, TablePrinter::Fmt(uint64_t{result->size()}),
                   TablePrinter::Fmt(info.distinct_candidates),
-                  TablePrinter::Fmt(info.length_filtered +
-                                    info.histogram_filtered),
                   TablePrinter::Fmt(info.verified_candidates),
                   TablePrinter::Fmt(info.verify_work_units),
-                  lookups == 0
+                  PercentOrDash(info.token_pair_cache_l1_hits, l1_probes),
+                  PercentOrDash(info.token_pair_cache_hits, shared_probes),
+                  info.token_pair_cache_flush_batches == 0
                       ? std::string("-")
-                      : TablePrinter::Fmt(
-                            100.0 * static_cast<double>(
-                                        info.token_pair_cache_hits) /
-                                static_cast<double>(lookups),
-                            1),
+                      : TablePrinter::Fmt(info.token_pair_cache_flush_batches),
+                  CombinerColumn(info),
                   TablePrinter::Fmt(info.peak_shuffle_records),
                   TablePrinter::Fmt(ms, 0)});
   }
@@ -168,12 +235,63 @@ void Run(const std::string& shuffle_json_path) {
               << legacy_numbers.peak_shuffle_records << " -> "
               << streaming_numbers.peak_shuffle_records << ")\n";
   }
+  if (full_info.combiner_input_records > 0) {
+    std::cout << "combiner reduction: " << full_info.combiner_input_records
+              << " -> " << full_info.combiner_output_records
+              << " records crossed the dedup/verify stage boundary ("
+              << (full_info.combiner_output_records > 0
+                      ? static_cast<double>(full_info.combiner_input_records) /
+                            static_cast<double>(
+                                full_info.combiner_output_records)
+                      : 0.0)
+              << "x)\n";
+  }
   std::cout << "\nexpectations: removing filters raises 'verified' with the "
                "same result pairs; the approximations only shrink the "
-               "result; disabling budgeted verify, token-id verify, the "
-               "token pair cache, or the streaming shuffle changes nothing "
-               "but the verify work/peak shuffle/wall columns "
-               "(byte-identical pairs and NSLD values).\n";
+               "result; disabling budgeted verify, token-id verify, either "
+               "cache tier, the combiner, adaptive partitioning, or the "
+               "streaming shuffle changes nothing but the work/traffic/wall "
+               "columns (byte-identical pairs and NSLD values).\n";
+
+  // ---- Workers sweep: the contention picture in one table. ---------------
+  std::cout << "\n";
+  TablePrinter sweep_table({"configuration", "workers", "L1 hit%",
+                            "shared hit%", "flushes", "comb in>out",
+                            "peak shuffle", "wall (ms)"});
+  std::vector<SweepNumbers> sweep;
+  std::vector<size_t> worker_counts = {1};
+  if (hw > 1) worker_counts.push_back(hw);
+  for (const size_t workers : worker_counts) {
+    for (const bool l1 : {true, false}) {
+      TsjOptions o = base;
+      o.mapreduce.num_workers = workers;
+      o.enable_l1_verify_cache = l1;
+      Stopwatch watch;
+      TsjRunInfo info;
+      const auto result =
+          TokenizedStringJoiner(o).SelfJoin(workload.corpus, &info);
+      const double ms = watch.ElapsedMillis();
+      if (!result.ok()) continue;
+      const uint64_t l1_probes =
+          info.token_pair_cache_l1_hits + info.token_pair_cache_l1_misses;
+      const uint64_t shared_probes =
+          info.token_pair_cache_hits + info.token_pair_cache_misses;
+      sweep_table.AddRow(
+          {l1 ? "full (L1 + batched flush)" : "shared shards only",
+           TablePrinter::Fmt(uint64_t{workers}),
+           PercentOrDash(info.token_pair_cache_l1_hits, l1_probes),
+           PercentOrDash(info.token_pair_cache_hits, shared_probes),
+           info.token_pair_cache_flush_batches == 0
+               ? std::string("-")
+               : TablePrinter::Fmt(info.token_pair_cache_flush_batches),
+           CombinerColumn(info), TablePrinter::Fmt(info.peak_shuffle_records),
+           TablePrinter::Fmt(ms, 0)});
+      if (l1) sweep.push_back(SweepNumbers{workers, info, ms});
+    }
+  }
+  std::cout << "workers sweep (full configuration vs shared-shards-only "
+               "cache):\n";
+  sweep_table.Print(std::cout);
 
   if (!shuffle_json_path.empty()) {
     std::ofstream json(shuffle_json_path);
@@ -181,7 +299,7 @@ void Run(const std::string& shuffle_json_path) {
          << "  \"workload\": {\"accounts\": " << workload.corpus.size()
          << ", \"threshold\": " << base.threshold
          << ", \"max_token_frequency\": " << base.max_token_frequency
-         << "},\n"
+         << ", \"hardware_workers\": " << hw << "},\n"
          << "  \"streaming\": {\"map_output_records\": "
          << streaming_numbers.map_output_records
          << ", \"peak_shuffle_records\": "
@@ -198,9 +316,40 @@ void Run(const std::string& shuffle_json_path) {
                        static_cast<double>(
                            streaming_numbers.peak_shuffle_records)
                  : 0.0)
-         << "\n}\n";
-    std::cout << "\nshuffle counters written to " << shuffle_json_path
-              << "\n";
+         << ",\n"
+         << "  \"cache_tiers\": {\"l1_hits\": "
+         << full_info.token_pair_cache_l1_hits
+         << ", \"l1_misses\": " << full_info.token_pair_cache_l1_misses
+         << ", \"shared_hits\": " << full_info.token_pair_cache_hits
+         << ", \"shared_misses\": " << full_info.token_pair_cache_misses
+         << ", \"flush_batches\": "
+         << full_info.token_pair_cache_flush_batches
+         << ", \"flushed_records\": "
+         << full_info.token_pair_cache_flushed_records << "},\n"
+         << "  \"combiner\": {\"records_in\": "
+         << full_info.combiner_input_records
+         << ", \"records_out\": " << full_info.combiner_output_records
+         << "},\n"
+         << "  \"shuffle_partitions\": " << full_info.shuffle_partitions
+         << ",\n"
+         << "  \"full_wall_ms\": " << full_wall_ms
+         << ",\n"
+         << "  \"pr3_baseline_wall_ms\": " << pr3_wall_ms << ",\n"
+         << "  \"workers_sweep\": [";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepNumbers& s = sweep[i];
+      json << (i == 0 ? "" : ", ") << "{\"workers\": " << s.workers
+           << ", \"wall_ms\": " << s.wall_ms << ", \"l1_hits\": "
+           << s.info.token_pair_cache_l1_hits << ", \"shared_hits\": "
+           << s.info.token_pair_cache_hits << ", \"flush_batches\": "
+           << s.info.token_pair_cache_flush_batches
+           << ", \"combiner_records_in\": " << s.info.combiner_input_records
+           << ", \"combiner_records_out\": "
+           << s.info.combiner_output_records << "}";
+    }
+    json << "]\n}\n";
+    std::cout << "\nshuffle + cache-tier counters written to "
+              << shuffle_json_path << "\n";
   }
 }
 

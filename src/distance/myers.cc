@@ -150,6 +150,18 @@ uint32_t MyersBoundedLevenshtein(std::string_view x, std::string_view y,
   if (x.size() > y.size()) std::swap(x, y);
   if (x.empty()) return static_cast<uint32_t>(y.size());  // <= bound here
   if (bound == 0) return 1;  // non-empty trimmed cores always differ
+  if (bound == 1) {
+    // Small-cap cutoff, O(1) after trimming. Maximal affix trimming left
+    // two non-empty cores whose first characters differ AND whose last
+    // characters differ, so a single edit can only reconcile them when
+    // both cores are one character (a substitution): equal-length cores
+    // of size >= 2 mismatch in at least two positions, and a one-longer
+    // core would need its insertion at the front (prefix mismatch) and at
+    // the back (suffix mismatch) simultaneously. This replaces the column
+    // scan the bit-parallel core would run — the reject path where the
+    // 3-cell banded DP used to beat it.
+    return (x.size() == 1 && y.size() == 1) ? 1 : 2;
+  }
   const uint32_t score = MyersCore(x, y, bound);
   return score > bound ? bound + 1 : score;
 }

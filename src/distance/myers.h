@@ -17,6 +17,12 @@
 // can no longer descend back under the bound in the columns that remain
 // (each text column changes the bottom-row score by at most one).
 //
+// Small caps never reach the bit vectors: after maximal affix trimming
+// both cores' first and last characters differ, which decides bound <= 1
+// in O(1) — LD <= 1 holds exactly when both cores are single characters —
+// so the tiny-cap reject path, where the 3-cell banded DP used to win,
+// now costs a comparison instead of a column scan.
+//
 // This is the default edge kernel of the budget-aware SLD verification
 // engine (tokenized/sld.h); the banded DP remains available for
 // differential testing (tests/differential_test.cc pits the two against a

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "mapreduce/cluster_model.h"
 #include "mapreduce/work_units.h"
 #include "tokenized/sld.h"
 #include "tokenized/token_pair_cache.h"
@@ -16,6 +17,14 @@
 namespace tsj {
 
 namespace {
+
+// The leaf-verification thread's workspace: shared between DistanceWithin
+// and the reduce-group boundary that flushes its L1 cache tier
+// (tokenized/sld.h, two-tier probe contract).
+SldVerifyScratch& LeafVerifyScratch() {
+  thread_local SldVerifyScratch scratch;
+  return scratch;
+}
 
 // A record assigned to a (sub-)partition.
 struct Member {
@@ -83,10 +92,9 @@ class HmjRunner {
     const size_t lb = corpus_.aggregate_length(b);
     const int64_t budget =
         SldBudgetFromThreshold(options_.threshold, la, lb);
-    thread_local SldVerifyScratch scratch;
     const BoundedSldResult verdict =
         BoundedSld(corpus_, corpus_.tokens(a), corpus_.tokens(b), budget,
-                   options_.aligning, &scratch, &pair_cache_);
+                   options_.aligning, &LeafVerifyScratch(), &pair_cache_);
     AddWorkUnits(verdict.work_units);
     if (!verdict.within_budget) return false;
     *nsld = NsldFromSld(verdict.sld, la, lb);
@@ -96,6 +104,15 @@ class HmjRunner {
   bool aborted() const {
     return state_->aborted.load(std::memory_order_relaxed);
   }
+
+  // Reduce-group boundary: publishes the thread's L1 statistics and
+  // drains its deferred cache upserts into the run-wide shared tier in
+  // one shard-grouped batch once enough accumulated.
+  void FlushVerifyCache() {
+    LeafVerifyScratch().l1.FlushIfBatchReady(&pair_cache_);
+  }
+  // Partition-task boundary: unconditional drain.
+  void DrainVerifyCache() { LeafVerifyScratch().l1.Flush(&pair_cache_); }
 
   // Joins one partition's members, recursively repartitioning when too
   // large; emits verified pairs.
@@ -251,12 +268,28 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
     runner.JoinPartition(
         std::vector<Member>(members.begin(), members.end()), /*depth=*/0,
         out);
+    runner.FlushVerifyCache();  // reduce-group boundary
+  };
+  // Skew-adaptive partitioning for the join job: one reduce key per
+  // pivot, near-uniform loads by construction (records split ~evenly
+  // across Voronoi cells plus window replicas), so the planner's job is
+  // mostly to not exceed the key count.
+  MapReduceOptions join_mr = options_.mapreduce;
+  if (options_.adaptive_partitions) {
+    join_mr.num_partitions = AdaptivePartitionCount(
+        join_mr.effective_workers(), pivots.size(), n,
+        std::max<uint64_t>(1, n / pivots.size()), join_mr.num_partitions);
+  }
+  // Partition-task boundary: fully drain each leaf-verify worker's
+  // deferred cache upserts into the run-wide shared tier.
+  join_mr.reduce_partition_epilogue = [&runner] {
+    runner.DrainVerifyCache();
   };
   JobStats join_stats;
   std::vector<TsjPair> raw_pairs =
       RunMapReduceSorted<uint32_t, uint32_t, Member, TsjPair>(
           "hmj-partition-join", all_ids, map_assign, reduce_join,
-          options_.mapreduce, &join_stats);
+          join_mr, &join_stats);
   local_info.pipeline.Add(join_stats);
 
   // ---- Job 2: dedup (a pair may surface in several partitions). ---------
@@ -269,11 +302,23 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
                          std::vector<TsjPair>* out) {
     out->push_back(TsjPair{key.first, key.second, values.front()});
   };
+  // Duplicate discoveries of one pair collapse map-side (every copy
+  // carries the same deterministic NSLD, so keeping the first is exactly
+  // what the reducer does with the full run).
+  const CombinerFn<PairKey, double> combine_dup =
+      KeepFirstCombiner<PairKey, double>();
+  // Dedup job: near-uniform pair keys, a couple of records each.
+  MapReduceOptions dedup_mr = options_.mapreduce;
+  if (options_.adaptive_partitions) {
+    dedup_mr.num_partitions = AdaptivePartitionCount(
+        dedup_mr.effective_workers(), raw_pairs.size(), raw_pairs.size(),
+        /*max_key_load=*/2, dedup_mr.num_partitions);
+  }
   JobStats dedup_stats;
   std::vector<TsjPair> results =
       RunMapReduceSorted<TsjPair, PairKey, double, TsjPair>(
-          "hmj-dedup", raw_pairs, map_pairs, reduce_dedup, options_.mapreduce,
-          &dedup_stats);
+          "hmj-dedup", raw_pairs, map_pairs, reduce_dedup, dedup_mr,
+          &dedup_stats, combine_dup);
   local_info.pipeline.Add(dedup_stats);
 
   local_info.distance_computations = state.distance_computations;

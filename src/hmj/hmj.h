@@ -57,6 +57,14 @@ struct HmjOptions {
   TokenAligning aligning = TokenAligning::kExact;
   /// MapReduce engine configuration.
   MapReduceOptions mapreduce;
+  /// Skew-adaptive shuffle partitioning (mapreduce/cluster_model.h):
+  /// each job plans its partition count from its key profile — the
+  /// partition-join from the pivot count (one reduce key per Voronoi
+  /// partition, near-uniform by construction), the dedup job from its
+  /// pair-key count — instead of the fixed mapreduce.num_partitions knob
+  /// (which remains the fallback/off value). Lossless: results are
+  /// partition-count-invariant.
+  bool adaptive_partitions = true;
 
   Status Validate() const {
     if (threshold < 0.0 || threshold >= 1.0) {

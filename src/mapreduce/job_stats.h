@@ -84,8 +84,19 @@ struct JobStats {
   /// Records that entered this job's shuffle (scattered into partition
   /// buckets). Equals map_output_records for plain jobs; for the second
   /// stage of a fused job it additionally counts the records the first
-  /// stage's reduce emitted directly into the shuffle.
+  /// stage's reduce emitted directly into the shuffle. When a combiner
+  /// ran, this counts the post-combine records (the ones that actually
+  /// crossed the stage boundary); the pre-combine volume is
+  /// combiner_input_records.
   uint64_t shuffle_records = 0;
+  /// Records scanned by the sorted-mode combiner (run-scan
+  /// pre-aggregation in the emitter buckets; see mapreduce.h). Zero when
+  /// no combiner ran. combiner_input_records - combiner_output_records
+  /// is the shuffle volume the combiner removed before the records
+  /// crossed the stage boundary.
+  uint64_t combiner_input_records = 0;
+  /// Records the combiner kept (what actually entered the shuffle).
+  uint64_t combiner_output_records = 0;
   /// High-water mark of records resident in this job's shuffle buffers
   /// (ShuffleGauge), tracked at task granularity. The two stages of a
   /// fused job share one gauge and report the same peak.
@@ -125,6 +136,18 @@ struct PipelineStats {
   uint64_t total_shuffle_records() const {
     uint64_t total = 0;
     for (const auto& j : jobs) total += j.shuffle_records;
+    return total;
+  }
+
+  uint64_t total_combiner_input_records() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.combiner_input_records;
+    return total;
+  }
+
+  uint64_t total_combiner_output_records() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.combiner_output_records;
     return total;
   }
 

@@ -27,13 +27,26 @@
 //    this mode; use the legacy mode to cross-check it or when a key
 //    cannot be ordered.
 //
+// Both modes take an optional combiner (CombinerFn). In the sorted modes
+// it runs as *combine-at-sort*: after a producer stops emitting, each of
+// its emitter buckets is stable-sorted by key and the combiner shrinks
+// every contiguous key run in place (PartitionedEmitter::Combine) —
+// per-producer pre-aggregation with no grouping hash map, executed before
+// the records are concatenated into shuffle partitions (and, in the fused
+// runner, before they cross the stage boundary). The reduce function must
+// be insensitive to the pre-aggregation; JobStats reports the pre/post
+// volumes as combiner_{input,output}_records.
+//
 // RunFusedMapReduceSorted chains two sorted-shuffle stages without
 // materializing the intermediate record vector between them: stage 1's
 // reduce emits (key2, value2) records straight into stage 2's
 // partition-at-emit shuffle (plus an optional stage-2 side input mapped
 // into the same shuffle), so the peak number of shuffle-resident records
 // is bounded by one stage's records instead of the sum of both. TSJ's
-// candidate-generation → dedup/verify pipeline runs on it (tsj/tsj.cc).
+// candidate-generation → dedup/verify pipeline runs on it (tsj/tsj.cc),
+// with a stage-2 combiner that collapses duplicate candidates inside the
+// producing task, so a hot token's quadratic candidate fan-out shrinks
+// before the dedup/verify shuffle ever sees it.
 //
 // JobStats records per-phase record counts, wall times, per-group loads,
 // and — new with the streaming engine — shuffle-record and peak-resident
@@ -76,6 +89,16 @@ struct MapReduceOptions {
   /// pipeline can observe one peak across all of its jobs plus whatever
   /// intermediate vectors it adds manually (tsj/tsj.cc does).
   ShuffleGauge* shuffle_gauge = nullptr;
+  /// Optional hook invoked on the worker thread right after it finishes
+  /// reducing one partition (every engine mode; in the fused runner,
+  /// after each stage-1 and each stage-2 partition). Lets reduce
+  /// functions that batch per-thread side state across groups drain it at
+  /// a guaranteed coarser boundary — tsj uses it to flush each verify
+  /// worker's deferred token-pair-cache upserts (tokenized/sld.h), so
+  /// everything a job computed reaches the shared tier by job end even
+  /// when no group-level batch ever filled. Must be thread-safe across
+  /// concurrent partitions.
+  std::function<void()> reduce_partition_epilogue;
 
   size_t effective_workers() const {
     if (num_workers > 0) return num_workers;
@@ -99,6 +122,44 @@ class Emitter {
   std::vector<std::pair<Key, Value>> pairs_;
 };
 
+/// Optional combiner: merges the values of one key *within one producer*
+/// before the shuffle, cutting shuffle volume for associative reductions
+/// (the standard MapReduce optimization). Receives the values collected
+/// so far and replaces them with a combined list that must not be longer
+/// (shrinking is the point; in-place compaction relies on it). In the
+/// legacy mode the combiner runs over a per-map-task grouping hash map;
+/// in the sorted modes it runs as a run-scan over each emitter bucket
+/// (PartitionedEmitter::Combine) — same per-key semantics, no hash map.
+/// In both engines the reduce function must be insensitive to the
+/// pre-aggregation (it still sees every key, with combined value lists
+/// concatenated across producers).
+template <typename Key, typename Value>
+using CombinerFn =
+    std::function<void(const Key&, std::vector<Value>*)>;
+
+/// Ready-made combiner for dedup-shaped reductions where every record of
+/// one key is interchangeable: keep the first, drop the rest (TSJ's
+/// pair-key candidate dedup, hmj's duplicate pair discoveries, massjoin's
+/// duplicate candidate pairs all combine this way).
+template <typename Key, typename Value>
+CombinerFn<Key, Value> KeepFirstCombiner() {
+  return [](const Key&, std::vector<Value>* values) {
+    if (values->size() > 1) values->resize(1);
+  };
+}
+
+/// Ready-made combiner for set-valued reductions: sort + unique the
+/// values (TSJ's one-string candidate lists; the reducer finishes the
+/// same dedup across producers, so pre-shrinking is lossless).
+template <typename Key, typename Value>
+CombinerFn<Key, Value> SortUniqueCombiner() {
+  return [](const Key&, std::vector<Value>* values) {
+    std::sort(values->begin(), values->end());
+    values->erase(std::unique(values->begin(), values->end()),
+                  values->end());
+  };
+}
+
 /// Scatters emitted (key, value) records into per-partition buckets at
 /// emit time — the streaming shuffle's map-side sink. One producer task
 /// owns one PartitionedEmitter; buckets are later concatenated per
@@ -115,7 +176,73 @@ class PartitionedEmitter {
     ++size_;
   }
 
-  /// Total records emitted through this emitter.
+  /// Run-scan pre-aggregation (the sorted modes' combiner, applied by the
+  /// engine after this producer stops emitting): stable-sorts each bucket
+  /// by key — the sort the shuffle would do anyway happens early, on this
+  /// producer's slice — hands each contiguous key run's values to
+  /// `combiner`, and compacts the bucket in place to the combined
+  /// records. Within a run, values keep emission order going in and
+  /// combiner-output order coming out. Adds the records scanned/kept to
+  /// the two counters.
+  ///
+  /// Self-tuning: combining is only worth its sort when the producer's
+  /// stream actually repeats keys, so once at least kCombineSampleRecords
+  /// records have been scanned with a reduction below ~3%
+  /// (1/kCombineMinReductionShift-th), the remaining buckets ship
+  /// uncombined (and uncounted) — duplicate-free streams pay one bounded
+  /// sample, duplicate-heavy streams keep the full reduction. Lossless
+  /// either way: an uncombined bucket just shuffles its duplicates.
+  static constexpr size_t kCombineSampleRecords = 4096;
+  static constexpr uint64_t kCombineMinReductionShift = 5;  // 1/32 ≈ 3%
+
+  void Combine(const CombinerFn<Key, Value>& combiner,
+               uint64_t* records_in, uint64_t* records_out) {
+    std::vector<Value> run_values;
+    uint64_t scanned = 0, kept = 0;
+    for (auto& bucket : buckets_) {
+      if (scanned >= kCombineSampleRecords &&
+          scanned - kept < (scanned >> kCombineMinReductionShift)) {
+        break;  // sampled stream is duplicate-free: stop paying the sort
+      }
+      scanned += bucket.size();
+      *records_in += bucket.size();
+      if (bucket.size() >= 2) {
+        std::stable_sort(
+            bucket.begin(), bucket.end(),
+            [](const std::pair<Key, Value>& a,
+               const std::pair<Key, Value>& b) { return a.first < b.first; });
+        size_t write = 0;
+        size_t i = 0;
+        while (i < bucket.size()) {
+          size_t j = i + 1;
+          while (j < bucket.size() && bucket[j].first == bucket[i].first) {
+            ++j;
+          }
+          const Key key = std::move(bucket[i].first);
+          run_values.clear();
+          for (size_t r = i; r < j; ++r) {
+            run_values.push_back(std::move(bucket[r].second));
+          }
+          combiner(key, &run_values);
+          // The combiner must not grow the list (see CombinerFn): the
+          // compaction writes over slots already consumed above.
+          for (auto& value : run_values) {
+            bucket[write].first = key;
+            bucket[write].second = std::move(value);
+            ++write;
+          }
+          i = j;
+        }
+        bucket.resize(write);
+      }
+      kept += bucket.size();
+      *records_out += bucket.size();
+    }
+    size_ = 0;
+    for (const auto& bucket : buckets_) size_ += bucket.size();
+  }
+
+  /// Total records currently held (post-combine, if Combine ran).
   size_t size() const { return size_; }
   size_t num_partitions() const { return buckets_.size(); }
   std::vector<std::pair<Key, Value>>& bucket(size_t p) {
@@ -127,15 +254,6 @@ class PartitionedEmitter {
   std::vector<std::vector<std::pair<Key, Value>>> buckets_;
   size_t size_ = 0;
 };
-
-/// Optional combiner (legacy mode): merges the values of one key *within
-/// one map task* before the shuffle, cutting shuffle volume for
-/// associative reductions (the standard MapReduce optimization). Receives
-/// the values collected so far and replaces them with a (usually shorter)
-/// combined list.
-template <typename Key, typename Value>
-using CombinerFn =
-    std::function<void(const Key&, std::vector<Value>*)>;
 
 namespace mapreduce_internal {
 
@@ -382,6 +500,7 @@ std::vector<Output> RunMapReduce(
       }
     }
     gauge.Sub(partition_records);  // groups die with this task
+    if (options.reduce_partition_epilogue) options.reduce_partition_epilogue();
   });
   std::vector<Output> outputs;
   {
@@ -412,9 +531,14 @@ std::vector<Output> RunMapReduce(
 /// values as a mutable std::span (reducers may reorder in place; the
 /// values arrive in map-task emission order, like the legacy grouping).
 ///
-/// Same contract and statistics as RunMapReduce, with two differences:
-/// Key must additionally be less-than-comparable, and there is no
-/// combiner (callers that need pre-aggregation keep the legacy mode).
+/// Same contract and statistics as RunMapReduce, with one difference:
+/// Key must additionally be less-than-comparable. The optional combiner
+/// runs as a run-scan over each map task's emitter buckets after the
+/// task finishes emitting (PartitionedEmitter::Combine — combine-at-sort,
+/// before the records cross into the shuffle); pre/post-combine volumes
+/// are reported through JobStats::combiner_{input,output}_records, and
+/// map_output_records/shuffle_records count the post-combine records,
+/// like the legacy mode.
 template <typename Input, typename Key, typename Value, typename Output>
 std::vector<Output> RunMapReduceSorted(
     const std::string& job_name, const std::vector<Input>& inputs,
@@ -422,7 +546,8 @@ std::vector<Output> RunMapReduceSorted(
         map_fn,
     const std::function<void(const Key&, std::span<Value>,
                              std::vector<Output>*)>& reduce_fn,
-    const MapReduceOptions& options = {}, JobStats* stats = nullptr) {
+    const MapReduceOptions& options = {}, JobStats* stats = nullptr,
+    const CombinerFn<Key, Value>& combiner = nullptr) {
   const size_t num_workers = options.effective_workers();
   const size_t num_partitions = std::max<size_t>(1, options.num_partitions);
   ThreadPool pool(num_workers);
@@ -444,12 +569,18 @@ std::vector<Output> RunMapReduceSorted(
     emitters.emplace_back(num_partitions);
   }
   std::vector<uint64_t> map_task_units(num_map_tasks, 0);
+  std::vector<uint64_t> combiner_in(num_map_tasks, 0);
+  std::vector<uint64_t> combiner_out(num_map_tasks, 0);
   pool.ParallelFor(num_map_tasks, [&](size_t task) {
     const size_t begin = inputs.size() * task / num_map_tasks;
     const size_t end = inputs.size() * (task + 1) / num_map_tasks;
     TakeWorkUnits();  // clear leftovers from other tasks on this thread
     for (size_t i = begin; i < end; ++i) {
       map_fn(inputs[i], &emitters[task]);
+    }
+    if (combiner != nullptr) {
+      emitters[task].Combine(combiner, &combiner_in[task],
+                             &combiner_out[task]);
     }
     map_task_units[task] = TakeWorkUnits();
     gauge.Add(emitters[task].size());
@@ -459,6 +590,10 @@ std::vector<Output> RunMapReduceSorted(
   }
   for (uint64_t units : map_task_units) {
     local_stats.map_work_units += units;
+  }
+  for (size_t t = 0; t < num_map_tasks; ++t) {
+    local_stats.combiner_input_records += combiner_in[t];
+    local_stats.combiner_output_records += combiner_out[t];
   }
   local_stats.shuffle_records = local_stats.map_output_records;
   local_stats.map_wall_seconds = map_watch.ElapsedSeconds();
@@ -491,6 +626,7 @@ std::vector<Output> RunMapReduceSorted(
     gauge.Sub(partition.size());
     partition.clear();
     partition.shrink_to_fit();
+    if (options.reduce_partition_epilogue) options.reduce_partition_epilogue();
   });
   std::vector<Output> outputs;
   {
@@ -532,6 +668,17 @@ std::vector<Output> RunMapReduceSorted(
 /// of values within a stage-2 run follows producer order (stage-1
 /// partitions first, then side-input map tasks), so reducers that must be
 /// invariant across partition counts should be value-order-insensitive.
+///
+/// Combiners: `combiner1` pre-aggregates each stage-1 map task's emitter
+/// buckets; `combiner2` pre-aggregates every stage-2 producer — both the
+/// buckets stage 1's reduce emitted into and the side-input map tasks' —
+/// right where they are filled (combine-at-sort, inside the producing
+/// task, before the records cross the stage boundary). This is what
+/// shrinks a hot reduce key's record run at its source: with `combiner2`
+/// a stage-2 key that stage 1 emitted k times from one partition crosses
+/// into the stage-2 shuffle as the combined records only. Reduction
+/// volumes land in the respective stage's combiner_{input,output}
+/// JobStats counters.
 template <typename Input1, typename Key1, typename Value1, typename Input2,
           typename Key2, typename Value2, typename Output>
 std::vector<Output> RunFusedMapReduceSorted(
@@ -547,7 +694,9 @@ std::vector<Output> RunFusedMapReduceSorted(
     const std::function<void(const Key2&, std::span<Value2>,
                              std::vector<Output>*)>& reduce2_fn,
     const MapReduceOptions& options = {}, JobStats* stage1_stats = nullptr,
-    JobStats* stage2_stats = nullptr) {
+    JobStats* stage2_stats = nullptr,
+    const CombinerFn<Key1, Value1>& combiner1 = nullptr,
+    const CombinerFn<Key2, Value2>& combiner2 = nullptr) {
   const size_t num_workers = options.effective_workers();
   const size_t num_partitions = std::max<size_t>(1, options.num_partitions);
   ThreadPool pool(num_workers);
@@ -572,6 +721,8 @@ std::vector<Output> RunFusedMapReduceSorted(
     emitters1.emplace_back(num_partitions);
   }
   std::vector<uint64_t> map1_task_units(num_map1_tasks, 0);
+  std::vector<uint64_t> combiner1_in(num_map1_tasks, 0);
+  std::vector<uint64_t> combiner1_out(num_map1_tasks, 0);
   pool.ParallelFor(num_map1_tasks, [&](size_t task) {
     const size_t begin = stage1_inputs.size() * task / num_map1_tasks;
     const size_t end = stage1_inputs.size() * (task + 1) / num_map1_tasks;
@@ -579,11 +730,19 @@ std::vector<Output> RunFusedMapReduceSorted(
     for (size_t i = begin; i < end; ++i) {
       map1_fn(stage1_inputs[i], &emitters1[task]);
     }
+    if (combiner1 != nullptr) {
+      emitters1[task].Combine(combiner1, &combiner1_in[task],
+                              &combiner1_out[task]);
+    }
     map1_task_units[task] = TakeWorkUnits();
     gauge.Add(emitters1[task].size());
   });
   for (const auto& e : emitters1) s1.map_output_records += e.size();
   for (uint64_t units : map1_task_units) s1.map_work_units += units;
+  for (size_t t = 0; t < num_map1_tasks; ++t) {
+    s1.combiner_input_records += combiner1_in[t];
+    s1.combiner_output_records += combiner1_out[t];
+  }
   s1.shuffle_records = s1.map_output_records;
   s1.map_wall_seconds = map1_watch.ElapsedSeconds();
 
@@ -614,6 +773,10 @@ std::vector<Output> RunFusedMapReduceSorted(
   // ---- Stage 2 side map. -------------------------------------------------
   Stopwatch map2_watch;
   std::vector<uint64_t> map2_task_units(num_map2_tasks, 0);
+  // One slot per stage-2 producer: stage-1 reduce partitions first, then
+  // side-input map tasks (same layout as producers2).
+  std::vector<uint64_t> combiner2_in(num_partitions + num_map2_tasks, 0);
+  std::vector<uint64_t> combiner2_out(num_partitions + num_map2_tasks, 0);
   pool.ParallelFor(num_map2_tasks, [&](size_t task) {
     auto* out = &producers2[num_partitions + task];
     const size_t begin = stage2_side_inputs.size() * task / num_map2_tasks;
@@ -622,6 +785,10 @@ std::vector<Output> RunFusedMapReduceSorted(
     TakeWorkUnits();
     for (size_t i = begin; i < end; ++i) {
       map2_fn(stage2_side_inputs[i], out);
+    }
+    if (combiner2 != nullptr) {
+      out->Combine(combiner2, &combiner2_in[num_partitions + task],
+                   &combiner2_out[num_partitions + task]);
     }
     map2_task_units[task] = TakeWorkUnits();
     gauge.Add(out->size());
@@ -646,10 +813,16 @@ std::vector<Output> RunFusedMapReduceSorted(
         [&](const Key1& key, std::span<Value1> values) {
           reduce1_fn(key, values, out);
         });
+    if (combiner2 != nullptr) {
+      // Combine-at-sort on the stage boundary: this partition's emissions
+      // shrink before they are ever counted as stage-2 shuffle residents.
+      out->Combine(combiner2, &combiner2_in[p], &combiner2_out[p]);
+    }
     gauge.Add(out->size());       // records now live in stage 2's buckets
     gauge.Sub(partition.size());  // this stage-1 partition is done
     partition.clear();
     partition.shrink_to_fit();
+    if (options.reduce_partition_epilogue) options.reduce_partition_epilogue();
   });
   for (auto& r : results1) {
     s1.num_groups += r.num_groups;
@@ -657,6 +830,10 @@ std::vector<Output> RunFusedMapReduceSorted(
       s1.group_loads.insert(s1.group_loads.end(), r.loads.begin(),
                             r.loads.end());
     }
+  }
+  for (size_t p = 0; p < combiner2_in.size(); ++p) {
+    s2.combiner_input_records += combiner2_in[p];
+    s2.combiner_output_records += combiner2_out[p];
   }
   for (size_t p = 0; p < num_partitions; ++p) {
     s1.reduce_output_records += producers2[p].size();
@@ -697,6 +874,7 @@ std::vector<Output> RunFusedMapReduceSorted(
     gauge.Sub(partition.size());
     partition.clear();
     partition.shrink_to_fit();
+    if (options.reduce_partition_epilogue) options.reduce_partition_epilogue();
   });
   std::vector<Output> outputs;
   {

@@ -8,6 +8,7 @@
 
 #include "distance/levenshtein.h"
 #include "distance/normalized_levenshtein.h"
+#include "mapreduce/cluster_model.h"
 #include "mapreduce/work_units.h"
 #include "passjoin/partition.h"
 
@@ -46,6 +47,24 @@ std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
   // (in a real deployment they ship with the record).
   std::vector<uint32_t> ids(tokens.size());
   for (uint32_t i = 0; i < tokens.size(); ++i) ids[i] = i;
+
+  // Skew-adaptive partition planning from the token-length profile: a
+  // token's signature fan-out scales with its length, and the signature
+  // key space itself is fine-grained (chunk texts rarely collide en
+  // masse), so the profile is near-uniform — the planner lands at the
+  // classic 4-per-worker granularity bounded by the token count, instead
+  // of whatever fixed knob the caller configured.
+  MapReduceOptions mr_options = options.mapreduce;
+  if (options.adaptive_partitions) {
+    uint64_t total_len = 0, max_len = 0;
+    for (const std::string& token : tokens) {
+      total_len += token.size() + 1;
+      max_len = std::max<uint64_t>(max_len, token.size() + 1);
+    }
+    mr_options.num_partitions = AdaptivePartitionCount(
+        mr_options.effective_workers(), tokens.size(), total_len, max_len,
+        mr_options.num_partitions);
+  }
 
   auto map_signatures = [&tokens, threshold](
                             const uint32_t& id,
@@ -136,7 +155,11 @@ std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
                               CandidatePair, CandidatePair, char, NldPair>(
           "massjoin-generate", "massjoin-verify", ids, map_signatures,
           reduce_candidates, /*stage2_side_inputs=*/{}, map_side,
-          reduce_verify, options.mapreduce, &generate_stats, &verify_stats);
+          reduce_verify, mr_options, &generate_stats, &verify_stats,
+          /*combiner1=*/nullptr,
+          // Duplicate candidate discoveries of one token pair collapse at
+          // the stage boundary (the verify reducer only needs the key).
+          KeepFirstCombiner<CandidatePair, char>());
   if (stats != nullptr) {
     stats->Add(std::move(generate_stats));
     stats->Add(std::move(verify_stats));

@@ -38,6 +38,15 @@ namespace tsj {
 struct MassJoinOptions {
   /// Engine options used by both jobs.
   MapReduceOptions mapreduce;
+  /// Skew-adaptive shuffle partitioning (mapreduce/cluster_model.h): the
+  /// partition count is planned from the token-length profile — each
+  /// token's signature fan-out scales with its length and the threshold
+  /// — instead of the fixed mapreduce.num_partitions knob (which remains
+  /// the fallback and the off-switch value). The signature key space is
+  /// fine-grained, so the profile is near-uniform and the planner mostly
+  /// picks the classic 4-per-worker granularity bounded by the key count.
+  /// Lossless: results are partition-count-invariant.
+  bool adaptive_partitions = true;
 };
 
 /// Self-joins `tokens` under NLD <= threshold (0 <= threshold < 1) using

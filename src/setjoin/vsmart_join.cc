@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "mapreduce/cluster_model.h"
 #include "mapreduce/work_units.h"
 
 namespace tsj {
@@ -92,11 +93,28 @@ std::vector<VsmartPair> VsmartSelfJoin(
     }
     AddWorkUnits(postings.size() + pairs);
   };
+  // Skew-adaptive partition planning from the token-frequency profile: a
+  // token shared by f multisets costs f postings in and f*(f-1)/2 partial
+  // emissions out of its reduce group — the same quadratic hot-key shape
+  // as TSJ's shared-token reduce.
+  MapReduceOptions join_mr = options.mapreduce;
+  if (options.adaptive_partitions) {
+    KeyLoadProfile profile;
+    for (const auto& [token, f] : frequency) {
+      if (options.max_token_frequency > 0 &&
+          f > options.max_token_frequency) {
+        continue;
+      }
+      profile.AddQuadraticKey(f);
+    }
+    join_mr.num_partitions = AdaptivePartitionCount(
+        join_mr.effective_workers(), profile, join_mr.num_partitions);
+  }
   JobStats join_stats;
   const std::vector<Partial> partials =
       RunMapReduceSorted<uint32_t, uint32_t, Posting, Partial>(
           "vsmart-joining", ids, map_postings, reduce_partials,
-          options.mapreduce, &join_stats);
+          join_mr, &join_stats);
   if (stats != nullptr) stats->Add(join_stats);
 
   // ---- Job 2: similarity phase — aggregate and threshold. ---------------
@@ -136,11 +154,22 @@ std::vector<VsmartPair> VsmartSelfJoin(
       out->push_back(VsmartPair{key.first, key.second, similarity});
     }
   };
+  // Similarity phase: pair keys are near-uniform (one contribution per
+  // shared token), so the planner assumes a flat profile bounded by the
+  // partial-record count. No combiner here: pre-summing contributions
+  // would change floating-point addition order, and the measures are only
+  // order-insensitive up to rounding (see the job-1 note above).
+  MapReduceOptions similarity_mr = options.mapreduce;
+  if (options.adaptive_partitions) {
+    similarity_mr.num_partitions = AdaptivePartitionCount(
+        similarity_mr.effective_workers(), partials.size(), partials.size(),
+        /*max_key_load=*/1, similarity_mr.num_partitions);
+  }
   JobStats similarity_stats;
   std::vector<VsmartPair> results =
       RunMapReduceSorted<Partial, PairKey, double, VsmartPair>(
           "vsmart-similarity", partials, map_partials, reduce_similarity,
-          options.mapreduce, &similarity_stats);
+          similarity_mr, &similarity_stats);
   if (stats != nullptr) stats->Add(similarity_stats);
   return results;
 }

@@ -44,6 +44,14 @@ struct VsmartOptions {
   /// same frequency cutoff idea as TSJ's M; 0 disables).
   uint32_t max_token_frequency = 0;
   MapReduceOptions mapreduce;
+  /// Skew-adaptive shuffle partitioning (mapreduce/cluster_model.h): the
+  /// joining phase plans its partition count from the token-frequency
+  /// profile it computes anyway (a token shared by f multisets costs
+  /// f*(f-1)/2 partial emissions — the same quadratic hot-key shape as
+  /// TSJ's shared-token reduce), the similarity phase from its pair-key
+  /// profile; mapreduce.num_partitions stays the fallback/off value.
+  /// Lossless: results are partition-count-invariant.
+  bool adaptive_partitions = true;
 };
 
 /// One joined pair of multiset indices (a < b) with its similarity.

@@ -114,16 +114,19 @@ void ComputeDuplicateReps(const Side& side, size_t k,
   }
 }
 
-// Cost-model gate for the TokenPairCache: the shared-shard probe costs a
-// spinlock acquisition plus one or two cache lines (and an insert on a
-// miss), which the work-unit model prices at roughly this many banded-DP
-// cells (calibrated against bench_distance_micro: MyersBounded on ~tiny
-// tokens runs in a few tens of nanoseconds, about what the lock + probe
-// round-trip costs). Edges whose modeled kernel cost is below the gate
-// skip the cache entirely — recomputing is cheaper than the memory
-// round-trip. Lossless: gating changes only *whether* the cache is
-// consulted, never the value an edge uses.
-constexpr uint64_t kMinKernelUnitsToProbeCache = 32;
+// Cost-model gates for the two cache tiers, in banded-DP-cell units
+// (calibrated against bench_distance_micro: MyersBounded on ~tiny tokens
+// runs in a few tens of nanoseconds). The shared-shard round-trip costs a
+// spinlock acquisition plus one or two remote cache lines — the original
+// gate of 32 units; the L1 probe is two private, lock-free slots, so its
+// gate sits far lower: only edges whose modeled kernel cost is below even
+// that recompute outright. Edges between the gates probe the L1 only — an
+// L1 miss recomputes rather than paying the shard round-trip, and the
+// value stays worker-local (publishing it would cost more than its
+// kernel; see token_pair_cache.h). Lossless: gating changes only *where*
+// an edge's value is found, never the value itself.
+constexpr uint64_t kMinKernelUnitsToProbeCache = 16;
+constexpr uint64_t kMinKernelUnitsToProbeSharedShards = 32;
 
 // Deterministic cell count of one banded Levenshtein run with bound `cap`,
 // in the same units as the len_x*len_y term of SldWorkUnits (which it never
@@ -227,6 +230,17 @@ BoundedSldResult BoundedSldImpl(const Side& x, const Side& y, int64_t budget,
   // the tighter per-row caps would not.
   const bool tighten = (aligning == TokenAligning::kExact);
 
+  // Two-tier cache probing (id path only): bind the scratch's L1 tier to
+  // the run's shared cache once per call — a cheap identity check after
+  // the first — so every gated edge below probes lock-free first.
+  TokenPairL1Cache* l1 = nullptr;
+  if constexpr (Side::kHasIds) {
+    if (cache != nullptr && scratch->use_l1_cache) {
+      scratch->l1.BindTo(cache);
+      l1 = &scratch->l1;
+    }
+  }
+
   ComputeDuplicateReps(x, k, &scratch->rep_x);
   ComputeDuplicateReps(y, k, &scratch->rep_y);
   result.work_units += 2 * k;
@@ -281,11 +295,27 @@ BoundedSldResult BoundedSldImpl(const Side& x, const Side& y, int64_t budget,
               bool cached = false;
               if constexpr (Side::kHasIds) {
                 // Cost-model gating: tiny edges recompute instead of
-                // probing the shared shards (see the gate constant above).
+                // probing either tier (see the gate constants above).
                 const bool probe =
                     cache != nullptr &&
                     kernel_units >= kMinKernelUnitsToProbeCache;
-                if (probe) {
+                if (probe && l1 != nullptr) {
+                  // Two-tier probe: L1 always, shared shards only for
+                  // edges that clear the pricier shared gate; fresh
+                  // values install into the L1 with the shared upsert
+                  // deferred into the batched flush.
+                  const bool consult_shared =
+                      kernel_units >= kMinKernelUnitsToProbeSharedShards;
+                  cached = l1->Lookup(cache, x.id(i), y.id(j), bound, &ld,
+                                      consult_shared);
+                  if (!cached) {
+                    ld = MyersBoundedLevenshtein(x.view(i), y.view(j), bound);
+                    l1->Insert(cache, x.id(i), y.id(j), bound, ld,
+                               /*defer_shared=*/consult_shared);
+                  }
+                } else if (probe &&
+                           kernel_units >=
+                               kMinKernelUnitsToProbeSharedShards) {
                   cached = cache->Lookup(x.id(i), y.id(j), bound, &ld);
                   if (!cached) {
                     ld = MyersBoundedLevenshtein(x.view(i), y.view(j), bound);

@@ -64,11 +64,23 @@
 // the cap they were computed at, so a cached value is only served when
 // it is exact or its certificate is at least as strong as the current
 // row cap (see token_pair_cache.h); served values equal what the kernel
-// would have computed, keeping the path lossless. The probe is
-// cost-model gated: edges whose modeled kernel cost is below the price
-// of the shared-shard round-trip (tiny token pairs) recompute instead of
-// consulting the cache — same values either way, only the lookup traffic
-// changes.
+// would have computed, keeping the path lossless.
+//
+// Two-tier probe contract. When a cache is supplied (and
+// SldVerifyScratch::use_l1_cache is left on), the engine probes through
+// the scratch's private TokenPairL1Cache: L1 first (no locks, no
+// atomics), shared shards only on an L1 miss, and freshly computed edges
+// install into the L1 with the shared upsert deferred into a batch that
+// flushes at most once per kPendingCapacity edges — callers running a
+// verify loop should additionally flush at reduce-group boundaries
+// (scratch->l1.Flush(cache), as tsj/tsj.cc and hmj/hmj.cc do) so late
+// entries and the L1 statistics reach the shared tier. The probes are
+// cost-model gated per tier: edges whose modeled kernel cost is below
+// the price of even the lock-free L1 probe recompute outright, and edges
+// below the (pricier) shared-shard round-trip probe only the L1. Gating
+// and tiering change only *where* a value is found, never the value —
+// the path stays lossless, pinned by tests/differential_test.cc with the
+// L1 tier on and off.
 
 #ifndef TSJ_TOKENIZED_SLD_H_
 #define TSJ_TOKENIZED_SLD_H_
@@ -79,12 +91,12 @@
 
 #include "assignment/greedy_matching.h"
 #include "assignment/hungarian.h"
+#include "tokenized/token_pair_cache.h"
 #include "tokenized/tokenized_string.h"
 
 namespace tsj {
 
 class Corpus;
-class TokenPairCache;
 
 /// How the token bigraph matching is solved.
 enum class TokenAligning {
@@ -122,16 +134,25 @@ bool NsldWithin(const TokenizedString& x, const TokenizedString& y,
 int64_t SldBudgetFromThreshold(double threshold, size_t len_x, size_t len_y);
 
 /// Reusable workspace for BoundedSld: the bigraph cost matrix, the
-/// duplicate-token memoization tables, the Hungarian solver scratch, and
-/// two TokenizedString buffers callers may use with
-/// Corpus::MaterializeInto so the whole verify loop is allocation-free
-/// after per-thread warm-up. BoundedSld never touches `x`/`y`.
+/// duplicate-token memoization tables, the Hungarian solver scratch, two
+/// TokenizedString buffers callers may use with Corpus::MaterializeInto,
+/// and the worker-private L1 cache tier fronting the shared
+/// TokenPairCache (see the file comment's two-tier probe contract) — so
+/// the whole verify loop is allocation-free and, on cache probes,
+/// lock-free after per-thread warm-up. BoundedSld never touches `x`/`y`.
 struct SldVerifyScratch {
   std::vector<int64_t> costs;
   std::vector<uint32_t> rep_x, rep_y;
   HungarianScratch hungarian;
   GreedyScratch greedy;
   TokenizedString x, y;
+  /// Per-worker L1 tier (token_pair_cache.h). Auto-binds to whichever
+  /// shared cache BoundedSld is called with; flush it at reduce-group
+  /// boundaries. Only used when `use_l1_cache` is on.
+  TokenPairL1Cache l1;
+  /// Disable to probe the shared shards directly on every gated edge
+  /// (the pre-L1 behaviour; bench_ablation measures the difference).
+  bool use_l1_cache = true;
 };
 
 /// Result of one budget-bounded SLD evaluation.

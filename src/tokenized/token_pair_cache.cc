@@ -39,6 +39,36 @@ inline uint32_t EntryDist(uint64_t packed) {
   return static_cast<uint32_t>(packed);
 }
 
+// Interprets one stored (cap, dist) entry against a query cap — the
+// shared entry semantics of both tiers (see the header's file comment).
+// Returns true and sets *dist when the entry is strong enough to answer.
+inline bool ServeEntry(uint64_t entry, uint32_t query_cap, uint32_t* dist) {
+  const uint32_t entry_cap = EntryCap(entry);
+  const uint32_t entry_dist = EntryDist(entry);
+  if (entry_dist <= entry_cap) {
+    // Exact distance: valid at any cap, re-clamped to the query's.
+    *dist = std::min(entry_dist, query_cap + 1);
+    return true;
+  }
+  if (query_cap <= entry_cap) {
+    // Certificate LD > entry_cap >= query_cap.
+    *dist = query_cap + 1;
+    return true;
+  }
+  // Entry computed at a smaller cap than asked: too weak to serve.
+  return false;
+}
+
+// Never-downgrade upsert policy shared by both tiers: keep `existing`
+// when it is exact; otherwise take `fresh` when it is exact or a
+// stronger certificate. Returns the entry the slot should hold.
+inline uint64_t StrongerEntry(uint64_t existing, uint64_t fresh) {
+  if (EntryDist(existing) <= EntryCap(existing)) return existing;
+  const bool fresh_exact = EntryDist(fresh) <= EntryCap(fresh);
+  if (fresh_exact || EntryCap(fresh) > EntryCap(existing)) return fresh;
+  return existing;
+}
+
 class SpinGuard {
  public:
   explicit SpinGuard(std::atomic_flag* lock) : lock_(lock) {
@@ -64,9 +94,17 @@ inline size_t FindSlot(const std::vector<uint64_t>& keys, uint64_t key,
   return idx;
 }
 
+// Monotone source of cache generations: every constructed or Clear()ed
+// TokenPairCache gets a fresh one, so an L1 tier can tell "same cache"
+// from "new cache at a recycled address".
+std::atomic<uint64_t> g_next_generation{1};
+
 }  // namespace
 
-TokenPairCache::TokenPairCache() : shards_(new Shard[kNumShards]) {}
+TokenPairCache::TokenPairCache()
+    : shards_(new Shard[kNumShards]),
+      generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {
+}
 
 bool TokenPairCache::Lookup(TokenId a, TokenId b, int64_t cap,
                             uint32_t* dist) {
@@ -78,23 +116,10 @@ bool TokenPairCache::Lookup(TokenId a, TokenId b, int64_t cap,
     SpinGuard guard(&shard.lock);
     if (!shard.keys.empty()) {
       const size_t idx = FindSlot(shard.keys, key, hash);
-      if (shard.keys[idx] == key) {
-        const uint64_t entry = shard.vals[idx];
-        const uint32_t entry_cap = EntryCap(entry);
-        const uint32_t entry_dist = EntryDist(entry);
-        if (entry_dist <= entry_cap) {
-          // Exact distance: valid at any cap, re-clamped to the query's.
-          *dist = std::min(entry_dist, query_cap + 1);
-          hits_.fetch_add(1, std::memory_order_relaxed);
-          return true;
-        }
-        if (query_cap <= entry_cap) {
-          // Certificate LD > entry_cap >= query_cap.
-          *dist = query_cap + 1;
-          hits_.fetch_add(1, std::memory_order_relaxed);
-          return true;
-        }
-        // Entry computed at a smaller cap than asked: too weak to serve.
+      if (shard.keys[idx] == key &&
+          ServeEntry(shard.vals[idx], query_cap, dist)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
       }
     }
   }
@@ -102,45 +127,46 @@ bool TokenPairCache::Lookup(TokenId a, TokenId b, int64_t cap,
   return false;
 }
 
+void TokenPairCache::InsertLocked(Shard* shard, uint64_t key,
+                                  uint64_t fresh) {
+  if (shard->keys.empty()) {
+    shard->keys.assign(kInitialSlots, kEmptyKey);
+    shard->vals.assign(kInitialSlots, 0);
+  }
+  const uint64_t hash = Mix64(key);
+  size_t idx = FindSlot(shard->keys, key, hash);
+  if (shard->keys[idx] == key) {
+    shard->vals[idx] = StrongerEntry(shard->vals[idx], fresh);
+    return;
+  }
+  if ((shard->count + 1) * 10 >= shard->keys.size() * 6) {
+    // Rehash into a doubled table, then land the new key.
+    std::vector<uint64_t> old_keys(shard->keys.size() * 2, kEmptyKey);
+    std::vector<uint64_t> old_vals(shard->vals.size() * 2, 0);
+    old_keys.swap(shard->keys);
+    old_vals.swap(shard->vals);
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      const size_t slot =
+          FindSlot(shard->keys, old_keys[i], Mix64(old_keys[i]));
+      shard->keys[slot] = old_keys[i];
+      shard->vals[slot] = old_vals[i];
+    }
+    idx = FindSlot(shard->keys, key, hash);
+  }
+  shard->keys[idx] = key;
+  shard->vals[idx] = fresh;
+  ++shard->count;
+}
+
 void TokenPairCache::Insert(TokenId a, TokenId b, int64_t cap,
                             uint32_t dist) {
   const uint64_t key = PairKey(a, b);
   if (key == kEmptyKey) return;  // collides with the empty sentinel
   const uint64_t fresh = PackEntry(ClampCap(cap), dist);
-  const uint64_t hash = Mix64(key);
-  Shard& shard = shards_[hash & (kNumShards - 1)];
+  Shard& shard = shards_[Mix64(key) & (kNumShards - 1)];
   SpinGuard guard(&shard.lock);
-  if (shard.keys.empty()) {
-    shard.keys.assign(kInitialSlots, kEmptyKey);
-    shard.vals.assign(kInitialSlots, 0);
-  }
-  size_t idx = FindSlot(shard.keys, key, hash);
-  if (shard.keys[idx] == key) {
-    const uint64_t existing = shard.vals[idx];
-    if (EntryDist(existing) <= EntryCap(existing)) return;  // already exact
-    const bool fresh_exact = EntryDist(fresh) <= EntryCap(fresh);
-    if (fresh_exact || EntryCap(fresh) > EntryCap(existing)) {
-      shard.vals[idx] = fresh;
-    }
-    return;
-  }
-  if ((shard.count + 1) * 10 >= shard.keys.size() * 6) {
-    // Rehash into a doubled table, then land the new key.
-    std::vector<uint64_t> old_keys(shard.keys.size() * 2, kEmptyKey);
-    std::vector<uint64_t> old_vals(shard.vals.size() * 2, 0);
-    old_keys.swap(shard.keys);
-    old_vals.swap(shard.vals);
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == kEmptyKey) continue;
-      const size_t slot = FindSlot(shard.keys, old_keys[i], Mix64(old_keys[i]));
-      shard.keys[slot] = old_keys[i];
-      shard.vals[slot] = old_vals[i];
-    }
-    idx = FindSlot(shard.keys, key, hash);
-  }
-  shard.keys[idx] = key;
-  shard.vals[idx] = fresh;
-  ++shard.count;
+  InsertLocked(&shard, key, fresh);
 }
 
 size_t TokenPairCache::size() const {
@@ -161,6 +187,183 @@ void TokenPairCache::Clear() {
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  l1_hits_.store(0, std::memory_order_relaxed);
+  l1_misses_.store(0, std::memory_order_relaxed);
+  flush_batches_.store(0, std::memory_order_relaxed);
+  flushed_records_.store(0, std::memory_order_relaxed);
+  generation_.store(g_next_generation.fetch_add(1, std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
+// ---- L1 tier ---------------------------------------------------------------
+
+void TokenPairL1Cache::BindTo(const TokenPairCache* shared) {
+  if (shared == nullptr) return;
+  const uint64_t generation = shared->generation();
+  if (bound_ == shared && bound_generation_ == generation) return;
+  // New identity: everything cached, pending or counted so far belongs to
+  // the previous shared cache (possibly a dead one) — drop it all.
+  keys_.assign(kNumSlots, kEmptyKey);
+  vals_.assign(kNumSlots, 0);
+  pending_by_shard_.assign(TokenPairCache::kNumShards, {});
+  pending_count_ = 0;
+  unpublished_hits_ = 0;
+  unpublished_misses_ = 0;
+  bound_ = shared;
+  bound_generation_ = generation;
+}
+
+void TokenPairL1Cache::InstallLocal(uint64_t key, uint64_t val) {
+  const size_t mask = kNumSlots - 1;
+  const size_t home = static_cast<size_t>(Mix64(key)) & mask;
+  const size_t alt = home ^ 1;  // two-way set: home and its buddy slot
+  for (const size_t slot : {home, alt}) {
+    if (keys_[slot] == key) {
+      vals_[slot] = StrongerEntry(vals_[slot], val);
+      return;
+    }
+  }
+  for (const size_t slot : {home, alt}) {
+    if (keys_[slot] == kEmptyKey) {
+      keys_[slot] = key;
+      vals_[slot] = val;
+      return;
+    }
+  }
+  // Both slots foreign: age by overwriting the home slot (the buddy entry
+  // survives one more generation of collisions).
+  keys_[home] = key;
+  vals_[home] = val;
+}
+
+bool TokenPairL1Cache::Lookup(TokenPairCache* shared, TokenId a, TokenId b,
+                              int64_t cap, uint32_t* dist,
+                              bool consult_shared) {
+  const uint64_t key = PairKey(a, b);
+  if (key == kEmptyKey) {
+    ++unpublished_misses_;
+    return false;
+  }
+  const uint32_t query_cap = ClampCap(cap);
+  const size_t mask = kNumSlots - 1;
+  const size_t home = static_cast<size_t>(Mix64(key)) & mask;
+  for (const size_t slot : {home, home ^ 1}) {
+    if (keys_[slot] == key && ServeEntry(vals_[slot], query_cap, dist)) {
+      ++unpublished_hits_;
+      return true;
+    }
+  }
+  ++unpublished_misses_;
+  if (!consult_shared) return false;
+  // One locked probe reading the *raw* shared entry, so a hit installs
+  // into the L1 at the shared tier's full strength (not the answer
+  // clamped to this query's cap). Counter semantics match
+  // TokenPairCache::Lookup exactly.
+  const uint64_t hash = Mix64(key);
+  TokenPairCache::Shard& shard =
+      shared->shards_[hash & (TokenPairCache::kNumShards - 1)];
+  uint64_t entry = 0;
+  bool found = false;
+  {
+    SpinGuard guard(&shard.lock);
+    if (!shard.keys.empty()) {
+      const size_t idx = FindSlot(shard.keys, key, hash);
+      if (shard.keys[idx] == key) {
+        entry = shard.vals[idx];
+        found = true;
+      }
+    }
+  }
+  if (found && ServeEntry(entry, query_cap, dist)) {
+    shared->hits_.fetch_add(1, std::memory_order_relaxed);
+    InstallLocal(key, entry);
+    return true;
+  }
+  shared->misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void TokenPairL1Cache::Insert(TokenPairCache* shared, TokenId a, TokenId b,
+                              int64_t cap, uint32_t dist,
+                              bool defer_shared) {
+  const uint64_t key = PairKey(a, b);
+  if (key == kEmptyKey) return;
+  const uint64_t val = PackEntry(ClampCap(cap), dist);
+  InstallLocal(key, val);
+  if (!defer_shared) return;  // below the shared gate: worker-local only
+  pending_by_shard_[Mix64(key) & (TokenPairCache::kNumShards - 1)].push_back(
+      PendingUpsert{key, val});
+  ++pending_count_;
+  if (pending_count_ >= kPendingCapacity) Flush(shared);
+}
+
+void TokenPairL1Cache::Flush(TokenPairCache* shared) {
+  if (shared == nullptr || bound_ != shared ||
+      bound_generation_ != shared->generation()) {
+    // Not (or no longer) fronting this cache: the pending entries and
+    // counters have no valid destination.
+    for (auto& shard_pending : pending_by_shard_) shard_pending.clear();
+    pending_count_ = 0;
+    return;
+  }
+  if (pending_count_ > 0) {
+    // Pending upserts are already grouped by destination shard: each
+    // touched shard's spinlock is taken exactly once per flush.
+    for (size_t s = 0; s < TokenPairCache::kNumShards; ++s) {
+      auto& shard_pending = pending_by_shard_[s];
+      if (shard_pending.empty()) continue;
+      TokenPairCache::Shard& shard = shared->shards_[s];
+      SpinGuard guard(&shard.lock);
+      for (const PendingUpsert& upsert : shard_pending) {
+        TokenPairCache::InsertLocked(&shard, upsert.key, upsert.val);
+      }
+      shard_pending.clear();
+    }
+    shared->flush_batches_.fetch_add(1, std::memory_order_relaxed);
+    shared->flushed_records_.fetch_add(pending_count_,
+                                       std::memory_order_relaxed);
+    pending_count_ = 0;
+  }
+  if (unpublished_hits_ > 0) {
+    shared->l1_hits_.fetch_add(unpublished_hits_, std::memory_order_relaxed);
+    unpublished_hits_ = 0;
+  }
+  if (unpublished_misses_ > 0) {
+    shared->l1_misses_.fetch_add(unpublished_misses_,
+                                 std::memory_order_relaxed);
+    unpublished_misses_ = 0;
+  }
+}
+
+void TokenPairL1Cache::FlushIfBatchReady(TokenPairCache* shared) {
+  if (pending_count_ >= kMinFlushRecords) {
+    Flush(shared);
+    return;
+  }
+  // Publish the statistics only (two relaxed adds at most): the run's
+  // counters stay exact while the partial upsert batch keeps growing
+  // across groups.
+  if (shared == nullptr || bound_ != shared ||
+      bound_generation_ != shared->generation()) {
+    return;
+  }
+  if (unpublished_hits_ > 0) {
+    shared->l1_hits_.fetch_add(unpublished_hits_, std::memory_order_relaxed);
+    unpublished_hits_ = 0;
+  }
+  if (unpublished_misses_ > 0) {
+    shared->l1_misses_.fetch_add(unpublished_misses_,
+                                 std::memory_order_relaxed);
+    unpublished_misses_ = 0;
+  }
+}
+
+size_t TokenPairL1Cache::size() const {
+  size_t total = 0;
+  for (const uint64_t key : keys_) {
+    if (key != kEmptyKey) ++total;
+  }
+  return total;
 }
 
 }  // namespace tsj

@@ -96,6 +96,41 @@ struct TsjOptions {
   /// bench_ablation compares against).
   bool enable_streaming_shuffle = true;
 
+  /// Shuffle combiner (streaming mode only): duplicate candidate records
+  /// collapse inside the producing task — combine-at-sort in the emitter
+  /// buckets (PartitionedEmitter::Combine) — before they cross into the
+  /// dedup/verify shuffle, so a hot token's quadratic candidate fan-out
+  /// shrinks at its source instead of shipping every copy. Lossless: the
+  /// dedup reducers already treat duplicates as one candidate; only
+  /// shuffle volume, peak residency and wall change
+  /// (TsjRunInfo::combiner_{input,output}_records report the reduction).
+  /// Disable only to measure the combiner-free baseline (bench_ablation
+  /// does).
+  bool enable_shuffle_combiner = true;
+
+  /// Per-worker L1 tier of the token-pair cache (two-tier probe contract
+  /// in tokenized/sld.h): cache probes hit a lock-free table private to
+  /// the verify thread first, shared-shard traffic happens only on L1
+  /// misses, and shared upserts flush in per-reduce-group batches —
+  /// taking each shard spinlock once per batch instead of once per edge.
+  /// Lossless: every served value equals what the kernel would compute.
+  /// Only effective when the token pair cache itself is enabled. Disable
+  /// only to measure the shared-shards-only baseline (bench_ablation
+  /// does).
+  bool enable_l1_verify_cache = true;
+
+  /// Skew-adaptive shuffle partitioning (mapreduce/cluster_model.h,
+  /// AdaptivePartitionCount): the run derives its shuffle partition count
+  /// from the token-frequency profile it computes anyway — more
+  /// partitions when a few hot tokens dominate the reduce load, the
+  /// classic 4-per-worker when the profile is uniform — instead of the
+  /// fixed mapreduce.num_partitions knob, which remains the fallback for
+  /// empty profiles and the value used when this is disabled. Lossless:
+  /// results are partition-count-invariant (the differential harness pins
+  /// that); only load balance and wall change. Disable to control the
+  /// partition count exactly (the differential partition sweeps do).
+  bool adaptive_partitions = true;
+
   /// Optional externally owned cache to use instead of the per-run one,
   /// letting repeated joins over the same corpus start warm. Must have
   /// been used only with the corpus being joined (token ids are

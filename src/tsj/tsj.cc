@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "mapreduce/cluster_model.h"
 #include "mapreduce/work_units.h"
 #include "massjoin/mass_join.h"
 #include "tokenized/bounds.h"
@@ -37,6 +38,24 @@ inline uint32_t PickGroupKey(uint32_t a, uint32_t b) {
   const uint64_t hb = Mix64(b);
   const uint64_t lt = (ha < hb) ? 1u : 0u;
   return (lt == ((ha + hb) & 1u)) ? a : b;
+}
+
+// The verify thread's workspace, shared by FilterAndVerify and the
+// reduce-group boundaries that flush its L1 cache tier: the deferred
+// shared-shard upserts and the locally counted L1 statistics must drain
+// once per group (tokenized/sld.h, two-tier probe contract), so the
+// scratch cannot stay private to FilterAndVerify.
+SldVerifyScratch& VerifyScratch() {
+  thread_local SldVerifyScratch scratch;
+  return scratch;
+}
+
+// Reduce-group boundary: publishes the thread's L1 hit/miss counts and —
+// once enough deferred upserts accumulated — drains them into the shared
+// tier in one shard-grouped batch (tiny groups batch across groups).
+// Harmless when the cache or the L1 tier is disabled.
+void FlushVerifyCache(TokenPairCache* cache) {
+  if (cache != nullptr) VerifyScratch().l1.FlushIfBatchReady(cache);
 }
 
 // Thread-safe counters shared by the pipeline lambdas.
@@ -80,7 +99,8 @@ void FilterAndVerify(const Corpus& corpus_a, const Corpus& corpus_b,
   // the NSLD threshold converts to an integer SLD budget (tokenized/sld.h),
   // and the bounded path only ever skips work, never changes the decision
   // or the reported NSLD.
-  thread_local SldVerifyScratch scratch;
+  SldVerifyScratch& scratch = VerifyScratch();
+  scratch.use_l1_cache = options.enable_l1_verify_cache;
   if (options.enable_budgeted_verify) {
     const int64_t budget = SldBudgetFromThreshold(t, la, lb);
     BoundedSldResult verdict;
@@ -172,6 +192,14 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
       pair_cache != nullptr ? pair_cache->hits() : 0;
   const uint64_t cache_misses_before =
       pair_cache != nullptr ? pair_cache->misses() : 0;
+  const uint64_t cache_l1_hits_before =
+      pair_cache != nullptr ? pair_cache->l1_hits() : 0;
+  const uint64_t cache_l1_misses_before =
+      pair_cache != nullptr ? pair_cache->l1_misses() : 0;
+  const uint64_t cache_flush_batches_before =
+      pair_cache != nullptr ? pair_cache->flush_batches() : 0;
+  const uint64_t cache_flushed_records_before =
+      pair_cache != nullptr ? pair_cache->flushed_records() : 0;
   // One gauge threads through every job of the run (and the candidate
   // vectors between jobs), so TsjRunInfo reports the pipeline-wide peak of
   // shuffle-resident records.
@@ -190,6 +218,22 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
       ++local_info.dropped_tokens;
     }
   }
+
+  // ---- Skew-adaptive partition planning. --------------------------------
+  // The surviving-token frequency profile is exactly the per-key load
+  // profile of the shared-token reduce (f records in, f*(f-1)/2 candidate
+  // emissions out per token), so the partition count comes from the
+  // cluster model's skew estimate instead of the fixed knob; every job of
+  // the run (massjoin included) uses the planned count.
+  if (options_.adaptive_partitions) {
+    KeyLoadProfile profile;
+    for (size_t token = 0; token < frequency.size(); ++token) {
+      if (surviving[token]) profile.AddQuadraticKey(frequency[token]);
+    }
+    mr_options.num_partitions = AdaptivePartitionCount(
+        mr_options.effective_workers(), profile, mr_options.num_partitions);
+  }
+  local_info.shuffle_partitions = mr_options.num_partitions;
 
   std::vector<uint32_t> string_ids(corpus.size());
   for (uint32_t i = 0; i < corpus.size(); ++i) string_ids[i] = i;
@@ -291,6 +335,17 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   const Corpus& corpus_ref = corpus;
   const TsjOptions& options_ref = options_;
 
+  // Partition-task boundary: fully drain the verify worker's deferred
+  // cache upserts, so everything this run computed reaches the shared
+  // tier by job end even when no group-level batch ever filled. Set here
+  // — after massjoin captured its own copy of mr_options — so only the
+  // dedup/verify jobs run it.
+  if (pair_cache != nullptr) {
+    mr_options.reduce_partition_epilogue = [pair_cache] {
+      VerifyScratch().l1.Flush(pair_cache);
+    };
+  }
+
   // One grouping-on-one-string dedup+verify body for both engine modes
   // (the legacy reducer adapts its vector to a span): keeping a single
   // copy is what makes the legacy path a trustworthy differential
@@ -311,6 +366,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
                       pair_cache, std::min(key, other), std::max(key, other),
                       out);
     }
+    FlushVerifyCache(pair_cache);  // reduce-group boundary
   };
   // Likewise for grouping-on-both-strings: one distinct pair per group.
   auto verify_pair_group = [&corpus_ref, &options_ref, &counters, pair_cache](
@@ -320,6 +376,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
     AddWorkUnits(duplicates);  // duplicate copies read and discarded
     FilterAndVerify(corpus_ref, corpus_ref, options_ref, &counters,
                     pair_cache, key.first, key.second, out);
+    FlushVerifyCache(pair_cache);  // reduce-group boundary
   };
 
   if (options_.enable_streaming_shuffle) {
@@ -368,12 +425,19 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
                                                 std::vector<TsjPair>* out) {
         verify_pair_group(key, values.size(), out);
       };
+      // Shuffle combiner: duplicate copies of one pair collapse inside
+      // the producing task (the reducer treats the run length only as a
+      // duplicate tally).
+      const CombinerFn<PairKey, char> combine_duplicates =
+          options_.enable_shuffle_combiner ? KeepFirstCombiner<PairKey, char>()
+                                           : nullptr;
       streamed = RunFusedMapReduceSorted<uint32_t, uint32_t, uint32_t,
                                          RawCandidate, PairKey, char,
                                          TsjPair>(
           "tsj-shared-token", "tsj-dedup-verify-both", string_ids, map_tokens,
           reduce_shared, token_pair_candidates, map_expand, reduce_verify,
-          mr_options, &stage1_stats, &stage2_stats);
+          mr_options, &stage1_stats, &stage2_stats,
+          /*combiner1=*/nullptr, combine_duplicates);
     } else {
       auto emit_keyed = [](uint32_t a, uint32_t b,
                            PartitionedEmitter<uint32_t, uint32_t>* out) {
@@ -401,12 +465,20 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
                                std::vector<TsjPair>* out) {
         verify_one_string_group(key, others, out);
       };
+      // Shuffle combiner: one string's candidate list dedups inside the
+      // producing task (sort + unique, the same scan DedupRun finishes
+      // across producers at the reducer).
+      const CombinerFn<uint32_t, uint32_t> combine_duplicates =
+          options_.enable_shuffle_combiner
+              ? SortUniqueCombiner<uint32_t, uint32_t>()
+              : nullptr;
       streamed = RunFusedMapReduceSorted<uint32_t, uint32_t, uint32_t,
                                          RawCandidate, uint32_t, uint32_t,
                                          TsjPair>(
           "tsj-shared-token", "tsj-dedup-verify-one", string_ids, map_tokens,
           reduce_shared, token_pair_candidates, map_expand, reduce_verify,
-          mr_options, &stage1_stats, &stage2_stats);
+          mr_options, &stage1_stats, &stage2_stats,
+          /*combiner1=*/nullptr, combine_duplicates);
     }
     gauge.Sub(token_pair_candidates.size());
     results.insert(results.end(), streamed.begin(), streamed.end());
@@ -514,7 +586,19 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
     local_info.token_pair_cache_hits = pair_cache->hits() - cache_hits_before;
     local_info.token_pair_cache_misses =
         pair_cache->misses() - cache_misses_before;
+    local_info.token_pair_cache_l1_hits =
+        pair_cache->l1_hits() - cache_l1_hits_before;
+    local_info.token_pair_cache_l1_misses =
+        pair_cache->l1_misses() - cache_l1_misses_before;
+    local_info.token_pair_cache_flush_batches =
+        pair_cache->flush_batches() - cache_flush_batches_before;
+    local_info.token_pair_cache_flushed_records =
+        pair_cache->flushed_records() - cache_flushed_records_before;
   }
+  local_info.combiner_input_records =
+      local_info.pipeline.total_combiner_input_records();
+  local_info.combiner_output_records =
+      local_info.pipeline.total_combiner_output_records();
   local_info.result_pairs = results.size();
   local_info.peak_shuffle_records = gauge.peak();
   if (info != nullptr) *info = std::move(local_info);
@@ -562,6 +646,14 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
       pair_cache != nullptr ? pair_cache->hits() : 0;
   const uint64_t cache_misses_before =
       pair_cache != nullptr ? pair_cache->misses() : 0;
+  const uint64_t cache_l1_hits_before =
+      pair_cache != nullptr ? pair_cache->l1_hits() : 0;
+  const uint64_t cache_l1_misses_before =
+      pair_cache != nullptr ? pair_cache->l1_misses() : 0;
+  const uint64_t cache_flush_batches_before =
+      pair_cache != nullptr ? pair_cache->flush_batches() : 0;
+  const uint64_t cache_flushed_records_before =
+      pair_cache != nullptr ? pair_cache->flushed_records() : 0;
   ShuffleGauge gauge;
   MapReduceOptions mr_options = options_.mapreduce;
   mr_options.shuffle_gauge = &gauge;
@@ -612,6 +704,20 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
       ++local_info.dropped_tokens;
     }
   }
+
+  // ---- Skew-adaptive partition planning (joint-token profile; the R x P
+  // reduce group of a token with joint frequency f carries at most
+  // (f/2)^2 cross pairs, the f*(f-1)/2 bound stays the consistent
+  // upper-bound proxy used by SelfJoin). ------------------------------
+  if (options_.adaptive_partitions) {
+    KeyLoadProfile profile;
+    for (size_t j = 0; j < joint_texts.size(); ++j) {
+      if (surviving[j]) profile.AddQuadraticKey(joint_freq[j]);
+    }
+    mr_options.num_partitions = AdaptivePartitionCount(
+        mr_options.effective_workers(), profile, mr_options.num_partitions);
+  }
+  local_info.shuffle_partitions = mr_options.num_partitions;
 
   // Distinct surviving joint tokens of one string.
   auto distinct_joint = [&surviving](const Corpus& corpus,
@@ -718,6 +824,14 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
   const Corpus& r_ref = r_corpus;
   const Corpus& p_ref = p_corpus;
 
+  // Partition-task boundary: fully drain the verify worker's deferred
+  // cache upserts (see SelfJoin; set after massjoin captured its copy).
+  if (pair_cache != nullptr) {
+    mr_options.reduce_partition_epilogue = [pair_cache] {
+      VerifyScratch().l1.Flush(pair_cache);
+    };
+  }
+
   // Shared dedup+verify bodies for both engine modes (see SelfJoin): the
   // legacy reducers adapt their vectors to spans, so the differential
   // reference and the streaming path execute the same verification code.
@@ -742,6 +856,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
       FilterAndVerify(r_ref, p_ref, options_, &counters, pair_cache, r, p,
                       out);
     }
+    FlushVerifyCache(pair_cache);  // reduce-group boundary
   };
   auto verify_pair_group = [&](const std::pair<uint32_t, uint32_t>& key,
                                size_t duplicates, std::vector<TsjPair>* out) {
@@ -749,6 +864,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
     AddWorkUnits(duplicates);
     FilterAndVerify(r_ref, p_ref, options_, &counters, pair_cache, key.first,
                     key.second, out);
+    FlushVerifyCache(pair_cache);  // reduce-group boundary
   };
 
   if (options_.enable_streaming_shuffle) {
@@ -803,12 +919,16 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
                                std::vector<TsjPair>* out) {
         verify_pair_group(key, values.size(), out);
       };
+      const CombinerFn<PairKey, char> combine_duplicates =
+          options_.enable_shuffle_combiner ? KeepFirstCombiner<PairKey, char>()
+                                           : nullptr;
       streamed = RunFusedMapReduceSorted<uint64_t, uint32_t, uint64_t,
                                          RawCandidate, PairKey, char,
                                          TsjPair>(
           "tsj-rp-shared-token", "tsj-rp-dedup-verify-both", tagged_ids,
           map_tokens, reduce_shared, token_pair_candidates, map_expand,
-          reduce_verify, mr_options, &stage1_stats, &stage2_stats);
+          reduce_verify, mr_options, &stage1_stats, &stage2_stats,
+          /*combiner1=*/nullptr, combine_duplicates);
     } else {
       auto emit_keyed = [](uint32_t r, uint32_t p,
                            PartitionedEmitter<uint64_t, uint32_t>* out) {
@@ -833,12 +953,17 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
                                std::vector<TsjPair>* out) {
         verify_one_string_group(key, others, out);
       };
+      const CombinerFn<uint64_t, uint32_t> combine_duplicates =
+          options_.enable_shuffle_combiner
+              ? SortUniqueCombiner<uint64_t, uint32_t>()
+              : nullptr;
       streamed = RunFusedMapReduceSorted<uint64_t, uint32_t, uint64_t,
                                          RawCandidate, uint64_t, uint32_t,
                                          TsjPair>(
           "tsj-rp-shared-token", "tsj-rp-dedup-verify-one", tagged_ids,
           map_tokens, reduce_shared, token_pair_candidates, map_expand,
-          reduce_verify, mr_options, &stage1_stats, &stage2_stats);
+          reduce_verify, mr_options, &stage1_stats, &stage2_stats,
+          /*combiner1=*/nullptr, combine_duplicates);
     }
     gauge.Sub(token_pair_candidates.size());
     results.insert(results.end(), streamed.begin(), streamed.end());
@@ -951,7 +1076,19 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
     local_info.token_pair_cache_hits = pair_cache->hits() - cache_hits_before;
     local_info.token_pair_cache_misses =
         pair_cache->misses() - cache_misses_before;
+    local_info.token_pair_cache_l1_hits =
+        pair_cache->l1_hits() - cache_l1_hits_before;
+    local_info.token_pair_cache_l1_misses =
+        pair_cache->l1_misses() - cache_l1_misses_before;
+    local_info.token_pair_cache_flush_batches =
+        pair_cache->flush_batches() - cache_flush_batches_before;
+    local_info.token_pair_cache_flushed_records =
+        pair_cache->flushed_records() - cache_flushed_records_before;
   }
+  local_info.combiner_input_records =
+      local_info.pipeline.total_combiner_input_records();
+  local_info.combiner_output_records =
+      local_info.pipeline.total_combiner_output_records();
   local_info.result_pairs = results.size();
   local_info.peak_shuffle_records = gauge.peak();
   if (info != nullptr) *info = std::move(local_info);

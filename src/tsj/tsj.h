@@ -80,10 +80,31 @@ struct TsjRunInfo {
   /// enable_budgeted_verify=false run measures the verification saving
   /// directly (bench_ablation does exactly that).
   uint64_t verify_work_units = 0;
-  /// Token-pair-cache lookups answered from the cache (token-id path).
+  /// Token-pair-cache probes answered by the per-worker L1 tier (no
+  /// shared-shard traffic at all; tokenized/token_pair_cache.h).
+  uint64_t token_pair_cache_l1_hits = 0;
+  /// L1-tier probes that missed the L1 (and either fell through to the
+  /// shared shards or recomputed below the shared-probe cost gate).
+  uint64_t token_pair_cache_l1_misses = 0;
+  /// Token-pair-cache lookups answered from the shared shards.
   uint64_t token_pair_cache_hits = 0;
-  /// Token-pair-cache lookups that fell through to the LD kernel.
+  /// Shared-shard lookups that fell through to the LD kernel.
   uint64_t token_pair_cache_misses = 0;
+  /// Deferred-upsert batches flushed from L1 tiers into the shared shards
+  /// (each batch takes every touched shard's spinlock once).
+  uint64_t token_pair_cache_flush_batches = 0;
+  /// Deferred upserts flushed (records; the per-edge shared-shard inserts
+  /// these batches replaced).
+  uint64_t token_pair_cache_flushed_records = 0;
+  /// Records scanned by the shuffle combiner (streaming mode; pre-combine
+  /// candidate volume) and records it kept. input - output is the shuffle
+  /// traffic the combiner removed before the dedup/verify stage boundary.
+  uint64_t combiner_input_records = 0;
+  uint64_t combiner_output_records = 0;
+  /// Shuffle partition count the run actually executed with (the adaptive
+  /// planner's choice when TsjOptions::adaptive_partitions is on,
+  /// otherwise the configured fixed count).
+  uint64_t shuffle_partitions = 0;
   /// Pairs in the final result.
   uint64_t result_pairs = 0;
   /// Pipeline-wide high-water mark of shuffle-resident records: one

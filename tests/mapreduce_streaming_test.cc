@@ -230,6 +230,103 @@ TEST(MapReduceSortedTest, ReduceWorkUnitsRecordedPerGroup) {
   }
 }
 
+// ---- Sorted-mode combiner ------------------------------------------------
+
+// Summing word-count combiner: values for one key collapse to their sum —
+// the canonical associative pre-aggregation.
+CombinerFn<std::string, int> SumCombiner() {
+  return [](const std::string&, std::vector<int>* values) {
+    int total = 0;
+    for (int v : *values) total += v;
+    values->assign(1, total);
+  };
+}
+
+TEST(SortedCombinerTest, BucketCombineShrinksRunsInPlace) {
+  PartitionedEmitter<std::string, int> emitter(2);
+  for (int i = 0; i < 10; ++i) emitter.Emit("hot", 1);
+  emitter.Emit("cold", 1);
+  uint64_t in = 0, out = 0;
+  emitter.Combine(SumCombiner(), &in, &out);
+  EXPECT_EQ(in, 11u);
+  EXPECT_EQ(out, 2u);
+  EXPECT_EQ(emitter.size(), 2u);
+  // The combined records carry the aggregated values.
+  int hot_total = 0, cold_total = 0;
+  for (size_t p = 0; p < emitter.num_partitions(); ++p) {
+    for (const auto& [key, value] : emitter.bucket(p)) {
+      (key == "hot" ? hot_total : cold_total) += value;
+    }
+  }
+  EXPECT_EQ(hot_total, 10);
+  EXPECT_EQ(cold_total, 1);
+}
+
+TEST(SortedCombinerTest, SortedWithCombinerMatchesWithout) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 300; ++i) {
+    docs.push_back("w" + std::to_string(i % 23) + " w" +
+                   std::to_string(i % 5) + " w" + std::to_string(i % 5));
+  }
+  const auto reference = SortedWordCount(docs, {});
+  JobStats stats;
+  auto combined = RunMapReduceSorted<std::string, std::string, int,
+                                     std::pair<std::string, int>>(
+      "wordcount-combined", docs,
+      [](const std::string& doc, PartitionedEmitter<std::string, int>* out) {
+        CountWords(doc, [&](const std::string& word) { out->Emit(word, 1); });
+      },
+      [](const std::string& word, std::span<int> values,
+         std::vector<std::pair<std::string, int>>* out) {
+        int total = 0;
+        for (int v : values) total += v;
+        out->emplace_back(word, total);
+      },
+      {}, &stats, SumCombiner());
+  std::sort(combined.begin(), combined.end());
+  EXPECT_EQ(combined, reference);
+  // The combiner saw every emitted record and kept fewer.
+  EXPECT_GT(stats.combiner_input_records, stats.combiner_output_records);
+  EXPECT_EQ(stats.combiner_input_records, 900u);
+  // Post-combine records are what entered the shuffle.
+  EXPECT_EQ(stats.map_output_records, stats.combiner_output_records);
+  EXPECT_EQ(stats.shuffle_records, stats.combiner_output_records);
+}
+
+TEST(SortedCombinerTest, ResultInvariantAcrossWorkersAndPartitions) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 200; ++i) {
+    docs.push_back("a" + std::to_string(i % 13) + " b" +
+                   std::to_string(i % 3) + " b" + std::to_string(i % 3));
+  }
+  const auto reference = SortedWordCount(docs, {});
+  for (size_t workers : {1u, 4u}) {
+    for (size_t partitions : {1u, 7u, 64u}) {
+      MapReduceOptions options;
+      options.num_workers = workers;
+      options.num_partitions = partitions;
+      auto combined = RunMapReduceSorted<std::string, std::string, int,
+                                         std::pair<std::string, int>>(
+          "wordcount-combined", docs,
+          [](const std::string& doc,
+             PartitionedEmitter<std::string, int>* out) {
+            CountWords(doc,
+                       [&](const std::string& word) { out->Emit(word, 1); });
+          },
+          [](const std::string& word, std::span<int> values,
+             std::vector<std::pair<std::string, int>>* out) {
+            int total = 0;
+            for (int v : values) total += v;
+            out->emplace_back(word, total);
+          },
+          options, nullptr, SumCombiner());
+      std::sort(combined.begin(), combined.end());
+      EXPECT_EQ(combined, reference)
+          << "workers=" << workers << " partitions=" << partitions;
+    }
+  }
+}
+
 TEST(ShuffleGaugeTest, TracksCurrentAndPeak) {
   ShuffleGauge gauge;
   EXPECT_EQ(gauge.current(), 0u);
@@ -395,6 +492,107 @@ TEST(FusedMapReduceTest, RecordsPerStageStats) {
   // Stages share the fused job's gauge.
   EXPECT_EQ(s1.peak_shuffle_records, s2.peak_shuffle_records);
   EXPECT_GE(s1.peak_shuffle_records, 5u);
+}
+
+// Fused letter totals with a stage-2 combiner: counts headed for one
+// letter collapse to their sum inside the producing task, before they
+// cross the stage boundary.
+std::vector<std::pair<char, int>> LetterTotalsFusedCombined(
+    const std::vector<std::string>& docs,
+    const std::vector<std::string>& extra_words,
+    const MapReduceOptions& options, JobStats* s1 = nullptr,
+    JobStats* s2 = nullptr) {
+  auto result = RunFusedMapReduceSorted<std::string, std::string, int,
+                                        std::string, char, int,
+                                        std::pair<char, int>>(
+      "stage1", "stage2", docs,
+      [](const std::string& doc, PartitionedEmitter<std::string, int>* out) {
+        CountWords(doc, [&](const std::string& word) { out->Emit(word, 1); });
+      },
+      [](const std::string& word, std::span<int> values,
+         PartitionedEmitter<char, int>* out) {
+        int total = 0;
+        for (int v : values) total += v;
+        out->Emit(word[0], total);
+      },
+      extra_words,
+      [](const std::string& word, PartitionedEmitter<char, int>* out) {
+        out->Emit(word[0], 1);
+      },
+      [](const char& letter, std::span<int> values,
+         std::vector<std::pair<char, int>>* out) {
+        int total = 0;
+        for (int v : values) total += v;
+        out->emplace_back(letter, total);
+      },
+      options, s1, s2, /*combiner1=*/nullptr,
+      [](const char&, std::vector<int>* values) {
+        int total = 0;
+        for (int v : *values) total += v;
+        values->assign(1, total);
+      });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+TEST(FusedCombinerTest, MatchesUncombinedFusedPipeline) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 250; ++i) {
+    docs.push_back("alpha" + std::to_string(i % 19) + " beta" +
+                   std::to_string(i % 4) + " alpha" + std::to_string(i % 7));
+  }
+  const std::vector<std::string> extra = {"delta", "alpha0", "delta"};
+  EXPECT_EQ(LetterTotalsFusedCombined(docs, extra, {}),
+            LetterTotalsFused(docs, extra, {}));
+}
+
+TEST(FusedCombinerTest, ShrinksStage2ShuffleAndRecordsStats) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 300; ++i) {
+    docs.push_back("aa" + std::to_string(i % 31) + " ab" +
+                   std::to_string(i % 11) + " ba" + std::to_string(i % 5));
+  }
+  const std::vector<std::string> extra = {"az", "bz", "az", "az"};
+  // Few partitions, so each stage-1 reduce partition emits several
+  // same-letter records for the combiner to collapse.
+  MapReduceOptions options;
+  options.num_partitions = 4;
+  JobStats plain1, plain2, comb1, comb2;
+  const auto plain = LetterTotalsFused(docs, extra, options, &plain1,
+                                       &plain2);
+  const auto combined =
+      LetterTotalsFusedCombined(docs, extra, options, &comb1, &comb2);
+  EXPECT_EQ(combined, plain);
+  // Stage 2's shuffle carried fewer records with the combiner...
+  EXPECT_LT(comb2.shuffle_records, plain2.shuffle_records);
+  // ...and the reduction is exactly what the combiner counters report:
+  // everything stage 1's reduce and the side map emitted went through it.
+  EXPECT_EQ(comb2.combiner_input_records, plain2.shuffle_records);
+  EXPECT_EQ(comb2.combiner_output_records, comb2.shuffle_records);
+  EXPECT_GT(comb2.combiner_input_records, comb2.combiner_output_records);
+  // Stage 1 ran without a combiner.
+  EXPECT_EQ(comb1.combiner_input_records, 0u);
+  // Same final groups either way.
+  EXPECT_EQ(comb2.num_groups, plain2.num_groups);
+}
+
+TEST(FusedCombinerTest, ResultInvariantAcrossWorkersAndPartitions) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 150; ++i) {
+    docs.push_back("a" + std::to_string(i % 13) + " b" +
+                   std::to_string(i % 7));
+  }
+  const std::vector<std::string> extra = {"c1", "c2", "c1"};
+  const auto reference = LetterTotalsFusedCombined(docs, extra, {});
+  for (size_t workers : {1u, 4u}) {
+    for (size_t partitions : {1u, 7u, 64u}) {
+      MapReduceOptions options;
+      options.num_workers = workers;
+      options.num_partitions = partitions;
+      EXPECT_EQ(LetterTotalsFusedCombined(docs, extra, options), reference)
+          << "workers=" << workers << " partitions=" << partitions;
+    }
+  }
 }
 
 TEST(FusedMapReduceTest, PeakStaysBelowSumOfStagesOnExpansion) {

@@ -61,6 +61,40 @@ TEST(MyersBoundedLevenshteinTest, SharesTheClampContract) {
   }
 }
 
+TEST(MyersBoundedLevenshteinTest, SmallCapContract) {
+  // The bound <= 1 decision is O(1) on the trimmed cores (see myers.h);
+  // pin every shape of that contract: exact when <= cap, exactly cap + 1
+  // otherwise, bit-identical to the banded DP.
+  // cap 0: equal strings are 0, anything else is 1.
+  EXPECT_EQ(MyersBoundedLevenshtein("", "", 0), 0u);
+  EXPECT_EQ(MyersBoundedLevenshtein("same", "same", 0), 0u);
+  EXPECT_EQ(MyersBoundedLevenshtein("same", "sane", 0), 1u);
+  // cap 1, accepted: empty-core insert/delete and 1x1 substitution cores.
+  EXPECT_EQ(MyersBoundedLevenshtein("ab", "aXb", 1), 1u);   // mid insert
+  EXPECT_EQ(MyersBoundedLevenshtein("Alex", "Alexa", 1), 1u);
+  EXPECT_EQ(MyersBoundedLevenshtein("a", "b", 1), 1u);
+  EXPECT_EQ(MyersBoundedLevenshtein("abcde", "abXde", 1), 1u);
+  EXPECT_EQ(MyersBoundedLevenshtein("x", "", 1), 1u);
+  // cap 1, rejected: exactly 2, never the true distance.
+  EXPECT_EQ(MyersBoundedLevenshtein("ab", "cd", 1), 2u);     // true LD 2
+  EXPECT_EQ(MyersBoundedLevenshtein("ab", "ba", 1), 2u);     // transposed
+  EXPECT_EQ(MyersBoundedLevenshtein("abc", "acb", 1), 2u);
+  EXPECT_EQ(MyersBoundedLevenshtein("kitten", "sitting", 1), 2u);  // LD 3
+  EXPECT_EQ(MyersBoundedLevenshtein("aXb", "aYcb", 1), 2u);  // 1x2 cores
+  EXPECT_EQ(MyersBoundedLevenshtein("abcdefgh", "hgfedcba", 1), 2u);
+  // Exhaustive cross-check at caps 0 and 1 on a dense small family.
+  Rng rng(11);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::string x = testutil::RandomString(&rng, 0, 8, 2);
+    const std::string y = testutil::RandomString(&rng, 0, 8, 2);
+    for (const uint32_t cap : {0u, 1u}) {
+      ASSERT_EQ(MyersBoundedLevenshtein(x, y, cap),
+                BoundedLevenshtein(x, y, cap))
+          << "x=" << x << " y=" << y << " cap=" << cap;
+    }
+  }
+}
+
 TEST(MyersBoundedLevenshteinTest, LengthGapReturnsExactlyCapPlusOne) {
   for (uint32_t cap = 0; cap < 6; ++cap) {
     EXPECT_EQ(MyersBoundedLevenshtein("ab", "abcdefgh", cap), cap + 1);

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/random.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
@@ -103,6 +104,180 @@ TEST(TokenPairCacheTest, ClearResetsEntriesAndCounters) {
   EXPECT_EQ(cache.hits(), 0u);
   EXPECT_EQ(cache.misses(), 0u);
   EXPECT_FALSE(cache.Lookup(1, 2, 5, &dist));
+}
+
+// ---- L1 tier -------------------------------------------------------------
+
+TEST(TokenPairL1CacheTest, MissComputesInstallAndHitsWithoutSharedTraffic) {
+  TokenPairCache shared;
+  TokenPairL1Cache l1;
+  l1.BindTo(&shared);
+  uint32_t dist = 0;
+  // Nothing anywhere: two-tier probe misses (and counts a shared miss,
+  // since the edge consults the shared shards).
+  EXPECT_FALSE(l1.Lookup(&shared, 1, 2, 10, &dist, /*consult_shared=*/true));
+  EXPECT_EQ(shared.misses(), 1u);
+  // Fresh value: installs into the L1, defers the shared upsert.
+  l1.Insert(&shared, 1, 2, /*cap=*/10, /*dist=*/3, /*defer_shared=*/true);
+  EXPECT_EQ(l1.size(), 1u);
+  EXPECT_EQ(shared.size(), 0u);  // not flushed yet
+  // Repeat probe: answered by the L1, no shared hit/miss movement.
+  ASSERT_TRUE(l1.Lookup(&shared, 1, 2, 10, &dist, /*consult_shared=*/true));
+  EXPECT_EQ(dist, 3u);
+  EXPECT_EQ(shared.hits(), 0u);
+  EXPECT_EQ(shared.misses(), 1u);
+  // L1 statistics publish at flush, not on the probe path.
+  EXPECT_EQ(shared.l1_hits(), 0u);
+  l1.Flush(&shared);
+  EXPECT_EQ(shared.l1_hits(), 1u);
+  EXPECT_EQ(shared.l1_misses(), 1u);
+}
+
+TEST(TokenPairL1CacheTest, FlushDrainsDeferredUpsertsIntoSharedShards) {
+  TokenPairCache shared;
+  TokenPairL1Cache l1;
+  l1.BindTo(&shared);
+  for (TokenId a = 0; a < 50; ++a) {
+    l1.Insert(&shared, a, a + 100, /*cap=*/9, /*dist=*/a % 7, /*defer_shared=*/true);
+  }
+  EXPECT_EQ(shared.size(), 0u);
+  l1.Flush(&shared);
+  EXPECT_EQ(shared.size(), 50u);
+  EXPECT_EQ(shared.flush_batches(), 1u);
+  EXPECT_EQ(shared.flushed_records(), 50u);
+  // The flushed entries answer direct shared lookups with full strength.
+  uint32_t dist = 0;
+  ASSERT_TRUE(shared.Lookup(3, 103, 9, &dist));
+  EXPECT_EQ(dist, 3u);
+  ASSERT_TRUE(shared.Lookup(3, 103, 100, &dist));  // exact: any cap
+  EXPECT_EQ(dist, 3u);
+}
+
+TEST(TokenPairL1CacheTest, PendingBufferAutoFlushes) {
+  TokenPairCache shared;
+  TokenPairL1Cache l1;
+  l1.BindTo(&shared);
+  // Strictly more inserts than the pending capacity: at least one batch
+  // must have flushed on its own, without an explicit Flush call.
+  for (TokenId a = 0; a < 2000; ++a) {
+    l1.Insert(&shared, a, a + 5000, /*cap=*/4, /*dist=*/1, /*defer_shared=*/true);
+  }
+  EXPECT_GT(shared.flush_batches(), 0u);
+  EXPECT_GT(shared.size(), 0u);
+}
+
+TEST(TokenPairL1CacheTest, SharedHitInstallsIntoL1AtFullStrength) {
+  TokenPairCache shared;
+  shared.Insert(1, 2, /*cap=*/10, /*dist=*/4);  // exact LD = 4
+  TokenPairL1Cache l1;
+  l1.BindTo(&shared);
+  uint32_t dist = 0;
+  // First probe falls through and installs the raw entry into the L1.
+  ASSERT_TRUE(l1.Lookup(&shared, 1, 2, 6, &dist, /*consult_shared=*/true));
+  EXPECT_EQ(dist, 4u);
+  EXPECT_EQ(shared.hits(), 1u);
+  // Second probe at a cap *below* the stored distance: the L1 entry kept
+  // the exact value, so it re-clamps like the shared tier would — and the
+  // shared counters no longer move.
+  ASSERT_TRUE(l1.Lookup(&shared, 1, 2, 2, &dist, /*consult_shared=*/true));
+  EXPECT_EQ(dist, 3u);
+  EXPECT_EQ(shared.hits(), 1u);
+  EXPECT_EQ(shared.misses(), 0u);
+}
+
+TEST(TokenPairL1CacheTest, WeakCertificateMissesAndUpgrades) {
+  TokenPairCache shared;
+  TokenPairL1Cache l1;
+  l1.BindTo(&shared);
+  // Certificate at cap 3 (LD > 3).
+  l1.Insert(&shared, 1, 2, /*cap=*/3, /*dist=*/4, /*defer_shared=*/true);
+  uint32_t dist = 0;
+  // Query below the certificate's cap: served.
+  ASSERT_TRUE(l1.Lookup(&shared, 1, 2, 2, &dist, /*consult_shared=*/true));
+  EXPECT_EQ(dist, 3u);
+  // Query above it: too weak — must miss in both tiers.
+  EXPECT_FALSE(l1.Lookup(&shared, 1, 2, 7, &dist, /*consult_shared=*/true));
+  // Recompute upgraded the pair to exact; both tiers see it after flush.
+  l1.Insert(&shared, 1, 2, /*cap=*/7, /*dist=*/5, /*defer_shared=*/true);
+  ASSERT_TRUE(l1.Lookup(&shared, 1, 2, 100, &dist, /*consult_shared=*/true));
+  EXPECT_EQ(dist, 5u);
+  l1.Flush(&shared);
+  ASSERT_TRUE(shared.Lookup(1, 2, 100, &dist));
+  EXPECT_EQ(dist, 5u);
+}
+
+TEST(TokenPairL1CacheTest, BelowGateProbeSkipsSharedShards) {
+  TokenPairCache shared;
+  shared.Insert(1, 2, /*cap=*/10, /*dist=*/4);
+  TokenPairL1Cache l1;
+  l1.BindTo(&shared);
+  uint32_t dist = 0;
+  // consult_shared=false (the between-gates edge): an L1 miss must not
+  // touch the shared shards at all.
+  EXPECT_FALSE(l1.Lookup(&shared, 1, 2, 10, &dist,
+                         /*consult_shared=*/false));
+  EXPECT_EQ(shared.hits(), 0u);
+  EXPECT_EQ(shared.misses(), 0u);
+}
+
+TEST(TokenPairL1CacheTest, RebindOnClearDropsStaleEntries) {
+  TokenPairCache shared;
+  TokenPairL1Cache l1;
+  l1.BindTo(&shared);
+  l1.Insert(&shared, 1, 2, /*cap=*/10, /*dist=*/3, /*defer_shared=*/true);
+  uint32_t dist = 0;
+  ASSERT_TRUE(l1.Lookup(&shared, 1, 2, 10, &dist, /*consult_shared=*/true));
+  // Clear() bumps the generation: the next bind resets the L1, so the
+  // stale entry (and any pending upserts) cannot leak into the "new"
+  // cache contents.
+  shared.Clear();
+  l1.BindTo(&shared);
+  EXPECT_EQ(l1.size(), 0u);
+  EXPECT_FALSE(l1.Lookup(&shared, 1, 2, 10, &dist, /*consult_shared=*/true));
+  l1.Flush(&shared);
+  EXPECT_EQ(shared.size(), 0u);  // the pre-Clear insert never lands
+}
+
+TEST(TokenPairL1CacheTest, FlushAfterGenerationChangeIsDropped) {
+  TokenPairCache shared;
+  TokenPairL1Cache l1;
+  l1.BindTo(&shared);
+  l1.Insert(&shared, 1, 2, /*cap=*/10, /*dist=*/3, /*defer_shared=*/true);
+  shared.Clear();  // pending upsert now belongs to dead contents
+  l1.Flush(&shared);
+  EXPECT_EQ(shared.size(), 0u);
+  EXPECT_EQ(shared.flush_batches(), 0u);
+}
+
+TEST(TokenPairL1CacheTest, EvictionIsLossyButNeverWrong) {
+  // Far more distinct pairs than L1 slots: entries must rotate out, and
+  // every probe that *does* hit must serve the exact inserted value.
+  TokenPairCache shared;
+  TokenPairL1Cache l1;
+  l1.BindTo(&shared);
+  Rng rng(4242);
+  constexpr int kPairs = 100000;
+  for (int i = 0; i < kPairs; ++i) {
+    const TokenId a = static_cast<TokenId>(rng.Uniform(5000));
+    const TokenId b = static_cast<TokenId>(5000 + rng.Uniform(5000));
+    const uint32_t dist = static_cast<uint32_t>(rng.Uniform(9));
+    uint32_t served = 0;
+    if (l1.Lookup(&shared, a, b, /*cap=*/10, &served,
+                  /*consult_shared=*/true)) {
+      // Deterministic per pair: a hit must reproduce the insert below.
+      EXPECT_EQ(served, (Mix64((static_cast<uint64_t>(a) << 32) | b)) % 9)
+          << "a=" << a << " b=" << b;
+    } else {
+      l1.Insert(&shared, a, b, /*cap=*/10,
+                static_cast<uint32_t>(
+                    Mix64((static_cast<uint64_t>(a) << 32) | b) % 9),
+                /*defer_shared=*/true);
+    }
+    (void)dist;
+  }
+  l1.Flush(&shared);
+  EXPECT_LE(l1.size(), size_t{1} << 14);
+  EXPECT_GT(shared.size(), 0u);
 }
 
 // ---- Join-level stress: warm vs. cold cache ------------------------------
