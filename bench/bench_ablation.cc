@@ -18,7 +18,15 @@
 // records, reduction factor) plus the cache-tier and combiner counters of
 // the workers=hw run as JSON, which CI merges into BENCH_verify.json so
 // the memory and contention wins are tracked in the perf trajectory.
+//
+// The out-of-core spill row runs the full configuration under a memory
+// budget of a quarter of its own in-memory shuffle peak
+// (enable_shuffle_spill, mapreduce/spill.h) and prints the spill
+// counters plus the peak-resident gauge that proves the budget held;
+// --spill_json <path> emits them as JSON (merged into BENCH_verify.json
+// by CI alongside the shuffle counters).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -63,7 +71,10 @@ std::string CombinerColumn(const TsjRunInfo& info) {
          TablePrinter::Fmt(info.combiner_output_records);
 }
 
-void Run(const std::string& shuffle_json_path) {
+// Returns false when the spill run failed (main exits non-zero so CI's
+// merge step never reads a missing/zeroed BENCH_spill.json as success).
+bool Run(const std::string& shuffle_json_path,
+         const std::string& spill_json_path) {
   bench::PrintHeader("Ablation", "contribution of each TSJ design choice");
   const auto workload =
       GenerateRingWorkload(bench::DefaultWorkload(bench::Scaled(10000)));
@@ -217,7 +228,68 @@ void Run(const std::string& shuffle_json_path) {
                   TablePrinter::Fmt(info.peak_shuffle_records),
                   TablePrinter::Fmt(ms, 0)});
   }
+  // ---- Out-of-core spill row: the full configuration under a memory
+  // budget of a quarter of its own in-memory shuffle peak, so several
+  // spill/merge cycles actually happen on the bench workload. Same
+  // pairs/NSLD by construction; the row shows what bounding residency
+  // costs in wall time, and the gauge proves the budget held.
+  TsjRunInfo spill_info;
+  double spill_wall_ms = 0;
+  uint64_t spill_budget = 0;
+  bool spill_run_ok = false;
+  if (streaming_numbers.peak_shuffle_records > 0) {
+    spill_budget =
+        std::max<uint64_t>(1024, streaming_numbers.peak_shuffle_records / 4);
+    TsjOptions o = base;
+    o.enable_shuffle_spill = true;
+    o.mapreduce.memory_budget_records = static_cast<size_t>(spill_budget);
+    Stopwatch watch;
+    const auto result =
+        TokenizedStringJoiner(o).SelfJoin(workload.corpus, &spill_info);
+    spill_wall_ms = watch.ElapsedMillis();
+    spill_run_ok = result.ok();
+    if (!spill_run_ok) {
+      std::cout << "spill run FAILED: " << result.status().ToString()
+                << "\n";
+    }
+    if (result.ok()) {
+      const uint64_t l1_probes = spill_info.token_pair_cache_l1_hits +
+                                 spill_info.token_pair_cache_l1_misses;
+      const uint64_t shared_probes = spill_info.token_pair_cache_hits +
+                                     spill_info.token_pair_cache_misses;
+      table.AddRow(
+          {"+ shuffle spill (budget = peak/4)",
+           TablePrinter::Fmt(uint64_t{result->size()}),
+           TablePrinter::Fmt(spill_info.distinct_candidates),
+           TablePrinter::Fmt(spill_info.verified_candidates),
+           TablePrinter::Fmt(spill_info.verify_work_units),
+           PercentOrDash(spill_info.token_pair_cache_l1_hits, l1_probes),
+           PercentOrDash(spill_info.token_pair_cache_hits, shared_probes),
+           spill_info.token_pair_cache_flush_batches == 0
+               ? std::string("-")
+               : TablePrinter::Fmt(spill_info.token_pair_cache_flush_batches),
+           CombinerColumn(spill_info),
+           TablePrinter::Fmt(spill_info.peak_shuffle_records),
+           TablePrinter::Fmt(spill_wall_ms, 0)});
+    }
+  }
+
   table.Print(std::cout);
+  if (spill_budget > 0 && spill_run_ok) {
+    std::cout << "\nout-of-core spill (budget "
+              << spill_budget << " records = in-memory peak/4): "
+              << spill_info.spilled_records << " records spilled across "
+              << spill_info.spill_files << " run files ("
+              << spill_info.spill_bytes / (1024 * 1024) << " MiB, "
+              << spill_info.merge_passes << " merge passes); "
+              << "peak resident " << spill_info.peak_resident_records
+              << " records (budget honored: "
+              << (spill_info.peak_resident_records <=
+                          spill_budget + spill_budget / 8
+                      ? "yes"
+                      : "NO")
+              << ")\n";
+  }
   if (budgeted_work > 0 && unbounded_work > 0) {
     std::cout << "\nbudgeted verify saving: "
               << static_cast<double>(unbounded_work) /
@@ -351,6 +423,33 @@ void Run(const std::string& shuffle_json_path) {
     std::cout << "\nshuffle + cache-tier counters written to "
               << shuffle_json_path << "\n";
   }
+
+  // Only a successful spill run may feed the perf trajectory — a failed
+  // run's zeroed counters would read as "budget honored" in CI.
+  if (!spill_json_path.empty() && spill_budget > 0 && spill_run_ok) {
+    std::ofstream json(spill_json_path);
+    json << "{\n"
+         << "  \"budget_records\": " << spill_budget << ",\n"
+         << "  \"spilled_records\": " << spill_info.spilled_records << ",\n"
+         << "  \"spill_files\": " << spill_info.spill_files << ",\n"
+         << "  \"spill_bytes\": " << spill_info.spill_bytes << ",\n"
+         << "  \"merge_passes\": " << spill_info.merge_passes << ",\n"
+         << "  \"peak_resident_records\": "
+         << spill_info.peak_resident_records << ",\n"
+         << "  \"budget_honored\": "
+         << (spill_info.peak_resident_records <=
+                     spill_budget + spill_budget / 8
+                 ? "true"
+                 : "false")
+         << ",\n"
+         << "  \"in_memory_peak_shuffle_records\": "
+         << streaming_numbers.peak_shuffle_records << ",\n"
+         << "  \"wall_ms\": " << spill_wall_ms << ",\n"
+         << "  \"in_memory_wall_ms\": " << full_wall_ms << "\n"
+         << "}\n";
+    std::cout << "spill counters written to " << spill_json_path << "\n";
+  }
+  return spill_budget == 0 || spill_run_ok;
 }
 
 }  // namespace
@@ -358,11 +457,14 @@ void Run(const std::string& shuffle_json_path) {
 
 int main(int argc, char** argv) {
   std::string shuffle_json_path;
+  std::string spill_json_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--shuffle_json") {
       shuffle_json_path = argv[i + 1];
     }
+    if (std::string(argv[i]) == "--spill_json") {
+      spill_json_path = argv[i + 1];
+    }
   }
-  tsj::Run(shuffle_json_path);
-  return 0;
+  return tsj::Run(shuffle_json_path, spill_json_path) ? 0 : 1;
 }

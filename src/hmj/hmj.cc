@@ -275,6 +275,7 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   // across Voronoi cells plus window replicas), so the planner's job is
   // mostly to not exceed the key count.
   MapReduceOptions join_mr = options_.mapreduce;
+  if (!options_.enable_shuffle_spill) join_mr.memory_budget_records = 0;
   if (options_.adaptive_partitions) {
     join_mr.num_partitions = AdaptivePartitionCount(
         join_mr.effective_workers(), pivots.size(), n,
@@ -309,6 +310,7 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
       KeepFirstCombiner<PairKey, double>();
   // Dedup job: near-uniform pair keys, a couple of records each.
   MapReduceOptions dedup_mr = options_.mapreduce;
+  if (!options_.enable_shuffle_spill) dedup_mr.memory_budget_records = 0;
   if (options_.adaptive_partitions) {
     dedup_mr.num_partitions = AdaptivePartitionCount(
         dedup_mr.effective_workers(), raw_pairs.size(), raw_pairs.size(),
@@ -327,6 +329,14 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   // When the work limit was exceeded the results are incomplete; they are
   // still returned for inspection, with completed=false marking the DNF.
   local_info.completed = !state.aborted.load();
+  // Lossy spill faults (a failed run read aborted a partition's merge,
+  // records may be missing) become the join's error; degraded write
+  // faults keep their complete results and stay visible via the per-job
+  // JobStats::spill_status entries.
+  if (Status s = local_info.pipeline.first_spill_data_loss(); !s.ok()) {
+    if (info != nullptr) *info = std::move(local_info);
+    return s;
+  }
   if (info != nullptr) *info = std::move(local_info);
   return results;
 }

@@ -57,6 +57,14 @@ struct HmjOptions {
   TokenAligning aligning = TokenAligning::kExact;
   /// MapReduce engine configuration.
   MapReduceOptions mapreduce;
+  /// External-memory shuffle spill (mapreduce/spill.h): when enabled AND
+  /// mapreduce.memory_budget_records is set, the partition-join and dedup
+  /// jobs bound their resident shuffle records by the budget, spilling
+  /// over-budget buckets as sorted runs and merging them back at reduce
+  /// time. Lossless. Off by default (the budget is then ignored); lossy
+  /// spill faults (failed run reads) surface as the join's error Status,
+  /// degraded write faults via JobStats::spill_status only.
+  bool enable_shuffle_spill = false;
   /// Skew-adaptive shuffle partitioning (mapreduce/cluster_model.h):
   /// each job plans its partition count from its key profile — the
   /// partition-join from the pivot count (one reduce key per Voronoi

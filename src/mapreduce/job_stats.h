@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace tsj {
 
 /// High-water-mark gauge of records resident in shuffle buffers (map-side
@@ -102,6 +104,43 @@ struct JobStats {
   /// fused job share one gauge and report the same peak.
   uint64_t peak_shuffle_records = 0;
 
+  // External-memory spill (mapreduce/spill.h; sorted modes only, active
+  // when the job ran under a MapReduceOptions::memory_budget_records
+  // policy or the CC_SHUFFLE_SPILL_BUDGET test override).
+  /// Records written to disk as sorted runs (counted post-flush-combine:
+  /// what actually hit disk).
+  uint64_t spilled_records = 0;
+  /// Run files written (flush runs plus hierarchical pre-merge outputs).
+  uint64_t spill_files = 0;
+  /// Bytes written to spill files.
+  uint64_t spill_bytes = 0;
+  /// Sort-merge passes: one per spilled partition's final streamed merge,
+  /// plus one per hierarchical pre-merge pass a partition needed because
+  /// it had more runs than the merge fan-in.
+  uint64_t merge_passes = 0;
+  /// Peak records resident in memory across the shuffle path. Under a
+  /// spill budget this is the gauge that proves the budget is honored
+  /// (slack: one active merge window per concurrent reduce worker, the
+  /// one-record flush-trigger overshoot per producer, and the emitters'
+  /// batched residency publishing — producers sync the shared gauge every
+  /// kSpillResidentPublishBatch records rather than per emit); without spill
+  /// every shuffled record is resident, so this equals
+  /// peak_shuffle_records.
+  uint64_t peak_resident_records = 0;
+  /// First spill I/O error of any kind (OK when spilling never failed or
+  /// never ran). A failed spill *write* leaves the records in memory —
+  /// results stay complete, only the budget may be exceeded (degraded,
+  /// reported here only); a failed *read* aborts that partition's merge,
+  /// so outputs may be incomplete (lossy, additionally reported in
+  /// spill_data_loss). The job always finishes; nothing is lost silently.
+  Status spill_status;
+  /// First *lossy* spill fault — non-OK exactly when this job's outputs
+  /// may be incomplete. This is the status pipelines must check and
+  /// propagate as their own error (the joins do); degraded write faults
+  /// deliberately do not fail results that are still complete and
+  /// correct.
+  Status spill_data_loss;
+
   /// Per-group loads for the simulated-cluster model. Populated when
   /// MapReduceOptions::collect_group_loads is set.
   std::vector<GroupLoad> group_loads;
@@ -161,6 +200,57 @@ struct PipelineStats {
       peak = std::max(peak, j.peak_shuffle_records);
     }
     return peak;
+  }
+
+  uint64_t total_spilled_records() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.spilled_records;
+    return total;
+  }
+
+  uint64_t total_spill_files() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.spill_files;
+    return total;
+  }
+
+  uint64_t total_spill_bytes() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.spill_bytes;
+    return total;
+  }
+
+  uint64_t total_merge_passes() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.merge_passes;
+    return total;
+  }
+
+  uint64_t max_peak_resident_records() const {
+    uint64_t peak = 0;
+    for (const auto& j : jobs) {
+      peak = std::max(peak, j.peak_resident_records);
+    }
+    return peak;
+  }
+
+  /// First non-OK JobStats::spill_status across the pipeline (jobs run in
+  /// order, so the first job's fault is the root cause). Observability:
+  /// non-OK for degraded write faults too, whose results are complete.
+  Status first_spill_error() const {
+    for (const auto& j : jobs) {
+      if (!j.spill_status.ok()) return j.spill_status;
+    }
+    return Status::OK();
+  }
+
+  /// First non-OK JobStats::spill_data_loss — the fault class that must
+  /// fail the pipeline's result (outputs may be incomplete).
+  Status first_spill_data_loss() const {
+    for (const auto& j : jobs) {
+      if (!j.spill_data_loss.ok()) return j.spill_data_loss;
+    }
+    return Status::OK();
   }
 };
 

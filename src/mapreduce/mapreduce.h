@@ -48,6 +48,44 @@
 // producing task, so a hot token's quadratic candidate fan-out shrinks
 // before the dedup/verify shuffle ever sees it.
 //
+// Spill / merge contract (external memory; mapreduce/spill.h). The sorted
+// modes optionally run under MapReduceOptions::memory_budget_records — a
+// bound on shuffle records resident in memory (or the test-tier
+// CC_SHUFFLE_SPILL_BUDGET environment override). Mechanics:
+//
+//  * When buckets flush: each producer holds an even share of the budget
+//    (budget / producers; the fused runner first halves the budget
+//    between its two stages, whose producers are live simultaneously).
+//    Whenever a producer's resident records exceed its share, it flushes
+//    its fullest buckets to disk — each flush stable-sorts one bucket by
+//    key, pre-aggregates it with the job's combiner (the run is combined
+//    *before* it hits disk), writes it as one framed sorted run
+//    (SpillRunWriter), and frees the memory.
+//  * Combiner re-arm semantics: the self-tuning combine sample
+//    (PartitionedEmitter::Combine) persists across a producer's flushes,
+//    but every spill flush re-arms it — a bucket's lifetime ends at the
+//    flush, so a duplicate-free verdict latched before a spill never
+//    suppresses combining of post-spill duplicates.
+//  * Merge: at reduce time each partition streams through a k-way
+//    sort-merge of every producer's runs (flush order) and in-memory
+//    residue (one hierarchical pre-merge pass collapses a producer's
+//    excess runs first; passes are counted in JobStats::merge_passes).
+//    Ties break toward the earlier source, so values keep exactly the
+//    (producer, emission) order of the in-memory engine. Each merged key
+//    run is re-combined once more before the reducer sees it.
+//  * Span stability: the reducer still receives each key's values as ONE
+//    contiguous mutable std::span — even when the run was split across
+//    several spill files — backed by a buffer that is reused across runs
+//    but stable (and reorderable in place) for the duration of that
+//    reduce call, the same guarantee as the in-memory modes.
+//  * Residency: only producer buckets within their shares plus the active
+//    merge windows are ever in memory; JobStats::peak_resident_records
+//    (a gauge producers and merges publish in small batches — see
+//    kSpillResidentPublishBatch in spill.h) proves the budget held.
+//    I/O faults surface as
+//    JobStats::spill_status (see spill.h) — a failed write keeps records
+//    in memory, a failed read marks the job; nothing is lost silently.
+//
 // JobStats records per-phase record counts, wall times, per-group loads,
 // and — new with the streaming engine — shuffle-record and peak-resident
 // counters (ShuffleGauge); cluster_model.h turns the group loads into
@@ -71,6 +109,7 @@
 #include "common/thread_pool.h"
 #include "mapreduce/job_stats.h"
 #include "mapreduce/key_hash.h"
+#include "mapreduce/spill.h"
 #include "mapreduce/work_units.h"
 
 namespace tsj {
@@ -99,6 +138,25 @@ struct MapReduceOptions {
   /// when no group-level batch ever filled. Must be thread-safe across
   /// concurrent partitions.
   std::function<void()> reduce_partition_epilogue;
+
+  /// External-memory spill budget (sorted modes only; see the "Spill /
+  /// merge contract" section of the file comment): the maximum number of
+  /// shuffle records the job keeps resident in memory. 0 = unlimited (no
+  /// spill) — unless the CC_SHUFFLE_SPILL_BUDGET environment variable is
+  /// set, the test-tier override that lets CI force the spill path
+  /// through every sorted-mode job in the process. When active, each
+  /// producer flushes its over-budget partition buckets to `spill_dir` as
+  /// sorted (and combined, when a combiner is configured) runs, and
+  /// reducers are driven from a k-way sort-merge of runs instead of a
+  /// materialized partition. Lossless: identical outputs, keys still
+  /// arrive as one contiguous value span each.
+  size_t memory_budget_records = 0;
+  /// Directory for spill run files. Empty = a job-owned unique temp
+  /// directory (created at job start, removed with its files at job end).
+  std::string spill_dir;
+  /// I/O seam for spill files; null = buffered FILE* (the default). Tests
+  /// install fault-injecting wrappers here (tests/spill_test.cc).
+  SpillIoFactory spill_io_factory;
 
   size_t effective_workers() const {
     if (num_workers > 0) return num_workers;
@@ -163,17 +221,46 @@ CombinerFn<Key, Value> SortUniqueCombiner() {
 /// Scatters emitted (key, value) records into per-partition buckets at
 /// emit time — the streaming shuffle's map-side sink. One producer task
 /// owns one PartitionedEmitter; buckets are later concatenated per
-/// partition in producer order and sorted (RunMapReduceSorted).
+/// partition in producer order and sorted (RunMapReduceSorted), or — when
+/// the engine enabled spilling — flushed to disk as sorted runs whenever
+/// this producer's resident share of the job's memory budget overflows,
+/// and merged back per partition at reduce time.
 template <typename Key, typename Value>
 class PartitionedEmitter {
  public:
   explicit PartitionedEmitter(size_t num_partitions)
       : buckets_(std::max<size_t>(1, num_partitions)) {}
 
+  /// Arms the spill policy (engine-internal; see the file comment's spill
+  /// contract). `share` is this producer's slice of the job budget: Emit
+  /// flushes the largest buckets to disk while more than `share` records
+  /// are resident. `combiner`, when non-null, pre-aggregates every flushed
+  /// run before it hits disk (spill-aware combine; counted separately so
+  /// the engine can fold it into the job's combiner statistics).
+  void EnableSpill(SpillContext* context, size_t share,
+                   CombinerFn<Key, Value> combiner) {
+    spill_ = context;
+    spill_share_ = std::max<size_t>(1, share);
+    spill_combiner_ = std::move(combiner);
+    spill_runs_.assign(buckets_.size(), {});
+  }
+
   void Emit(Key key, Value value) {
     auto& bucket = buckets_[hasher_(key) % buckets_.size()];
     bucket.emplace_back(std::move(key), std::move(value));
     ++size_;
+    if (spill_ != nullptr) {
+      // Residency is published to the shared gauge in batches
+      // (kSpillResidentPublishBatch, spill.h): the flush trigger runs on
+      // the emitter-local size_, so the job-wide atomic is touched once
+      // per batch (and at every flush / FinishSpill), not once per emit.
+      if (++spill_unpublished_ >= kSpillResidentPublishBatch) {
+        PublishResident();
+      }
+      while (size_ > spill_share_ && !spill_failed_) {
+        if (!SpillLargestBucket()) break;
+      }
+    }
   }
 
   /// Run-scan pre-aggregation (the sorted modes' combiner, applied by the
@@ -192,67 +279,213 @@ class PartitionedEmitter {
   /// uncombined (and uncounted) — duplicate-free streams pay one bounded
   /// sample, duplicate-heavy streams keep the full reduction. Lossless
   /// either way: an uncombined bucket just shuffles its duplicates.
+  ///
+  /// The sample state persists across Combine calls and spill flushes of
+  /// one emitter — but a spill flush *re-arms* it (resets the counters):
+  /// the flushed bucket starts a new lifetime, and a stream that was
+  /// duplicate-free before the flush may well repeat keys after it, so an
+  /// abort verdict latched pre-spill must not suppress post-spill
+  /// combining (tests/mapreduce_streaming_test.cc pins the re-arm).
   static constexpr size_t kCombineSampleRecords = 4096;
   static constexpr uint64_t kCombineMinReductionShift = 5;  // 1/32 ≈ 3%
 
   void Combine(const CombinerFn<Key, Value>& combiner,
                uint64_t* records_in, uint64_t* records_out) {
-    std::vector<Value> run_values;
-    uint64_t scanned = 0, kept = 0;
-    for (auto& bucket : buckets_) {
-      if (scanned >= kCombineSampleRecords &&
-          scanned - kept < (scanned >> kCombineMinReductionShift)) {
+    size_t pre_total = 0;
+    for (const auto& bucket : buckets_) pre_total += bucket.size();
+    for (size_t p = 0; p < buckets_.size(); ++p) {
+      if (CombineSampleAborted()) {
         break;  // sampled stream is duplicate-free: stop paying the sort
       }
-      scanned += bucket.size();
+      auto& bucket = buckets_[p];
+      combine_scanned_ += bucket.size();
       *records_in += bucket.size();
       if (bucket.size() >= 2) {
-        std::stable_sort(
-            bucket.begin(), bucket.end(),
-            [](const std::pair<Key, Value>& a,
-               const std::pair<Key, Value>& b) { return a.first < b.first; });
-        size_t write = 0;
-        size_t i = 0;
-        while (i < bucket.size()) {
-          size_t j = i + 1;
-          while (j < bucket.size() && bucket[j].first == bucket[i].first) {
-            ++j;
-          }
-          const Key key = std::move(bucket[i].first);
-          run_values.clear();
-          for (size_t r = i; r < j; ++r) {
-            run_values.push_back(std::move(bucket[r].second));
-          }
-          combiner(key, &run_values);
-          // The combiner must not grow the list (see CombinerFn): the
-          // compaction writes over slots already consumed above.
-          for (auto& value : run_values) {
-            bucket[write].first = key;
-            bucket[write].second = std::move(value);
-            ++write;
-          }
-          i = j;
-        }
-        bucket.resize(write);
+        SortBucket(p);
+        CombineSortedRuns(p, combiner);
       }
-      kept += bucket.size();
+      combine_kept_ += bucket.size();
       *records_out += bucket.size();
     }
     size_ = 0;
     for (const auto& bucket : buckets_) size_ += bucket.size();
+    // Combined-away records leave residency too — without this the
+    // budget gauge counts phantom residents for the rest of the job.
+    if (spill_ != nullptr && size_ < pre_total) {
+      PublishResident();
+      spill_->resident().Sub(pre_total - size_);
+    }
   }
 
-  /// Total records currently held (post-combine, if Combine ran).
+  /// Stable-sorts every bucket by key — the order both the spilled runs
+  /// and the in-memory residue must present to the reduce-time merge.
+  /// Engine-internal, called once per producer after it stops emitting
+  /// (only meaningful with spilling enabled).
+  void FinishSpill() {
+    if (spill_ == nullptr) return;
+    PublishResident();
+    for (size_t p = 0; p < buckets_.size(); ++p) SortBucket(p);
+  }
+
+  /// Total records currently held in memory (post-combine, if Combine
+  /// ran; spilled records are not counted — see spilled_records()).
   size_t size() const { return size_; }
   size_t num_partitions() const { return buckets_.size(); }
   std::vector<std::pair<Key, Value>>& bucket(size_t p) {
     return buckets_[p];
   }
 
+  bool spill_active() const { return spill_ != nullptr; }
+  /// Records written to disk (post-flush-combine).
+  uint64_t spilled_records() const { return spilled_records_; }
+  /// Run files this producer wrote for partition p, in flush order —
+  /// which is emission order: a flush takes a whole bucket, so every
+  /// record in an earlier run was emitted before every record of a later
+  /// run or of the in-memory residue.
+  const std::vector<std::string>& spill_runs(size_t p) const {
+    static const std::vector<std::string> kNone;
+    return spill_runs_.empty() ? kNone : spill_runs_[p];
+  }
+  /// Records scanned/kept by the spill-time (flush) combine, to be folded
+  /// into the job's combiner statistics alongside Combine's counts.
+  uint64_t spill_combiner_input() const { return spill_combiner_in_; }
+  uint64_t spill_combiner_output() const { return spill_combiner_out_; }
+
  private:
+  void SortBucket(size_t p) {
+    auto& bucket = buckets_[p];
+    if (bucket.size() < 2) return;
+    std::stable_sort(
+        bucket.begin(), bucket.end(),
+        [](const std::pair<Key, Value>& a, const std::pair<Key, Value>& b) {
+          return a.first < b.first;
+        });
+  }
+
+  // Run-scan pre-aggregation over the (already sorted) bucket p,
+  // compacting it in place. See Combine for the contract.
+  void CombineSortedRuns(size_t p, const CombinerFn<Key, Value>& combiner) {
+    auto& bucket = buckets_[p];
+    std::vector<Value> run_values;
+    size_t write = 0;
+    size_t i = 0;
+    while (i < bucket.size()) {
+      size_t j = i + 1;
+      while (j < bucket.size() && bucket[j].first == bucket[i].first) {
+        ++j;
+      }
+      const Key key = std::move(bucket[i].first);
+      run_values.clear();
+      for (size_t r = i; r < j; ++r) {
+        run_values.push_back(std::move(bucket[r].second));
+      }
+      combiner(key, &run_values);
+      // The combiner must not grow the list (see CombinerFn): the
+      // compaction writes over slots already consumed above.
+      for (auto& value : run_values) {
+        bucket[write].first = key;
+        bucket[write].second = std::move(value);
+        ++write;
+      }
+      i = j;
+    }
+    bucket.resize(write);
+  }
+
+  bool CombineSampleAborted() const {
+    return combine_scanned_ >= kCombineSampleRecords &&
+           combine_scanned_ - combine_kept_ <
+               (combine_scanned_ >> kCombineMinReductionShift);
+  }
+
+  // Spill flush: sort the fullest bucket, combine it (spill-aware
+  // combine: the run is pre-aggregated *before* it hits disk), write it
+  // as one sorted run file, release the memory, and re-arm the combine
+  // sample. Returns false when there was nothing to flush or the flush
+  // failed (the records then stay safely in memory and the error is
+  // recorded on the context — no silent record loss).
+  bool SpillLargestBucket() {
+    size_t best = 0;
+    for (size_t p = 1; p < buckets_.size(); ++p) {
+      if (buckets_[p].size() > buckets_[best].size()) best = p;
+    }
+    auto& bucket = buckets_[best];
+    if (bucket.empty()) return false;
+    PublishResident();
+    const size_t pre_records = bucket.size();
+    SortBucket(best);
+    uint64_t flush_combine_in = 0, flush_combine_out = 0;
+    if (spill_combiner_ != nullptr && !CombineSampleAborted()) {
+      flush_combine_in = bucket.size();
+      combine_scanned_ += bucket.size();
+      if (bucket.size() >= 2) CombineSortedRuns(best, spill_combiner_);
+      combine_kept_ += bucket.size();
+      flush_combine_out = bucket.size();
+      spill_combiner_in_ += flush_combine_in;
+      spill_combiner_out_ += flush_combine_out;
+    }
+    const std::string path = spill_->NewRunPath();
+    SpillRunWriter<Key, Value> writer(spill_->NewIo());
+    Status s = writer.Open(path);
+    for (size_t i = 0; s.ok() && i < bucket.size(); ++i) {
+      s = writer.Append(bucket[i]);
+    }
+    if (s.ok()) s = writer.Finish();
+    if (!s.ok()) {
+      spill_->RecordError(s);
+      spill_failed_ = true;  // stop flushing; keep everything in memory
+      RemoveSpillFile(path);
+      // Roll the flush-combine scan back out of the reported counters:
+      // the surviving records stay in memory and the engine's later
+      // Combine() will count them, so leaving these in would double-count
+      // (the counters' meaning is "every record scanned once").
+      spill_combiner_in_ -= flush_combine_in;
+      spill_combiner_out_ -= flush_combine_out;
+      // The flush combine may still have shrunk the bucket.
+      spill_->resident().Sub(pre_records - bucket.size());
+      size_ -= pre_records - bucket.size();
+      return false;
+    }
+    spill_runs_[best].push_back(path);
+    spill_->AddRunFile(bucket.size(), writer.bytes_written());
+    spilled_records_ += bucket.size();
+    spill_->resident().Sub(pre_records);
+    size_ -= pre_records;
+    bucket.clear();
+    bucket.shrink_to_fit();
+    // Re-arm the self-tuning combine sample: the flushed bucket's
+    // lifetime ended, post-spill records get a fresh verdict.
+    combine_scanned_ = 0;
+    combine_kept_ = 0;
+    return true;
+  }
+
   StableHash hasher_;
   std::vector<std::vector<std::pair<Key, Value>>> buckets_;
   size_t size_ = 0;
+
+  // Self-tuning combine sample (persistent across flushes until re-armed).
+  uint64_t combine_scanned_ = 0;
+  uint64_t combine_kept_ = 0;
+
+  // Drains the emitter-local residency delta into the shared gauge.
+  void PublishResident() {
+    if (spill_unpublished_ > 0) {
+      spill_->resident().Add(spill_unpublished_);
+      spill_unpublished_ = 0;
+    }
+  }
+
+  // Spill policy (null = in-memory only, the default).
+  SpillContext* spill_ = nullptr;
+  size_t spill_share_ = 0;
+  size_t spill_unpublished_ = 0;
+  CombinerFn<Key, Value> spill_combiner_;
+  std::vector<std::vector<std::string>> spill_runs_;
+  uint64_t spilled_records_ = 0;
+  uint64_t spill_combiner_in_ = 0;
+  uint64_t spill_combiner_out_ = 0;
+  bool spill_failed_ = false;
 };
 
 namespace mapreduce_internal {
@@ -339,6 +572,370 @@ void ReduceSortedRuns(std::vector<std::pair<Key, Value>>* partition,
     }
     i = j;
   }
+}
+
+// ---- External-memory spill: reduce-time merge (see spill.h) ---------------
+
+// Budget resolution: an explicit per-job budget wins; otherwise the
+// CC_SHUFFLE_SPILL_BUDGET test-tier override applies; 0 = no spill.
+inline size_t EffectiveSpillBudget(const MapReduceOptions& options) {
+  if (options.memory_budget_records > 0) {
+    return options.memory_budget_records;
+  }
+  return SpillBudgetFromEnv();
+}
+
+// Creates and initializes the job's spill context; on failure the error
+// lands in *stats (spill_status) and the job runs in memory.
+inline std::unique_ptr<SpillContext> MakeSpillContext(
+    const MapReduceOptions& options, JobStats* stats) {
+  const size_t budget = EffectiveSpillBudget(options);
+  if (budget == 0) return nullptr;
+  auto context = std::make_unique<SpillContext>(
+      budget, options.spill_dir, options.spill_io_factory);
+  if (Status s = context->Init(); !s.ok()) {
+    stats->spill_status = s;
+    return nullptr;
+  }
+  return context;
+}
+
+// One sorted run feeding the k-way merge: either a producer's in-memory
+// bucket (records are moved out; the vector is cleared by the caller
+// afterwards) or a spill run file streamed one record at a time.
+template <typename Key, typename Value>
+struct RunCursor {
+  std::vector<std::pair<Key, Value>>* memory = nullptr;
+  size_t memory_index = 0;
+  std::unique_ptr<SpillRunReader<Key, Value>> reader;
+  bool from_disk = false;
+
+  std::pair<Key, Value> head;
+  bool has_head = false;
+
+  Status Advance() {
+    if (memory != nullptr) {
+      if (memory_index < memory->size()) {
+        head = std::move((*memory)[memory_index++]);
+        has_head = true;
+      } else {
+        has_head = false;
+      }
+      return Status::OK();
+    }
+    bool done = false;
+    Status s = reader->Next(&head, &done);
+    if (!s.ok()) {
+      has_head = false;
+      return s;
+    }
+    has_head = !done;
+    if (done) return reader->Close();
+    return Status::OK();
+  }
+};
+
+// Min-heap of run-cursor indices keyed by (head key, source index) — the
+// heap discipline shared by the pre-merge and the reduce-time merge.
+// Pop() yields the cursor holding the smallest head key, ties going to
+// the lowest source index so earlier producers/runs drain first (what
+// preserves the in-memory engine's (producer, emission) value order);
+// the caller consumes the head, Advances the cursor, and Reinserts it
+// while it still has one.
+template <typename Key, typename Value>
+class RunCursorHeap {
+ public:
+  explicit RunCursorHeap(std::vector<RunCursor<Key, Value>>* cursors)
+      : cursors_(cursors) {
+    for (size_t i = 0; i < cursors_->size(); ++i) {
+      if ((*cursors_)[i].has_head) heap_.push_back(i);
+    }
+    std::make_heap(heap_.begin(), heap_.end(), Later());
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  size_t Pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later());
+    const size_t index = heap_.back();
+    heap_.pop_back();
+    return index;
+  }
+
+  void Reinsert(size_t index) {
+    heap_.push_back(index);
+    std::push_heap(heap_.begin(), heap_.end(), Later());
+  }
+
+ private:
+  auto Later() const {
+    return [cursors = cursors_](size_t a, size_t b) {
+      const Key& ka = (*cursors)[a].head.first;
+      const Key& kb = (*cursors)[b].head.first;
+      if (kb < ka) return true;
+      if (ka < kb) return false;
+      return a > b;  // equal keys: lower source index drains first
+    };
+  }
+
+  std::vector<RunCursor<Key, Value>>* cursors_;
+  std::vector<size_t> heap_;
+};
+
+// Fan-in of one merge (open run files at a time) and the per-producer run
+// count above which runs are pre-merged into fewer, larger runs. Together
+// they bound the file descriptors one partition merge holds open to
+// roughly #producers * kSpillRunsPerProducerTarget.
+inline constexpr size_t kSpillMergeFanIn = 16;
+inline constexpr size_t kSpillRunsPerProducerTarget = 4;
+
+// Streams `paths` (consecutive runs of one producer and partition, in run
+// order) through a k-way merge into one new run file, re-combining each
+// contiguous key run when a combiner is configured — the "combined again
+// at merge time" half of the spill-aware-combine contract. The inputs are
+// deleted on success. Not counted into the job's combiner statistics: the
+// map-side counters keep their exact "every record scanned once" meaning
+// (the existing combiner tests pin it).
+template <typename Key, typename Value>
+Status MergeRunBatchToFile(SpillContext* context,
+                           const std::vector<std::string>& paths,
+                           const CombinerFn<Key, Value>& combiner,
+                           std::string* out_path) {
+  std::vector<RunCursor<Key, Value>> cursors(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    cursors[i].from_disk = true;
+    cursors[i].reader = std::make_unique<SpillRunReader<Key, Value>>(
+        context->NewIo());
+    if (Status s = cursors[i].reader->Open(paths[i]); !s.ok()) return s;
+    if (Status s = cursors[i].Advance(); !s.ok()) return s;
+  }
+  *out_path = context->NewRunPath();
+  SpillRunWriter<Key, Value> writer(context->NewIo());
+  if (Status s = writer.Open(*out_path); !s.ok()) return s;
+
+  RunCursorHeap<Key, Value> heap(&cursors);
+  std::vector<std::pair<Key, Value>> run;  // the active key's records
+  // Window residency is published in batches (one shared-gauge RMW per
+  // kSpillResidentPublishBatch records, drained before every Sub so the
+  // unsigned gauge never underflows), like the emit side.
+  size_t window_unpublished = 0;
+  auto publish_window = [&]() {
+    if (window_unpublished > 0) {
+      context->resident().Add(window_unpublished);
+      window_unpublished = 0;
+    }
+  };
+  auto flush_run = [&]() -> Status {
+    if (run.empty()) return Status::OK();
+    const size_t window = run.size();  // residency added pre-combine
+    if (combiner != nullptr && run.size() > 1) {
+      std::vector<Value> values;
+      values.reserve(run.size());
+      for (auto& record : run) values.push_back(std::move(record.second));
+      combiner(run.front().first, &values);
+      const Key key = std::move(run.front().first);
+      run.clear();
+      for (auto& value : values) run.emplace_back(key, std::move(value));
+    }
+    for (auto& record : run) {
+      if (Status s = writer.Append(record); !s.ok()) return s;
+    }
+    publish_window();
+    context->resident().Sub(window);
+    run.clear();
+    return Status::OK();
+  };
+
+  while (!heap.empty()) {
+    const size_t index = heap.Pop();
+    auto& cursor = cursors[index];
+    if (!run.empty() && run.front().first < cursor.head.first) {
+      if (Status s = flush_run(); !s.ok()) return s;
+    }
+    run.push_back(std::move(cursor.head));
+    // The merge window's only residency.
+    if (++window_unpublished >= kSpillResidentPublishBatch) {
+      publish_window();
+    }
+    if (Status s = cursor.Advance(); !s.ok()) return s;
+    if (cursor.has_head) heap.Reinsert(index);
+  }
+  if (Status s = flush_run(); !s.ok()) return s;
+  if (Status s = writer.Finish(); !s.ok()) return s;
+  context->AddRunFile(writer.records_written(), writer.bytes_written());
+  for (const std::string& path : paths) RemoveSpillFile(path);
+  return Status::OK();
+}
+
+// Hierarchical pre-merge: while one producer contributed more runs to a
+// partition than the merge should open at once, batches of consecutive
+// runs collapse into single larger runs (order-preserving: batches are
+// contiguous in run order). Each sweep over the run list is one
+// merge pass (JobStats::merge_passes).
+template <typename Key, typename Value>
+Status PreMergeProducerRuns(SpillContext* context,
+                            const CombinerFn<Key, Value>& combiner,
+                            std::vector<std::string>* paths) {
+  while (paths->size() > kSpillRunsPerProducerTarget) {
+    context->AddMergePass();
+    std::vector<std::string> merged;
+    for (size_t begin = 0; begin < paths->size();
+         begin += kSpillMergeFanIn) {
+      const size_t end =
+          std::min(begin + kSpillMergeFanIn, paths->size());
+      if (end - begin == 1) {
+        merged.push_back((*paths)[begin]);
+        continue;
+      }
+      const std::vector<std::string> batch(paths->begin() + begin,
+                                           paths->begin() + end);
+      std::string out_path;
+      if (Status s = MergeRunBatchToFile<Key, Value>(context, batch,
+                                                     combiner, &out_path);
+          !s.ok()) {
+        return s;
+      }
+      merged.push_back(std::move(out_path));
+    }
+    *paths = std::move(merged);
+  }
+  return Status::OK();
+}
+
+// Frees every producer's in-memory residue bucket of partition `p` after
+// its spill-mode merge consumed them, returning the record count released
+// (what the caller Subs from the job's shuffle gauge).
+template <typename Producers>
+size_t ReleasePartitionResidue(Producers* producers, size_t p) {
+  size_t residue = 0;
+  for (auto& producer : *producers) {
+    residue += producer.bucket(p).size();
+    producer.bucket(p).clear();
+    producer.bucket(p).shrink_to_fit();
+  }
+  return residue;
+}
+
+// Reduces one shuffle partition straight from the k-way merge of every
+// producer's spill runs and in-memory bucket — the spill-mode counterpart
+// of MergeSortPartition + ReduceSortedRuns. Sources are ordered producer-
+// major with each producer's disk runs (flush order) before its residue,
+// and ties in the merge break toward the lower source index, so a key
+// run's values arrive in exactly the (producer, emission) order the
+// in-memory engine produces — as ONE contiguous span, even when the run
+// was split across several spill files. The span points into a buffer
+// reused across runs, stable for the duration of one reduce_run call
+// (the same contract as the in-memory mode). A configured combiner
+// re-combines each merged run before the reducer sees it.
+//
+// Only the active run's values are memory-resident (context->resident()
+// tracks the window). In-memory buckets are consumed by moving; the
+// caller clears them afterwards. Returns the first I/O error; the caller
+// records it on the context (outputs of that partition may then be
+// incomplete — never silently, the error is sticky).
+template <typename Key, typename Value, typename Producers,
+          typename ReduceRun>
+Status ReduceMergedRuns(Producers* producers, size_t p,
+                        SpillContext* context,
+                        const CombinerFn<Key, Value>& combiner,
+                        bool collect_loads, std::vector<GroupLoad>* loads,
+                        uint64_t* num_groups, const ReduceRun& reduce_run) {
+  // Hierarchical pre-merge per producer, then one cursor per remaining
+  // run plus one per in-memory residue.
+  std::vector<std::vector<std::string>> producer_runs;
+  bool any_disk = false;
+  for (auto& producer : *producers) {
+    std::vector<std::string> paths = producer.spill_runs(p);
+    if (!paths.empty()) any_disk = true;
+    if (Status s =
+            PreMergeProducerRuns<Key, Value>(context, combiner, &paths);
+        !s.ok()) {
+      return s;
+    }
+    producer_runs.push_back(std::move(paths));
+  }
+  if (any_disk) context->AddMergePass();  // the final streamed merge
+
+  std::vector<RunCursor<Key, Value>> cursors;
+  size_t producer_index = 0;
+  for (auto& producer : *producers) {
+    for (const std::string& path : producer_runs[producer_index]) {
+      RunCursor<Key, Value> cursor;
+      cursor.from_disk = true;
+      cursor.reader = std::make_unique<SpillRunReader<Key, Value>>(
+          context->NewIo());
+      if (Status s = cursor.reader->Open(path); !s.ok()) return s;
+      cursors.push_back(std::move(cursor));
+    }
+    if (!producer.bucket(p).empty()) {
+      RunCursor<Key, Value> cursor;
+      cursor.memory = &producer.bucket(p);
+      cursors.push_back(std::move(cursor));
+    }
+    ++producer_index;
+  }
+  for (auto& cursor : cursors) {
+    if (Status s = cursor.Advance(); !s.ok()) return s;
+  }
+
+  RunCursorHeap<Key, Value> heap(&cursors);
+  StableHash hasher;
+  std::vector<Value> run_values;  // reused across runs, like the in-memory
+                                  // mode: no per-key heap node
+  Key current_key{};
+  bool have_run = false;
+  // Disk-record window residency, published in batches and drained
+  // before every Sub (see MergeRunBatchToFile).
+  size_t window_unpublished = 0;
+  auto publish_window = [&]() {
+    if (window_unpublished > 0) {
+      context->resident().Add(window_unpublished);
+      window_unpublished = 0;
+    }
+  };
+  auto emit_run = [&]() {
+    const size_t window = run_values.size();  // residency added pre-combine
+    if (combiner != nullptr && run_values.size() > 1) {
+      combiner(current_key, &run_values);  // merge-time re-combine
+    }
+    ++*num_groups;
+    if (collect_loads) {
+      Stopwatch group_watch;
+      const uint64_t records = run_values.size();
+      TakeWorkUnits();
+      reduce_run(current_key, std::span<Value>(run_values));
+      loads->push_back(GroupLoad{hasher(current_key), records,
+                                 TakeWorkUnits(),
+                                 group_watch.ElapsedSeconds()});
+    } else {
+      reduce_run(current_key, std::span<Value>(run_values));
+    }
+    publish_window();
+    context->resident().Sub(window);
+    run_values.clear();
+    have_run = false;
+  };
+
+  while (!heap.empty()) {
+    const size_t index = heap.Pop();
+    auto& cursor = cursors[index];
+    if (have_run && current_key < cursor.head.first) emit_run();
+    if (!have_run) {
+      current_key = cursor.head.first;
+      have_run = true;
+    }
+    run_values.push_back(std::move(cursor.head.second));
+    // Disk records enter residency here; memory records were already
+    // counted at emit time and merely change buffers.
+    if (cursor.from_disk &&
+        ++window_unpublished >= kSpillResidentPublishBatch) {
+      publish_window();
+    }
+    if (Status s = cursor.Advance(); !s.ok()) return s;
+    if (cursor.has_head) heap.Reinsert(index);
+  }
+  if (have_run) emit_run();
+  return Status::OK();
 }
 
 }  // namespace mapreduce_internal
@@ -558,6 +1155,9 @@ std::vector<Output> RunMapReduceSorted(
   ShuffleGauge local_gauge;
   const mapreduce_internal::GaugePair gauge{&local_gauge,
                                             options.shuffle_gauge};
+  std::unique_ptr<SpillContext> spill_context =
+      mapreduce_internal::MakeSpillContext(options, &local_stats);
+  const bool spilling = spill_context != nullptr;
 
   // ---- Map phase: partition at emit. -----------------------------------
   Stopwatch map_watch;
@@ -567,6 +1167,16 @@ std::vector<Output> RunMapReduceSorted(
   emitters.reserve(num_map_tasks);
   for (size_t t = 0; t < num_map_tasks; ++t) {
     emitters.emplace_back(num_partitions);
+  }
+  if (spilling) {
+    // Each producer gets an even share of the job budget: per-producer
+    // triggers are contention-free and deterministic for a fixed task
+    // count, and the shares sum to (at most) the budget.
+    const size_t share =
+        std::max<size_t>(1, spill_context->budget() / num_map_tasks);
+    for (auto& e : emitters) {
+      e.EnableSpill(spill_context.get(), share, combiner);
+    }
   }
   std::vector<uint64_t> map_task_units(num_map_tasks, 0);
   std::vector<uint64_t> combiner_in(num_map_tasks, 0);
@@ -582,29 +1192,38 @@ std::vector<Output> RunMapReduceSorted(
       emitters[task].Combine(combiner, &combiner_in[task],
                              &combiner_out[task]);
     }
+    emitters[task].FinishSpill();  // sort the residue for the merge
     map_task_units[task] = TakeWorkUnits();
     gauge.Add(emitters[task].size());
   });
   for (const auto& e : emitters) {
-    local_stats.map_output_records += e.size();
+    local_stats.map_output_records += e.size() + e.spilled_records();
   }
   for (uint64_t units : map_task_units) {
     local_stats.map_work_units += units;
   }
   for (size_t t = 0; t < num_map_tasks; ++t) {
-    local_stats.combiner_input_records += combiner_in[t];
-    local_stats.combiner_output_records += combiner_out[t];
+    local_stats.combiner_input_records +=
+        combiner_in[t] + emitters[t].spill_combiner_input();
+    local_stats.combiner_output_records +=
+        combiner_out[t] + emitters[t].spill_combiner_output();
   }
   local_stats.shuffle_records = local_stats.map_output_records;
   local_stats.map_wall_seconds = map_watch.ElapsedSeconds();
 
   // ---- Shuffle phase: concatenate buckets, sort by key. -----------------
+  // Under a spill budget there is nothing to do here: runs are already
+  // sorted (on disk and in the residue buckets) and the merge happens
+  // inside the reduce phase, streaming.
   Stopwatch shuffle_watch;
-  std::vector<std::vector<std::pair<Key, Value>>> partitions(num_partitions);
-  pool.ParallelFor(num_partitions, [&](size_t p) {
-    partitions[p] = mapreduce_internal::MergeSortPartition<Key, Value>(
-        &emitters, p, gauge);
-  });
+  std::vector<std::vector<std::pair<Key, Value>>> partitions(
+      spilling ? 0 : num_partitions);
+  if (!spilling) {
+    pool.ParallelFor(num_partitions, [&](size_t p) {
+      partitions[p] = mapreduce_internal::MergeSortPartition<Key, Value>(
+          &emitters, p, gauge);
+    });
+  }
   local_stats.shuffle_wall_seconds = shuffle_watch.ElapsedSeconds();
 
   // ---- Reduce phase: contiguous key runs. -------------------------------
@@ -616,16 +1235,28 @@ std::vector<Output> RunMapReduceSorted(
   };
   std::vector<PartitionResult> results(num_partitions);
   pool.ParallelFor(num_partitions, [&](size_t p) {
-    auto& partition = partitions[p];
     auto& result = results[p];
-    mapreduce_internal::ReduceSortedRuns<Key, Value>(
-        &partition, options.collect_group_loads, &result.loads,
-        &result.num_groups, [&](const Key& key, std::span<Value> values) {
-          reduce_fn(key, values, &result.outputs);
-        });
-    gauge.Sub(partition.size());
-    partition.clear();
-    partition.shrink_to_fit();
+    if (spilling) {
+      Status s = mapreduce_internal::ReduceMergedRuns<Key, Value>(
+          &emitters, p, spill_context.get(), combiner,
+          options.collect_group_loads, &result.loads, &result.num_groups,
+          [&](const Key& key, std::span<Value> values) {
+            reduce_fn(key, values, &result.outputs);
+          });
+      if (!s.ok()) spill_context->RecordDataLoss(s);
+      // This partition's in-memory residue is gone.
+      gauge.Sub(mapreduce_internal::ReleasePartitionResidue(&emitters, p));
+    } else {
+      auto& partition = partitions[p];
+      mapreduce_internal::ReduceSortedRuns<Key, Value>(
+          &partition, options.collect_group_loads, &result.loads,
+          &result.num_groups, [&](const Key& key, std::span<Value> values) {
+            reduce_fn(key, values, &result.outputs);
+          });
+      gauge.Sub(partition.size());
+      partition.clear();
+      partition.shrink_to_fit();
+    }
     if (options.reduce_partition_epilogue) options.reduce_partition_epilogue();
   });
   std::vector<Output> outputs;
@@ -646,6 +1277,17 @@ std::vector<Output> RunMapReduceSorted(
   local_stats.reduce_output_records = outputs.size();
   local_stats.reduce_wall_seconds = reduce_watch.ElapsedSeconds();
   local_stats.peak_shuffle_records = local_gauge.peak();
+  if (spilling) {
+    local_stats.spilled_records = spill_context->spilled_records();
+    local_stats.spill_files = spill_context->spill_files();
+    local_stats.spill_bytes = spill_context->spill_bytes();
+    local_stats.merge_passes = spill_context->merge_passes();
+    local_stats.peak_resident_records = spill_context->resident().peak();
+    local_stats.spill_status = spill_context->status();
+    local_stats.spill_data_loss = spill_context->data_loss();
+  } else {
+    local_stats.peak_resident_records = local_gauge.peak();
+  }
 
   if (stats != nullptr) *stats = std::move(local_stats);
   return outputs;
@@ -710,6 +1352,9 @@ std::vector<Output> RunFusedMapReduceSorted(
   ShuffleGauge local_gauge;
   const mapreduce_internal::GaugePair gauge{&local_gauge,
                                             options.shuffle_gauge};
+  std::unique_ptr<SpillContext> spill_context =
+      mapreduce_internal::MakeSpillContext(options, &s1);
+  const bool spilling = spill_context != nullptr;
 
   // ---- Stage 1 map. -----------------------------------------------------
   Stopwatch map1_watch;
@@ -719,6 +1364,16 @@ std::vector<Output> RunFusedMapReduceSorted(
   emitters1.reserve(num_map1_tasks);
   for (size_t t = 0; t < num_map1_tasks; ++t) {
     emitters1.emplace_back(num_partitions);
+  }
+  if (spilling) {
+    // Both stages' producers are live at once while stage 1's reduce
+    // feeds stage 2's shuffle, so each stage gets half the job budget,
+    // split evenly over its producers.
+    const size_t share = std::max<size_t>(
+        1, spill_context->budget() / 2 / num_map1_tasks);
+    for (auto& e : emitters1) {
+      e.EnableSpill(spill_context.get(), share, combiner1);
+    }
   }
   std::vector<uint64_t> map1_task_units(num_map1_tasks, 0);
   std::vector<uint64_t> combiner1_in(num_map1_tasks, 0);
@@ -734,26 +1389,34 @@ std::vector<Output> RunFusedMapReduceSorted(
       emitters1[task].Combine(combiner1, &combiner1_in[task],
                               &combiner1_out[task]);
     }
+    emitters1[task].FinishSpill();
     map1_task_units[task] = TakeWorkUnits();
     gauge.Add(emitters1[task].size());
   });
-  for (const auto& e : emitters1) s1.map_output_records += e.size();
+  for (const auto& e : emitters1) {
+    s1.map_output_records += e.size() + e.spilled_records();
+  }
   for (uint64_t units : map1_task_units) s1.map_work_units += units;
   for (size_t t = 0; t < num_map1_tasks; ++t) {
-    s1.combiner_input_records += combiner1_in[t];
-    s1.combiner_output_records += combiner1_out[t];
+    s1.combiner_input_records +=
+        combiner1_in[t] + emitters1[t].spill_combiner_input();
+    s1.combiner_output_records +=
+        combiner1_out[t] + emitters1[t].spill_combiner_output();
   }
   s1.shuffle_records = s1.map_output_records;
   s1.map_wall_seconds = map1_watch.ElapsedSeconds();
 
-  // ---- Stage 1 shuffle. -------------------------------------------------
+  // ---- Stage 1 shuffle (in-memory mode only; under a spill budget the
+  // merge happens streaming, inside the stage-1 reduce). ------------------
   Stopwatch shuffle1_watch;
   std::vector<std::vector<std::pair<Key1, Value1>>> partitions1(
-      num_partitions);
-  pool.ParallelFor(num_partitions, [&](size_t p) {
-    partitions1[p] = mapreduce_internal::MergeSortPartition<Key1, Value1>(
-        &emitters1, p, gauge);
-  });
+      spilling ? 0 : num_partitions);
+  if (!spilling) {
+    pool.ParallelFor(num_partitions, [&](size_t p) {
+      partitions1[p] = mapreduce_internal::MergeSortPartition<Key1, Value1>(
+          &emitters1, p, gauge);
+    });
+  }
   s1.shuffle_wall_seconds = shuffle1_watch.ElapsedSeconds();
 
   // ---- Stage 2 producers: one per stage-1 reduce partition, then one per
@@ -768,6 +1431,13 @@ std::vector<Output> RunFusedMapReduceSorted(
   producers2.reserve(num_partitions + num_map2_tasks);
   for (size_t t = 0; t < num_partitions + num_map2_tasks; ++t) {
     producers2.emplace_back(num_partitions);
+  }
+  if (spilling) {
+    const size_t share = std::max<size_t>(
+        1, spill_context->budget() / 2 / producers2.size());
+    for (auto& producer : producers2) {
+      producer.EnableSpill(spill_context.get(), share, combiner2);
+    }
   }
 
   // ---- Stage 2 side map. -------------------------------------------------
@@ -790,6 +1460,7 @@ std::vector<Output> RunFusedMapReduceSorted(
       out->Combine(combiner2, &combiner2_in[num_partitions + task],
                    &combiner2_out[num_partitions + task]);
     }
+    out->FinishSpill();
     map2_task_units[task] = TakeWorkUnits();
     gauge.Add(out->size());
   });
@@ -804,24 +1475,43 @@ std::vector<Output> RunFusedMapReduceSorted(
   };
   std::vector<Stage1Result> results1(num_partitions);
   pool.ParallelFor(num_partitions, [&](size_t p) {
-    auto& partition = partitions1[p];
     auto& result = results1[p];
     auto* out = &producers2[p];
-    mapreduce_internal::ReduceSortedRuns<Key1, Value1>(
-        &partition, options.collect_group_loads, &result.loads,
-        &result.num_groups,
-        [&](const Key1& key, std::span<Value1> values) {
-          reduce1_fn(key, values, out);
-        });
-    if (combiner2 != nullptr) {
-      // Combine-at-sort on the stage boundary: this partition's emissions
-      // shrink before they are ever counted as stage-2 shuffle residents.
-      out->Combine(combiner2, &combiner2_in[p], &combiner2_out[p]);
+    if (spilling) {
+      Status s = mapreduce_internal::ReduceMergedRuns<Key1, Value1>(
+          &emitters1, p, spill_context.get(), combiner1,
+          options.collect_group_loads, &result.loads, &result.num_groups,
+          [&](const Key1& key, std::span<Value1> values) {
+            reduce1_fn(key, values, out);
+          });
+      if (!s.ok()) spill_context->RecordDataLoss(s);
+      const size_t residue =
+          mapreduce_internal::ReleasePartitionResidue(&emitters1, p);
+      if (combiner2 != nullptr) {
+        out->Combine(combiner2, &combiner2_in[p], &combiner2_out[p]);
+      }
+      out->FinishSpill();
+      gauge.Add(out->size());  // records now live in stage 2's buckets
+      gauge.Sub(residue);      // this stage-1 partition's residue is gone
+    } else {
+      auto& partition = partitions1[p];
+      mapreduce_internal::ReduceSortedRuns<Key1, Value1>(
+          &partition, options.collect_group_loads, &result.loads,
+          &result.num_groups,
+          [&](const Key1& key, std::span<Value1> values) {
+            reduce1_fn(key, values, out);
+          });
+      if (combiner2 != nullptr) {
+        // Combine-at-sort on the stage boundary: this partition's
+        // emissions shrink before they are ever counted as stage-2
+        // shuffle residents.
+        out->Combine(combiner2, &combiner2_in[p], &combiner2_out[p]);
+      }
+      gauge.Add(out->size());       // records now live in stage 2's buckets
+      gauge.Sub(partition.size());  // this stage-1 partition is done
+      partition.clear();
+      partition.shrink_to_fit();
     }
-    gauge.Add(out->size());       // records now live in stage 2's buckets
-    gauge.Sub(partition.size());  // this stage-1 partition is done
-    partition.clear();
-    partition.shrink_to_fit();
     if (options.reduce_partition_epilogue) options.reduce_partition_epilogue();
   });
   for (auto& r : results1) {
@@ -832,26 +1522,31 @@ std::vector<Output> RunFusedMapReduceSorted(
     }
   }
   for (size_t p = 0; p < combiner2_in.size(); ++p) {
-    s2.combiner_input_records += combiner2_in[p];
-    s2.combiner_output_records += combiner2_out[p];
+    s2.combiner_input_records +=
+        combiner2_in[p] + producers2[p].spill_combiner_input();
+    s2.combiner_output_records +=
+        combiner2_out[p] + producers2[p].spill_combiner_output();
   }
   for (size_t p = 0; p < num_partitions; ++p) {
-    s1.reduce_output_records += producers2[p].size();
+    s1.reduce_output_records +=
+        producers2[p].size() + producers2[p].spilled_records();
   }
   s1.reduce_wall_seconds = reduce1_watch.ElapsedSeconds();
   for (const auto& producer : producers2) {
-    s2.map_output_records += producer.size();
+    s2.map_output_records += producer.size() + producer.spilled_records();
   }
   s2.shuffle_records = s2.map_output_records;
 
-  // ---- Stage 2 shuffle. --------------------------------------------------
+  // ---- Stage 2 shuffle (in-memory mode only, like stage 1's). ------------
   Stopwatch shuffle2_watch;
   std::vector<std::vector<std::pair<Key2, Value2>>> partitions2(
-      num_partitions);
-  pool.ParallelFor(num_partitions, [&](size_t p) {
-    partitions2[p] = mapreduce_internal::MergeSortPartition<Key2, Value2>(
-        &producers2, p, gauge);
-  });
+      spilling ? 0 : num_partitions);
+  if (!spilling) {
+    pool.ParallelFor(num_partitions, [&](size_t p) {
+      partitions2[p] = mapreduce_internal::MergeSortPartition<Key2, Value2>(
+          &producers2, p, gauge);
+    });
+  }
   s2.shuffle_wall_seconds = shuffle2_watch.ElapsedSeconds();
 
   // ---- Stage 2 reduce. ---------------------------------------------------
@@ -863,17 +1558,29 @@ std::vector<Output> RunFusedMapReduceSorted(
   };
   std::vector<Stage2Result> results2(num_partitions);
   pool.ParallelFor(num_partitions, [&](size_t p) {
-    auto& partition = partitions2[p];
     auto& result = results2[p];
-    mapreduce_internal::ReduceSortedRuns<Key2, Value2>(
-        &partition, options.collect_group_loads, &result.loads,
-        &result.num_groups,
-        [&](const Key2& key, std::span<Value2> values) {
-          reduce2_fn(key, values, &result.outputs);
-        });
-    gauge.Sub(partition.size());
-    partition.clear();
-    partition.shrink_to_fit();
+    if (spilling) {
+      Status s = mapreduce_internal::ReduceMergedRuns<Key2, Value2>(
+          &producers2, p, spill_context.get(), combiner2,
+          options.collect_group_loads, &result.loads, &result.num_groups,
+          [&](const Key2& key, std::span<Value2> values) {
+            reduce2_fn(key, values, &result.outputs);
+          });
+      if (!s.ok()) spill_context->RecordDataLoss(s);
+      gauge.Sub(
+          mapreduce_internal::ReleasePartitionResidue(&producers2, p));
+    } else {
+      auto& partition = partitions2[p];
+      mapreduce_internal::ReduceSortedRuns<Key2, Value2>(
+          &partition, options.collect_group_loads, &result.loads,
+          &result.num_groups,
+          [&](const Key2& key, std::span<Value2> values) {
+            reduce2_fn(key, values, &result.outputs);
+          });
+      gauge.Sub(partition.size());
+      partition.clear();
+      partition.shrink_to_fit();
+    }
     if (options.reduce_partition_epilogue) options.reduce_partition_epilogue();
   });
   std::vector<Output> outputs;
@@ -895,6 +1602,25 @@ std::vector<Output> RunFusedMapReduceSorted(
   s2.reduce_wall_seconds = reduce2_watch.ElapsedSeconds();
   s1.peak_shuffle_records = local_gauge.peak();
   s2.peak_shuffle_records = local_gauge.peak();
+  if (spilling) {
+    // The stages share one spill context (budget, directory, gauge); the
+    // fused-job totals are reported on stage 2 — the stage whose stats
+    // callers inspect for the job's end state — with the shared peak and
+    // status mirrored on both, like the shuffle gauge.
+    s2.spilled_records = spill_context->spilled_records();
+    s2.spill_files = spill_context->spill_files();
+    s2.spill_bytes = spill_context->spill_bytes();
+    s2.merge_passes = spill_context->merge_passes();
+    s1.peak_resident_records = spill_context->resident().peak();
+    s2.peak_resident_records = spill_context->resident().peak();
+    s1.spill_status = spill_context->status();
+    s2.spill_status = spill_context->status();
+    s1.spill_data_loss = spill_context->data_loss();
+    s2.spill_data_loss = spill_context->data_loss();
+  } else {
+    s1.peak_resident_records = local_gauge.peak();
+    s2.peak_resident_records = local_gauge.peak();
+  }
 
   if (stage1_stats != nullptr) *stage1_stats = std::move(s1);
   if (stage2_stats != nullptr) *stage2_stats = std::move(s2);

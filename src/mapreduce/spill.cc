@@ -1,0 +1,320 @@
+#include "mapreduce/spill.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "common/hash.h"
+
+namespace tsj {
+
+namespace {
+
+// Buffered FILE*-backed byte stream: the production SpillIo.
+class FileSpillIo final : public SpillIo {
+ public:
+  ~FileSpillIo() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Open(const std::string& path, bool for_write) override {
+    if (file_ != nullptr) {
+      return Status::FailedPrecondition("spill io already open");
+    }
+    file_ = std::fopen(path.c_str(), for_write ? "wb" : "rb");
+    if (file_ == nullptr) {
+      return Status::Internal("cannot open spill file " + path + ": " +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<size_t> Write(const char* data, size_t size) override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("spill io not open");
+    }
+    const size_t written = std::fwrite(data, 1, size, file_);
+    if (written < size && std::ferror(file_) != 0) {
+      if (errno == ENOSPC) {
+        return Status::ResourceExhausted("spill write: disk full");
+      }
+      // Preserve the real errno (EIO, EDQUOT, ...) instead of letting the
+      // frame layer misreport a device error as a generic short write.
+      return Status::Internal(std::string("spill write failed: ") +
+                              std::strerror(errno));
+    }
+    return written;  // short writes are diagnosed by the frame layer
+  }
+
+  StatusOr<size_t> Read(char* data, size_t size) override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("spill io not open");
+    }
+    const size_t read = std::fread(data, 1, size, file_);
+    if (read < size && std::ferror(file_) != 0) {
+      return Status::Internal(std::string("spill read failed: ") +
+                              std::strerror(errno));
+    }
+    return read;
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) {
+      return Status::Internal(std::string("spill close failed: ") +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<SpillIo> MakeDefaultSpillIo() {
+  return std::make_unique<FileSpillIo>();
+}
+
+size_t SpillBudgetFromEnv() {
+  static const size_t budget = [] {
+    const char* value = std::getenv("CC_SHUFFLE_SPILL_BUDGET");
+    if (value == nullptr || *value == '\0') return size_t{0};
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value) return size_t{0};
+    return static_cast<size_t>(parsed);
+  }();
+  return budget;
+}
+
+void RemoveSpillFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // best effort
+}
+
+// ---- SpillFrameWriter ------------------------------------------------------
+
+namespace {
+// Runs accumulate in this buffer before hitting the io; one io Write per
+// ~256 KiB keeps the seam call count (and fault-injection granularity)
+// reasonable without holding large buffers per producer.
+constexpr size_t kSpillWriteBufferBytes = 256 * 1024;
+}  // namespace
+
+SpillFrameWriter::SpillFrameWriter(std::unique_ptr<SpillIo> io)
+    : io_(std::move(io)) {}
+
+SpillFrameWriter::~SpillFrameWriter() {
+  if (open_) io_->Close();  // error already reported via Finish, or Finish
+                            // was never reached: nothing more to do with it
+}
+
+Status SpillFrameWriter::Open(const std::string& path) {
+  Status s = io_->Open(path, /*for_write=*/true);
+  open_ = s.ok();
+  return s;
+}
+
+Status SpillFrameWriter::WriteFrame(const char* payload, size_t size) {
+  if (!open_) return Status::FailedPrecondition("spill writer not open");
+  if (size > kMaxSpillFrameBytes) {
+    return Status::InvalidArgument("spill frame larger than the format cap");
+  }
+  const uint32_t prefix = static_cast<uint32_t>(size);
+  buffer_.append(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
+  buffer_.append(payload, size);
+  if (buffer_.size() >= kSpillWriteBufferBytes) return FlushBuffer();
+  return Status::OK();
+}
+
+Status SpillFrameWriter::FlushBuffer() {
+  size_t offset = 0;
+  while (offset < buffer_.size()) {
+    StatusOr<size_t> written =
+        io_->Write(buffer_.data() + offset, buffer_.size() - offset);
+    if (!written.ok()) return written.status();
+    if (*written == 0) {
+      return Status::ResourceExhausted(
+          "spill write made no progress (short write)");
+    }
+    offset += *written;
+    bytes_written_ += *written;
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status SpillFrameWriter::Finish() {
+  if (!open_) return Status::FailedPrecondition("spill writer not open");
+  Status s = FlushBuffer();
+  open_ = false;
+  Status close_status = io_->Close();
+  if (!s.ok()) return s;
+  return close_status;
+}
+
+// ---- SpillFrameReader ------------------------------------------------------
+
+SpillFrameReader::SpillFrameReader(std::unique_ptr<SpillIo> io)
+    : io_(std::move(io)) {}
+
+SpillFrameReader::~SpillFrameReader() {
+  if (open_) io_->Close();
+}
+
+Status SpillFrameReader::Open(const std::string& path) {
+  Status s = io_->Open(path, /*for_write=*/false);
+  open_ = s.ok();
+  return s;
+}
+
+StatusOr<size_t> SpillFrameReader::ReadFully(char* data, size_t size) {
+  size_t total = 0;
+  while (total < size) {
+    StatusOr<size_t> read = io_->Read(data + total, size - total);
+    if (!read.ok()) return read.status();
+    if (*read == 0) break;  // end of file
+    total += *read;
+  }
+  return total;
+}
+
+Status SpillFrameReader::ReadFrame(std::string* payload, bool* eof) {
+  if (!open_) return Status::FailedPrecondition("spill reader not open");
+  *eof = false;
+  uint32_t prefix = 0;
+  StatusOr<size_t> header =
+      ReadFully(reinterpret_cast<char*>(&prefix), sizeof(prefix));
+  if (!header.ok()) return header.status();
+  if (*header == 0) {
+    *eof = true;  // clean end between frames
+    return Status::OK();
+  }
+  if (*header < sizeof(prefix)) {
+    return Status::Internal("truncated spill frame header");
+  }
+  if (prefix > kMaxSpillFrameBytes) {
+    return Status::Internal("corrupt spill frame length prefix");
+  }
+  payload->resize(prefix);
+  StatusOr<size_t> body = ReadFully(payload->data(), prefix);
+  if (!body.ok()) return body.status();
+  if (*body < prefix) {
+    return Status::Internal(
+        "torn spill frame: payload shorter than its length prefix");
+  }
+  return Status::OK();
+}
+
+Status SpillFrameReader::Close() {
+  if (!open_) return Status::OK();
+  open_ = false;
+  return io_->Close();
+}
+
+// ---- SpillContext ----------------------------------------------------------
+
+SpillContext::SpillContext(size_t budget, std::string dir,
+                           SpillIoFactory factory)
+    : budget_(budget),
+      dir_(std::move(dir)),
+      factory_(std::move(factory)),
+      tag_(Mix64(static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this)) ^
+                 (static_cast<uint64_t>(::getpid()) << 32))) {}
+
+SpillContext::~SpillContext() {
+  // Every file this context ever named is removed (runs are per-job); an
+  // owned temp directory goes with them. All best effort: teardown must
+  // not fail a job that already reported its real error.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& path : created_paths_) RemoveSpillFile(path);
+  }
+  if (owns_dir_) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+}
+
+Status SpillContext::Init() {
+  std::error_code ec;
+  if (!dir_.empty()) {
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      return Status::Internal("cannot create spill dir " + dir_ + ": " +
+                              ec.message());
+    }
+    return Status::OK();
+  }
+  // Owned unique temp directory; pid + address + attempt make the name
+  // unique across concurrent jobs and processes.
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path(ec);
+  if (ec) {
+    return Status::Internal("no temp directory for spill: " + ec.message());
+  }
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "tsj-spill-%016llx-%d",
+                  static_cast<unsigned long long>(tag_), attempt);
+    const std::filesystem::path candidate = base / name;
+    if (std::filesystem::create_directory(candidate, ec)) {
+      dir_ = candidate.string();
+      owns_dir_ = true;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("cannot create a unique spill temp directory");
+}
+
+std::string SpillContext::NewRunPath() {
+  const uint64_t seq = file_seq_.fetch_add(1, std::memory_order_relaxed);
+  char name[64];
+  // The context tag keeps concurrent jobs sharing one explicit spill_dir
+  // from overwriting (and later deleting) each other's runs.
+  std::snprintf(name, sizeof(name), "/run-%016llx-%llu.spill",
+                static_cast<unsigned long long>(tag_),
+                static_cast<unsigned long long>(seq));
+  std::string path = dir_ + name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  created_paths_.push_back(path);
+  return path;
+}
+
+std::unique_ptr<SpillIo> SpillContext::NewIo() const {
+  if (factory_) return factory_();
+  return MakeDefaultSpillIo();
+}
+
+void SpillContext::RecordError(const Status& status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_.ok()) error_ = status;
+}
+
+void SpillContext::RecordDataLoss(const Status& status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_.ok()) error_ = status;
+  if (data_loss_.ok()) data_loss_ = status;
+}
+
+Status SpillContext::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return error_;
+}
+
+Status SpillContext::data_loss() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_loss_;
+}
+
+}  // namespace tsj

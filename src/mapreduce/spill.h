@@ -1,0 +1,440 @@
+// External-memory spill for the sorted shuffle (mapreduce.h).
+//
+// When a MapReduce job runs under a MapReduceOptions::memory_budget_records
+// policy, PartitionedEmitter flushes over-budget partition buckets to disk
+// as *sorted runs* and the engine later streams each shuffle partition back
+// through a k-way sort-merge, so reducers keep seeing contiguous key runs
+// (std::span) while the resident record count stays bounded by the budget
+// plus the active merge windows. This header provides the pieces below the
+// engine:
+//
+//  * SpillIo — the byte-level I/O seam. The default implementation is a
+//    buffered FILE*; tests wrap it to inject short writes, ENOSPC and
+//    truncated reads (tests/spill_test.cc), which must surface as clean
+//    Status errors — never a crash, never silent record loss.
+//  * SpillCodec<T> — the record serializer: trivially copyable types are
+//    memcpy'd; std::string, std::pair, std::tuple and std::vector compose
+//    recursively. This covers every Key/Value shape the engines shuffle
+//    (the same shapes StableHash supports). Callers with exotic types can
+//    pass their own serializer to the run writer/reader.
+//  * SpillRunWriter / SpillRunReader — one sorted run as a sequence of
+//    framed, length-prefixed records ([u32 payload size][payload]). A torn
+//    final frame (the classic crash-mid-write artifact) is detected by the
+//    length prefix; bogus lengths and short payload decodes are reported
+//    as corrupt frames.
+//  * SpillContext — per-job shared state: the budget, the spill directory
+//    (owned temp dir unless the caller provided one), run-file naming, the
+//    spill counters (spilled_records / spill_files / spill_bytes /
+//    merge_passes), the peak-resident-records gauge that proves the budget
+//    is honored, and the first I/O error (sticky; JobStats::spill_status).
+//
+// The merge itself (run cursors, hierarchical pre-merge passes, the
+// streamed reduce) lives in mapreduce.h next to the engines, because it is
+// templated over the job's Key/Value types.
+
+#ifndef TSJ_MAPREDUCE_SPILL_H_
+#define TSJ_MAPREDUCE_SPILL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/job_stats.h"
+
+namespace tsj {
+
+// ---- Byte-level I/O seam ---------------------------------------------------
+
+/// One spill file's byte stream. Implementations need not be thread-safe:
+/// a SpillIo instance is used by one thread at a time. Write may report
+/// fewer bytes than requested (a short write — disk full, signal, fault
+/// injection); the frame layer turns that into a Status error. Read
+/// returns 0 at end of file.
+class SpillIo {
+ public:
+  virtual ~SpillIo() = default;
+  virtual Status Open(const std::string& path, bool for_write) = 0;
+  virtual StatusOr<size_t> Write(const char* data, size_t size) = 0;
+  virtual StatusOr<size_t> Read(char* data, size_t size) = 0;
+  virtual Status Close() = 0;
+};
+
+/// Factory for SpillIo instances (one per spill file). Tests install a
+/// factory returning fault-injecting wrappers via
+/// MapReduceOptions::spill_io_factory.
+using SpillIoFactory = std::function<std::unique_ptr<SpillIo>()>;
+
+/// The default FILE*-backed implementation.
+std::unique_ptr<SpillIo> MakeDefaultSpillIo();
+
+/// Test-tier budget override: the CC_SHUFFLE_SPILL_BUDGET environment
+/// variable (a record count), read once per process. When set, sorted-mode
+/// jobs whose options carry no explicit memory_budget_records run under
+/// this budget — which lets CI exercise the spill path through every
+/// existing streaming test without touching call sites. 0 when unset or
+/// unparsable.
+size_t SpillBudgetFromEnv();
+
+/// Best-effort removal of one spill file (used after write failures and by
+/// SpillContext teardown). Missing files are fine.
+void RemoveSpillFile(const std::string& path);
+
+// ---- Record serialization --------------------------------------------------
+
+namespace spill_internal {
+
+template <typename T>
+struct IsPair : std::false_type {};
+template <typename A, typename B>
+struct IsPair<std::pair<A, B>> : std::true_type {};
+
+template <typename T>
+struct IsTuple : std::false_type {};
+template <typename... Ts>
+struct IsTuple<std::tuple<Ts...>> : std::true_type {};
+
+template <typename T>
+struct IsVector : std::false_type {};
+template <typename E>
+struct IsVector<std::vector<E>> : std::true_type {};
+
+}  // namespace spill_internal
+
+/// Byte serializer for spillable values: structural types (string, pair,
+/// tuple, vector) compose recursively, everything else must be trivially
+/// copyable and is memcpy'd. Encode appends to `out`; Decode consumes from
+/// [*p, end), advancing *p, and returns false when the buffer is too short
+/// (a corrupt or truncated frame).
+template <typename T>
+struct SpillCodec {
+  static void Encode(const T& value, std::string* out) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      const uint32_t size = static_cast<uint32_t>(value.size());
+      out->append(reinterpret_cast<const char*>(&size), sizeof(size));
+      out->append(value.data(), value.size());
+    } else if constexpr (spill_internal::IsPair<T>::value) {
+      SpillCodec<typename T::first_type>::Encode(value.first, out);
+      SpillCodec<typename T::second_type>::Encode(value.second, out);
+    } else if constexpr (spill_internal::IsTuple<T>::value) {
+      std::apply(
+          [out](const auto&... parts) {
+            (SpillCodec<std::decay_t<decltype(parts)>>::Encode(parts, out),
+             ...);
+          },
+          value);
+    } else if constexpr (spill_internal::IsVector<T>::value) {
+      const uint32_t count = static_cast<uint32_t>(value.size());
+      out->append(reinterpret_cast<const char*>(&count), sizeof(count));
+      for (const auto& element : value) {
+        SpillCodec<typename T::value_type>::Encode(element, out);
+      }
+    } else {
+      static_assert(std::is_trivially_copyable_v<T>,
+                    "SpillCodec: type is neither structural (string, pair, "
+                    "tuple, vector) nor trivially copyable; provide a "
+                    "custom serializer");
+      out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+    }
+  }
+
+  static bool Decode(const char** p, const char* end, T* value) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      uint32_t size = 0;
+      if (static_cast<size_t>(end - *p) < sizeof(size)) return false;
+      std::memcpy(&size, *p, sizeof(size));
+      *p += sizeof(size);
+      if (static_cast<size_t>(end - *p) < size) return false;
+      value->assign(*p, size);
+      *p += size;
+      return true;
+    } else if constexpr (spill_internal::IsPair<T>::value) {
+      return SpillCodec<typename T::first_type>::Decode(p, end,
+                                                        &value->first) &&
+             SpillCodec<typename T::second_type>::Decode(p, end,
+                                                         &value->second);
+    } else if constexpr (spill_internal::IsTuple<T>::value) {
+      return std::apply(
+          [p, end](auto&... parts) {
+            return (SpillCodec<std::decay_t<decltype(parts)>>::Decode(
+                        p, end, &parts) &&
+                    ...);
+          },
+          *value);
+    } else if constexpr (spill_internal::IsVector<T>::value) {
+      uint32_t count = 0;
+      if (static_cast<size_t>(end - *p) < sizeof(count)) return false;
+      std::memcpy(&count, *p, sizeof(count));
+      *p += sizeof(count);
+      // Every element encodes at least one byte, so a count beyond the
+      // remaining payload is a corrupt frame — reject it BEFORE reserve,
+      // or a bit-flipped count turns into a multi-GiB allocation
+      // (std::bad_alloc aborts; the contract is a clean decode failure).
+      if (count > static_cast<size_t>(end - *p)) return false;
+      value->clear();
+      value->reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        typename T::value_type element;
+        if (!SpillCodec<typename T::value_type>::Decode(p, end, &element)) {
+          return false;
+        }
+        value->push_back(std::move(element));
+      }
+      return true;
+    } else {
+      if (static_cast<size_t>(end - *p) < sizeof(T)) return false;
+      std::memcpy(value, *p, sizeof(T));
+      *p += sizeof(T);
+      return true;
+    }
+  }
+};
+
+/// The serializer the engines use for a shuffle record: Key then Value,
+/// both through SpillCodec. Parse fails (corrupt frame) when the payload
+/// is short or carries trailing bytes.
+template <typename Key, typename Value>
+struct DefaultSpillSerializer {
+  void operator()(const std::pair<Key, Value>& record,
+                  std::string* out) const {
+    SpillCodec<Key>::Encode(record.first, out);
+    SpillCodec<Value>::Encode(record.second, out);
+  }
+  bool Parse(const char* data, size_t size,
+             std::pair<Key, Value>* record) const {
+    const char* p = data;
+    const char* end = data + size;
+    return SpillCodec<Key>::Decode(&p, end, &record->first) &&
+           SpillCodec<Value>::Decode(&p, end, &record->second) && p == end;
+  }
+};
+
+// ---- Framed run files ------------------------------------------------------
+
+/// Upper bound on one frame's payload; a length prefix beyond it is a
+/// corrupt frame, not an allocation request.
+inline constexpr uint32_t kMaxSpillFrameBytes = 1u << 30;
+
+/// Granularity at which producers and merges publish their local
+/// residency deltas into the shared SpillContext gauge: one atomic RMW
+/// per batch instead of per record, so the spill path never reintroduces
+/// the per-record cross-core traffic the contention-relief tier removed.
+/// Part of the documented peak_resident_records slack.
+inline constexpr size_t kSpillResidentPublishBatch = 64;
+
+/// Byte-level writer of one run file: a sequence of length-prefixed
+/// frames, buffered, every short write reported as an error.
+class SpillFrameWriter {
+ public:
+  explicit SpillFrameWriter(std::unique_ptr<SpillIo> io);
+  ~SpillFrameWriter();
+
+  Status Open(const std::string& path);
+  Status WriteFrame(const char* payload, size_t size);
+  /// Flushes and closes; the run is only complete when Finish returned OK.
+  Status Finish();
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status FlushBuffer();
+
+  std::unique_ptr<SpillIo> io_;
+  std::string buffer_;
+  uint64_t bytes_written_ = 0;
+  bool open_ = false;
+};
+
+/// Byte-level reader of one run file. A clean end-of-file between frames
+/// sets *eof; anything else mid-frame (torn header, payload shorter than
+/// its length prefix, absurd length) is a Status error.
+class SpillFrameReader {
+ public:
+  explicit SpillFrameReader(std::unique_ptr<SpillIo> io);
+  ~SpillFrameReader();
+
+  Status Open(const std::string& path);
+  Status ReadFrame(std::string* payload, bool* eof);
+  Status Close();
+
+ private:
+  StatusOr<size_t> ReadFully(char* data, size_t size);
+
+  std::unique_ptr<SpillIo> io_;
+  bool open_ = false;
+};
+
+/// Writes one sorted spill run of (Key, Value) records through a
+/// serializer (DefaultSpillSerializer unless the caller brings its own).
+template <typename Key, typename Value,
+          typename Serializer = DefaultSpillSerializer<Key, Value>>
+class SpillRunWriter {
+ public:
+  explicit SpillRunWriter(std::unique_ptr<SpillIo> io,
+                          Serializer serializer = Serializer())
+      : frames_(std::move(io)), serializer_(std::move(serializer)) {}
+
+  Status Open(const std::string& path) { return frames_.Open(path); }
+
+  Status Append(const std::pair<Key, Value>& record) {
+    scratch_.clear();
+    serializer_(record, &scratch_);
+    Status s = frames_.WriteFrame(scratch_.data(), scratch_.size());
+    if (s.ok()) ++records_written_;
+    return s;
+  }
+
+  Status Finish() { return frames_.Finish(); }
+  uint64_t bytes_written() const { return frames_.bytes_written(); }
+  uint64_t records_written() const { return records_written_; }
+
+ private:
+  SpillFrameWriter frames_;
+  Serializer serializer_;
+  std::string scratch_;
+  uint64_t records_written_ = 0;
+};
+
+/// Reads one spill run back. Next sets *done on clean end of run; torn or
+/// corrupt frames come back as error Status (never a partial record).
+template <typename Key, typename Value,
+          typename Serializer = DefaultSpillSerializer<Key, Value>>
+class SpillRunReader {
+ public:
+  explicit SpillRunReader(std::unique_ptr<SpillIo> io,
+                          Serializer serializer = Serializer())
+      : frames_(std::move(io)), serializer_(std::move(serializer)) {}
+
+  Status Open(const std::string& path) { return frames_.Open(path); }
+
+  Status Next(std::pair<Key, Value>* record, bool* done) {
+    bool eof = false;
+    Status s = frames_.ReadFrame(&payload_, &eof);
+    if (!s.ok()) return s;
+    if (eof) {
+      *done = true;
+      return Status::OK();
+    }
+    if (!serializer_.Parse(payload_.data(), payload_.size(), record)) {
+      return Status::Internal("corrupt spill frame payload");
+    }
+    *done = false;
+    return Status::OK();
+  }
+
+  Status Close() { return frames_.Close(); }
+
+ private:
+  SpillFrameReader frames_;
+  Serializer serializer_;
+  std::string payload_;
+};
+
+// ---- Per-job spill state ---------------------------------------------------
+
+/// Shared by every producer and merge of one job (thread-safe). Owns the
+/// spill directory when it created one (removed, with every file it ever
+/// named, at destruction), tracks the spill counters JobStats reports, and
+/// carries the job's peak-resident-records gauge: emitters Add on every
+/// emit and Sub on every flush, merges Add/Sub their active window, so
+/// `resident().peak()` is the in-memory high-water mark the budget bounds
+/// (slack: one merge window per concurrent reduce worker plus one record
+/// per producer, the flush trigger's overshoot).
+class SpillContext {
+ public:
+  /// budget > 0 (records). `dir` empty = create an owned temp directory.
+  /// `factory` null = default FILE* io. Call Init() before use.
+  SpillContext(size_t budget, std::string dir, SpillIoFactory factory);
+  ~SpillContext();
+
+  SpillContext(const SpillContext&) = delete;
+  SpillContext& operator=(const SpillContext&) = delete;
+
+  /// Creates/validates the spill directory.
+  Status Init();
+
+  size_t budget() const { return budget_; }
+
+  /// A fresh unique run-file path (registered for teardown removal).
+  std::string NewRunPath();
+
+  /// A fresh SpillIo from the configured factory (or the default).
+  std::unique_ptr<SpillIo> NewIo() const;
+
+  ShuffleGauge& resident() { return resident_; }
+
+  void AddRunFile(uint64_t records, uint64_t bytes) {
+    spilled_records_.fetch_add(records, std::memory_order_relaxed);
+    spill_files_.fetch_add(1, std::memory_order_relaxed);
+    spill_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  /// One hierarchical pre-merge pass over a partition's runs (the final
+  /// streamed merge into the reducer is not counted: it is always exactly
+  /// one pass per spilled partition, counted separately by the engine).
+  void AddMergePass() {
+    merge_passes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// First error wins; later ones are dropped (the first failure is the
+  /// actionable one; everything after is usually fallout). Use for
+  /// *degraded* faults — failed spill writes whose records stayed in
+  /// memory, so the job's output is still complete.
+  void RecordError(const Status& status);
+  /// Like RecordError, but for *lossy* faults: a failed read or merge
+  /// aborted a partition whose records were already on disk, so the
+  /// job's output may be incomplete. Recorded into both status() and
+  /// data_loss().
+  void RecordDataLoss(const Status& status);
+  /// OK unless some spill I/O failed (degraded or lossy). Engines copy
+  /// this into JobStats::spill_status for observability.
+  Status status() const;
+  /// OK unless output may be incomplete (JobStats::spill_data_loss) —
+  /// the only fault class that must fail a pipeline's result.
+  Status data_loss() const;
+
+  uint64_t spilled_records() const {
+    return spilled_records_.load(std::memory_order_relaxed);
+  }
+  uint64_t spill_files() const {
+    return spill_files_.load(std::memory_order_relaxed);
+  }
+  uint64_t spill_bytes() const {
+    return spill_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t merge_passes() const {
+    return merge_passes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t budget_;
+  std::string dir_;
+  bool owns_dir_ = false;
+  SpillIoFactory factory_;
+  /// Per-context tag baked into every run-file name, so concurrent jobs
+  /// pointed at the same explicit spill_dir never collide (the owned
+  /// temp dir is unique anyway; an explicit dir is not).
+  uint64_t tag_ = 0;
+  std::atomic<uint64_t> file_seq_{0};
+  ShuffleGauge resident_;
+
+  std::atomic<uint64_t> spilled_records_{0};
+  std::atomic<uint64_t> spill_files_{0};
+  std::atomic<uint64_t> spill_bytes_{0};
+  std::atomic<uint64_t> merge_passes_{0};
+
+  mutable std::mutex mutex_;  // guards the statuses and created_paths_
+  Status error_;
+  Status data_loss_;
+  std::vector<std::string> created_paths_;
+};
+
+}  // namespace tsj
+
+#endif  // TSJ_MAPREDUCE_SPILL_H_

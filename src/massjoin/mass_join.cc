@@ -55,6 +55,7 @@ std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
   // classic 4-per-worker granularity bounded by the token count, instead
   // of whatever fixed knob the caller configured.
   MapReduceOptions mr_options = options.mapreduce;
+  if (!options.enable_shuffle_spill) mr_options.memory_budget_records = 0;
   if (options.adaptive_partitions) {
     uint64_t total_len = 0, max_len = 0;
     for (const std::string& token : tokens) {

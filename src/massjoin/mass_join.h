@@ -47,6 +47,15 @@ struct MassJoinOptions {
   /// picks the classic 4-per-worker granularity bounded by the key count.
   /// Lossless: results are partition-count-invariant.
   bool adaptive_partitions = true;
+  /// External-memory shuffle spill (mapreduce/spill.h): when enabled AND
+  /// mapreduce.memory_budget_records is set, the fused generate/verify
+  /// job bounds its resident shuffle records by the budget (sorted runs
+  /// on disk, k-way merge at reduce time). Lossless. Off by default (the
+  /// budget is then ignored). MassJoinSelfNld returns a plain vector, so
+  /// spill faults surface through the JobStats::spill_status /
+  /// spill_data_loss entries appended to `stats` — TSJ checks the lossy
+  /// class and fails its join on it.
+  bool enable_shuffle_spill = false;
 };
 
 /// Self-joins `tokens` under NLD <= threshold (0 <= threshold < 1) using

@@ -98,6 +98,7 @@ std::vector<VsmartPair> VsmartSelfJoin(
   // emissions out of its reduce group — the same quadratic hot-key shape
   // as TSJ's shared-token reduce.
   MapReduceOptions join_mr = options.mapreduce;
+  if (!options.enable_shuffle_spill) join_mr.memory_budget_records = 0;
   if (options.adaptive_partitions) {
     KeyLoadProfile profile;
     for (const auto& [token, f] : frequency) {
@@ -160,6 +161,7 @@ std::vector<VsmartPair> VsmartSelfJoin(
   // would change floating-point addition order, and the measures are only
   // order-insensitive up to rounding (see the job-1 note above).
   MapReduceOptions similarity_mr = options.mapreduce;
+  if (!options.enable_shuffle_spill) similarity_mr.memory_budget_records = 0;
   if (options.adaptive_partitions) {
     similarity_mr.num_partitions = AdaptivePartitionCount(
         similarity_mr.effective_workers(), partials.size(), partials.size(),

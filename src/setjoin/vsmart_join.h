@@ -52,6 +52,14 @@ struct VsmartOptions {
   /// profile; mapreduce.num_partitions stays the fallback/off value.
   /// Lossless: results are partition-count-invariant.
   bool adaptive_partitions = true;
+  /// External-memory shuffle spill (mapreduce/spill.h): when enabled AND
+  /// mapreduce.memory_budget_records is set, both phases bound their
+  /// resident shuffle records by the budget (sorted runs on disk, k-way
+  /// merge at reduce time). Lossless. Off by default (the budget is then
+  /// ignored). VsmartSelfJoin returns a plain vector, so spill faults
+  /// surface through the JobStats::spill_status / spill_data_loss
+  /// entries in `stats` (the latter means possibly incomplete output).
+  bool enable_shuffle_spill = false;
 };
 
 /// One joined pair of multiset indices (a < b) with its similarity.

@@ -119,6 +119,25 @@ struct TsjOptions {
   /// does).
   bool enable_l1_verify_cache = true;
 
+  /// External-memory shuffle spill (mapreduce/spill.h; streaming mode
+  /// only): when enabled AND mapreduce.memory_budget_records is set, the
+  /// fused pipeline's jobs keep at most that many shuffle records
+  /// resident, flushing over-budget partition buckets to disk as sorted
+  /// (and combined) runs and driving the dedup/verify reducers from a
+  /// k-way sort-merge of the runs — so corpora whose candidate shuffle
+  /// outgrows RAM still join. Lossless: byte-identical pairs, NSLD values
+  /// and candidate/filter counters (the spill-forced differential sweep
+  /// pins it). Off by default: the budget in mapreduce options is ignored
+  /// unless this is set (the CC_SHUFFLE_SPILL_BUDGET test-tier override
+  /// bypasses this gate by design — see mapreduce.h). Lossy spill faults
+  /// (a failed run read aborted a merge; output may be incomplete)
+  /// surface as the join's error Status; degraded write faults keep
+  /// their complete in-memory results and are reported via the per-job
+  /// JobStats::spill_status only. TsjRunInfo reports
+  /// spilled_records/spill_files/spill_bytes/merge_passes and the
+  /// peak-resident-records gauge that proves the budget held.
+  bool enable_shuffle_spill = false;
+
   /// Skew-adaptive shuffle partitioning (mapreduce/cluster_model.h,
   /// AdaptivePartitionCount): the run derives its shuffle partition count
   /// from the token-frequency profile it computes anyway — more

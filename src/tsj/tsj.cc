@@ -206,6 +206,10 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   ShuffleGauge gauge;
   MapReduceOptions mr_options = options_.mapreduce;
   mr_options.shuffle_gauge = &gauge;
+  // Spill gating: the engine-level budget applies only when the
+  // join-level switch is on (the CC_SHUFFLE_SPILL_BUDGET test override
+  // is engine-level and bypasses this gate by design).
+  if (!options_.enable_shuffle_spill) mr_options.memory_budget_records = 0;
 
   // ---- Token statistics: frequencies and the high-frequency cutoff. ----
   const std::vector<uint32_t> frequency =
@@ -276,6 +280,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
     }
     MassJoinOptions mass_options;
     mass_options.mapreduce = mr_options;
+    mass_options.enable_shuffle_spill = options_.enable_shuffle_spill;
     const std::vector<NldPair> token_pairs =
         MassJoinSelfNld(token_texts, t, mass_options, &mass_stats);
     local_info.similar_token_pairs = token_pairs.size();
@@ -599,8 +604,23 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
       local_info.pipeline.total_combiner_input_records();
   local_info.combiner_output_records =
       local_info.pipeline.total_combiner_output_records();
+  local_info.spilled_records = local_info.pipeline.total_spilled_records();
+  local_info.spill_files = local_info.pipeline.total_spill_files();
+  local_info.spill_bytes = local_info.pipeline.total_spill_bytes();
+  local_info.merge_passes = local_info.pipeline.total_merge_passes();
+  local_info.peak_resident_records =
+      local_info.pipeline.max_peak_resident_records();
   local_info.result_pairs = results.size();
   local_info.peak_shuffle_records = gauge.peak();
+  // Lossy spill faults (failed run reads: a partition's merge aborted,
+  // records may be missing) become the join's error. Degraded write
+  // faults are deliberately NOT an error — their records stayed in
+  // memory and the result is complete; they remain visible through the
+  // per-job JobStats::spill_status entries in the pipeline.
+  if (Status s = local_info.pipeline.first_spill_data_loss(); !s.ok()) {
+    if (info != nullptr) *info = std::move(local_info);
+    return s;
+  }
   if (info != nullptr) *info = std::move(local_info);
   return results;
 }
@@ -657,6 +677,8 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
   ShuffleGauge gauge;
   MapReduceOptions mr_options = options_.mapreduce;
   mr_options.shuffle_gauge = &gauge;
+  // Spill gating, as in SelfJoin.
+  if (!options_.enable_shuffle_spill) mr_options.memory_budget_records = 0;
 
   // ---- Joint token space. ------------------------------------------------
   // Tokens are interned per corpus; the join needs one id space covering
@@ -750,6 +772,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
     }
     MassJoinOptions mass_options;
     mass_options.mapreduce = mr_options;
+    mass_options.enable_shuffle_spill = options_.enable_shuffle_spill;
     const std::vector<NldPair> token_pairs =
         MassJoinSelfNld(survivor_texts, t, mass_options, &mass_stats);
     local_info.similar_token_pairs = token_pairs.size();
@@ -1089,8 +1112,19 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
       local_info.pipeline.total_combiner_input_records();
   local_info.combiner_output_records =
       local_info.pipeline.total_combiner_output_records();
+  local_info.spilled_records = local_info.pipeline.total_spilled_records();
+  local_info.spill_files = local_info.pipeline.total_spill_files();
+  local_info.spill_bytes = local_info.pipeline.total_spill_bytes();
+  local_info.merge_passes = local_info.pipeline.total_merge_passes();
+  local_info.peak_resident_records =
+      local_info.pipeline.max_peak_resident_records();
   local_info.result_pairs = results.size();
   local_info.peak_shuffle_records = gauge.peak();
+  // Lossy spill faults become the join's error (see SelfJoin).
+  if (Status s = local_info.pipeline.first_spill_data_loss(); !s.ok()) {
+    if (info != nullptr) *info = std::move(local_info);
+    return s;
+  }
   if (info != nullptr) *info = std::move(local_info);
   return results;
 }

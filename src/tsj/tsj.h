@@ -105,6 +105,21 @@ struct TsjRunInfo {
   /// planner's choice when TsjOptions::adaptive_partitions is on,
   /// otherwise the configured fixed count).
   uint64_t shuffle_partitions = 0;
+  /// External-memory spill counters (mapreduce/spill.h), summed across
+  /// the run's jobs; all zero when TsjOptions::enable_shuffle_spill is
+  /// off or the budget never overflowed. spilled_records counts records
+  /// written to disk as sorted runs (post-flush-combine); merge_passes
+  /// counts per-partition sort-merge passes (final streamed merges plus
+  /// hierarchical pre-merges).
+  uint64_t spilled_records = 0;
+  uint64_t spill_files = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t merge_passes = 0;
+  /// Largest per-job high-water mark of records resident in memory under
+  /// the spill policy (JobStats::peak_resident_records): the gauge that
+  /// proves memory_budget_records was honored. Equals the in-memory peak
+  /// when no spill ran.
+  uint64_t peak_resident_records = 0;
   /// Pairs in the final result.
   uint64_t result_pairs = 0;
   /// Pipeline-wide high-water mark of shuffle-resident records: one

@@ -21,7 +21,14 @@
 //     counts, for both SelfJoin and the two-collection Join;
 //   * each contention-relief toggle alone — L1 tier, combiner,
 //     skew-adaptive partitioning — off vs the all-on default: identical
-//     results and counters (they may only move traffic and timing).
+//     results and counters (they may only move traffic and timing);
+//   * the spill-forced pipeline (enable_shuffle_spill with
+//     memory_budget_records tiny enough to force multi-file disk spills,
+//     budgets {1, 7, 64} x workers x partitions x combiner on/off) == the
+//     in-memory streaming engine == the legacy engine: identical sorted
+//     (pair, NSLD) sets and candidate/filter counters — spill correctness
+//     is dominated by rare boundary conditions (runs split across files,
+//     re-combine at flush and merge), exactly what this sweep hammers.
 
 #include <algorithm>
 #include <set>
@@ -474,6 +481,116 @@ TEST(DifferentialTest, L1TierCombinerAndAdaptivePartitionsAreLossless) {
           << "round=" << round;
       EXPECT_GE(reference_info.combiner_input_records,
                 reference_info.combiner_output_records);
+    }
+  }
+}
+
+TEST(DifferentialTest, SpillForcedStreamingMatchesInMemoryEngines) {
+  // The spill tier's differential: with budgets far below the workload's
+  // shuffle volume, every partition bucket spills (multi-file runs, runs
+  // split mid-key, flush-combine + merge-combine) — and nothing about
+  // the join may change. Budget 64 sits near the workload's size, so the
+  // boundary "barely spills / barely doesn't" is swept too.
+  Rng rng(50926072);
+  constexpr int kRounds = 2;
+  for (int round = 0; round < kRounds; ++round) {
+    const Corpus corpus = RandomJoinCorpus(&rng, 36);
+    const double t = 0.08 + 0.3 * rng.NextDouble();
+    for (DedupStrategy dedup : {DedupStrategy::kGroupOnOneString,
+                                DedupStrategy::kGroupOnBothStrings}) {
+      TsjOptions options;
+      options.threshold = t;
+      options.max_token_frequency = 1u << 30;
+      options.dedup = dedup;
+      options.adaptive_partitions = false;  // the sweep sets the count
+
+      TsjOptions legacy_options = options;
+      legacy_options.enable_streaming_shuffle = false;
+      TsjRunInfo legacy_info;
+      const auto legacy = TokenizedStringJoiner(legacy_options)
+                              .SelfJoin(corpus, &legacy_info);
+      ASSERT_TRUE(legacy.ok());
+      const PairNsldSet expected = ToPairNsldSet(*legacy);
+
+      for (const bool combiner_on : {true, false}) {
+        for (const size_t workers : {size_t{1}, size_t{4}}) {
+          for (const size_t partitions : {size_t{1}, size_t{7}}) {
+            for (const size_t budget :
+                 {size_t{1}, size_t{7}, size_t{64}}) {
+              TsjOptions spill_options = options;
+              spill_options.enable_shuffle_combiner = combiner_on;
+              spill_options.enable_shuffle_spill = true;
+              spill_options.mapreduce.memory_budget_records = budget;
+              spill_options.mapreduce.num_workers = workers;
+              spill_options.mapreduce.num_partitions = partitions;
+              TsjRunInfo info;
+              const auto spilled = TokenizedStringJoiner(spill_options)
+                                       .SelfJoin(corpus, &info);
+              ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+              const std::string context =
+                  "round=" + std::to_string(round) +
+                  " t=" + std::to_string(t) +
+                  " dedup=" + std::to_string(static_cast<int>(dedup)) +
+                  " combiner=" + std::to_string(combiner_on) +
+                  " workers=" + std::to_string(workers) +
+                  " partitions=" + std::to_string(partitions) +
+                  " budget=" + std::to_string(budget);
+              EXPECT_EQ(ToPairNsldSet(*spilled), expected) << context;
+              ExpectStreamingMatchesLegacy(info, legacy_info, context);
+              if (budget <= 7) {
+                // Tiny budgets must actually force multi-file spills —
+                // otherwise this sweep silently stops testing anything.
+                EXPECT_GT(info.spilled_records, 0u) << context;
+                EXPECT_GT(info.spill_files, 1u) << context;
+                EXPECT_GT(info.merge_passes, 0u) << context;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, SpillForcedRpJoinMatchesInMemoryEngines) {
+  // Two-collection form of the spill differential (tagged-id keys flow
+  // through the spill codec; one compact sweep).
+  Rng rng(60926072);
+  const Corpus r_corpus = RandomJoinCorpus(&rng, 30);
+  const Corpus p_corpus = RandomJoinCorpus(&rng, 24);
+  const double t = 0.15;
+  for (DedupStrategy dedup : {DedupStrategy::kGroupOnOneString,
+                              DedupStrategy::kGroupOnBothStrings}) {
+    TsjOptions options;
+    options.threshold = t;
+    options.max_token_frequency = 1u << 30;
+    options.dedup = dedup;
+    options.adaptive_partitions = false;
+
+    TsjOptions legacy_options = options;
+    legacy_options.enable_streaming_shuffle = false;
+    TsjRunInfo legacy_info;
+    const auto legacy = TokenizedStringJoiner(legacy_options)
+                            .Join(r_corpus, p_corpus, &legacy_info);
+    ASSERT_TRUE(legacy.ok());
+    const PairNsldSet expected = ToPairNsldSet(*legacy);
+
+    for (const size_t budget : {size_t{1}, size_t{7}, size_t{64}}) {
+      TsjOptions spill_options = options;
+      spill_options.enable_shuffle_spill = true;
+      spill_options.mapreduce.memory_budget_records = budget;
+      spill_options.mapreduce.num_workers = 4;
+      spill_options.mapreduce.num_partitions = 7;
+      TsjRunInfo info;
+      const auto spilled = TokenizedStringJoiner(spill_options)
+                               .Join(r_corpus, p_corpus, &info);
+      ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+      const std::string context =
+          "dedup=" + std::to_string(static_cast<int>(dedup)) +
+          " budget=" + std::to_string(budget);
+      EXPECT_EQ(ToPairNsldSet(*spilled), expected) << context;
+      ExpectStreamingMatchesLegacy(info, legacy_info, context);
+      if (budget <= 7) EXPECT_GT(info.spilled_records, 0u) << context;
     }
   }
 }

@@ -1,0 +1,458 @@
+// Fault-injection and unit tier of the external-memory spill subsystem
+// (mapreduce/spill.h): codec round-trips, framed run files, the SpillIo
+// seam under injected short writes / ENOSPC / truncated and corrupt
+// frames, and the engine-level guarantee that every spill I/O fault
+// surfaces as a clean Status — no crash, no silent record loss.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mapreduce/mapreduce.h"
+#include "mapreduce/spill.h"
+
+namespace tsj {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// ---- Codec -----------------------------------------------------------------
+
+TEST(SpillCodecTest, RoundTripsStructuralAndTrivialTypes) {
+  struct Trivial {
+    uint32_t a;
+    double b;
+    bool c;
+  };
+  const std::string with_nul("hello\0world", 11);  // embedded NUL survives
+  std::string buffer;
+  SpillCodec<uint32_t>::Encode(0xdeadbeefu, &buffer);
+  SpillCodec<std::string>::Encode(with_nul, &buffer);
+  SpillCodec<std::pair<uint64_t, std::string>>::Encode({42, "pair"},
+                                                       &buffer);
+  using Sig = std::tuple<uint32_t, uint32_t, uint32_t, std::string>;
+  SpillCodec<Sig>::Encode(Sig{1, 2, 3, "chunk"}, &buffer);
+  SpillCodec<Trivial>::Encode(Trivial{7, 2.5, true}, &buffer);
+  SpillCodec<std::vector<uint32_t>>::Encode({9, 8, 7}, &buffer);
+
+  const char* p = buffer.data();
+  const char* end = buffer.data() + buffer.size();
+  uint32_t u = 0;
+  ASSERT_TRUE(SpillCodec<uint32_t>::Decode(&p, end, &u));
+  EXPECT_EQ(u, 0xdeadbeefu);
+  std::string s;
+  ASSERT_TRUE(SpillCodec<std::string>::Decode(&p, end, &s));
+  EXPECT_EQ(s, with_nul);
+  std::pair<uint64_t, std::string> pr;
+  ASSERT_TRUE(
+      (SpillCodec<std::pair<uint64_t, std::string>>::Decode(&p, end, &pr)));
+  EXPECT_EQ(pr, (std::pair<uint64_t, std::string>{42, "pair"}));
+  Sig sig;
+  ASSERT_TRUE(SpillCodec<Sig>::Decode(&p, end, &sig));
+  EXPECT_EQ(sig, (Sig{1, 2, 3, "chunk"}));
+  Trivial t{};
+  ASSERT_TRUE(SpillCodec<Trivial>::Decode(&p, end, &t));
+  EXPECT_EQ(t.a, 7u);
+  EXPECT_EQ(t.b, 2.5);
+  EXPECT_TRUE(t.c);
+  std::vector<uint32_t> v;
+  ASSERT_TRUE(SpillCodec<std::vector<uint32_t>>::Decode(&p, end, &v));
+  EXPECT_EQ(v, (std::vector<uint32_t>{9, 8, 7}));
+  EXPECT_EQ(p, end);
+}
+
+TEST(SpillCodecTest, DecodeFailsCleanlyOnShortBuffers) {
+  std::string buffer;
+  SpillCodec<std::string>::Encode("0123456789", &buffer);
+  for (size_t cut = 0; cut < buffer.size(); ++cut) {
+    const char* p = buffer.data();
+    const char* end = buffer.data() + cut;
+    std::string out;
+    EXPECT_FALSE(SpillCodec<std::string>::Decode(&p, end, &out))
+        << "cut=" << cut;
+  }
+}
+
+// ---- Run files (happy path) ------------------------------------------------
+
+using Record = std::pair<std::string, int>;
+
+std::vector<Record> SomeRecords(int n) {
+  std::vector<Record> records;
+  for (int i = 0; i < n; ++i) {
+    records.emplace_back("key" + std::to_string(i % 7), i);
+  }
+  return records;
+}
+
+void WriteRun(const std::string& path, const std::vector<Record>& records) {
+  SpillRunWriter<std::string, int> writer(MakeDefaultSpillIo());
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (const Record& record : records) {
+    ASSERT_TRUE(writer.Append(record).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.records_written(), records.size());
+  EXPECT_GT(writer.bytes_written(), 0u);
+}
+
+TEST(SpillRunTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("spill_roundtrip.run");
+  const std::vector<Record> records = SomeRecords(100);
+  WriteRun(path, records);
+
+  SpillRunReader<std::string, int> reader(MakeDefaultSpillIo());
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<Record> read_back;
+  while (true) {
+    Record record;
+    bool done = false;
+    ASSERT_TRUE(reader.Next(&record, &done).ok());
+    if (done) break;
+    read_back.push_back(std::move(record));
+  }
+  EXPECT_EQ(read_back, records);
+  RemoveSpillFile(path);
+}
+
+TEST(SpillRunTest, MissingFileIsCleanError) {
+  SpillRunReader<std::string, int> reader(MakeDefaultSpillIo());
+  EXPECT_FALSE(reader.Open(TempPath("no_such_file.run")).ok());
+}
+
+// ---- Torn / corrupt frames -------------------------------------------------
+
+// Reads the run until it ends or errors; returns the terminal status and
+// the records recovered before it.
+Status DrainRun(const std::string& path, std::vector<Record>* out) {
+  SpillRunReader<std::string, int> reader(MakeDefaultSpillIo());
+  if (Status s = reader.Open(path); !s.ok()) return s;
+  while (true) {
+    Record record;
+    bool done = false;
+    Status s = reader.Next(&record, &done);
+    if (!s.ok()) return s;
+    if (done) return Status::OK();
+    out->push_back(std::move(record));
+  }
+}
+
+TEST(SpillRunTest, TornFinalFrameIsDetectedByLengthPrefix) {
+  const std::string path = TempPath("spill_torn.run");
+  const std::vector<Record> records = SomeRecords(20);
+  WriteRun(path, records);
+  // Tear the final frame: drop the last few payload bytes, the classic
+  // crash-mid-write artifact. The length prefix promises more bytes than
+  // the file holds, so the reader must error — not return a short record.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+
+  std::vector<Record> recovered;
+  Status s = DrainRun(path, &recovered);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("torn"), std::string::npos) << s.ToString();
+  // Everything before the torn frame was recovered intact.
+  EXPECT_EQ(recovered.size(), records.size() - 1);
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i], records[i]);
+  }
+  RemoveSpillFile(path);
+}
+
+TEST(SpillRunTest, TruncatedFrameHeaderIsCleanError) {
+  const std::string path = TempPath("spill_torn_header.run");
+  WriteRun(path, SomeRecords(5));
+  // Leave 2 bytes of the next length prefix: neither a clean EOF nor a
+  // full header.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 2);
+  // First make the cut land inside the *last header* rather than a
+  // payload: rewrite the file as 5 records + 2 stray bytes.
+  {
+    std::vector<Record> recovered;
+    Status s = DrainRun(path, &recovered);
+    EXPECT_FALSE(s.ok());  // torn payload or header, either way clean
+  }
+  RemoveSpillFile(path);
+}
+
+TEST(SpillRunTest, CorruptLengthPrefixIsCleanError) {
+  const std::string path = TempPath("spill_corrupt_len.run");
+  {
+    SpillRunWriter<std::string, int> writer(MakeDefaultSpillIo());
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append({"k", 1}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  // Stamp an absurd length over the first frame's prefix.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const uint32_t bogus = 0xfffffff0u;
+    ASSERT_EQ(std::fwrite(&bogus, sizeof(bogus), 1, f), 1u);
+    std::fclose(f);
+  }
+  std::vector<Record> recovered;
+  Status s = DrainRun(path, &recovered);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("corrupt"), std::string::npos) << s.ToString();
+  EXPECT_TRUE(recovered.empty());
+  RemoveSpillFile(path);
+}
+
+TEST(SpillRunTest, CorruptPayloadIsCleanError) {
+  const std::string path = TempPath("spill_corrupt_payload.run");
+  // A frame whose payload is too short for the record codec.
+  {
+    SpillFrameWriter frames(MakeDefaultSpillIo());
+    ASSERT_TRUE(frames.Open(path).ok());
+    const char junk[2] = {1, 2};
+    ASSERT_TRUE(frames.WriteFrame(junk, sizeof(junk)).ok());
+    ASSERT_TRUE(frames.Finish().ok());
+  }
+  std::vector<Record> recovered;
+  Status s = DrainRun(path, &recovered);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("corrupt"), std::string::npos) << s.ToString();
+  EXPECT_TRUE(recovered.empty());
+  RemoveSpillFile(path);
+}
+
+// ---- SpillIo fault injection ----------------------------------------------
+
+// Wraps the default io: writes succeed for `write_budget` bytes, then
+// either report ENOSPC or make no progress (a persistent short write).
+class FaultyWriteIo final : public SpillIo {
+ public:
+  FaultyWriteIo(size_t write_budget, bool enospc)
+      : inner_(MakeDefaultSpillIo()),
+        budget_(write_budget),
+        enospc_(enospc) {}
+
+  Status Open(const std::string& path, bool for_write) override {
+    return inner_->Open(path, for_write);
+  }
+  StatusOr<size_t> Write(const char* data, size_t size) override {
+    if (budget_ == 0) {
+      if (enospc_) return Status::ResourceExhausted("injected: disk full");
+      return size_t{0};  // injected short write, no progress
+    }
+    const size_t allowed = std::min(size, budget_);
+    StatusOr<size_t> written = inner_->Write(data, allowed);
+    if (written.ok()) budget_ -= *written;
+    return written;
+  }
+  StatusOr<size_t> Read(char* data, size_t size) override {
+    return inner_->Read(data, size);
+  }
+  Status Close() override { return inner_->Close(); }
+
+ private:
+  std::unique_ptr<SpillIo> inner_;
+  size_t budget_;
+  bool enospc_;
+};
+
+// Wraps the default io: files opened for reading end prematurely after
+// `read_limit` bytes (a torn file as seen by the consumer).
+class TruncatingReadIo final : public SpillIo {
+ public:
+  explicit TruncatingReadIo(size_t read_limit)
+      : inner_(MakeDefaultSpillIo()), remaining_(read_limit) {}
+
+  Status Open(const std::string& path, bool for_write) override {
+    reading_ = !for_write;
+    return inner_->Open(path, for_write);
+  }
+  StatusOr<size_t> Write(const char* data, size_t size) override {
+    return inner_->Write(data, size);
+  }
+  StatusOr<size_t> Read(char* data, size_t size) override {
+    if (!reading_) return inner_->Read(data, size);
+    const size_t allowed = std::min(size, remaining_);
+    if (allowed == 0) return size_t{0};  // injected premature EOF
+    StatusOr<size_t> read = inner_->Read(data, allowed);
+    if (read.ok()) remaining_ -= *read;
+    return read;
+  }
+  Status Close() override { return inner_->Close(); }
+
+ private:
+  std::unique_ptr<SpillIo> inner_;
+  size_t remaining_;
+  bool reading_ = false;
+};
+
+TEST(SpillFaultTest, EnospcSurfacesAsStatusFromWriter) {
+  const std::string path = TempPath("spill_enospc.run");
+  SpillRunWriter<std::string, int> writer(
+      std::make_unique<FaultyWriteIo>(16, /*enospc=*/true));
+  ASSERT_TRUE(writer.Open(path).ok());
+  Status status = Status::OK();
+  // The writer buffers ~256 KiB before touching the io, so pump enough
+  // records to cross it; the injected fault must come back as a Status.
+  for (int i = 0; i < 300000 && status.ok(); ++i) {
+    status = writer.Append({"key" + std::to_string(i), i});
+  }
+  if (status.ok()) status = writer.Finish();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  RemoveSpillFile(path);
+}
+
+TEST(SpillFaultTest, PersistentShortWriteSurfacesAsStatus) {
+  const std::string path = TempPath("spill_shortwrite.run");
+  SpillRunWriter<std::string, int> writer(
+      std::make_unique<FaultyWriteIo>(10, /*enospc=*/false));
+  ASSERT_TRUE(writer.Open(path).ok());
+  Status status = Status::OK();
+  for (int i = 0; i < 300000 && status.ok(); ++i) {
+    status = writer.Append({"key" + std::to_string(i), i});
+  }
+  if (status.ok()) status = writer.Finish();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("short write"), std::string::npos)
+      << status.ToString();
+  RemoveSpillFile(path);
+}
+
+// ---- SpillContext ----------------------------------------------------------
+
+TEST(SpillContextTest, OwnsAndCleansItsTempDirectory) {
+  std::string dir;
+  std::string run_path;
+  {
+    SpillContext context(/*budget=*/8, /*dir=*/"", /*factory=*/nullptr);
+    ASSERT_TRUE(context.Init().ok());
+    run_path = context.NewRunPath();
+    dir = std::filesystem::path(run_path).parent_path().string();
+    SpillRunWriter<std::string, int> writer(context.NewIo());
+    ASSERT_TRUE(writer.Open(run_path).ok());
+    ASSERT_TRUE(writer.Append({"a", 1}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+    ASSERT_TRUE(std::filesystem::exists(run_path));
+    context.AddRunFile(1, writer.bytes_written());
+    EXPECT_EQ(context.spill_files(), 1u);
+    EXPECT_EQ(context.spilled_records(), 1u);
+  }
+  EXPECT_FALSE(std::filesystem::exists(run_path));
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(SpillContextTest, FirstErrorIsSticky) {
+  SpillContext context(8, "", nullptr);
+  ASSERT_TRUE(context.Init().ok());
+  EXPECT_TRUE(context.status().ok());
+  context.RecordError(Status::ResourceExhausted("first"));
+  context.RecordError(Status::Internal("second"));
+  EXPECT_EQ(context.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(context.status().message(), "first");
+}
+
+// ---- Engine-level fault contract -------------------------------------------
+
+// The canonical sorted job used by the engine-level fault tests.
+std::vector<std::pair<int, int>> KeySums(
+    const std::vector<int>& inputs, const MapReduceOptions& options,
+    JobStats* stats) {
+  auto result = RunMapReduceSorted<int, int, int, std::pair<int, int>>(
+      "spill-fault-sums", inputs,
+      [](const int& v, PartitionedEmitter<int, int>* out) {
+        out->Emit(v % 13, v);
+      },
+      [](const int& key, std::span<int> values,
+         std::vector<std::pair<int, int>>* out) {
+        int total = 0;
+        for (int v : values) total += v;
+        out->emplace_back(key, total);
+      },
+      options, stats);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+TEST(SpillFaultTest, FailedSpillWritesFallBackToMemoryWithoutRecordLoss) {
+  std::vector<int> inputs(500);
+  for (int i = 0; i < 500; ++i) inputs[i] = i;
+  const auto reference = KeySums(inputs, {}, nullptr);
+
+  MapReduceOptions options;
+  options.num_workers = 2;
+  options.memory_budget_records = 8;  // forces spill attempts
+  options.spill_io_factory = [] {
+    return std::make_unique<FaultyWriteIo>(0, /*enospc=*/true);
+  };
+  JobStats stats;
+  const auto faulted = KeySums(inputs, options, &stats);
+  // Every write failed, so nothing spilled — the records stayed in
+  // memory and the job's output is complete and identical...
+  EXPECT_EQ(faulted, reference);
+  EXPECT_EQ(stats.spilled_records, 0u);
+  // ...while the fault is reported, not swallowed.
+  EXPECT_FALSE(stats.spill_status.ok());
+  EXPECT_EQ(stats.spill_status.code(), StatusCode::kResourceExhausted);
+  // A degraded write fault is NOT data loss: pipelines must keep the
+  // (complete, correct) result rather than discard it.
+  EXPECT_TRUE(stats.spill_data_loss.ok());
+}
+
+TEST(SpillFaultTest, FailedSpillReadsAreReportedNotSilent) {
+  std::vector<int> inputs(500);
+  for (int i = 0; i < 500; ++i) inputs[i] = i;
+
+  MapReduceOptions options;
+  options.num_workers = 1;
+  options.memory_budget_records = 8;
+  options.spill_io_factory = [] {
+    // Writes intact; reads end after 32 bytes — a torn run as seen by
+    // the merge.
+    return std::make_unique<TruncatingReadIo>(32);
+  };
+  JobStats stats;
+  const auto faulted = KeySums(inputs, options, &stats);
+  EXPECT_GT(stats.spilled_records, 0u);  // runs were written...
+  EXPECT_FALSE(stats.spill_status.ok());  // ...and the torn read reported
+  EXPECT_EQ(stats.spill_status.code(), StatusCode::kInternal);
+  // A failed read IS potential data loss: the lossy status that must
+  // fail any pipeline consuming this job's output.
+  EXPECT_FALSE(stats.spill_data_loss.ok());
+}
+
+TEST(SpillFaultTest, HealthySpillIsLosslessAndReportsCounters) {
+  std::vector<int> inputs(800);
+  for (int i = 0; i < 800; ++i) inputs[i] = i;
+  const auto reference = KeySums(inputs, {}, nullptr);
+
+  MapReduceOptions options;
+  options.num_workers = 2;
+  options.memory_budget_records = 16;
+  JobStats stats;
+  const auto spilled = KeySums(inputs, options, &stats);
+  EXPECT_EQ(spilled, reference);
+  EXPECT_TRUE(stats.spill_status.ok()) << stats.spill_status.ToString();
+  EXPECT_GT(stats.spilled_records, 0u);
+  EXPECT_GT(stats.spill_files, 1u);
+  EXPECT_GT(stats.spill_bytes, 0u);
+  EXPECT_GT(stats.merge_passes, 0u);
+  EXPECT_GT(stats.peak_resident_records, 0u);
+  // The budget held: resident records never exceeded the budget plus the
+  // slack of one merge window per reduce worker and the one-record flush
+  // overshoot per producer (see JobStats::peak_resident_records). Groups
+  // here hold at most ceil(800/13) values.
+  const uint64_t slack = 2 * 62 + 8;
+  EXPECT_LE(stats.peak_resident_records,
+            options.memory_budget_records + slack);
+  // Records on disk plus the in-memory rest account for every record.
+  EXPECT_EQ(stats.map_output_records, 800u);
+}
+
+}  // namespace
+}  // namespace tsj
