@@ -234,9 +234,12 @@ bool Run(const std::string& shuffle_json_path,
   // pairs/NSLD by construction; the row shows what bounding residency
   // costs in wall time, and the gauge proves the budget held.
   TsjRunInfo spill_info;
+  TsjRunInfo spill_v1_info;  // legacy run format, for the direct ratio
   double spill_wall_ms = 0;
+  double spill_v1_wall_ms = 0;
   uint64_t spill_budget = 0;
   bool spill_run_ok = false;
+  bool spill_v1_run_ok = false;
   if (streaming_numbers.peak_shuffle_records > 0) {
     spill_budget =
         std::max<uint64_t>(1024, streaming_numbers.peak_shuffle_records / 4);
@@ -252,6 +255,17 @@ bool Run(const std::string& shuffle_json_path,
       std::cout << "spill run FAILED: " << result.status().ToString()
                 << "\n";
     }
+    // Same budget under the legacy v1 run format (no checksums, no
+    // compression, no segmentation, no prefetch): the direct evidence of
+    // what the v2 format buys on disk bytes and file count.
+    TsjOptions v1 = o;
+    v1.mapreduce.spill_format.v2 = false;
+    v1.mapreduce.spill_format.prefetch = false;
+    Stopwatch v1_watch;
+    const auto v1_result =
+        TokenizedStringJoiner(v1).SelfJoin(workload.corpus, &spill_v1_info);
+    spill_v1_wall_ms = v1_watch.ElapsedMillis();
+    spill_v1_run_ok = v1_result.ok();
     if (result.ok()) {
       const uint64_t l1_probes = spill_info.token_pair_cache_l1_hits +
                                  spill_info.token_pair_cache_l1_misses;
@@ -289,6 +303,33 @@ bool Run(const std::string& shuffle_json_path,
                       ? "yes"
                       : "NO")
               << ")\n";
+    if (spill_info.spill_bytes > 0) {
+      std::cout << "spill v2 format: "
+                << spill_info.spill_raw_bytes << " raw record bytes -> "
+                << spill_info.spill_bytes << " on disk ("
+                << static_cast<double>(spill_info.spill_raw_bytes) /
+                       static_cast<double>(spill_info.spill_bytes)
+                << "x compression), " << spill_info.prefetch_hits
+                << " prefetch hits, " << spill_info.checksum_failures
+                << " checksum failures\n";
+    }
+    if (spill_v1_run_ok && spill_info.spill_bytes > 0 &&
+        spill_v1_info.spill_bytes > 0) {
+      std::cout << "spill v2 vs v1: "
+                << spill_v1_info.spill_bytes / (1024 * 1024) << " MiB in "
+                << spill_v1_info.spill_files << " files ("
+                << spill_v1_wall_ms << " ms) -> "
+                << spill_info.spill_bytes / (1024 * 1024) << " MiB in "
+                << spill_info.spill_files << " files (" << spill_wall_ms
+                << " ms): "
+                << static_cast<double>(spill_v1_info.spill_bytes) /
+                       static_cast<double>(spill_info.spill_bytes)
+                << "x fewer spilled bytes, "
+                << static_cast<double>(spill_v1_info.spill_files) /
+                       static_cast<double>(
+                           std::max<uint64_t>(1, spill_info.spill_files))
+                << "x fewer run files\n";
+    }
   }
   if (budgeted_work > 0 && unbounded_work > 0) {
     std::cout << "\nbudgeted verify saving: "
@@ -433,6 +474,22 @@ bool Run(const std::string& shuffle_json_path,
          << "  \"spilled_records\": " << spill_info.spilled_records << ",\n"
          << "  \"spill_files\": " << spill_info.spill_files << ",\n"
          << "  \"spill_bytes\": " << spill_info.spill_bytes << ",\n"
+         << "  \"spill_raw_bytes\": " << spill_info.spill_raw_bytes << ",\n"
+         << "  \"compression_ratio\": "
+         << (spill_info.spill_bytes > 0
+                 ? static_cast<double>(spill_info.spill_raw_bytes) /
+                       static_cast<double>(spill_info.spill_bytes)
+                 : 0.0)
+         << ",\n"
+         << "  \"checksum_failures\": " << spill_info.checksum_failures
+         << ",\n"
+         << "  \"prefetch_hits\": " << spill_info.prefetch_hits << ",\n"
+         << "  \"v1_spill_bytes\": "
+         << (spill_v1_run_ok ? spill_v1_info.spill_bytes : 0) << ",\n"
+         << "  \"v1_spill_files\": "
+         << (spill_v1_run_ok ? spill_v1_info.spill_files : 0) << ",\n"
+         << "  \"v1_wall_ms\": " << (spill_v1_run_ok ? spill_v1_wall_ms : 0)
+         << ",\n"
          << "  \"merge_passes\": " << spill_info.merge_passes << ",\n"
          << "  \"peak_resident_records\": "
          << spill_info.peak_resident_records << ",\n"

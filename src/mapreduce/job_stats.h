@@ -112,8 +112,14 @@ struct JobStats {
   uint64_t spilled_records = 0;
   /// Run files written (flush runs plus hierarchical pre-merge outputs).
   uint64_t spill_files = 0;
-  /// Bytes written to spill files.
+  /// Bytes written to spill files (post block compression, framing and
+  /// footers included — the bytes that actually hit disk).
   uint64_t spill_bytes = 0;
+  /// Serialized record bytes before the v2 block compression — the
+  /// compression baseline: spill_raw_bytes / spill_bytes is the spill
+  /// compression ratio (with compression off the two differ only by
+  /// framing overhead).
+  uint64_t spill_raw_bytes = 0;
   /// Sort-merge passes: one per spilled partition's final streamed merge,
   /// plus one per hierarchical pre-merge pass a partition needed because
   /// it had more runs than the merge fan-in.
@@ -140,6 +146,14 @@ struct JobStats {
   /// deliberately do not fail results that are still complete and
   /// correct.
   Status spill_data_loss;
+  /// v2 spill frames whose checksum did not match on read (each also
+  /// surfaces as a lossy fault in spill_data_loss — this counter exists
+  /// so observability can tell payload corruption from torn frames).
+  uint64_t checksum_failures = 0;
+  /// Merge-input read chunks that were already prefetched when the merge
+  /// needed them (async read-ahead overlapping reduce compute; 0 when
+  /// prefetching is off or nothing spilled).
+  uint64_t prefetch_hits = 0;
 
   /// Per-group loads for the simulated-cluster model. Populated when
   /// MapReduceOptions::collect_group_loads is set.
@@ -220,9 +234,27 @@ struct PipelineStats {
     return total;
   }
 
+  uint64_t total_spill_raw_bytes() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.spill_raw_bytes;
+    return total;
+  }
+
   uint64_t total_merge_passes() const {
     uint64_t total = 0;
     for (const auto& j : jobs) total += j.merge_passes;
+    return total;
+  }
+
+  uint64_t total_checksum_failures() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.checksum_failures;
+    return total;
+  }
+
+  uint64_t total_prefetch_hits() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.prefetch_hits;
     return total;
   }
 

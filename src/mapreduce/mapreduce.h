@@ -57,10 +57,14 @@
 //    (budget / producers; the fused runner first halves the budget
 //    between its two stages, whose producers are live simultaneously).
 //    Whenever a producer's resident records exceed its share, it flushes
-//    its fullest buckets to disk — each flush stable-sorts one bucket by
-//    key, pre-aggregates it with the job's combiner (the run is combined
-//    *before* it hits disk), writes it as one framed sorted run
-//    (SpillRunWriter), and frees the memory.
+//    to disk. Under the default segmented v2 format
+//    (MapReduceOptions::spill_format) one flush stable-sorts EVERY
+//    non-empty bucket, pre-aggregates each with the job's combiner (the
+//    runs are combined *before* they hit disk), and writes them all as
+//    one segment file — one sorted run per bucket plus a footer index —
+//    so the file count is bounded by the flush count, not bucket x
+//    flush. With segmentation off, a flush takes only the fullest bucket
+//    and writes one single-run file (the legacy policy).
 //  * Combiner re-arm semantics: the self-tuning combine sample
 //    (PartitionedEmitter::Combine) persists across a producer's flushes,
 //    but every spill flush re-arms it — a bucket's lifetime ends at the
@@ -157,6 +161,11 @@ struct MapReduceOptions {
   /// I/O seam for spill files; null = buffered FILE* (the default). Tests
   /// install fault-injecting wrappers here (tests/spill_test.cc).
   SpillIoFactory spill_io_factory;
+  /// Spill file format toggles (defaults: the full v2 feature set —
+  /// checksummed + delta-compressed frames, segmented flush files, async
+  /// merge-input prefetch). The CC_SHUFFLE_SPILL_FORMAT environment
+  /// override (v1|v2) wins over this field, like the budget override.
+  SpillFormatOptions spill_format;
 
   size_t effective_workers() const {
     if (num_workers > 0) return num_workers;
@@ -258,7 +267,12 @@ class PartitionedEmitter {
         PublishResident();
       }
       while (size_ > spill_share_ && !spill_failed_) {
-        if (!SpillLargestBucket()) break;
+        // Segmented v2 flushes every non-empty bucket into one segment
+        // file (file count tracks flush count); the legacy policy takes
+        // only the fullest bucket per flush.
+        const bool segmented =
+            spill_->format().v2 && spill_->format().segment;
+        if (!(segmented ? SpillAllBuckets() : SpillLargestBucket())) break;
       }
     }
   }
@@ -338,12 +352,13 @@ class PartitionedEmitter {
   bool spill_active() const { return spill_ != nullptr; }
   /// Records written to disk (post-flush-combine).
   uint64_t spilled_records() const { return spilled_records_; }
-  /// Run files this producer wrote for partition p, in flush order —
-  /// which is emission order: a flush takes a whole bucket, so every
-  /// record in an earlier run was emitted before every record of a later
-  /// run or of the in-memory residue.
-  const std::vector<std::string>& spill_runs(size_t p) const {
-    static const std::vector<std::string> kNone;
+  /// Runs this producer wrote for partition p, in flush order — which is
+  /// emission order: a flush takes a whole bucket, so every record in an
+  /// earlier run was emitted before every record of a later run or of the
+  /// in-memory residue. Under segmentation a ref names a byte extent of a
+  /// shared segment file; otherwise it names a whole single-run file.
+  const std::vector<SpillRunRef>& spill_runs(size_t p) const {
+    static const std::vector<SpillRunRef> kNone;
     return spill_runs_.empty() ? kNone : spill_runs_[p];
   }
   /// Records scanned/kept by the spill-time (flush) combine, to be folded
@@ -398,9 +413,48 @@ class PartitionedEmitter {
                (combine_scanned_ >> kCombineMinReductionShift);
   }
 
-  // Spill flush: sort the fullest bucket, combine it (spill-aware
-  // combine: the run is pre-aggregated *before* it hits disk), write it
-  // as one sorted run file, release the memory, and re-arm the combine
+  // One-bucket flush preparation shared by both spill policies: sort
+  // bucket p and apply the spill-time (flush) combine when armed (spill-
+  // aware combine: the run is pre-aggregated *before* it hits disk).
+  // Returns the {scanned, kept} flush-combine deltas so a failed flush
+  // can roll them back out of the reported counters.
+  std::pair<uint64_t, uint64_t> PrepareBucketForFlush(size_t p) {
+    auto& bucket = buckets_[p];
+    SortBucket(p);
+    uint64_t in = 0, out = 0;
+    if (spill_combiner_ != nullptr && !CombineSampleAborted()) {
+      in = bucket.size();
+      combine_scanned_ += bucket.size();
+      if (bucket.size() >= 2) CombineSortedRuns(p, spill_combiner_);
+      combine_kept_ += bucket.size();
+      out = bucket.size();
+      spill_combiner_in_ += in;
+      spill_combiner_out_ += out;
+    }
+    return {in, out};
+  }
+
+  // A flush that failed keeps every surviving record in memory (degraded,
+  // not lossy): record the error, stop flushing, drop the half-written
+  // file, and roll the flush-combine scan back out of the reported
+  // counters — the engine's later Combine() will count the surviving
+  // records, so leaving the deltas in would double-count (the counters'
+  // meaning is "every record scanned once"). The flush combine may still
+  // have shrunk the buckets, hence the residency reconciliation.
+  void RollBackFailedFlush(const Status& s, const std::string& path,
+                           uint64_t combine_in, uint64_t combine_out,
+                           size_t pre_records, size_t post_records) {
+    spill_->RecordError(s);
+    spill_failed_ = true;  // stop flushing; keep everything in memory
+    RemoveSpillFile(path);
+    spill_combiner_in_ -= combine_in;
+    spill_combiner_out_ -= combine_out;
+    spill_->resident().Sub(pre_records - post_records);
+    size_ -= pre_records - post_records;
+  }
+
+  // Legacy spill flush: sort + flush-combine the fullest bucket, write it
+  // as one single-run file, release the memory, and re-arm the combine
   // sample. Returns false when there was nothing to flush or the flush
   // failed (the records then stay safely in memory and the error is
   // recorded on the context — no silent record loss).
@@ -413,41 +467,26 @@ class PartitionedEmitter {
     if (bucket.empty()) return false;
     PublishResident();
     const size_t pre_records = bucket.size();
-    SortBucket(best);
-    uint64_t flush_combine_in = 0, flush_combine_out = 0;
-    if (spill_combiner_ != nullptr && !CombineSampleAborted()) {
-      flush_combine_in = bucket.size();
-      combine_scanned_ += bucket.size();
-      if (bucket.size() >= 2) CombineSortedRuns(best, spill_combiner_);
-      combine_kept_ += bucket.size();
-      flush_combine_out = bucket.size();
-      spill_combiner_in_ += flush_combine_in;
-      spill_combiner_out_ += flush_combine_out;
-    }
+    const auto [combine_in, combine_out] = PrepareBucketForFlush(best);
     const std::string path = spill_->NewRunPath();
-    SpillRunWriter<Key, Value> writer(spill_->NewIo());
+    SpillRunWriter<Key, Value> writer(spill_->NewIo(), spill_->format());
     Status s = writer.Open(path);
+    if (s.ok()) writer.BeginRun(static_cast<uint32_t>(best));
     for (size_t i = 0; s.ok() && i < bucket.size(); ++i) {
       s = writer.Append(bucket[i]);
     }
+    SpillRunRef ref;
+    if (s.ok()) s = writer.EndRun(&ref);
     if (s.ok()) s = writer.Finish();
     if (!s.ok()) {
-      spill_->RecordError(s);
-      spill_failed_ = true;  // stop flushing; keep everything in memory
-      RemoveSpillFile(path);
-      // Roll the flush-combine scan back out of the reported counters:
-      // the surviving records stay in memory and the engine's later
-      // Combine() will count them, so leaving these in would double-count
-      // (the counters' meaning is "every record scanned once").
-      spill_combiner_in_ -= flush_combine_in;
-      spill_combiner_out_ -= flush_combine_out;
-      // The flush combine may still have shrunk the bucket.
-      spill_->resident().Sub(pre_records - bucket.size());
-      size_ -= pre_records - bucket.size();
+      RollBackFailedFlush(s, path, combine_in, combine_out, pre_records,
+                          bucket.size());
       return false;
     }
-    spill_runs_[best].push_back(path);
-    spill_->AddRunFile(bucket.size(), writer.bytes_written());
+    spill_runs_[best].push_back(std::move(ref));
+    spill_->RegisterRuns(path, 1);
+    spill_->AddRunFile(bucket.size(), writer.bytes_written(),
+                       writer.raw_bytes());
     spilled_records_ += bucket.size();
     spill_->resident().Sub(pre_records);
     size_ -= pre_records;
@@ -455,6 +494,65 @@ class PartitionedEmitter {
     bucket.shrink_to_fit();
     // Re-arm the self-tuning combine sample: the flushed bucket's
     // lifetime ended, post-spill records get a fresh verdict.
+    combine_scanned_ = 0;
+    combine_kept_ = 0;
+    return true;
+  }
+
+  // Segmented spill flush (v2): sort + flush-combine EVERY non-empty
+  // bucket and write them all, one sorted run each, into ONE segment file
+  // with a footer index — so the file count tracks the flush count, not
+  // bucket × flush. Same failure contract as SpillLargestBucket: nothing
+  // reached disk as far as the engine is concerned, every record stays in
+  // memory, the error is recorded on the context.
+  bool SpillAllBuckets() {
+    size_t pre_total = 0;
+    for (const auto& bucket : buckets_) pre_total += bucket.size();
+    if (pre_total == 0) return false;
+    PublishResident();
+    uint64_t combine_in = 0, combine_out = 0;
+    for (size_t p = 0; p < buckets_.size(); ++p) {
+      if (buckets_[p].empty()) continue;
+      const auto [in, out] = PrepareBucketForFlush(p);
+      combine_in += in;
+      combine_out += out;
+    }
+    size_t post_total = 0;
+    for (const auto& bucket : buckets_) post_total += bucket.size();
+    const std::string path = spill_->NewRunPath();
+    SpillRunWriter<Key, Value> writer(spill_->NewIo(), spill_->format());
+    Status s = writer.Open(path);
+    std::vector<std::pair<size_t, SpillRunRef>> refs;
+    for (size_t p = 0; s.ok() && p < buckets_.size(); ++p) {
+      auto& bucket = buckets_[p];
+      if (bucket.empty()) continue;
+      writer.BeginRun(static_cast<uint32_t>(p));
+      for (size_t i = 0; s.ok() && i < bucket.size(); ++i) {
+        s = writer.Append(bucket[i]);
+      }
+      if (!s.ok()) break;
+      SpillRunRef ref;
+      s = writer.EndRun(&ref);
+      if (s.ok()) refs.emplace_back(p, std::move(ref));
+    }
+    if (s.ok()) s = writer.Finish();
+    if (!s.ok()) {
+      RollBackFailedFlush(s, path, combine_in, combine_out, pre_total,
+                          post_total);
+      return false;
+    }
+    for (auto& [p, ref] : refs) spill_runs_[p].push_back(std::move(ref));
+    spill_->RegisterRuns(path, refs.size());
+    spill_->AddRunFile(post_total, writer.bytes_written(),
+                       writer.raw_bytes());
+    spilled_records_ += post_total;
+    spill_->resident().Sub(pre_total);
+    size_ = 0;
+    for (auto& bucket : buckets_) {
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+    // Re-arm the self-tuning combine sample (see SpillLargestBucket).
     combine_scanned_ = 0;
     combine_kept_ = 0;
     return true;
@@ -481,7 +579,7 @@ class PartitionedEmitter {
   size_t spill_share_ = 0;
   size_t spill_unpublished_ = 0;
   CombinerFn<Key, Value> spill_combiner_;
-  std::vector<std::vector<std::string>> spill_runs_;
+  std::vector<std::vector<SpillRunRef>> spill_runs_;
   uint64_t spilled_records_ = 0;
   uint64_t spill_combiner_in_ = 0;
   uint64_t spill_combiner_out_ = 0;
@@ -591,8 +689,10 @@ inline std::unique_ptr<SpillContext> MakeSpillContext(
     const MapReduceOptions& options, JobStats* stats) {
   const size_t budget = EffectiveSpillBudget(options);
   if (budget == 0) return nullptr;
+  SpillFormatOptions format = options.spill_format;
+  ApplySpillFormatEnv(&format);
   auto context = std::make_unique<SpillContext>(
-      budget, options.spill_dir, options.spill_io_factory);
+      budget, options.spill_dir, options.spill_io_factory, format);
   if (Status s = context->Init(); !s.ok()) {
     stats->spill_status = s;
     return nullptr;
@@ -689,29 +789,34 @@ class RunCursorHeap {
 inline constexpr size_t kSpillMergeFanIn = 16;
 inline constexpr size_t kSpillRunsPerProducerTarget = 4;
 
-// Streams `paths` (consecutive runs of one producer and partition, in run
-// order) through a k-way merge into one new run file, re-combining each
-// contiguous key run when a combiner is configured — the "combined again
-// at merge time" half of the spill-aware-combine contract. The inputs are
-// deleted on success. Not counted into the job's combiner statistics: the
-// map-side counters keep their exact "every record scanned once" meaning
-// (the existing combiner tests pin it).
+// Streams `runs` (consecutive runs of one producer and partition, in run
+// order) through a k-way merge into one new single-run file, re-combining
+// each contiguous key run when a combiner is configured — the "combined
+// again at merge time" half of the spill-aware-combine contract. Consumed
+// input runs are released on success (a segment file is deleted once the
+// last run it backs is released). Not counted into the job's combiner
+// statistics: the map-side counters keep their exact "every record
+// scanned once" meaning (the existing combiner tests pin it).
 template <typename Key, typename Value>
-Status MergeRunBatchToFile(SpillContext* context,
-                           const std::vector<std::string>& paths,
+Status MergeRunBatchToFile(SpillContext* context, uint32_t partition,
+                           const std::vector<SpillRunRef>& runs,
                            const CombinerFn<Key, Value>& combiner,
-                           std::string* out_path) {
-  std::vector<RunCursor<Key, Value>> cursors(paths.size());
-  for (size_t i = 0; i < paths.size(); ++i) {
+                           SpillRunRef* out_run) {
+  std::vector<RunCursor<Key, Value>> cursors(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
     cursors[i].from_disk = true;
     cursors[i].reader = std::make_unique<SpillRunReader<Key, Value>>(
         context->NewIo());
-    if (Status s = cursors[i].reader->Open(paths[i]); !s.ok()) return s;
+    cursors[i].reader->set_prefetcher(context->prefetcher());
+    cursors[i].reader->set_checksum_failure_counter(
+        context->checksum_failure_counter());
+    if (Status s = cursors[i].reader->Open(runs[i]); !s.ok()) return s;
     if (Status s = cursors[i].Advance(); !s.ok()) return s;
   }
-  *out_path = context->NewRunPath();
-  SpillRunWriter<Key, Value> writer(context->NewIo());
-  if (Status s = writer.Open(*out_path); !s.ok()) return s;
+  const std::string out_path = context->NewRunPath();
+  SpillRunWriter<Key, Value> writer(context->NewIo(), context->format());
+  if (Status s = writer.Open(out_path); !s.ok()) return s;
+  writer.BeginRun(partition);
 
   RunCursorHeap<Key, Value> heap(&cursors);
   std::vector<std::pair<Key, Value>> run;  // the active key's records
@@ -761,9 +866,12 @@ Status MergeRunBatchToFile(SpillContext* context,
     if (cursor.has_head) heap.Reinsert(index);
   }
   if (Status s = flush_run(); !s.ok()) return s;
+  if (Status s = writer.EndRun(out_run); !s.ok()) return s;
   if (Status s = writer.Finish(); !s.ok()) return s;
-  context->AddRunFile(writer.records_written(), writer.bytes_written());
-  for (const std::string& path : paths) RemoveSpillFile(path);
+  context->RegisterRuns(out_path, 1);
+  context->AddRunFile(writer.records_written(), writer.bytes_written(),
+                      writer.raw_bytes());
+  for (const SpillRunRef& run : runs) context->ReleaseRun(run.path);
   return Status::OK();
 }
 
@@ -773,31 +881,30 @@ Status MergeRunBatchToFile(SpillContext* context,
 // contiguous in run order). Each sweep over the run list is one
 // merge pass (JobStats::merge_passes).
 template <typename Key, typename Value>
-Status PreMergeProducerRuns(SpillContext* context,
+Status PreMergeProducerRuns(SpillContext* context, uint32_t partition,
                             const CombinerFn<Key, Value>& combiner,
-                            std::vector<std::string>* paths) {
-  while (paths->size() > kSpillRunsPerProducerTarget) {
+                            std::vector<SpillRunRef>* runs) {
+  while (runs->size() > kSpillRunsPerProducerTarget) {
     context->AddMergePass();
-    std::vector<std::string> merged;
-    for (size_t begin = 0; begin < paths->size();
+    std::vector<SpillRunRef> merged;
+    for (size_t begin = 0; begin < runs->size();
          begin += kSpillMergeFanIn) {
-      const size_t end =
-          std::min(begin + kSpillMergeFanIn, paths->size());
+      const size_t end = std::min(begin + kSpillMergeFanIn, runs->size());
       if (end - begin == 1) {
-        merged.push_back((*paths)[begin]);
+        merged.push_back((*runs)[begin]);
         continue;
       }
-      const std::vector<std::string> batch(paths->begin() + begin,
-                                           paths->begin() + end);
-      std::string out_path;
-      if (Status s = MergeRunBatchToFile<Key, Value>(context, batch,
-                                                     combiner, &out_path);
+      const std::vector<SpillRunRef> batch(runs->begin() + begin,
+                                           runs->begin() + end);
+      SpillRunRef out_run;
+      if (Status s = MergeRunBatchToFile<Key, Value>(
+              context, partition, batch, combiner, &out_run);
           !s.ok()) {
         return s;
       }
-      merged.push_back(std::move(out_path));
+      merged.push_back(std::move(out_run));
     }
-    *paths = std::move(merged);
+    *runs = std::move(merged);
   }
   return Status::OK();
 }
@@ -842,29 +949,32 @@ Status ReduceMergedRuns(Producers* producers, size_t p,
                         uint64_t* num_groups, const ReduceRun& reduce_run) {
   // Hierarchical pre-merge per producer, then one cursor per remaining
   // run plus one per in-memory residue.
-  std::vector<std::vector<std::string>> producer_runs;
+  std::vector<std::vector<SpillRunRef>> producer_runs;
   bool any_disk = false;
   for (auto& producer : *producers) {
-    std::vector<std::string> paths = producer.spill_runs(p);
-    if (!paths.empty()) any_disk = true;
-    if (Status s =
-            PreMergeProducerRuns<Key, Value>(context, combiner, &paths);
+    std::vector<SpillRunRef> runs = producer.spill_runs(p);
+    if (!runs.empty()) any_disk = true;
+    if (Status s = PreMergeProducerRuns<Key, Value>(
+            context, static_cast<uint32_t>(p), combiner, &runs);
         !s.ok()) {
       return s;
     }
-    producer_runs.push_back(std::move(paths));
+    producer_runs.push_back(std::move(runs));
   }
   if (any_disk) context->AddMergePass();  // the final streamed merge
 
   std::vector<RunCursor<Key, Value>> cursors;
   size_t producer_index = 0;
   for (auto& producer : *producers) {
-    for (const std::string& path : producer_runs[producer_index]) {
+    for (const SpillRunRef& run : producer_runs[producer_index]) {
       RunCursor<Key, Value> cursor;
       cursor.from_disk = true;
       cursor.reader = std::make_unique<SpillRunReader<Key, Value>>(
           context->NewIo());
-      if (Status s = cursor.reader->Open(path); !s.ok()) return s;
+      cursor.reader->set_prefetcher(context->prefetcher());
+      cursor.reader->set_checksum_failure_counter(
+          context->checksum_failure_counter());
+      if (Status s = cursor.reader->Open(run); !s.ok()) return s;
       cursors.push_back(std::move(cursor));
     }
     if (!producer.bucket(p).empty()) {
@@ -1281,7 +1391,10 @@ std::vector<Output> RunMapReduceSorted(
     local_stats.spilled_records = spill_context->spilled_records();
     local_stats.spill_files = spill_context->spill_files();
     local_stats.spill_bytes = spill_context->spill_bytes();
+    local_stats.spill_raw_bytes = spill_context->spill_raw_bytes();
     local_stats.merge_passes = spill_context->merge_passes();
+    local_stats.checksum_failures = spill_context->checksum_failures();
+    local_stats.prefetch_hits = spill_context->prefetch_hits();
     local_stats.peak_resident_records = spill_context->resident().peak();
     local_stats.spill_status = spill_context->status();
     local_stats.spill_data_loss = spill_context->data_loss();
@@ -1610,7 +1723,10 @@ std::vector<Output> RunFusedMapReduceSorted(
     s2.spilled_records = spill_context->spilled_records();
     s2.spill_files = spill_context->spill_files();
     s2.spill_bytes = spill_context->spill_bytes();
+    s2.spill_raw_bytes = spill_context->spill_raw_bytes();
     s2.merge_passes = spill_context->merge_passes();
+    s2.checksum_failures = spill_context->checksum_failures();
+    s2.prefetch_hits = spill_context->prefetch_hits();
     s1.peak_resident_records = spill_context->resident().peak();
     s2.peak_resident_records = spill_context->resident().peak();
     s1.spill_status = spill_context->status();

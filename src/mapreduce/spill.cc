@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 
@@ -13,6 +14,24 @@
 namespace tsj {
 
 namespace {
+
+// strerror_r comes in two signatures (XSI returns int, GNU returns
+// char*); overload resolution picks the right adapter, so this stays
+// thread-safe on both without feature-macro guessing (std::strerror is
+// not safe across concurrent producers).
+[[maybe_unused]] const char* StrerrorAdapt(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char* StrerrorAdapt(const char* message,
+                                           const char*) {
+  return message;
+}
+
+std::string ErrnoMessage(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return StrerrorAdapt(strerror_r(err, buf, sizeof(buf)), buf);
+}
 
 // Buffered FILE*-backed byte stream: the production SpillIo.
 class FileSpillIo final : public SpillIo {
@@ -25,10 +44,11 @@ class FileSpillIo final : public SpillIo {
     if (file_ != nullptr) {
       return Status::FailedPrecondition("spill io already open");
     }
+    errno = 0;
     file_ = std::fopen(path.c_str(), for_write ? "wb" : "rb");
     if (file_ == nullptr) {
       return Status::Internal("cannot open spill file " + path + ": " +
-                              std::strerror(errno));
+                              ErrnoMessage(errno));
     }
     return Status::OK();
   }
@@ -37,6 +57,9 @@ class FileSpillIo final : public SpillIo {
     if (file_ == nullptr) {
       return Status::FailedPrecondition("spill io not open");
     }
+    // fwrite only sets errno on failure; a stale value from an earlier
+    // unrelated call would otherwise misclassify the error below.
+    errno = 0;
     const size_t written = std::fwrite(data, 1, size, file_);
     if (written < size && std::ferror(file_) != 0) {
       if (errno == ENOSPC) {
@@ -45,7 +68,7 @@ class FileSpillIo final : public SpillIo {
       // Preserve the real errno (EIO, EDQUOT, ...) instead of letting the
       // frame layer misreport a device error as a generic short write.
       return Status::Internal(std::string("spill write failed: ") +
-                              std::strerror(errno));
+                              ErrnoMessage(errno));
     }
     return written;  // short writes are diagnosed by the frame layer
   }
@@ -54,21 +77,53 @@ class FileSpillIo final : public SpillIo {
     if (file_ == nullptr) {
       return Status::FailedPrecondition("spill io not open");
     }
+    errno = 0;
     const size_t read = std::fread(data, 1, size, file_);
     if (read < size && std::ferror(file_) != 0) {
       return Status::Internal(std::string("spill read failed: ") +
-                              std::strerror(errno));
+                              ErrnoMessage(errno));
     }
     return read;
   }
 
+  Status Seek(uint64_t offset) override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("spill io not open");
+    }
+    errno = 0;
+    if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+      return Status::Internal(std::string("spill seek failed: ") +
+                              ErrnoMessage(errno));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("spill io not open");
+    }
+    errno = 0;
+    const off_t pos = ftello(file_);
+    if (pos < 0 || fseeko(file_, 0, SEEK_END) != 0) {
+      return Status::Internal(std::string("spill size failed: ") +
+                              ErrnoMessage(errno));
+    }
+    const off_t end = ftello(file_);
+    if (end < 0 || fseeko(file_, pos, SEEK_SET) != 0) {
+      return Status::Internal(std::string("spill size failed: ") +
+                              ErrnoMessage(errno));
+    }
+    return static_cast<uint64_t>(end);
+  }
+
   Status Close() override {
     if (file_ == nullptr) return Status::OK();
+    errno = 0;
     const int rc = std::fclose(file_);
     file_ = nullptr;
     if (rc != 0) {
       return Status::Internal(std::string("spill close failed: ") +
-                              std::strerror(errno));
+                              ErrnoMessage(errno));
     }
     return Status::OK();
   }
@@ -77,27 +132,186 @@ class FileSpillIo final : public SpillIo {
   std::FILE* file_ = nullptr;
 };
 
+// The checksum stored per frame: Fingerprint64 of the body as it sits on
+// disk, folded to 32 bits (either half alone would still be FNV-quality;
+// the fold keeps both halves contributing).
+uint32_t FrameChecksum(const char* body, size_t size) {
+  const uint64_t h = Fingerprint64(std::string_view(body, size));
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+void AppendU32(uint32_t value, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void AppendU64(uint64_t value, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t value = 0;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t value = 0;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+// Reads exactly `size` bytes from `io` unless EOF intervenes.
+StatusOr<size_t> IoReadFully(SpillIo* io, char* data, size_t size) {
+  size_t total = 0;
+  while (total < size) {
+    StatusOr<size_t> read = io->Read(data + total, size - total);
+    if (!read.ok()) return read.status();
+    if (*read == 0) break;  // end of file
+    total += *read;
+  }
+  return total;
+}
+
+// Parses the footer of an already-open v2 segment io. On success the io's
+// cursor position is unspecified (callers Seek afterwards).
+Status ParseSegmentFooter(SpillIo* io,
+                          std::vector<SpillSegmentEntry>* entries,
+                          uint64_t* data_end) {
+  StatusOr<uint64_t> size = io->Size();
+  if (!size.ok()) return size.status();
+  if (*size < kSpillHeaderBytes + kSpillFooterTrailerBytes + 8) {
+    return Status::Internal("torn spill segment: footer missing");
+  }
+  char trailer[kSpillFooterTrailerBytes];
+  if (Status s = io->Seek(*size - kSpillFooterTrailerBytes); !s.ok()) {
+    return s;
+  }
+  StatusOr<size_t> got = IoReadFully(io, trailer, sizeof(trailer));
+  if (!got.ok()) return got.status();
+  if (*got < sizeof(trailer) ||
+      LoadU32(trailer + sizeof(uint64_t)) != kSpillEndMagic) {
+    return Status::Internal("torn spill segment: footer missing");
+  }
+  const uint64_t footer_offset = LoadU64(trailer);
+  if (footer_offset < kSpillHeaderBytes ||
+      footer_offset + 8 + kSpillFooterTrailerBytes > *size) {
+    return Status::Internal("corrupt spill segment footer offset");
+  }
+  if (Status s = io->Seek(footer_offset); !s.ok()) return s;
+  char head[8];
+  got = IoReadFully(io, head, sizeof(head));
+  if (!got.ok()) return got.status();
+  if (*got < sizeof(head) || LoadU32(head) != kSpillFooterMagic) {
+    return Status::Internal("corrupt spill segment footer");
+  }
+  const uint32_t count = LoadU32(head + 4);
+  const uint64_t entry_bytes =
+      *size - footer_offset - 8 - kSpillFooterTrailerBytes;
+  if (static_cast<uint64_t>(count) * kSpillFooterEntryBytes !=
+      entry_bytes) {
+    return Status::Internal("corrupt spill segment footer");
+  }
+  entries->clear();
+  entries->reserve(count);
+  std::string buf(kSpillFooterEntryBytes, '\0');
+  for (uint32_t i = 0; i < count; ++i) {
+    got = IoReadFully(io, buf.data(), buf.size());
+    if (!got.ok()) return got.status();
+    if (*got < buf.size()) {
+      return Status::Internal("corrupt spill segment footer");
+    }
+    SpillSegmentEntry entry;
+    entry.partition = LoadU32(buf.data());
+    entry.offset = LoadU64(buf.data() + 8);
+    entry.length = LoadU64(buf.data() + 16);
+    entry.records = LoadU64(buf.data() + 24);
+    if (entry.offset < kSpillHeaderBytes ||
+        entry.offset + entry.length > footer_offset) {
+      return Status::Internal("corrupt spill segment footer entry");
+    }
+    entries->push_back(entry);
+  }
+  *data_end = footer_offset;
+  return Status::OK();
+}
+
 }  // namespace
 
 std::unique_ptr<SpillIo> MakeDefaultSpillIo() {
   return std::make_unique<FileSpillIo>();
 }
 
+size_t ParseSpillBudget(const char* value) {
+  if (value == nullptr) return 0;
+  const char* p = value;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '\0' || *p == '-') return 0;  // negative = unset, not ~2^64
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(p, &end, 10);
+  if (end == p || errno == ERANGE) return 0;
+  while (*end == ' ' || *end == '\t' || *end == '\n') ++end;
+  if (*end != '\0') return 0;  // trailing junk = unset
+  if (parsed > std::numeric_limits<size_t>::max()) return 0;
+  return static_cast<size_t>(parsed);
+}
+
 size_t SpillBudgetFromEnv() {
-  static const size_t budget = [] {
-    const char* value = std::getenv("CC_SHUFFLE_SPILL_BUDGET");
-    if (value == nullptr || *value == '\0') return size_t{0};
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(value, &end, 10);
-    if (end == value) return size_t{0};
-    return static_cast<size_t>(parsed);
-  }();
+  static const size_t budget =
+      ParseSpillBudget(std::getenv("CC_SHUFFLE_SPILL_BUDGET"));
   return budget;
+}
+
+void ApplySpillFormatEnv(SpillFormatOptions* format) {
+  enum class Force { kNone, kV1, kV2 };
+  static const Force force = [] {
+    const char* value = std::getenv("CC_SHUFFLE_SPILL_FORMAT");
+    if (value == nullptr) return Force::kNone;
+    const std::string v(value);
+    if (v == "v1" || v == "1") return Force::kV1;
+    if (v == "v2" || v == "2") return Force::kV2;
+    return Force::kNone;
+  }();
+  switch (force) {
+    case Force::kNone:
+      break;
+    case Force::kV1:
+      *format = SpillFormatOptions{/*v2=*/false, /*compress=*/false,
+                                   /*segment=*/false, /*prefetch=*/false};
+      break;
+    case Force::kV2:
+      *format = SpillFormatOptions{/*v2=*/true, /*compress=*/true,
+                                   /*segment=*/true, /*prefetch=*/true};
+      break;
+  }
 }
 
 void RemoveSpillFile(const std::string& path) {
   std::error_code ec;
   std::filesystem::remove(path, ec);  // best effort
+}
+
+StatusOr<std::vector<SpillSegmentEntry>> ReadSpillSegmentIndex(
+    std::unique_ptr<SpillIo> io, const std::string& path) {
+  if (Status s = io->Open(path, /*for_write=*/false); !s.ok()) return s;
+  char header[kSpillHeaderBytes];
+  Status status = Status::OK();
+  std::vector<SpillSegmentEntry> entries;
+  StatusOr<size_t> got = IoReadFully(io.get(), header, sizeof(header));
+  if (!got.ok()) {
+    status = got.status();
+  } else if (*got < sizeof(header) || LoadU32(header) != kSpillMagic) {
+    status = Status::Internal("not a v2 spill segment");
+  } else if (static_cast<uint8_t>(header[4]) != kSpillFormatVersion) {
+    status = Status::Internal("unsupported spill format version");
+  } else {
+    uint64_t data_end = 0;
+    status = ParseSegmentFooter(io.get(), &entries, &data_end);
+  }
+  Status close = io->Close();
+  if (!status.ok()) return status;
+  if (!close.ok()) return close;
+  return entries;
 }
 
 // ---- SpillFrameWriter ------------------------------------------------------
@@ -109,8 +323,9 @@ namespace {
 constexpr size_t kSpillWriteBufferBytes = 256 * 1024;
 }  // namespace
 
-SpillFrameWriter::SpillFrameWriter(std::unique_ptr<SpillIo> io)
-    : io_(std::move(io)) {}
+SpillFrameWriter::SpillFrameWriter(std::unique_ptr<SpillIo> io,
+                                   SpillFormatOptions format)
+    : io_(std::move(io)), format_(format.Normalized()) {}
 
 SpillFrameWriter::~SpillFrameWriter() {
   if (open_) io_->Close();  // error already reported via Finish, or Finish
@@ -120,7 +335,23 @@ SpillFrameWriter::~SpillFrameWriter() {
 Status SpillFrameWriter::Open(const std::string& path) {
   Status s = io_->Open(path, /*for_write=*/true);
   open_ = s.ok();
-  return s;
+  if (!open_) return s;
+  if (format_.v2) {
+    AppendU32(kSpillMagic, &buffer_);
+    uint8_t flags = kSpillFlagChecksummed;
+    if (format_.compress) flags |= kSpillFlagCompressed;
+    const char tail[4] = {static_cast<char>(kSpillFormatVersion),
+                          static_cast<char>(flags), 0, 0};
+    buffer_.append(tail, sizeof(tail));
+    appended_ = kSpillHeaderBytes;
+  }
+  return Status::OK();
+}
+
+void SpillFrameWriter::BeginRun(uint32_t partition) {
+  run_start_ = appended_;
+  run_partition_ = partition;
+  in_run_ = true;
 }
 
 Status SpillFrameWriter::WriteFrame(const char* payload, size_t size) {
@@ -128,11 +359,30 @@ Status SpillFrameWriter::WriteFrame(const char* payload, size_t size) {
   if (size > kMaxSpillFrameBytes) {
     return Status::InvalidArgument("spill frame larger than the format cap");
   }
-  const uint32_t prefix = static_cast<uint32_t>(size);
-  buffer_.append(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
-  buffer_.append(payload, size);
+  const size_t before = buffer_.size();
+  if (format_.v2) {
+    spill_internal::AppendVarint(size, &buffer_);
+    AppendU32(FrameChecksum(payload, size), &buffer_);
+    buffer_.append(payload, size);
+  } else {
+    const uint32_t prefix = static_cast<uint32_t>(size);
+    buffer_.append(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
+    buffer_.append(payload, size);
+  }
+  appended_ += buffer_.size() - before;
   if (buffer_.size() >= kSpillWriteBufferBytes) return FlushBuffer();
   return Status::OK();
+}
+
+SpillSegmentEntry SpillFrameWriter::EndRun(uint64_t records) {
+  SpillSegmentEntry entry;
+  entry.partition = run_partition_;
+  entry.offset = run_start_;
+  entry.length = appended_ - run_start_;
+  entry.records = records;
+  if (in_run_) entries_.push_back(entry);
+  in_run_ = false;
+  return entry;
 }
 
 Status SpillFrameWriter::FlushBuffer() {
@@ -140,13 +390,16 @@ Status SpillFrameWriter::FlushBuffer() {
   while (offset < buffer_.size()) {
     StatusOr<size_t> written =
         io_->Write(buffer_.data() + offset, buffer_.size() - offset);
-    if (!written.ok()) return written.status();
-    if (*written == 0) {
+    if (!written.ok() || *written == 0) {
+      // Drop the already-consumed prefix so a later flush (Finish after
+      // a transient error) cannot re-write those bytes and duplicate
+      // partial frames in the run.
+      buffer_.erase(0, offset);
+      if (!written.ok()) return written.status();
       return Status::ResourceExhausted(
           "spill write made no progress (short write)");
     }
     offset += *written;
-    bytes_written_ += *written;
   }
   buffer_.clear();
   return Status::OK();
@@ -154,6 +407,23 @@ Status SpillFrameWriter::FlushBuffer() {
 
 Status SpillFrameWriter::Finish() {
   if (!open_) return Status::FailedPrecondition("spill writer not open");
+  if (in_run_) EndRun(0);
+  if (format_.v2) {
+    const uint64_t footer_offset = appended_;
+    const size_t before = buffer_.size();
+    AppendU32(kSpillFooterMagic, &buffer_);
+    AppendU32(static_cast<uint32_t>(entries_.size()), &buffer_);
+    for (const SpillSegmentEntry& entry : entries_) {
+      AppendU32(entry.partition, &buffer_);
+      AppendU32(0, &buffer_);
+      AppendU64(entry.offset, &buffer_);
+      AppendU64(entry.length, &buffer_);
+      AppendU64(entry.records, &buffer_);
+    }
+    AppendU64(footer_offset, &buffer_);
+    AppendU32(kSpillEndMagic, &buffer_);
+    appended_ += buffer_.size() - before;
+  }
   Status s = FlushBuffer();
   open_ = false;
   Status close_status = io_->Close();
@@ -163,58 +433,293 @@ Status SpillFrameWriter::Finish() {
 
 // ---- SpillFrameReader ------------------------------------------------------
 
+namespace {
+// One read-ahead chunk. Small runs read in one chunk; big merge inputs
+// stream through double-buffered chunks that overlap reduce compute.
+constexpr size_t kSpillReadChunkBytes = 256 * 1024;
+}  // namespace
+
 SpillFrameReader::SpillFrameReader(std::unique_ptr<SpillIo> io)
     : io_(std::move(io)) {}
 
 SpillFrameReader::~SpillFrameReader() {
+  WaitPendingFill();
   if (open_) io_->Close();
 }
 
 Status SpillFrameReader::Open(const std::string& path) {
-  Status s = io_->Open(path, /*for_write=*/false);
-  open_ = s.ok();
-  return s;
+  return OpenInternal(path, nullptr);
 }
 
-StatusOr<size_t> SpillFrameReader::ReadFully(char* data, size_t size) {
+Status SpillFrameReader::Open(const SpillRunRef& ref) {
+  if (ref.offset == 0 && ref.length == 0) {
+    return OpenInternal(ref.path, nullptr);  // legacy whole-file run
+  }
+  return OpenInternal(ref.path, &ref);
+}
+
+// Reads the first kSpillHeaderBytes (or less, at EOF) synchronously; the
+// caller decides v1 vs v2 from them.
+Status SpillFrameReader::ReadHeaderProbe(std::string* probe) {
+  probe->resize(kSpillHeaderBytes);
+  StatusOr<size_t> got =
+      IoReadFully(io_.get(), probe->data(), probe->size());
+  if (!got.ok()) return got.status();
+  probe->resize(*got);
+  return Status::OK();
+}
+
+Status SpillFrameReader::OpenInternal(const std::string& path,
+                                      const SpillRunRef* ref) {
+  Status s = io_->Open(path, /*for_write=*/false);
+  open_ = s.ok();
+  if (!open_) return s;
+  std::string probe;
+  if (Status ps = ReadHeaderProbe(&probe); !ps.ok()) return ps;
+  if (probe.size() >= sizeof(uint32_t) &&
+      LoadU32(probe.data()) == kSpillMagic) {
+    if (probe.size() < kSpillHeaderBytes) {
+      return Status::Internal("torn spill segment header");
+    }
+    if (static_cast<uint8_t>(probe[4]) != kSpillFormatVersion) {
+      return Status::Internal("unsupported spill format version");
+    }
+    const uint8_t flags = static_cast<uint8_t>(probe[5]);
+    if ((flags & ~(kSpillFlagChecksummed | kSpillFlagCompressed)) != 0 ||
+        probe[6] != 0 || probe[7] != 0) {
+      return Status::Internal("corrupt spill segment header");
+    }
+    v2_ = true;
+    checksummed_ = (flags & kSpillFlagChecksummed) != 0;
+    compressed_ = (flags & kSpillFlagCompressed) != 0;
+    uint64_t start = kSpillHeaderBytes;
+    uint64_t end = 0;
+    if (ref != nullptr) {
+      start = ref->offset;
+      end = ref->offset + ref->length;
+    } else {
+      // Whole-segment read: the footer bounds the frame data (runs are
+      // written back to back, so one contiguous extent covers them all).
+      std::vector<SpillSegmentEntry> entries;
+      if (Status fs = ParseSegmentFooter(io_.get(), &entries, &end);
+          !fs.ok()) {
+        return fs;
+      }
+    }
+    if (Status ss = io_->Seek(start); !ss.ok()) return ss;
+    if (end < start) return Status::Internal("corrupt spill run extent");
+    limit_ = end - start;
+  } else {
+    // Legacy v1 stream: the probed bytes are frame data, not a header.
+    v2_ = false;
+    checksummed_ = false;
+    compressed_ = false;
+    chunk_ = std::move(probe);
+    chunk_pos_ = 0;
+    limit_ = kNoLimit;
+  }
+  if (prefetcher_ != nullptr) ScheduleFill();
+  return Status::OK();
+}
+
+// Synchronously reads the next chunk (bounded by limit_) into *chunk.
+// Decrements limit_ by what it read.
+Status SpillFrameReader::FillChunkSync(std::string* chunk) {
+  const size_t want = limit_ == kNoLimit
+                          ? kSpillReadChunkBytes
+                          : static_cast<size_t>(std::min<uint64_t>(
+                                kSpillReadChunkBytes, limit_));
+  chunk->resize(want);
+  if (want == 0) return Status::OK();
+  StatusOr<size_t> got = IoReadFully(io_.get(), chunk->data(), want);
+  if (!got.ok()) {
+    chunk->clear();
+    return got.status();
+  }
+  chunk->resize(*got);
+  if (limit_ != kNoLimit) limit_ -= *got;
+  return Status::OK();
+}
+
+// Enqueues a fill of next_chunk_ on the prefetch pool. At most one fill
+// is in flight per reader; the io is only touched by that task until the
+// consumer Takes the chunk (the fill_mu_ handoff orders the accesses, so
+// the SpillIo itself needs no internal locking).
+void SpillFrameReader::ScheduleFill() {
+  if (limit_ == 0) return;  // bounded extent fully read: nothing ahead
+  {
+    std::lock_guard<std::mutex> lock(fill_mu_);
+    fill_ready_ = false;
+    fill_active_ = true;
+  }
+  prefetcher_->Schedule([this] {
+    std::string chunk;
+    Status s = FillChunkSync(&chunk);
+    std::lock_guard<std::mutex> lock(fill_mu_);
+    next_chunk_ = std::move(chunk);
+    fill_status_ = s;
+    fill_ready_ = true;
+    fill_cv_.notify_all();
+  });
+}
+
+// Swaps the prefetched chunk in (waiting if the fill is still running)
+// and schedules the next one.
+Status SpillFrameReader::TakeChunk() {
+  std::unique_lock<std::mutex> lock(fill_mu_);
+  if (fill_ready_) {
+    prefetcher_->RecordHit();
+  } else {
+    prefetcher_->RecordStall();
+    fill_cv_.wait(lock, [this] { return fill_ready_; });
+  }
+  fill_active_ = false;
+  Status s = fill_status_;
+  chunk_ = std::move(next_chunk_);
+  next_chunk_.clear();
+  chunk_pos_ = 0;
+  lock.unlock();
+  if (!s.ok()) return s;
+  ScheduleFill();
+  return Status::OK();
+}
+
+void SpillFrameReader::WaitPendingFill() {
+  std::unique_lock<std::mutex> lock(fill_mu_);
+  if (!fill_active_) return;
+  fill_cv_.wait(lock, [this] { return fill_ready_; });
+  fill_active_ = false;
+}
+
+// Copies up to `size` bytes out of the chunked stream; *read < size only
+// at end of stream.
+Status SpillFrameReader::ReadBytes(char* data, size_t size, size_t* read) {
   size_t total = 0;
   while (total < size) {
-    StatusOr<size_t> read = io_->Read(data + total, size - total);
-    if (!read.ok()) return read.status();
-    if (*read == 0) break;  // end of file
-    total += *read;
+    if (chunk_pos_ >= chunk_.size()) {
+      chunk_.clear();
+      chunk_pos_ = 0;
+      if (prefetcher_ != nullptr) {
+        bool pending = false;
+        {
+          std::lock_guard<std::mutex> lock(fill_mu_);
+          pending = fill_active_;
+        }
+        if (pending) {
+          if (Status s = TakeChunk(); !s.ok()) return s;
+        }
+      } else if (limit_ != 0) {
+        if (Status s = FillChunkSync(&chunk_); !s.ok()) return s;
+        chunk_pos_ = 0;
+      }
+      if (chunk_.empty()) break;  // end of stream
+    }
+    const size_t take =
+        std::min(size - total, chunk_.size() - chunk_pos_);
+    std::memcpy(data + total, chunk_.data() + chunk_pos_, take);
+    chunk_pos_ += take;
+    total += take;
   }
-  return total;
+  *read = total;
+  return Status::OK();
 }
 
 Status SpillFrameReader::ReadFrame(std::string* payload, bool* eof) {
   if (!open_) return Status::FailedPrecondition("spill reader not open");
   *eof = false;
-  uint32_t prefix = 0;
-  StatusOr<size_t> header =
-      ReadFully(reinterpret_cast<char*>(&prefix), sizeof(prefix));
-  if (!header.ok()) return header.status();
-  if (*header == 0) {
-    *eof = true;  // clean end between frames
+  if (!v2_) {
+    uint32_t prefix = 0;
+    size_t got = 0;
+    if (Status s =
+            ReadBytes(reinterpret_cast<char*>(&prefix), sizeof(prefix),
+                      &got);
+        !s.ok()) {
+      return s;
+    }
+    if (got == 0) {
+      *eof = true;  // clean end between frames
+      return Status::OK();
+    }
+    if (got < sizeof(prefix)) {
+      return Status::Internal("truncated spill frame header");
+    }
+    if (prefix > kMaxSpillFrameBytes) {
+      return Status::Internal("corrupt spill frame length prefix");
+    }
+    payload->resize(prefix);
+    got = 0;
+    if (Status s = ReadBytes(payload->data(), prefix, &got); !s.ok()) {
+      return s;
+    }
+    if (got < prefix) {
+      return Status::Internal(
+          "torn spill frame: payload shorter than its length prefix");
+    }
     return Status::OK();
   }
-  if (*header < sizeof(prefix)) {
-    return Status::Internal("truncated spill frame header");
+  // v2 frame: [varint body_size][u32 checksum][body].
+  uint64_t body_size = 0;
+  {
+    uint64_t result = 0;
+    int shift = 0;
+    bool first = true;
+    while (true) {
+      char byte = 0;
+      size_t got = 0;
+      if (Status s = ReadBytes(&byte, 1, &got); !s.ok()) return s;
+      if (got == 0) {
+        if (first) {
+          *eof = true;  // clean end between frames
+          return Status::OK();
+        }
+        return Status::Internal("truncated spill frame header");
+      }
+      first = false;
+      const uint8_t b = static_cast<uint8_t>(byte);
+      result |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) {
+        return Status::Internal("corrupt spill frame length prefix");
+      }
+    }
+    body_size = result;
   }
-  if (prefix > kMaxSpillFrameBytes) {
+  if (body_size > kMaxSpillFrameBytes) {
     return Status::Internal("corrupt spill frame length prefix");
   }
-  payload->resize(prefix);
-  StatusOr<size_t> body = ReadFully(payload->data(), prefix);
-  if (!body.ok()) return body.status();
-  if (*body < prefix) {
+  uint32_t stored_checksum = 0;
+  size_t got = 0;
+  if (Status s = ReadBytes(reinterpret_cast<char*>(&stored_checksum),
+                           sizeof(stored_checksum), &got);
+      !s.ok()) {
+    return s;
+  }
+  if (got < sizeof(stored_checksum)) {
+    return Status::Internal("truncated spill frame header");
+  }
+  payload->resize(body_size);
+  got = 0;
+  if (Status s = ReadBytes(payload->data(), body_size, &got); !s.ok()) {
+    return s;
+  }
+  if (got < body_size) {
     return Status::Internal(
         "torn spill frame: payload shorter than its length prefix");
+  }
+  if (checksummed_ &&
+      FrameChecksum(payload->data(), payload->size()) != stored_checksum) {
+    if (checksum_failures_ != nullptr) {
+      checksum_failures_->fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::Internal(
+        "spill frame checksum mismatch (corrupt payload)");
   }
   return Status::OK();
 }
 
 Status SpillFrameReader::Close() {
+  WaitPendingFill();
   if (!open_) return Status::OK();
   open_ = false;
   return io_->Close();
@@ -222,15 +727,27 @@ Status SpillFrameReader::Close() {
 
 // ---- SpillContext ----------------------------------------------------------
 
+namespace {
+// The read-ahead pool is deliberately tiny: fills are short sequential
+// reads, and two threads keep a budget-bound merge's cursors fed without
+// competing with the reduce workers for cores.
+constexpr size_t kSpillPrefetchThreads = 2;
+}  // namespace
+
 SpillContext::SpillContext(size_t budget, std::string dir,
-                           SpillIoFactory factory)
+                           SpillIoFactory factory,
+                           SpillFormatOptions format)
     : budget_(budget),
       dir_(std::move(dir)),
       factory_(std::move(factory)),
+      format_(format.Normalized()),
       tag_(Mix64(static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this)) ^
                  (static_cast<uint64_t>(::getpid()) << 32))) {}
 
 SpillContext::~SpillContext() {
+  // The prefetch pool must drain before files disappear (a late fill on
+  // a removed file would be an io error nobody consumes).
+  prefetcher_.reset();
   // Every file this context ever named is removed (runs are per-job); an
   // owned temp directory goes with them. All best effort: teardown must
   // not fail a job that already reported its real error.
@@ -245,6 +762,9 @@ SpillContext::~SpillContext() {
 }
 
 Status SpillContext::Init() {
+  if (format_.prefetch && prefetcher_ == nullptr) {
+    prefetcher_ = std::make_unique<SpillPrefetcher>(kSpillPrefetchThreads);
+  }
   std::error_code ec;
   if (!dir_.empty()) {
     std::filesystem::create_directories(dir_, ec);
@@ -292,6 +812,24 @@ std::string SpillContext::NewRunPath() {
 std::unique_ptr<SpillIo> SpillContext::NewIo() const {
   if (factory_) return factory_();
   return MakeDefaultSpillIo();
+}
+
+void SpillContext::RegisterRuns(const std::string& path, uint64_t runs) {
+  if (runs == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_runs_[path] += runs;
+}
+
+void SpillContext::ReleaseRun(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = live_runs_.find(path);
+    if (it != live_runs_.end()) {
+      if (--it->second > 0) return;  // segment still backs other runs
+      live_runs_.erase(it);
+    }
+  }
+  RemoveSpillFile(path);
 }
 
 void SpillContext::RecordError(const Status& status) {

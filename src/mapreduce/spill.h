@@ -9,24 +9,74 @@
 // engine:
 //
 //  * SpillIo — the byte-level I/O seam. The default implementation is a
-//    buffered FILE*; tests wrap it to inject short writes, ENOSPC and
-//    truncated reads (tests/spill_test.cc), which must surface as clean
-//    Status errors — never a crash, never silent record loss.
+//    buffered FILE*; tests wrap it to inject short writes, ENOSPC,
+//    truncated reads and bit-flips (tests/spill_test.cc), all of which
+//    must surface as clean Status errors — never a crash, never silent
+//    record loss, never a silently wrong record.
 //  * SpillCodec<T> — the record serializer: trivially copyable types are
 //    memcpy'd; std::string, std::pair, std::tuple and std::vector compose
 //    recursively. This covers every Key/Value shape the engines shuffle
 //    (the same shapes StableHash supports). Callers with exotic types can
 //    pass their own serializer to the run writer/reader.
-//  * SpillRunWriter / SpillRunReader — one sorted run as a sequence of
-//    framed, length-prefixed records ([u32 payload size][payload]). A torn
-//    final frame (the classic crash-mid-write artifact) is detected by the
-//    length prefix; bogus lengths and short payload decodes are reported
-//    as corrupt frames.
-//  * SpillContext — per-job shared state: the budget, the spill directory
-//    (owned temp dir unless the caller provided one), run-file naming, the
-//    spill counters (spilled_records / spill_files / spill_bytes /
-//    merge_passes), the peak-resident-records gauge that proves the budget
-//    is honored, and the first I/O error (sticky; JobStats::spill_status).
+//  * SpillRunWriter / SpillRunReader — sorted runs inside a spill file.
+//  * SpillContext — per-job shared state: the budget, the format toggles,
+//    the spill directory (owned temp dir unless the caller provided one),
+//    run-file naming and refcounted removal, the prefetch pool, the spill
+//    counters JobStats reports, the peak-resident-records gauge that
+//    proves the budget is honored, and the first I/O error (sticky).
+//
+// ---- On-disk format (v2, the default) --------------------------------------
+//
+// A spill file is a *segment*: one or more sorted runs back to back,
+// framed, followed by a footer index. All integers little-endian; varints
+// are LEB128.
+//
+//   segment := header run* footer
+//   header  := [u32 magic "2LPS"][u8 version = 2][u8 flags][u16 zero]
+//   run     := frame*                     (one frame = one record block)
+//   frame   := [varint body_size][u32 checksum][body]
+//   footer  := [u32 footer_magic][u32 entry_count] entry*
+//              [u64 footer_offset][u32 end_magic]
+//   entry   := [u32 partition][u32 zero][u64 offset][u64 length]
+//              [u64 records]
+//
+// The magic, read as a little-endian u32, is greater than
+// kMaxSpillFrameBytes, so the first four bytes of a file distinguish v2
+// (magic) from legacy v1 (a frame length prefix) unambiguously — v1 runs
+// ([u32 size][payload] per record, no header, no checksums, no footer)
+// still read through the same reader.
+//
+// The checksum (common/hash.h Fingerprint64, folded to 32 bits) covers the
+// frame body as stored, so a payload bit-flip surfaces as the same clean
+// Status contract a torn frame gets (JobStats::spill_data_loss), instead
+// of decoding into a silently wrong record. A frame body is a *block* of
+// records (~kSpillBlockTargetBytes) encoded with a byte-level delta
+// against the previous record: sorted runs put records with equal or
+// adjacent keys next to each other, so consecutive serialized records
+// share long prefixes (and, for fixed-width tails, suffixes):
+//
+//   block record := [token u8 != 0xFF][middle bytes]
+//                   (prefix = token >> 4, suffix = token & 0xF, raw size
+//                    = prev's raw size, middle implied — the compact form
+//                    fixed-width records almost always take)
+//                 | [0xFF][varint shared_prefix][varint shared_suffix]
+//                   [varint middle_size][middle bytes]
+//                   (escape form: a changed record size, or a shared
+//                    prefix/suffix longer than a nibble holds)
+//   raw record   := prev[0:prefix] + middle + prev[end-suffix:end]
+//
+// The delta chain resets at each block (the first record of a block deltas
+// against the empty string, i.e. is stored whole via the escape form), so
+// every frame is independently decodable. Uncompressed v2 blocks (flags
+// bit off) store [varint size][bytes] per record.
+//
+// The footer index maps each partition's run to its (offset, length)
+// extent, so one flush writes every bucket's run into ONE file (budget-1
+// sweeps stop creating thousands of files) and the engine hands bounded
+// SpillRunRefs to the merge. The footer is parsed from the end (trailing
+// [footer_offset][end_magic]); in-process the engine keeps the index in
+// memory and the footer exists for crash forensics and as the future
+// cross-shard wire format.
 //
 // The merge itself (run cursors, hierarchical pre-merge passes, the
 // streamed reduce) lives in mapreduce.h next to the engines, because it is
@@ -36,26 +86,32 @@
 #define TSJ_MAPREDUCE_SPILL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <tuple>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "mapreduce/job_stats.h"
 
 namespace tsj {
 
 // ---- Byte-level I/O seam ---------------------------------------------------
 
-/// One spill file's byte stream. Implementations need not be thread-safe:
-/// a SpillIo instance is used by one thread at a time. Write may report
+/// One spill file's byte stream. Implementations need not be internally
+/// synchronized: a SpillIo instance is used by one thread at a time (the
+/// prefetcher moves reads to a background thread, but hands the stream
+/// over with proper ordering — accesses never overlap). Write may report
 /// fewer bytes than requested (a short write — disk full, signal, fault
 /// injection); the frame layer turns that into a Status error. Read
 /// returns 0 at end of file.
@@ -65,6 +121,11 @@ class SpillIo {
   virtual Status Open(const std::string& path, bool for_write) = 0;
   virtual StatusOr<size_t> Write(const char* data, size_t size) = 0;
   virtual StatusOr<size_t> Read(char* data, size_t size) = 0;
+  /// Repositions the read cursor (v2 footer parsing and bounded run
+  /// reads seek; the write path never does).
+  virtual Status Seek(uint64_t offset) = 0;
+  /// Total size of the open file in bytes (locates the v2 footer).
+  virtual StatusOr<uint64_t> Size() = 0;
   virtual Status Close() = 0;
 };
 
@@ -75,6 +136,12 @@ using SpillIoFactory = std::function<std::unique_ptr<SpillIo>()>;
 
 /// The default FILE*-backed implementation.
 std::unique_ptr<SpillIo> MakeDefaultSpillIo();
+
+/// Parses a CC_SHUFFLE_SPILL_BUDGET-style value: an unsigned decimal
+/// record count with optional surrounding whitespace. Returns 0 (unset)
+/// for null/empty input, a leading '-' (strtoull would silently wrap -1
+/// into ~2^64), out-of-range values, or trailing junk.
+size_t ParseSpillBudget(const char* value);
 
 /// Test-tier budget override: the CC_SHUFFLE_SPILL_BUDGET environment
 /// variable (a record count), read once per process. When set, sorted-mode
@@ -87,6 +154,39 @@ size_t SpillBudgetFromEnv();
 /// Best-effort removal of one spill file (used after write failures and by
 /// SpillContext teardown). Missing files are fine.
 void RemoveSpillFile(const std::string& path);
+
+// ---- Format toggles --------------------------------------------------------
+
+/// Per-job spill format configuration (MapReduceOptions::spill_format).
+/// The defaults are the full v2 feature set; `v2 = false` writes the
+/// legacy v1 frame stream (readable by any prior build) and implies the
+/// other toggles off. CC_SHUFFLE_SPILL_FORMAT=v1|v2 overrides the lot
+/// (test tier, like CC_SHUFFLE_SPILL_BUDGET).
+struct SpillFormatOptions {
+  /// Versioned header + per-frame checksums + footer index.
+  bool v2 = true;
+  /// Delta-of-record + varint block encoding (v2 only).
+  bool compress = true;
+  /// One file per flush holding every bucket's run (v2 only).
+  bool segment = true;
+  /// Async read-ahead of merge inputs (any format).
+  bool prefetch = true;
+
+  /// v1 cannot carry v2-only features; returns a consistent copy.
+  SpillFormatOptions Normalized() const {
+    SpillFormatOptions f = *this;
+    if (!f.v2) {
+      f.compress = false;
+      f.segment = false;
+    }
+    return f;
+  }
+};
+
+/// Applies the CC_SHUFFLE_SPILL_FORMAT override (read once per process)
+/// to `format`: "v1"/"1" forces the legacy format, "v2"/"2" forces the
+/// full v2 feature set; unset/unknown leaves `format` untouched.
+void ApplySpillFormatEnv(SpillFormatOptions* format);
 
 // ---- Record serialization --------------------------------------------------
 
@@ -107,42 +207,86 @@ struct IsVector : std::false_type {};
 template <typename E>
 struct IsVector<std::vector<E>> : std::true_type {};
 
+/// The codec stores string/vector sizes as u32. A size that does not fit
+/// must FAIL the encode — truncating it would produce a well-formed but
+/// corrupt frame that round-trips as a silently wrong record.
+inline bool FitsSpillSize(size_t size) {
+  return size <= std::numeric_limits<uint32_t>::max();
+}
+
+/// LEB128 append (7 bits per byte, high bit = continuation).
+inline void AppendVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+/// LEB128 decode from [*p, end); advances *p. False on truncation or a
+/// varint longer than 10 bytes (corrupt).
+inline bool DecodeVarint(const char** p, const char* end, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*p < end && shift < 64) {
+    const uint8_t byte = static_cast<uint8_t>(**p);
+    ++*p;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
 }  // namespace spill_internal
 
 /// Byte serializer for spillable values: structural types (string, pair,
 /// tuple, vector) compose recursively, everything else must be trivially
-/// copyable and is memcpy'd. Encode appends to `out`; Decode consumes from
-/// [*p, end), advancing *p, and returns false when the buffer is too short
-/// (a corrupt or truncated frame).
+/// copyable and is memcpy'd. Encode appends to `out` and returns false
+/// when a size does not fit the format (an element over 4 GiB) — the
+/// output is then unusable and the caller must fail the record, never
+/// write it. Decode consumes from [*p, end), advancing *p, and returns
+/// false when the buffer is too short (a corrupt or truncated frame).
 template <typename T>
 struct SpillCodec {
-  static void Encode(const T& value, std::string* out) {
+  [[nodiscard]] static bool Encode(const T& value, std::string* out) {
     if constexpr (std::is_same_v<T, std::string>) {
+      if (!spill_internal::FitsSpillSize(value.size())) return false;
       const uint32_t size = static_cast<uint32_t>(value.size());
       out->append(reinterpret_cast<const char*>(&size), sizeof(size));
       out->append(value.data(), value.size());
+      return true;
     } else if constexpr (spill_internal::IsPair<T>::value) {
-      SpillCodec<typename T::first_type>::Encode(value.first, out);
-      SpillCodec<typename T::second_type>::Encode(value.second, out);
+      return SpillCodec<typename T::first_type>::Encode(value.first, out) &&
+             SpillCodec<typename T::second_type>::Encode(value.second, out);
     } else if constexpr (spill_internal::IsTuple<T>::value) {
-      std::apply(
+      return std::apply(
           [out](const auto&... parts) {
-            (SpillCodec<std::decay_t<decltype(parts)>>::Encode(parts, out),
-             ...);
+            return (SpillCodec<std::decay_t<decltype(parts)>>::Encode(parts,
+                                                                      out) &&
+                    ...);
           },
           value);
     } else if constexpr (spill_internal::IsVector<T>::value) {
+      if (!spill_internal::FitsSpillSize(value.size())) return false;
       const uint32_t count = static_cast<uint32_t>(value.size());
       out->append(reinterpret_cast<const char*>(&count), sizeof(count));
       for (const auto& element : value) {
-        SpillCodec<typename T::value_type>::Encode(element, out);
+        if (!SpillCodec<typename T::value_type>::Encode(element, out)) {
+          return false;
+        }
       }
+      return true;
     } else {
       static_assert(std::is_trivially_copyable_v<T>,
                     "SpillCodec: type is neither structural (string, pair, "
                     "tuple, vector) nor trivially copyable; provide a "
                     "custom serializer");
       out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+      return true;
     }
   }
 
@@ -199,14 +343,15 @@ struct SpillCodec {
 };
 
 /// The serializer the engines use for a shuffle record: Key then Value,
-/// both through SpillCodec. Parse fails (corrupt frame) when the payload
-/// is short or carries trailing bytes.
+/// both through SpillCodec. The encode returns false on an un-encodable
+/// record (an element over the format's 4 GiB size field); Parse fails
+/// (corrupt frame) when the payload is short or carries trailing bytes.
 template <typename Key, typename Value>
 struct DefaultSpillSerializer {
-  void operator()(const std::pair<Key, Value>& record,
-                  std::string* out) const {
-    SpillCodec<Key>::Encode(record.first, out);
-    SpillCodec<Value>::Encode(record.second, out);
+  [[nodiscard]] bool operator()(const std::pair<Key, Value>& record,
+                                std::string* out) const {
+    return SpillCodec<Key>::Encode(record.first, out) &&
+           SpillCodec<Value>::Encode(record.second, out);
   }
   bool Parse(const char* data, size_t size,
              std::pair<Key, Value>* record) const {
@@ -220,8 +365,29 @@ struct DefaultSpillSerializer {
 // ---- Framed run files ------------------------------------------------------
 
 /// Upper bound on one frame's payload; a length prefix beyond it is a
-/// corrupt frame, not an allocation request.
+/// corrupt frame, not an allocation request. Also what makes the v2 magic
+/// unambiguous: the magic, as a little-endian u32, exceeds this cap, so
+/// it can never be a valid v1 length prefix.
 inline constexpr uint32_t kMaxSpillFrameBytes = 1u << 30;
+
+/// v2 file header: [magic u32]["2" version u8][flags u8][u16 zero].
+inline constexpr uint32_t kSpillMagic = 0x53504C32;  // bytes "2LPS"
+inline constexpr uint8_t kSpillFormatVersion = 2;
+inline constexpr uint8_t kSpillFlagChecksummed = 0x01;
+inline constexpr uint8_t kSpillFlagCompressed = 0x02;
+inline constexpr size_t kSpillHeaderBytes = 8;
+
+/// v2 footer markers (see the format comment atop this file).
+inline constexpr uint32_t kSpillFooterMagic = 0x58444932;  // "2IDX"
+inline constexpr uint32_t kSpillEndMagic = 0x32444E45;     // "END2"
+inline constexpr size_t kSpillFooterEntryBytes = 32;
+inline constexpr size_t kSpillFooterTrailerBytes = 12;
+
+/// Target encoded size of one v2 record block (= one checksummed frame).
+/// Large enough to amortize the frame overhead (varint length + u32
+/// checksum) over hundreds of records, small enough that a corrupt frame
+/// only voids one block.
+inline constexpr size_t kSpillBlockTargetBytes = 16 * 1024;
 
 /// Granularity at which producers and merges publish their local
 /// residency deltas into the shared SpillContext gauge: one atomic RMW
@@ -230,80 +396,320 @@ inline constexpr uint32_t kMaxSpillFrameBytes = 1u << 30;
 /// Part of the documented peak_resident_records slack.
 inline constexpr size_t kSpillResidentPublishBatch = 64;
 
-/// Byte-level writer of one run file: a sequence of length-prefixed
-/// frames, buffered, every short write reported as an error.
+/// One run's footer-index entry: which partition it belongs to and where
+/// its frames live in the segment file.
+struct SpillSegmentEntry {
+  uint32_t partition = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t records = 0;
+};
+
+/// Engine-side handle to one sorted run: a byte extent of a spill file.
+/// offset == 0 && length == 0 means "the whole file" (legacy v1 runs and
+/// files from builds without a footer).
+struct SpillRunRef {
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t records = 0;
+};
+
+/// Reads a v2 segment's footer index. Takes an unopened io; opens,
+/// parses, closes. Errors (not a v2 file, torn or corrupt footer) come
+/// back as a clean Status.
+StatusOr<std::vector<SpillSegmentEntry>> ReadSpillSegmentIndex(
+    std::unique_ptr<SpillIo> io, const std::string& path);
+
+/// Read-ahead pool shared by one job's merge cursors: readers enqueue
+/// chunk fills here so disk reads overlap merge/reduce compute. A small
+/// dedicated pool (not the engine's worker pool: every worker can be
+/// inside a merge waiting on a fill, which on the shared pool would be a
+/// deadlock). Thread-safe; counts hits (a chunk was already filled when
+/// the reader needed it) and stalls (the reader had to wait).
+class SpillPrefetcher {
+ public:
+  explicit SpillPrefetcher(size_t threads) : pool_(threads) {}
+
+  void Schedule(std::function<void()> fill) {
+    pool_.Submit(std::move(fill));
+  }
+
+  void RecordHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordStall() { stalls_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ThreadPool pool_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> stalls_{0};
+};
+
+/// Byte/frame-level writer of one spill file, buffered, every short write
+/// reported as an error. v2 files carry the versioned header, per-frame
+/// checksums and the footer index; BeginRun/EndRun bracket the runs of a
+/// segment (EndRun records the footer entry). v1 writes the legacy
+/// headerless frame stream (BeginRun/EndRun still track extents so the
+/// engine gets SpillRunRefs either way).
 class SpillFrameWriter {
  public:
-  explicit SpillFrameWriter(std::unique_ptr<SpillIo> io);
+  explicit SpillFrameWriter(std::unique_ptr<SpillIo> io,
+                            SpillFormatOptions format = {});
   ~SpillFrameWriter();
 
   Status Open(const std::string& path);
+  void BeginRun(uint32_t partition);
   Status WriteFrame(const char* payload, size_t size);
-  /// Flushes and closes; the run is only complete when Finish returned OK.
+  /// Closes the current run; `records` lands in its footer entry.
+  SpillSegmentEntry EndRun(uint64_t records);
+  /// Writes the footer (v2), flushes and closes; the file is only
+  /// complete when Finish returned OK.
   Status Finish();
-  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Bytes appended so far (== file size once Finish succeeded).
+  uint64_t bytes_written() const { return appended_; }
+  const SpillFormatOptions& format() const { return format_; }
+  const std::vector<SpillSegmentEntry>& entries() const { return entries_; }
 
  private:
   Status FlushBuffer();
 
   std::unique_ptr<SpillIo> io_;
+  const SpillFormatOptions format_;
   std::string buffer_;
-  uint64_t bytes_written_ = 0;
+  uint64_t appended_ = 0;
+  std::vector<SpillSegmentEntry> entries_;
+  uint64_t run_start_ = 0;
+  uint32_t run_partition_ = 0;
+  bool in_run_ = false;
   bool open_ = false;
 };
 
-/// Byte-level reader of one run file. A clean end-of-file between frames
-/// sets *eof; anything else mid-frame (torn header, payload shorter than
-/// its length prefix, absurd length) is a Status error.
+/// Byte/frame-level reader. Opens either a whole file (v1 streams and
+/// full v2 segments — the footer index supplies the extents) or one
+/// bounded run of a v2 segment (SpillRunRef). A clean end between frames
+/// sets *eof; anything else mid-frame (torn header, short payload, absurd
+/// length, checksum mismatch, bad version) is a Status error. Reads are
+/// chunked; with set_prefetcher the next chunk is fetched on the pool
+/// while the caller consumes the current one.
 class SpillFrameReader {
  public:
   explicit SpillFrameReader(std::unique_ptr<SpillIo> io);
   ~SpillFrameReader();
 
+  /// Both must be set (if at all) before Open.
+  void set_prefetcher(SpillPrefetcher* prefetcher) {
+    prefetcher_ = prefetcher;
+  }
+  void set_checksum_failure_counter(std::atomic<uint64_t>* counter) {
+    checksum_failures_ = counter;
+  }
+
   Status Open(const std::string& path);
+  Status Open(const SpillRunRef& ref);
   Status ReadFrame(std::string* payload, bool* eof);
   Status Close();
 
+  /// Valid after Open: the detected format of the open file.
+  bool v2() const { return v2_; }
+  bool compressed() const { return compressed_; }
+
  private:
-  StatusOr<size_t> ReadFully(char* data, size_t size);
+  Status OpenInternal(const std::string& path, const SpillRunRef* ref);
+  Status ReadHeaderProbe(std::string* probe);
+  Status ReadBytes(char* data, size_t size, size_t* read);
+  Status FillChunkSync(std::string* chunk);
+  void ScheduleFill();
+  Status TakeChunk();
+  void WaitPendingFill();
 
   std::unique_ptr<SpillIo> io_;
   bool open_ = false;
+  bool v2_ = false;
+  bool checksummed_ = false;
+  bool compressed_ = false;
+
+  // Buffered chunk the caller consumes from, plus the byte budget still
+  // unread from the io (limit_: bounded v2 extents; ~0 = until EOF).
+  std::string chunk_;
+  size_t chunk_pos_ = 0;
+  uint64_t limit_ = kNoLimit;
+  static constexpr uint64_t kNoLimit = ~uint64_t{0};
+
+  // Single-slot async read-ahead (null prefetcher_ = synchronous fills).
+  SpillPrefetcher* prefetcher_ = nullptr;
+  std::mutex fill_mu_;
+  std::condition_variable fill_cv_;
+  std::string next_chunk_;
+  Status fill_status_;
+  bool fill_ready_ = false;
+  bool fill_active_ = false;
+
+  std::atomic<uint64_t>* checksum_failures_ = nullptr;
 };
 
-/// Writes one sorted spill run of (Key, Value) records through a
-/// serializer (DefaultSpillSerializer unless the caller brings its own).
+/// Writes sorted spill runs of (Key, Value) records through a serializer
+/// (DefaultSpillSerializer unless the caller brings its own). One writer
+/// produces one file: either a single run (Open / Append... / Finish, the
+/// legacy shape) or a multi-run segment (BeginRun / Append... / EndRun
+/// per bucket, then Finish). In v2, records are packed into delta-encoded
+/// checksummed blocks; v1 writes one frame per record.
 template <typename Key, typename Value,
           typename Serializer = DefaultSpillSerializer<Key, Value>>
 class SpillRunWriter {
  public:
   explicit SpillRunWriter(std::unique_ptr<SpillIo> io,
+                          SpillFormatOptions format = {},
                           Serializer serializer = Serializer())
-      : frames_(std::move(io)), serializer_(std::move(serializer)) {}
+      : frames_(std::move(io), format),
+        serializer_(std::move(serializer)) {}
 
-  Status Open(const std::string& path) { return frames_.Open(path); }
+  Status Open(const std::string& path) {
+    path_ = path;
+    return frames_.Open(path);
+  }
+
+  void BeginRun(uint32_t partition) {
+    frames_.BeginRun(partition);
+    run_records_ = 0;
+    in_run_ = true;
+  }
 
   Status Append(const std::pair<Key, Value>& record) {
+    if (!in_run_) BeginRun(0);
     scratch_.clear();
-    serializer_(record, &scratch_);
-    Status s = frames_.WriteFrame(scratch_.data(), scratch_.size());
-    if (s.ok()) ++records_written_;
+    if (!serializer_(record, &scratch_)) {
+      return Status::InvalidArgument(
+          "spill record not encodable: an element exceeds the format's "
+          "4 GiB size field");
+    }
+    // A record the frame layer could never carry fails here, up front,
+    // instead of poisoning the block it would have joined.
+    if (scratch_.size() > kMaxSpillFrameBytes - kBlockSlackBytes) {
+      return Status::InvalidArgument(
+          "spill record larger than the frame cap");
+    }
+    raw_bytes_ += scratch_.size();
+    Status s = Status::OK();
+    if (frames_.format().v2) {
+      s = AppendToBlock();
+    } else {
+      s = frames_.WriteFrame(scratch_.data(), scratch_.size());
+    }
+    if (s.ok()) {
+      ++records_written_;
+      ++run_records_;
+    }
     return s;
   }
 
-  Status Finish() { return frames_.Finish(); }
+  /// Closes the current run and returns its extent handle.
+  Status EndRun(SpillRunRef* ref) {
+    Status s = FlushBlock();
+    const SpillSegmentEntry entry = frames_.EndRun(run_records_);
+    in_run_ = false;
+    if (!s.ok()) return s;
+    if (ref != nullptr) {
+      ref->path = path_;
+      ref->offset = entry.offset;
+      ref->length = entry.length;
+      ref->records = entry.records;
+    }
+    return Status::OK();
+  }
+
+  Status Finish() {
+    if (in_run_) {
+      if (Status s = EndRun(nullptr); !s.ok()) {
+        frames_.Finish();  // release the io; the file is already void
+        return s;
+      }
+    }
+    return frames_.Finish();
+  }
+
   uint64_t bytes_written() const { return frames_.bytes_written(); }
+  /// Serialized record bytes before block encoding (the compression
+  /// baseline: spill_raw_bytes vs spill_bytes).
+  uint64_t raw_bytes() const { return raw_bytes_; }
   uint64_t records_written() const { return records_written_; }
 
  private:
+  // Room a block-encoded record may add on top of its raw bytes (the
+  // escape token plus three 10-byte varints), kept clear of the frame cap.
+  static constexpr size_t kBlockSlackBytes = 32;
+
+  Status AppendToBlock() {
+    if (!block_.empty() &&
+        block_.size() + scratch_.size() + kBlockSlackBytes >
+            kMaxSpillFrameBytes) {
+      if (Status s = FlushBlock(); !s.ok()) return s;
+    }
+    if (frames_.format().compress) {
+      const std::string& prev = prev_record_;
+      const size_t max_shared = std::min(prev.size(), scratch_.size());
+      size_t prefix = 0;
+      while (prefix < max_shared && prev[prefix] == scratch_[prefix]) {
+        ++prefix;
+      }
+      size_t suffix = 0;
+      const size_t max_suffix = max_shared - prefix;
+      while (suffix < max_suffix &&
+             prev[prev.size() - 1 - suffix] ==
+                 scratch_[scratch_.size() - 1 - suffix]) {
+        ++suffix;
+      }
+      const size_t middle = scratch_.size() - prefix - suffix;
+      if (scratch_.size() == prev.size() && prefix <= 0xF && suffix <= 0xF &&
+          !(prefix == 0xF && suffix == 0xF)) {
+        // Compact form: same raw size as the previous record and both
+        // shares fit a nibble, so one token byte replaces three varints
+        // (middle size is implied). 0xFF cannot occur here and marks the
+        // escape form.
+        block_.push_back(static_cast<char>((prefix << 4) | suffix));
+      } else {
+        block_.push_back(static_cast<char>(0xFF));
+        spill_internal::AppendVarint(prefix, &block_);
+        spill_internal::AppendVarint(suffix, &block_);
+        spill_internal::AppendVarint(middle, &block_);
+      }
+      block_.append(scratch_.data() + prefix, middle);
+      std::swap(prev_record_, scratch_);
+    } else {
+      spill_internal::AppendVarint(scratch_.size(), &block_);
+      block_.append(scratch_);
+    }
+    if (block_.size() >= kSpillBlockTargetBytes) return FlushBlock();
+    return Status::OK();
+  }
+
+  Status FlushBlock() {
+    if (block_.empty()) return Status::OK();
+    Status s = frames_.WriteFrame(block_.data(), block_.size());
+    block_.clear();
+    prev_record_.clear();  // the delta chain resets at each block
+    return s;
+  }
+
   SpillFrameWriter frames_;
   Serializer serializer_;
+  std::string path_;
   std::string scratch_;
+  std::string block_;
+  std::string prev_record_;
+  uint64_t raw_bytes_ = 0;
   uint64_t records_written_ = 0;
+  uint64_t run_records_ = 0;
+  bool in_run_ = false;
 };
 
-/// Reads one spill run back. Next sets *done on clean end of run; torn or
-/// corrupt frames come back as error Status (never a partial record).
+/// Reads spill runs back: a whole file (v1 stream or full v2 segment) or
+/// one bounded run (SpillRunRef). Next sets *done on clean end; torn or
+/// corrupt frames, checksum mismatches and malformed block encodings come
+/// back as error Status (never a partial or silently wrong record).
 template <typename Key, typename Value,
           typename Serializer = DefaultSpillSerializer<Key, Value>>
 class SpillRunReader {
@@ -312,17 +718,46 @@ class SpillRunReader {
                           Serializer serializer = Serializer())
       : frames_(std::move(io)), serializer_(std::move(serializer)) {}
 
+  void set_prefetcher(SpillPrefetcher* prefetcher) {
+    frames_.set_prefetcher(prefetcher);
+  }
+  void set_checksum_failure_counter(std::atomic<uint64_t>* counter) {
+    frames_.set_checksum_failure_counter(counter);
+  }
+
   Status Open(const std::string& path) { return frames_.Open(path); }
+  Status Open(const SpillRunRef& ref) { return frames_.Open(ref); }
 
   Status Next(std::pair<Key, Value>* record, bool* done) {
-    bool eof = false;
-    Status s = frames_.ReadFrame(&payload_, &eof);
-    if (!s.ok()) return s;
-    if (eof) {
-      *done = true;
+    if (!frames_.v2()) {
+      // Legacy stream: one frame per record.
+      bool eof = false;
+      Status s = frames_.ReadFrame(&payload_, &eof);
+      if (!s.ok()) return s;
+      if (eof) {
+        *done = true;
+        return Status::OK();
+      }
+      if (!serializer_.Parse(payload_.data(), payload_.size(), record)) {
+        return Status::Internal("corrupt spill frame payload");
+      }
+      *done = false;
       return Status::OK();
     }
-    if (!serializer_.Parse(payload_.data(), payload_.size(), record)) {
+    while (block_pos_ >= block_.size()) {
+      bool eof = false;
+      Status s = frames_.ReadFrame(&block_, &eof);
+      if (!s.ok()) return s;
+      if (eof) {
+        *done = true;
+        return Status::OK();
+      }
+      block_pos_ = 0;
+      prev_record_.clear();  // the delta chain resets at each block
+    }
+    if (Status s = DecodeBlockRecord(); !s.ok()) return s;
+    if (!serializer_.Parse(prev_record_.data(), prev_record_.size(),
+                           record)) {
       return Status::Internal("corrupt spill frame payload");
     }
     *done = false;
@@ -332,35 +767,92 @@ class SpillRunReader {
   Status Close() { return frames_.Close(); }
 
  private:
+  // Decodes the next record's raw bytes into prev_record_ (which then
+  // seeds the next record's delta).
+  Status DecodeBlockRecord() {
+    const char* p = block_.data() + block_pos_;
+    const char* end = block_.data() + block_.size();
+    uint64_t prefix = 0, suffix = 0, middle = 0;
+    if (frames_.compressed()) {
+      if (p >= end) return Status::Internal("corrupt spill block encoding");
+      const uint8_t token = static_cast<uint8_t>(*p++);
+      if (token == 0xFF) {
+        if (!spill_internal::DecodeVarint(&p, end, &prefix) ||
+            !spill_internal::DecodeVarint(&p, end, &suffix) ||
+            !spill_internal::DecodeVarint(&p, end, &middle)) {
+          return Status::Internal("corrupt spill block encoding");
+        }
+      } else {
+        // Compact token: the record is prev-sized, so the middle length
+        // is whatever the nibble-coded shares leave uncovered.
+        prefix = token >> 4;
+        suffix = token & 0xF;
+        if (prefix + suffix > prev_record_.size()) {
+          return Status::Internal("corrupt spill block encoding");
+        }
+        middle = prev_record_.size() - prefix - suffix;
+      }
+      if (prefix + suffix > prev_record_.size() ||
+          middle > static_cast<uint64_t>(end - p)) {
+        return Status::Internal("corrupt spill block encoding");
+      }
+      scratch_.clear();
+      scratch_.append(prev_record_.data(), prefix);
+      scratch_.append(p, middle);
+      scratch_.append(
+          prev_record_.data() + (prev_record_.size() - suffix), suffix);
+      std::swap(prev_record_, scratch_);
+    } else {
+      if (!spill_internal::DecodeVarint(&p, end, &middle) ||
+          middle > static_cast<uint64_t>(end - p)) {
+        return Status::Internal("corrupt spill block encoding");
+      }
+      prev_record_.assign(p, middle);
+    }
+    block_pos_ = static_cast<size_t>(p - block_.data()) + middle;
+    return Status::OK();
+  }
+
   SpillFrameReader frames_;
   Serializer serializer_;
-  std::string payload_;
+  std::string payload_;       // v1: one frame = one record
+  std::string block_;         // v2: the current decoded-from block
+  size_t block_pos_ = 0;
+  std::string prev_record_;   // raw bytes of the last decoded record
+  std::string scratch_;
 };
 
 // ---- Per-job spill state ---------------------------------------------------
 
 /// Shared by every producer and merge of one job (thread-safe). Owns the
 /// spill directory when it created one (removed, with every file it ever
-/// named, at destruction), tracks the spill counters JobStats reports, and
-/// carries the job's peak-resident-records gauge: emitters Add on every
-/// emit and Sub on every flush, merges Add/Sub their active window, so
-/// `resident().peak()` is the in-memory high-water mark the budget bounds
-/// (slack: one merge window per concurrent reduce worker plus one record
-/// per producer, the flush trigger's overshoot).
+/// named, at destruction), the format toggles, the prefetch pool, and the
+/// spill counters JobStats reports; tracks per-file live-run counts so
+/// pre-merges can drop a consumed run without deleting a segment file
+/// that still backs other partitions' runs; and carries the job's
+/// peak-resident-records gauge: emitters Add on every emit and Sub on
+/// every flush, merges Add/Sub their active window, so `resident().peak()`
+/// is the in-memory high-water mark the budget bounds (slack: one merge
+/// window per concurrent reduce worker plus one record per producer, the
+/// flush trigger's overshoot).
 class SpillContext {
  public:
   /// budget > 0 (records). `dir` empty = create an owned temp directory.
   /// `factory` null = default FILE* io. Call Init() before use.
-  SpillContext(size_t budget, std::string dir, SpillIoFactory factory);
+  SpillContext(size_t budget, std::string dir, SpillIoFactory factory,
+               SpillFormatOptions format = {});
   ~SpillContext();
 
   SpillContext(const SpillContext&) = delete;
   SpillContext& operator=(const SpillContext&) = delete;
 
-  /// Creates/validates the spill directory.
+  /// Creates/validates the spill directory and starts the prefetch pool.
   Status Init();
 
   size_t budget() const { return budget_; }
+  const SpillFormatOptions& format() const { return format_; }
+  /// Null when format().prefetch is off or Init has not run.
+  SpillPrefetcher* prefetcher() const { return prefetcher_.get(); }
 
   /// A fresh unique run-file path (registered for teardown removal).
   std::string NewRunPath();
@@ -368,18 +860,32 @@ class SpillContext {
   /// A fresh SpillIo from the configured factory (or the default).
   std::unique_ptr<SpillIo> NewIo() const;
 
+  /// Live-run refcounting for shared segment files: every run a writer
+  /// committed into `path` is registered; a merge that consumed a run
+  /// releases it, and the file is removed once its last run is released.
+  /// Releasing an unregistered path removes the file immediately.
+  void RegisterRuns(const std::string& path, uint64_t runs);
+  void ReleaseRun(const std::string& path);
+
   ShuffleGauge& resident() { return resident_; }
 
-  void AddRunFile(uint64_t records, uint64_t bytes) {
+  void AddRunFile(uint64_t records, uint64_t bytes, uint64_t raw_bytes) {
     spilled_records_.fetch_add(records, std::memory_order_relaxed);
     spill_files_.fetch_add(1, std::memory_order_relaxed);
     spill_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    spill_raw_bytes_.fetch_add(raw_bytes, std::memory_order_relaxed);
   }
   /// One hierarchical pre-merge pass over a partition's runs (the final
   /// streamed merge into the reducer is not counted: it is always exactly
   /// one pass per spilled partition, counted separately by the engine).
   void AddMergePass() {
     merge_passes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Readers bump this on every frame whose checksum did not match
+  /// (JobStats::checksum_failures).
+  std::atomic<uint64_t>* checksum_failure_counter() {
+    return &checksum_failures_;
   }
 
   /// First error wins; later ones are dropped (the first failure is the
@@ -408,8 +914,17 @@ class SpillContext {
   uint64_t spill_bytes() const {
     return spill_bytes_.load(std::memory_order_relaxed);
   }
+  uint64_t spill_raw_bytes() const {
+    return spill_raw_bytes_.load(std::memory_order_relaxed);
+  }
   uint64_t merge_passes() const {
     return merge_passes_.load(std::memory_order_relaxed);
+  }
+  uint64_t checksum_failures() const {
+    return checksum_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetch_hits() const {
+    return prefetcher_ != nullptr ? prefetcher_->hits() : 0;
   }
 
  private:
@@ -417,22 +932,27 @@ class SpillContext {
   std::string dir_;
   bool owns_dir_ = false;
   SpillIoFactory factory_;
+  const SpillFormatOptions format_;
   /// Per-context tag baked into every run-file name, so concurrent jobs
   /// pointed at the same explicit spill_dir never collide (the owned
   /// temp dir is unique anyway; an explicit dir is not).
   uint64_t tag_ = 0;
   std::atomic<uint64_t> file_seq_{0};
   ShuffleGauge resident_;
+  std::unique_ptr<SpillPrefetcher> prefetcher_;
 
   std::atomic<uint64_t> spilled_records_{0};
   std::atomic<uint64_t> spill_files_{0};
   std::atomic<uint64_t> spill_bytes_{0};
+  std::atomic<uint64_t> spill_raw_bytes_{0};
   std::atomic<uint64_t> merge_passes_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
 
-  mutable std::mutex mutex_;  // guards the statuses and created_paths_
+  mutable std::mutex mutex_;  // guards statuses, paths and live runs
   Status error_;
   Status data_loss_;
   std::vector<std::string> created_paths_;
+  std::unordered_map<std::string, uint64_t> live_runs_;
 };
 
 }  // namespace tsj

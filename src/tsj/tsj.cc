@@ -607,7 +607,12 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   local_info.spilled_records = local_info.pipeline.total_spilled_records();
   local_info.spill_files = local_info.pipeline.total_spill_files();
   local_info.spill_bytes = local_info.pipeline.total_spill_bytes();
+  local_info.spill_raw_bytes =
+      local_info.pipeline.total_spill_raw_bytes();
   local_info.merge_passes = local_info.pipeline.total_merge_passes();
+  local_info.checksum_failures =
+      local_info.pipeline.total_checksum_failures();
+  local_info.prefetch_hits = local_info.pipeline.total_prefetch_hits();
   local_info.peak_resident_records =
       local_info.pipeline.max_peak_resident_records();
   local_info.result_pairs = results.size();
@@ -1115,7 +1120,12 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
   local_info.spilled_records = local_info.pipeline.total_spilled_records();
   local_info.spill_files = local_info.pipeline.total_spill_files();
   local_info.spill_bytes = local_info.pipeline.total_spill_bytes();
+  local_info.spill_raw_bytes =
+      local_info.pipeline.total_spill_raw_bytes();
   local_info.merge_passes = local_info.pipeline.total_merge_passes();
+  local_info.checksum_failures =
+      local_info.pipeline.total_checksum_failures();
+  local_info.prefetch_hits = local_info.pipeline.total_prefetch_hits();
   local_info.peak_resident_records =
       local_info.pipeline.max_peak_resident_records();
   local_info.result_pairs = results.size();

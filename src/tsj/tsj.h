@@ -114,7 +114,16 @@ struct TsjRunInfo {
   uint64_t spilled_records = 0;
   uint64_t spill_files = 0;
   uint64_t spill_bytes = 0;
+  /// Pre-compression serialized bytes (spill_raw_bytes / spill_bytes =
+  /// the spill compression ratio; see JobStats::spill_raw_bytes).
+  uint64_t spill_raw_bytes = 0;
   uint64_t merge_passes = 0;
+  /// v2 spill frames that failed their checksum on read (each also
+  /// surfaces as a lossy spill fault failing the join).
+  uint64_t checksum_failures = 0;
+  /// Merge-input read chunks served by the async prefetcher before the
+  /// merge asked for them.
+  uint64_t prefetch_hits = 0;
   /// Largest per-job high-water mark of records resident in memory under
   /// the spill policy (JobStats::peak_resident_records): the gauge that
   /// proves memory_budget_records was honored. Equals the in-memory peak

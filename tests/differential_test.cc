@@ -544,6 +544,20 @@ TEST(DifferentialTest, SpillForcedStreamingMatchesInMemoryEngines) {
                 EXPECT_GT(info.spill_files, 1u) << context;
                 EXPECT_GT(info.merge_passes, 0u) << context;
               }
+              if (workers == 4 && partitions == 7) {
+                // Legacy v1 run format (no checksums, no compression, no
+                // segmentation): the format toggle may never change the
+                // join. One combo per budget keeps the sweep's runtime.
+                TsjOptions v1_options = spill_options;
+                v1_options.mapreduce.spill_format.v2 = false;
+                TsjRunInfo v1_info;
+                const auto v1_result = TokenizedStringJoiner(v1_options)
+                                           .SelfJoin(corpus, &v1_info);
+                ASSERT_TRUE(v1_result.ok())
+                    << v1_result.status().ToString();
+                EXPECT_EQ(ToPairNsldSet(*v1_result), expected)
+                    << context << " format=v1";
+              }
             }
           }
         }
