@@ -25,6 +25,14 @@
 // counters plus the peak-resident gauge that proves the budget held;
 // --spill_json <path> emits them as JSON (merged into BENCH_verify.json
 // by CI alongside the shuffle counters).
+//
+// The batched-verify ablation row runs the full configuration with the
+// batched SIMD kernel off (per-pair scalar MyersBoundedLevenshtein, the
+// pre-batching hot path); the lanes% and peq reuse columns show the
+// kernel's SIMD lane occupancy and shared-Peq amortization on the rows
+// that batch. --verify_json <path> emits the kernel counters plus the
+// batched-vs-scalar wall/work comparison as JSON (merged into
+// BENCH_verify.json by CI).
 
 #include <algorithm>
 #include <fstream>
@@ -71,10 +79,23 @@ std::string CombinerColumn(const TsjRunInfo& info) {
          TablePrinter::Fmt(info.combiner_output_records);
 }
 
+// "filled/slots" lane-occupancy percentage; "-" when no row batched.
+std::string LanesColumn(const TsjRunInfo& info) {
+  if (info.batched_verify_lane_slots == 0) return "-";
+  return PercentOrDash(info.batched_verify_lanes_filled,
+                       info.batched_verify_lane_slots);
+}
+
+std::string PeqReuseColumn(const TsjRunInfo& info) {
+  if (info.batched_verify_calls == 0) return "-";
+  return TablePrinter::Fmt(info.peq_table_reuses);
+}
+
 // Returns false when the spill run failed (main exits non-zero so CI's
 // merge step never reads a missing/zeroed BENCH_spill.json as success).
 bool Run(const std::string& shuffle_json_path,
-         const std::string& spill_json_path) {
+         const std::string& spill_json_path,
+         const std::string& verify_json_path) {
   bench::PrintHeader("Ablation", "contribution of each TSJ design choice");
   const auto workload =
       GenerateRingWorkload(bench::DefaultWorkload(bench::Scaled(10000)));
@@ -126,6 +147,14 @@ bool Run(const std::string& shuffle_json_path,
     TsjOptions o = base;
     o.enable_budgeted_verify = false;
     rows.push_back({"- budgeted verify (unbounded SLD)", o});
+  }
+  {
+    // Batched-verify ablation: per-pair scalar kernel calls, one Peq
+    // preprocessing per (token, token) edge — the pre-batching hot path.
+    // Identical pairs, NSLD values and work units by construction.
+    TsjOptions o = base;
+    o.enable_batched_verify = false;
+    rows.push_back({"- batched verify (per-pair scalar kernel)", o});
   }
   {
     // Token-id verification ablation: same engine, but every candidate
@@ -184,11 +213,14 @@ bool Run(const std::string& shuffle_json_path,
 
   TablePrinter table({"configuration", "pairs", "distinct cands", "verified",
                       "verify work", "L1 hit%", "shared hit%", "flushes",
-                      "comb in>out", "peak shuffle", "wall (ms)"});
+                      "comb in>out", "lanes%", "peq reuse", "peak shuffle",
+                      "wall (ms)"});
   uint64_t budgeted_work = 0, unbounded_work = 0;
   ShuffleNumbers streaming_numbers, legacy_numbers;
   TsjRunInfo full_info;
+  TsjRunInfo scalar_verify_info;
   double full_wall_ms = 0, pr3_wall_ms = 0;
+  double scalar_verify_wall_ms = 0;
   for (const auto& row : rows) {
     Stopwatch watch;
     TsjRunInfo info;
@@ -207,6 +239,10 @@ bool Run(const std::string& shuffle_json_path,
     if (!row.options.enable_budgeted_verify) {
       unbounded_work = info.verify_work_units;
     }
+    if (!row.options.enable_batched_verify) {
+      scalar_verify_info = info;
+      scalar_verify_wall_ms = ms;
+    }
     if (!row.options.enable_streaming_shuffle) {
       legacy_numbers = {info.pipeline.total_map_output_records(),
                         info.peak_shuffle_records, ms};
@@ -224,7 +260,8 @@ bool Run(const std::string& shuffle_json_path,
                   info.token_pair_cache_flush_batches == 0
                       ? std::string("-")
                       : TablePrinter::Fmt(info.token_pair_cache_flush_batches),
-                  CombinerColumn(info),
+                  CombinerColumn(info), LanesColumn(info),
+                  PeqReuseColumn(info),
                   TablePrinter::Fmt(info.peak_shuffle_records),
                   TablePrinter::Fmt(ms, 0)});
   }
@@ -282,7 +319,8 @@ bool Run(const std::string& shuffle_json_path,
            spill_info.token_pair_cache_flush_batches == 0
                ? std::string("-")
                : TablePrinter::Fmt(spill_info.token_pair_cache_flush_batches),
-           CombinerColumn(spill_info),
+           CombinerColumn(spill_info), LanesColumn(spill_info),
+           PeqReuseColumn(spill_info),
            TablePrinter::Fmt(spill_info.peak_shuffle_records),
            TablePrinter::Fmt(spill_wall_ms, 0)});
     }
@@ -348,6 +386,20 @@ bool Run(const std::string& shuffle_json_path,
               << legacy_numbers.peak_shuffle_records << " -> "
               << streaming_numbers.peak_shuffle_records << ")\n";
   }
+  if (full_info.batched_verify_calls > 0) {
+    std::cout << "batched verify: " << full_info.batched_verify_calls
+              << " row batches, lanes filled "
+              << full_info.batched_verify_lanes_filled << "/"
+              << full_info.batched_verify_lane_slots << " ("
+              << PercentOrDash(full_info.batched_verify_lanes_filled,
+                               full_info.batched_verify_lane_slots)
+              << "%), " << full_info.peq_table_reuses
+              << " Peq reuses; wall " << full_wall_ms << " ms vs "
+              << scalar_verify_wall_ms
+              << " ms per-pair scalar (verify work "
+              << full_info.verify_work_units << " vs "
+              << scalar_verify_info.verify_work_units << " units)\n";
+  }
   if (full_info.combiner_input_records > 0) {
     std::cout << "combiner reduction: " << full_info.combiner_input_records
               << " -> " << full_info.combiner_output_records
@@ -361,10 +413,11 @@ bool Run(const std::string& shuffle_json_path,
   }
   std::cout << "\nexpectations: removing filters raises 'verified' with the "
                "same result pairs; the approximations only shrink the "
-               "result; disabling budgeted verify, token-id verify, either "
-               "cache tier, the combiner, adaptive partitioning, or the "
-               "streaming shuffle changes nothing but the work/traffic/wall "
-               "columns (byte-identical pairs and NSLD values).\n";
+               "result; disabling budgeted verify, batched verify, token-id "
+               "verify, either cache tier, the combiner, adaptive "
+               "partitioning, or the streaming shuffle changes nothing but "
+               "the work/traffic/wall columns (byte-identical pairs and "
+               "NSLD values).\n";
 
   // ---- Workers sweep: the contention picture in one table. ---------------
   std::cout << "\n";
@@ -506,6 +559,35 @@ bool Run(const std::string& shuffle_json_path,
          << "}\n";
     std::cout << "spill counters written to " << spill_json_path << "\n";
   }
+
+  if (!verify_json_path.empty()) {
+    std::ofstream json(verify_json_path);
+    json << "{\n"
+         << "  \"batched_verify_calls\": " << full_info.batched_verify_calls
+         << ",\n"
+         << "  \"lanes_filled\": " << full_info.batched_verify_lanes_filled
+         << ",\n"
+         << "  \"lane_slots\": " << full_info.batched_verify_lane_slots
+         << ",\n"
+         << "  \"lane_fill_pct\": "
+         << (full_info.batched_verify_lane_slots > 0
+                 ? 100.0 *
+                       static_cast<double>(
+                           full_info.batched_verify_lanes_filled) /
+                       static_cast<double>(full_info.batched_verify_lane_slots)
+                 : 0.0)
+         << ",\n"
+         << "  \"peq_table_reuses\": " << full_info.peq_table_reuses << ",\n"
+         << "  \"batched_wall_ms\": " << full_wall_ms << ",\n"
+         << "  \"scalar_wall_ms\": " << scalar_verify_wall_ms << ",\n"
+         << "  \"batched_verify_work_units\": " << full_info.verify_work_units
+         << ",\n"
+         << "  \"scalar_verify_work_units\": "
+         << scalar_verify_info.verify_work_units << "\n"
+         << "}\n";
+    std::cout << "batched-verify counters written to " << verify_json_path
+              << "\n";
+  }
   return spill_budget == 0 || spill_run_ok;
 }
 
@@ -515,6 +597,7 @@ bool Run(const std::string& shuffle_json_path,
 int main(int argc, char** argv) {
   std::string shuffle_json_path;
   std::string spill_json_path;
+  std::string verify_json_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--shuffle_json") {
       shuffle_json_path = argv[i + 1];
@@ -522,6 +605,10 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--spill_json") {
       spill_json_path = argv[i + 1];
     }
+    if (std::string(argv[i]) == "--verify_json") {
+      verify_json_path = argv[i + 1];
+    }
   }
-  return tsj::Run(shuffle_json_path, spill_json_path) ? 0 : 1;
+  return tsj::Run(shuffle_json_path, spill_json_path, verify_json_path) ? 0
+                                                                        : 1;
 }

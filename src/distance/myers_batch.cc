@@ -1,0 +1,465 @@
+#include "distance/myers_batch.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define TSJ_MYERS_BATCH_X86 1
+#include <immintrin.h>
+#else
+#define TSJ_MYERS_BATCH_X86 0
+#endif
+
+namespace tsj {
+
+namespace {
+
+constexpr size_t kMaxLanes = MyersBatchVerifier::kMaxLanes;
+
+// ---------------------------------------------------------------------------
+// Packed passes. Each runs up to `width` texts against the shared
+// single-word Peq table with per-lane VP/VN vectors and SCALAR per-lane
+// score / done tracking (64-bit lane compares are awkward pre-SSE4 and
+// the score path is a handful of scalar ops per column either way). A
+// lane exits as soon as its own early-exit condition fires or its text
+// ends; exhausted lanes feed eq = 0, which evolves their VP/VN words
+// harmlessly — their results are already recorded and their text bytes
+// are never read again. All three backends implement the identical
+// recurrence (distance/myers.cc MyersCore64) and produce identical
+// outputs; the portable pass is the ground truth.
+// ---------------------------------------------------------------------------
+
+// Portable pass: plain uint64 lanes, any g in [1, kMaxLanes].
+void PackedPassPortable(const uint64_t* peq, size_t n, uint32_t bound,
+                        const std::string_view* texts, size_t g,
+                        uint32_t** out_slots) {
+  const uint64_t top = uint64_t{1} << (n - 1);
+  uint64_t vp[kMaxLanes];
+  uint64_t vn[kMaxLanes];
+  uint64_t score[kMaxLanes];
+  size_t m[kMaxLanes];
+  bool done[kMaxLanes];
+  size_t max_m = 0;
+  size_t active = g;
+  for (size_t l = 0; l < g; ++l) {
+    vp[l] = ~uint64_t{0};
+    vn[l] = 0;
+    score[l] = n;
+    m[l] = texts[l].size();
+    done[l] = false;
+    max_m = std::max(max_m, m[l]);
+  }
+  for (size_t j = 0; j < max_m && active > 0; ++j) {
+    for (size_t l = 0; l < g; ++l) {
+      if (done[l]) continue;
+      const uint64_t eq = peq[static_cast<unsigned char>(texts[l][j])];
+      const uint64_t pvp = vp[l];
+      const uint64_t pvn = vn[l];
+      const uint64_t d0 = (((eq & pvp) + pvp) ^ pvp) | eq | pvn;
+      uint64_t hp = pvn | ~(d0 | pvp);
+      uint64_t hn = pvp & d0;
+      score[l] += (hp & top) ? 1 : 0;
+      score[l] -= (hn & top) ? 1 : 0;
+      hp = (hp << 1) | 1;  // the shifted-in 1 encodes D[0][j] = j
+      hn <<= 1;
+      vp[l] = hn | ~(d0 | hp);
+      vn[l] = hp & d0;
+      // Each remaining column moves the bottom-row score by at most one.
+      if (score[l] > bound + (m[l] - 1 - j)) {
+        *out_slots[l] = bound + 1;
+        done[l] = true;
+        --active;
+      } else if (j + 1 == m[l]) {
+        *out_slots[l] =
+            score[l] > bound ? bound + 1 : static_cast<uint32_t>(score[l]);
+        done[l] = true;
+        --active;
+      }
+    }
+  }
+}
+
+#if TSJ_MYERS_BATCH_X86
+
+// SSE2 pass: 2 texts per __m128i. The top bit of hp/hn is read per
+// column by shifting bit (n-1) up to the sign bit and taking
+// movemask_pd — SSE2 has no 64-bit compare, but sign-bit extraction is
+// one instruction.
+void PackedPassSse2(const uint64_t* peq, size_t n, uint32_t bound,
+                    const std::string_view* texts, size_t g,
+                    uint32_t** out_slots) {
+  const int sign_shift = static_cast<int>(63 - (n - 1));
+  const __m128i ones = _mm_set1_epi64x(-1);
+  __m128i vp = ones;
+  __m128i vn = _mm_setzero_si128();
+  uint64_t score[2];
+  size_t m[2];
+  bool done[2];
+  size_t max_m = 0;
+  size_t active = 0;
+  for (size_t l = 0; l < 2; ++l) {
+    if (l < g) {
+      score[l] = n;
+      m[l] = texts[l].size();
+      done[l] = false;
+      max_m = std::max(max_m, m[l]);
+      ++active;
+    } else {
+      score[l] = 0;
+      m[l] = 0;
+      done[l] = true;  // idle lane
+    }
+  }
+  for (size_t j = 0; j < max_m && active > 0; ++j) {
+    const uint64_t eq0 =
+        done[0] ? 0 : peq[static_cast<unsigned char>(texts[0][j])];
+    const uint64_t eq1 =
+        done[1] ? 0 : peq[static_cast<unsigned char>(texts[1][j])];
+    const __m128i eq = _mm_set_epi64x(static_cast<int64_t>(eq1),
+                                      static_cast<int64_t>(eq0));
+    const __m128i d0 = _mm_or_si128(
+        _mm_or_si128(
+            _mm_xor_si128(_mm_add_epi64(_mm_and_si128(eq, vp), vp), vp), eq),
+        vn);
+    __m128i hp =
+        _mm_or_si128(vn, _mm_xor_si128(_mm_or_si128(d0, vp), ones));
+    __m128i hn = _mm_and_si128(vp, d0);
+    const int hp_mask =
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_slli_epi64(hp, sign_shift)));
+    const int hn_mask =
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_slli_epi64(hn, sign_shift)));
+    hp = _mm_or_si128(_mm_slli_epi64(hp, 1), _mm_set1_epi64x(1));
+    hn = _mm_slli_epi64(hn, 1);
+    vp = _mm_or_si128(hn, _mm_xor_si128(_mm_or_si128(d0, hp), ones));
+    vn = _mm_and_si128(hp, d0);
+    for (size_t l = 0; l < 2; ++l) {
+      if (done[l]) continue;
+      score[l] += (hp_mask >> l) & 1;
+      score[l] -= (hn_mask >> l) & 1;
+      if (score[l] > bound + (m[l] - 1 - j)) {
+        *out_slots[l] = bound + 1;
+        done[l] = true;
+        --active;
+      } else if (j + 1 == m[l]) {
+        *out_slots[l] =
+            score[l] > bound ? bound + 1 : static_cast<uint32_t>(score[l]);
+        done[l] = true;
+        --active;
+      }
+    }
+  }
+}
+
+// AVX2 pass: 4 texts per __m256i. Compiled for AVX2 behind a target
+// attribute; only called after a runtime __builtin_cpu_supports check.
+__attribute__((target("avx2"))) void PackedPassAvx2(
+    const uint64_t* peq, size_t n, uint32_t bound,
+    const std::string_view* texts, size_t g, uint32_t** out_slots) {
+  const int sign_shift = static_cast<int>(63 - (n - 1));
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  __m256i vp = ones;
+  __m256i vn = _mm256_setzero_si256();
+  uint64_t score[4];
+  size_t m[4];
+  bool done[4];
+  size_t max_m = 0;
+  size_t active = 0;
+  for (size_t l = 0; l < 4; ++l) {
+    if (l < g) {
+      score[l] = n;
+      m[l] = texts[l].size();
+      done[l] = false;
+      max_m = std::max(max_m, m[l]);
+      ++active;
+    } else {
+      score[l] = 0;
+      m[l] = 0;
+      done[l] = true;  // idle lane
+    }
+  }
+  for (size_t j = 0; j < max_m && active > 0; ++j) {
+    uint64_t eqs[4];
+    for (size_t l = 0; l < 4; ++l) {
+      eqs[l] = done[l] ? 0 : peq[static_cast<unsigned char>(texts[l][j])];
+    }
+    const __m256i eq = _mm256_set_epi64x(
+        static_cast<int64_t>(eqs[3]), static_cast<int64_t>(eqs[2]),
+        static_cast<int64_t>(eqs[1]), static_cast<int64_t>(eqs[0]));
+    const __m256i d0 = _mm256_or_si256(
+        _mm256_or_si256(
+            _mm256_xor_si256(
+                _mm256_add_epi64(_mm256_and_si256(eq, vp), vp), vp),
+            eq),
+        vn);
+    __m256i hp =
+        _mm256_or_si256(vn, _mm256_xor_si256(_mm256_or_si256(d0, vp), ones));
+    __m256i hn = _mm256_and_si256(vp, d0);
+    const int hp_mask = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_slli_epi64(hp, sign_shift)));
+    const int hn_mask = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_slli_epi64(hn, sign_shift)));
+    hp = _mm256_or_si256(_mm256_slli_epi64(hp, 1), _mm256_set1_epi64x(1));
+    hn = _mm256_slli_epi64(hn, 1);
+    vp = _mm256_or_si256(hn, _mm256_xor_si256(_mm256_or_si256(d0, hp), ones));
+    vn = _mm256_and_si256(hp, d0);
+    for (size_t l = 0; l < 4; ++l) {
+      if (done[l]) continue;
+      score[l] += (hp_mask >> l) & 1;
+      score[l] -= (hn_mask >> l) & 1;
+      if (score[l] > bound + (m[l] - 1 - j)) {
+        *out_slots[l] = bound + 1;
+        done[l] = true;
+        --active;
+      } else if (j + 1 == m[l]) {
+        *out_slots[l] =
+            score[l] > bound ? bound + 1 : static_cast<uint32_t>(score[l]);
+        done[l] = true;
+        --active;
+      }
+    }
+  }
+}
+
+bool HostHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+
+#endif  // TSJ_MYERS_BATCH_X86
+
+}  // namespace
+
+BatchSimdMode BatchSimdModeFromEnv() {
+  const char* env = std::getenv("CC_VERIFY_SIMD");
+  if (env == nullptr) return BatchSimdMode::kAuto;
+  std::string value(env);
+  for (char& c : value) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  if (value == "off" || value == "portable" || value == "0" ||
+      value == "none") {
+    return BatchSimdMode::kPortable;
+  }
+  if (value == "sse2") return BatchSimdMode::kSse2;
+  if (value == "avx2") return BatchSimdMode::kAvx2;
+  return BatchSimdMode::kAuto;
+}
+
+BatchSimdMode ResolveBatchSimdMode(BatchSimdMode requested) {
+#if TSJ_MYERS_BATCH_X86
+  switch (requested) {
+    case BatchSimdMode::kAuto:
+      return HostHasAvx2() ? BatchSimdMode::kAvx2 : BatchSimdMode::kSse2;
+    case BatchSimdMode::kAvx2:
+      return HostHasAvx2() ? BatchSimdMode::kAvx2 : BatchSimdMode::kPortable;
+    case BatchSimdMode::kSse2:
+      return BatchSimdMode::kSse2;  // x86-64 baseline, always available
+    case BatchSimdMode::kPortable:
+      return BatchSimdMode::kPortable;
+  }
+  return BatchSimdMode::kPortable;
+#else
+  (void)requested;
+  return BatchSimdMode::kPortable;
+#endif
+}
+
+const char* BatchSimdModeName(BatchSimdMode mode) {
+  switch (mode) {
+    case BatchSimdMode::kAuto:
+      return "auto";
+    case BatchSimdMode::kPortable:
+      return "portable";
+    case BatchSimdMode::kSse2:
+      return "sse2";
+    case BatchSimdMode::kAvx2:
+      return "avx2";
+  }
+  return "portable";
+}
+
+MyersBatchVerifier::MyersBatchVerifier(BatchSimdMode mode, size_t max_lanes)
+    : mode_(ResolveBatchSimdMode(mode)),
+      max_lanes_(std::clamp<size_t>(max_lanes, 1, kMaxLanes)) {}
+
+MyersBatchVerifier::~MyersBatchVerifier() = default;
+
+void MyersBatchVerifier::SetPattern(std::string_view pattern) {
+  // Re-clear exactly the single-word entries the previous pattern set;
+  // the table stays all-zero between patterns. Reading the previous
+  // pattern is safe because this verifier owns its bytes.
+  if (!pattern_.empty() && pattern_.size() <= 64) {
+    for (const char c : pattern_) peq_[static_cast<unsigned char>(c)] = 0;
+  }
+  pattern_storage_.assign(pattern);
+  pattern_ = pattern_storage_;
+  core_texts_since_pattern_ = 0;
+  const size_t n = pattern_.size();
+  if (n == 0) return;
+  if (n <= 64) {
+    for (size_t i = 0; i < n; ++i) {
+      peq_[static_cast<unsigned char>(pattern_[i])] |= uint64_t{1} << i;
+    }
+    return;
+  }
+  pattern_blocks_ = (n + 63) / 64;
+  peq_blocks_.assign(pattern_blocks_ * 256, 0);
+  for (size_t i = 0; i < n; ++i) {
+    peq_blocks_[static_cast<unsigned char>(pattern_[i]) * pattern_blocks_ +
+                i / 64] |= uint64_t{1} << (i % 64);
+  }
+}
+
+void MyersBatchVerifier::RunGroup(uint32_t bound,
+                                  const std::string_view* texts, size_t g,
+                                  uint32_t** out_slots) {
+  // Canonical slot widths (1 / 2 / 4) so the lane counters are identical
+  // across backends — a 4-wide group under SSE2 simply runs as two
+  // 2-wide passes.
+  lane_slots_ += g <= 1 ? 1 : (g == 2 ? 2 : 4);
+  lanes_filled_ += g;
+  for (size_t l = 0; l < g; ++l) {
+    if (core_texts_since_pattern_ > 0) ++peq_reuses_;
+    ++core_texts_since_pattern_;
+  }
+  const size_t n = pattern_.size();
+  if (g == 1) {
+    PackedPassPortable(peq_, n, bound, texts, 1, out_slots);
+    return;
+  }
+  switch (mode_) {
+#if TSJ_MYERS_BATCH_X86
+    case BatchSimdMode::kSse2:
+      PackedPassSse2(peq_, n, bound, texts, std::min<size_t>(g, 2),
+                     out_slots);
+      if (g == 3) {
+        PackedPassPortable(peq_, n, bound, texts + 2, 1, out_slots + 2);
+      } else if (g == 4) {
+        PackedPassSse2(peq_, n, bound, texts + 2, 2, out_slots + 2);
+      }
+      return;
+    case BatchSimdMode::kAvx2:
+      if (g == 2) {
+        PackedPassSse2(peq_, n, bound, texts, 2, out_slots);
+      } else {
+        PackedPassAvx2(peq_, n, bound, texts, g, out_slots);
+      }
+      return;
+#else
+    case BatchSimdMode::kSse2:
+    case BatchSimdMode::kAvx2:
+#endif
+    case BatchSimdMode::kAuto:
+    case BatchSimdMode::kPortable:
+      PackedPassPortable(peq_, n, bound, texts, g, out_slots);
+      return;
+  }
+}
+
+uint32_t MyersBatchVerifier::RunBlocked(uint32_t bound,
+                                        std::string_view text) {
+  // Scalar blocked core (patterns > 64 chars), identical to
+  // distance/myers.cc MyersCoreBlocked except the Peq table is prebuilt
+  // by SetPattern and shared across the batch.
+  lane_slots_ += 1;
+  lanes_filled_ += 1;
+  if (core_texts_since_pattern_ > 0) ++peq_reuses_;
+  ++core_texts_since_pattern_;
+  const size_t n = pattern_.size();
+  const size_t m = text.size();
+  const size_t blocks = pattern_blocks_;
+  blocked_vp_.assign(blocks, ~uint64_t{0});
+  blocked_vn_.assign(blocks, 0);
+  uint64_t score = n;
+  const size_t last = blocks - 1;
+  const uint64_t top = uint64_t{1} << ((n - 1) % 64);
+  for (size_t j = 0; j < m; ++j) {
+    const uint64_t* char_peq =
+        peq_blocks_.data() +
+        static_cast<size_t>(static_cast<unsigned char>(text[j])) * blocks;
+    int hin = 1;  // D[0][j] - D[0][j-1] = +1
+    for (size_t k = 0; k < blocks; ++k) {
+      const uint64_t vp = blocked_vp_[k];
+      const uint64_t vn = blocked_vn_[k];
+      uint64_t eq = char_peq[k];
+      if (hin < 0) eq |= 1;
+      const uint64_t d0 = (((eq & vp) + vp) ^ vp) | eq | vn;
+      uint64_t hp = vn | ~(d0 | vp);
+      uint64_t hn = vp & d0;
+      if (k == last) {
+        score += (hp & top) ? 1 : 0;
+        score -= (hn & top) ? 1 : 0;
+      }
+      int hout = 0;
+      if (hp >> 63) hout = 1;
+      if (hn >> 63) hout = -1;
+      hp <<= 1;
+      hn <<= 1;
+      if (hin > 0) hp |= 1;
+      if (hin < 0) hn |= 1;
+      blocked_vp_[k] = hn | ~(d0 | hp);
+      blocked_vn_[k] = hp & d0;
+      hin = hout;
+    }
+    if (score > bound + (m - 1 - j)) {
+      return bound + 1;
+    }
+  }
+  return score > bound ? bound + 1 : static_cast<uint32_t>(score);
+}
+
+void MyersBatchVerifier::VerifyMany(uint32_t bound,
+                                    std::span<const std::string_view> texts,
+                                    uint32_t* out_distances) {
+  ++batch_calls_;
+  const size_t n = pattern_.size();
+  std::string_view group[kMaxLanes];
+  uint32_t* slots[kMaxLanes];
+  size_t g = 0;
+  for (size_t t = 0; t < texts.size(); ++t) {
+    const std::string_view y = texts[t];
+    const size_t m = y.size();
+    const size_t longer = std::max(n, m);
+    const size_t shorter = std::min(n, m);
+    // Trivial length-difference early-out, exactly the scalar kernel's.
+    if (longer - shorter > bound) {
+      out_distances[t] = bound + 1;
+      continue;
+    }
+    // Empty side: LD is the other side's length, <= bound after the gap
+    // check above.
+    if (shorter == 0) {
+      out_distances[t] = static_cast<uint32_t>(longer);
+      continue;
+    }
+    // Equal texts short-circuit the column loop entirely.
+    if (y == pattern_) {
+      out_distances[t] = 0;
+      continue;
+    }
+    if (n > 64) {
+      out_distances[t] = RunBlocked(bound, y);
+      continue;
+    }
+    group[g] = y;
+    slots[g] = &out_distances[t];
+    if (++g == max_lanes_) {
+      RunGroup(bound, group, g, slots);
+      g = 0;
+    }
+  }
+  if (g > 0) RunGroup(bound, group, g, slots);
+}
+
+void MyersBatchVerifier::VerifyManyWithin(
+    uint32_t bound, std::span<const std::string_view> texts,
+    bool* out_accepts) {
+  within_scratch_.resize(texts.size());
+  VerifyMany(bound, texts, within_scratch_.data());
+  for (size_t t = 0; t < texts.size(); ++t) {
+    out_accepts[t] = within_scratch_[t] <= bound;
+  }
+}
+
+}  // namespace tsj

@@ -45,6 +45,10 @@ struct WorkState {
   std::atomic<uint64_t> distance_computations{0};
   std::atomic<uint64_t> pivot_filtered{0};
   std::atomic<uint64_t> assignments{0};
+  std::atomic<uint64_t> batched_verify_calls{0};
+  std::atomic<uint64_t> batched_verify_lanes_filled{0};
+  std::atomic<uint64_t> batched_verify_lane_slots{0};
+  std::atomic<uint64_t> peq_table_reuses{0};
   std::atomic<bool> aborted{false};
 };
 
@@ -92,10 +96,20 @@ class HmjRunner {
     const size_t lb = corpus_.aggregate_length(b);
     const int64_t budget =
         SldBudgetFromThreshold(options_.threshold, la, lb);
+    SldVerifyScratch& scratch = LeafVerifyScratch();
+    scratch.use_batched_verify = options_.enable_batched_verify;
     const BoundedSldResult verdict =
         BoundedSld(corpus_, corpus_.tokens(a), corpus_.tokens(b), budget,
-                   options_.aligning, &LeafVerifyScratch(), &pair_cache_);
+                   options_.aligning, &scratch, &pair_cache_);
     AddWorkUnits(verdict.work_units);
+    state_->batched_verify_calls.fetch_add(verdict.batched_verify_calls,
+                                           std::memory_order_relaxed);
+    state_->batched_verify_lanes_filled.fetch_add(
+        verdict.batched_verify_lanes_filled, std::memory_order_relaxed);
+    state_->batched_verify_lane_slots.fetch_add(
+        verdict.batched_verify_lane_slots, std::memory_order_relaxed);
+    state_->peq_table_reuses.fetch_add(verdict.peq_table_reuses,
+                                       std::memory_order_relaxed);
     if (!verdict.within_budget) return false;
     *nsld = NsldFromSld(verdict.sld, la, lb);
     return true;
@@ -326,6 +340,10 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   local_info.distance_computations = state.distance_computations;
   local_info.pivot_filtered = state.pivot_filtered;
   local_info.assignments = state.assignments;
+  local_info.batched_verify_calls = state.batched_verify_calls;
+  local_info.batched_verify_lanes_filled = state.batched_verify_lanes_filled;
+  local_info.batched_verify_lane_slots = state.batched_verify_lane_slots;
+  local_info.peq_table_reuses = state.peq_table_reuses;
   // When the work limit was exceeded the results are incomplete; they are
   // still returned for inspection, with completed=false marking the DNF.
   local_info.completed = !state.aborted.load();

@@ -1,0 +1,360 @@
+// Fast-tier unit tests for the batched one-pattern-vs-many Myers kernel
+// (distance/myers_batch.h): the clamp contract against the scalar
+// kernels, the Peq-aliasing pin (mixed longer/shorter texts in one
+// batch), partial final batches and lane-tail handling, the
+// empty/equal-token short-circuits, the lane counters, the SIMD mode
+// sweep and the CC_VERIFY_SIMD toggle, plus a mini batched-vs-scalar
+// BoundedSld equivalence check. The ≥10k-pair randomized sweep lives in
+// differential_test.cc (the "slow" ctest label).
+
+#include "distance/myers_batch.h"
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/levenshtein.h"
+#include "distance/myers.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tokenized/corpus.h"
+#include "tokenized/sld.h"
+
+namespace tsj {
+namespace {
+
+// Every backend x lane-width combination; unsupported backends resolve
+// to portable at construction, so every entry is runnable on any host.
+struct KernelConfig {
+  BatchSimdMode mode;
+  size_t max_lanes;
+};
+
+std::vector<KernelConfig> AllKernelConfigs() {
+  std::vector<KernelConfig> configs;
+  for (BatchSimdMode mode :
+       {BatchSimdMode::kPortable, BatchSimdMode::kSse2, BatchSimdMode::kAvx2,
+        BatchSimdMode::kAuto}) {
+    for (size_t lanes : {1u, 2u, 4u}) configs.push_back({mode, lanes});
+  }
+  return configs;
+}
+
+// Runs one batch and checks every slot against the scalar kernel.
+void ExpectMatchesScalar(MyersBatchVerifier* v, std::string_view pattern,
+                         const std::vector<std::string>& texts,
+                         uint32_t bound) {
+  std::vector<std::string_view> views(texts.begin(), texts.end());
+  std::vector<uint32_t> got(views.size(), 0xdeadbeef);
+  v->SetPattern(pattern);
+  v->VerifyMany(bound, views, got.data());
+  for (size_t t = 0; t < views.size(); ++t) {
+    EXPECT_EQ(got[t], MyersBoundedLevenshtein(pattern, views[t], bound))
+        << "pattern=" << pattern << " text=" << texts[t]
+        << " bound=" << bound << " lane=" << t
+        << " mode=" << BatchSimdModeName(v->mode())
+        << " max_lanes=" << v->max_lanes();
+  }
+}
+
+TEST(MyersBatchTest, KnownValuesAndClampContract) {
+  for (const KernelConfig& cfg : AllKernelConfigs()) {
+    MyersBatchVerifier v(cfg.mode, cfg.max_lanes);
+    // LD(kitten, {sitting, kitten, mitten, knitting}) = {3, 0, 1, 2}.
+    ExpectMatchesScalar(&v, "kitten",
+                        {"sitting", "kitten", "mitten", "knitting"}, 10);
+    // bound = 1 clamps everything above to exactly 2.
+    ExpectMatchesScalar(&v, "kitten",
+                        {"sitting", "kitten", "mitten", "knitting"}, 1);
+    // bound = 0: equal short-circuits to 0, everything else to 1.
+    ExpectMatchesScalar(&v, "kitten",
+                        {"sitting", "kitten", "mitten", "knitting"}, 0);
+  }
+}
+
+TEST(MyersBatchTest, MixedLongerAndShorterTextsShareOnePeqTable) {
+  // The Peq-aliasing pin: the scalar kernel swaps so the SHORTER string
+  // becomes the bit-vector pattern, so a batched wrapper reusing its Peq
+  // table across texts on both sides of the pattern's length would read
+  // a table built for the wrong side. The batch kernel builds Peq from
+  // the caller's pattern verbatim and never swaps; one batch mixing
+  // strictly longer, strictly shorter, and equal-length texts must match
+  // the scalar kernel on every lane.
+  Rng rng(4242);
+  for (const KernelConfig& cfg : AllKernelConfigs()) {
+    MyersBatchVerifier v(cfg.mode, cfg.max_lanes);
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::string pattern = testutil::RandomString(&rng, 4, 24, 3);
+      std::vector<std::string> texts;
+      texts.push_back(testutil::RandomString(&rng, 25, 40, 3));  // longer
+      texts.push_back(testutil::RandomString(&rng, 0, 3, 3));    // shorter
+      texts.push_back(testutil::RandomString(&rng, pattern.size(),
+                                             pattern.size(), 3));
+      std::string edited = pattern;  // near miss on both sides
+      for (int e = 0; e < 3; ++e) edited = testutil::RandomEdit(&rng, edited);
+      texts.push_back(edited);
+      texts.push_back(pattern + "xyz");
+      texts.push_back(pattern.substr(0, pattern.size() / 2));
+      for (uint32_t bound : {0u, 1u, 3u, 7u, 1000000u}) {
+        ExpectMatchesScalar(&v, pattern, texts, bound);
+      }
+    }
+  }
+}
+
+TEST(MyersBatchTest, EmptyPatternAndEmptyTexts) {
+  for (const KernelConfig& cfg : AllKernelConfigs()) {
+    MyersBatchVerifier v(cfg.mode, cfg.max_lanes);
+    ExpectMatchesScalar(&v, "", {"", "a", "abc", "abcdefgh"}, 2);
+    ExpectMatchesScalar(&v, "", {"", "a", "abc", "abcdefgh"}, 1000000);
+    ExpectMatchesScalar(&v, "abcd", {"", "", "abcd", ""}, 3);
+    ExpectMatchesScalar(&v, "abcd", {"", "", "abcd", ""}, 1000000);
+  }
+}
+
+TEST(MyersBatchTest, ShortCircuitsConsumeNoLanes) {
+  MyersBatchVerifier v(BatchSimdMode::kAuto);
+  v.SetPattern("abcdef");
+  // Equal, empty, and length-gap texts all resolve without a kernel
+  // core: no lanes, no slots, no Peq touches.
+  std::vector<std::string_view> texts = {"abcdef", "",
+                                         "abcdefabcdefabcdef"};
+  std::vector<uint32_t> out(texts.size());
+  v.VerifyMany(2, texts, out.data());
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 3u);  // bound + 1 via the length gap
+  EXPECT_EQ(out[2], 3u);
+  EXPECT_EQ(v.batch_calls(), 1u);
+  EXPECT_EQ(v.lanes_filled(), 0u);
+  EXPECT_EQ(v.lane_slots(), 0u);
+  EXPECT_EQ(v.peq_reuses(), 0u);
+}
+
+TEST(MyersBatchTest, PartialFinalBatchesAndLaneTails) {
+  // Canonical lane geometry at max_lanes = 4: groups of 4 while 4+ texts
+  // remain, then a tail of 3 -> one 4-wide pass (3 filled), 2 -> 2-wide,
+  // 1 -> 1-wide. Sweep every batch size 1..9 and check both the values
+  // and the counter geometry.
+  const uint64_t expected_slots[10] = {0, 1, 2, 4, 4, 5, 6, 8, 8, 9};
+  Rng rng(99);
+  for (size_t count = 1; count <= 9; ++count) {
+    MyersBatchVerifier v(BatchSimdMode::kAuto);
+    const std::string pattern = testutil::RandomString(&rng, 6, 12, 3);
+    std::vector<std::string> texts;
+    for (size_t t = 0; t < count; ++t) {
+      // Lengths inside the gap filter so every text reaches a kernel lane.
+      texts.push_back(testutil::RandomString(&rng, pattern.size() > 2
+                                                       ? pattern.size() - 2
+                                                       : 1,
+                                             pattern.size() + 2, 3));
+    }
+    ExpectMatchesScalar(&v, pattern, texts, 4);
+    EXPECT_EQ(v.lanes_filled(), count) << "count=" << count;
+    EXPECT_EQ(v.lane_slots(), expected_slots[count]) << "count=" << count;
+    EXPECT_EQ(v.peq_reuses(), count - 1) << "count=" << count;
+    EXPECT_EQ(v.batch_calls(), 1u);
+  }
+}
+
+TEST(MyersBatchTest, CountersAreBackendInvariant) {
+  // The same inputs must produce identical counters (not just identical
+  // distances) on every backend and at every lane width <= the default —
+  // the ablation's lanes-filled% may not depend on the host's SIMD level.
+  Rng rng(1234);
+  const std::string pattern = testutil::RandomString(&rng, 8, 16, 3);
+  std::vector<std::string> texts;
+  for (int t = 0; t < 11; ++t) {
+    texts.push_back(testutil::RandomString(&rng, 6, 18, 3));
+  }
+  std::vector<std::string_view> views(texts.begin(), texts.end());
+  std::vector<uint32_t> out(views.size());
+  uint64_t want_filled = 0, want_slots = 0, want_reuses = 0;
+  bool first = true;
+  for (BatchSimdMode mode : {BatchSimdMode::kPortable, BatchSimdMode::kSse2,
+                             BatchSimdMode::kAvx2, BatchSimdMode::kAuto}) {
+    MyersBatchVerifier v(mode);
+    v.SetPattern(pattern);
+    v.VerifyMany(5, views, out.data());
+    if (first) {
+      want_filled = v.lanes_filled();
+      want_slots = v.lane_slots();
+      want_reuses = v.peq_reuses();
+      first = false;
+    } else {
+      EXPECT_EQ(v.lanes_filled(), want_filled)
+          << BatchSimdModeName(v.mode());
+      EXPECT_EQ(v.lane_slots(), want_slots) << BatchSimdModeName(v.mode());
+      EXPECT_EQ(v.peq_reuses(), want_reuses) << BatchSimdModeName(v.mode());
+    }
+  }
+}
+
+TEST(MyersBatchTest, AllBackendsAgreeOnRandomBatches) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string pattern = testutil::RandomString(&rng, 0, 30, 3);
+    std::vector<std::string> texts;
+    const size_t count = rng.Uniform(10);
+    for (size_t t = 0; t < count; ++t) {
+      if (rng.Bernoulli(0.2)) {
+        texts.push_back(pattern);
+      } else {
+        texts.push_back(testutil::RandomString(&rng, 0, 34, 3));
+      }
+    }
+    const uint32_t bound = static_cast<uint32_t>(rng.Uniform(12));
+    for (const KernelConfig& cfg : AllKernelConfigs()) {
+      MyersBatchVerifier v(cfg.mode, cfg.max_lanes);
+      ExpectMatchesScalar(&v, pattern, texts, bound);
+    }
+  }
+}
+
+TEST(MyersBatchTest, HandlesHighBytes) {
+  // 8-bit clean: the Peq table indexes by unsigned byte.
+  Rng rng(271828);
+  for (const KernelConfig& cfg : AllKernelConfigs()) {
+    MyersBatchVerifier v(cfg.mode, cfg.max_lanes);
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::string pattern = testutil::RandomByteString(&rng, 0, 20);
+      std::vector<std::string> texts;
+      for (int t = 0; t < 5; ++t) {
+        texts.push_back(testutil::RandomByteString(&rng, 0, 24));
+      }
+      ExpectMatchesScalar(&v, pattern, texts, 6);
+    }
+  }
+}
+
+TEST(MyersBatchTest, BlockedPatternsAcrossTheWordSeam) {
+  // Patterns of 63/64/65/130 chars: the single-word/blocked seam. The
+  // blocked path shares its prebuilt Peq block table across the batch.
+  Rng rng(64646);
+  for (const KernelConfig& cfg : AllKernelConfigs()) {
+    MyersBatchVerifier v(cfg.mode, cfg.max_lanes);
+    for (size_t plen : {63u, 64u, 65u, 130u}) {
+      const std::string pattern = testutil::RandomString(&rng, plen, plen, 4);
+      std::vector<std::string> texts;
+      std::string near = pattern;
+      for (int e = 0; e < 4; ++e) near = testutil::RandomEdit(&rng, near);
+      texts.push_back(near);
+      texts.push_back(pattern);
+      texts.push_back(testutil::RandomString(&rng, plen - 3, plen + 3, 4));
+      texts.push_back(testutil::RandomString(&rng, plen, plen, 4));
+      for (uint32_t bound : {0u, 2u, 8u, 1000000u}) {
+        ExpectMatchesScalar(&v, pattern, texts, bound);
+      }
+    }
+  }
+}
+
+TEST(MyersBatchTest, VerifyManyWithinMatchesVerifyMany) {
+  Rng rng(555);
+  MyersBatchVerifier v(BatchSimdMode::kAuto);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string pattern = testutil::RandomString(&rng, 0, 20, 3);
+    std::vector<std::string> texts;
+    for (int t = 0; t < 6; ++t) {
+      texts.push_back(testutil::RandomString(&rng, 0, 24, 3));
+    }
+    std::vector<std::string_view> views(texts.begin(), texts.end());
+    const uint32_t bound = static_cast<uint32_t>(rng.Uniform(8));
+    std::vector<uint32_t> dists(views.size());
+    std::vector<uint8_t> accepts(views.size());
+    v.SetPattern(pattern);
+    v.VerifyMany(bound, views, dists.data());
+    v.SetPattern(pattern);
+    v.VerifyManyWithin(bound, views,
+                       reinterpret_cast<bool*>(accepts.data()));
+    for (size_t t = 0; t < views.size(); ++t) {
+      EXPECT_EQ(accepts[t] != 0, dists[t] <= bound);
+    }
+  }
+}
+
+TEST(MyersBatchTest, PatternBytesAreOwned) {
+  // SetPattern copies: the caller's buffer may be freed or rewritten
+  // between SetPattern and VerifyMany — exactly what happens when a
+  // materialization buffer is reused between bigraph rows.
+  MyersBatchVerifier v(BatchSimdMode::kAuto);
+  std::string buffer = "kitten";
+  v.SetPattern(buffer);
+  buffer.assign("XXXXXXXXXXXXXXXXXXXXXXXX");  // clobber (and realloc)
+  std::vector<std::string_view> texts = {"sitting", "kitten"};
+  std::vector<uint32_t> out(texts.size());
+  v.VerifyMany(10, texts, out.data());
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[1], 0u);
+  // And the NEXT SetPattern must clear the old Peq entries correctly
+  // even though the original buffer is long gone.
+  std::string second = "mitten";
+  v.SetPattern(second);
+  v.VerifyMany(10, texts, out.data());
+  EXPECT_EQ(out[0], 3u);  // LD(mitten, sitting)
+  EXPECT_EQ(out[1], 1u);  // LD(mitten, kitten)
+}
+
+TEST(MyersBatchTest, EnvToggleSelectsBackend) {
+  // CC_VERIFY_SIMD is read at construction (the CI off-leg relies on
+  // it). setenv/unsetenv is safe here: the fast tier runs these tests
+  // single-threaded within the process.
+  char* saved = std::getenv("CC_VERIFY_SIMD");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::setenv("CC_VERIFY_SIMD", "off", 1);
+  EXPECT_EQ(MyersBatchVerifier().mode(), BatchSimdMode::kPortable);
+  ::setenv("CC_VERIFY_SIMD", "portable", 1);
+  EXPECT_EQ(MyersBatchVerifier().mode(), BatchSimdMode::kPortable);
+  ::setenv("CC_VERIFY_SIMD", "auto", 1);
+  EXPECT_EQ(MyersBatchVerifier().mode(),
+            ResolveBatchSimdMode(BatchSimdMode::kAuto));
+  ::unsetenv("CC_VERIFY_SIMD");
+  EXPECT_EQ(MyersBatchVerifier().mode(),
+            ResolveBatchSimdMode(BatchSimdMode::kAuto));
+  if (saved != nullptr) {
+    ::setenv("CC_VERIFY_SIMD", saved_value.c_str(), 1);
+  }
+}
+
+TEST(MyersBatchTest, BatchedBoundedSldMatchesScalar) {
+  // Mini batched-vs-scalar BoundedSld equivalence so the fast tier pins
+  // the sld.cc integration end to end (values, decisions, work units,
+  // and the counters' zero/non-zero contract); the full sweep with
+  // caches and engines lives in differential_test.cc.
+  Rng rng(777);
+  for (int round = 0; round < 120; ++round) {
+    Corpus corpus;
+    const size_t n = 2 + rng.Uniform(6);
+    for (size_t s = 0; s < n; ++s) {
+      corpus.AddString(testutil::RandomTokenizedString(&rng, 0, 4, 0, 8, 3));
+    }
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(corpus.size()));
+    const uint32_t b = static_cast<uint32_t>(rng.Uniform(corpus.size()));
+    const int64_t budget = rng.UniformInt(0, 20);
+    const TokenAligning aligning =
+        rng.Bernoulli(0.5) ? TokenAligning::kExact : TokenAligning::kGreedy;
+    SldVerifyScratch batched, scalar;
+    batched.use_batched_verify = true;
+    scalar.use_batched_verify = false;
+    const BoundedSldResult got = BoundedSld(
+        corpus, corpus.tokens(a), corpus.tokens(b), budget, aligning,
+        &batched);
+    const BoundedSldResult want = BoundedSld(
+        corpus, corpus.tokens(a), corpus.tokens(b), budget, aligning,
+        &scalar);
+    EXPECT_EQ(got.sld, want.sld) << "round=" << round;
+    EXPECT_EQ(got.within_budget, want.within_budget) << "round=" << round;
+    EXPECT_EQ(got.work_units, want.work_units) << "round=" << round;
+    EXPECT_EQ(want.batched_verify_calls, 0u);
+    EXPECT_EQ(want.batched_verify_lane_slots, 0u);
+    // A queued edge can still short-circuit inside the kernel (length
+    // gap at the row bound), so filled lanes may undercut calls — but
+    // slots never undercut filled lanes.
+    EXPECT_GE(got.batched_verify_lane_slots,
+              got.batched_verify_lanes_filled);
+  }
+}
+
+}  // namespace
+}  // namespace tsj
