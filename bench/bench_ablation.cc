@@ -33,6 +33,13 @@
 // that batch. --verify_json <path> emits the kernel counters plus the
 // batched-vs-scalar wall/work comparison as JSON (merged into
 // BENCH_verify.json by CI).
+//
+// The fault-framework rows run the full configuration with the fault
+// injector explicitly disarmed (pinning the disabled FAULT_POINT cost —
+// one relaxed atomic load per site — at noise level next to the 'full'
+// row) and armed with two absorbable task-start faults (showing the
+// lossless retry cost). --fault_json <path> emits the overhead and
+// absorption counters as JSON (merged into BENCH_verify.json by CI).
 
 #include <algorithm>
 #include <fstream>
@@ -41,6 +48,7 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "eval/table_printer.h"
 #include "tsj/tsj.h"
@@ -95,7 +103,8 @@ std::string PeqReuseColumn(const TsjRunInfo& info) {
 // merge step never reads a missing/zeroed BENCH_spill.json as success).
 bool Run(const std::string& shuffle_json_path,
          const std::string& spill_json_path,
-         const std::string& verify_json_path) {
+         const std::string& verify_json_path,
+         const std::string& fault_json_path) {
   bench::PrintHeader("Ablation", "contribution of each TSJ design choice");
   const auto workload =
       GenerateRingWorkload(bench::DefaultWorkload(bench::Scaled(10000)));
@@ -326,7 +335,83 @@ bool Run(const std::string& shuffle_json_path,
     }
   }
 
+  // ---- Fault-framework rows: the full configuration with the injector
+  // explicitly disarmed (the production state — every FAULT_POINT is one
+  // relaxed atomic load, pinned at < 1% wall next to the 'full' row
+  // above), and armed with two absorbable start faults to show what a
+  // retry actually costs when it happens.
+  TsjRunInfo fault_disabled_info;
+  double fault_disabled_wall_ms = 0;
+  bool fault_disabled_ok = false;
+  TsjRunInfo fault_absorbed_info;
+  double fault_absorbed_wall_ms = 0;
+  bool fault_absorbed_ok = false;
+  {
+    auto add_fault_row = [&](const std::string& name, uint64_t pairs,
+                             const TsjRunInfo& info, double ms) {
+      const uint64_t l1_probes =
+          info.token_pair_cache_l1_hits + info.token_pair_cache_l1_misses;
+      const uint64_t shared_probes =
+          info.token_pair_cache_hits + info.token_pair_cache_misses;
+      table.AddRow({name, TablePrinter::Fmt(pairs),
+                    TablePrinter::Fmt(info.distinct_candidates),
+                    TablePrinter::Fmt(info.verified_candidates),
+                    TablePrinter::Fmt(info.verify_work_units),
+                    PercentOrDash(info.token_pair_cache_l1_hits, l1_probes),
+                    PercentOrDash(info.token_pair_cache_hits, shared_probes),
+                    info.token_pair_cache_flush_batches == 0
+                        ? std::string("-")
+                        : TablePrinter::Fmt(info.token_pair_cache_flush_batches),
+                    CombinerColumn(info), LanesColumn(info),
+                    PeqReuseColumn(info),
+                    TablePrinter::Fmt(info.peak_shuffle_records),
+                    TablePrinter::Fmt(ms, 0)});
+    };
+    FaultInjector::Global().Configure("");  // explicit: disarmed
+    Stopwatch watch;
+    const auto result = TokenizedStringJoiner(base).SelfJoin(
+        workload.corpus, &fault_disabled_info);
+    fault_disabled_wall_ms = watch.ElapsedMillis();
+    fault_disabled_ok = result.ok();
+    if (fault_disabled_ok) {
+      add_fault_row("+ fault framework (disabled)", result->size(),
+                    fault_disabled_info, fault_disabled_wall_ms);
+    }
+    // Two absorbable start faults: one map task and one reduce task each
+    // fail once and re-execute. Byte-identical pairs by the retry
+    // contract; the wall column shows the re-execution cost.
+    FaultInjector::Global().Configure("task.map=once;task.reduce=once");
+    Stopwatch armed_watch;
+    const auto armed = TokenizedStringJoiner(base).SelfJoin(
+        workload.corpus, &fault_absorbed_info);
+    fault_absorbed_wall_ms = armed_watch.ElapsedMillis();
+    fault_absorbed_ok = armed.ok();
+    FaultInjector::Global().ConfigureFromEnv();
+    if (fault_absorbed_ok) {
+      add_fault_row("+ fault injection (2 absorbed faults)", armed->size(),
+                    fault_absorbed_info, fault_absorbed_wall_ms);
+    }
+  }
+
   table.Print(std::cout);
+  if (fault_disabled_ok && full_wall_ms > 0) {
+    std::cout << "\nfault framework disarmed overhead: " << full_wall_ms
+              << " ms (no framework row) vs " << fault_disabled_wall_ms
+              << " ms (disarmed injector): "
+              << 100.0 * (fault_disabled_wall_ms - full_wall_ms) /
+                     full_wall_ms
+              << "% (noise-level by contract; FAULT_POINT is one relaxed "
+                 "atomic load when disarmed)\n";
+  }
+  if (fault_absorbed_ok) {
+    std::cout << "fault absorption: " << fault_absorbed_info.task_failures
+              << " injected task failures, "
+              << fault_absorbed_info.task_retries
+              << " lossless re-executions, "
+              << fault_absorbed_info.tasks_cancelled
+              << " cancellations; wall " << fault_absorbed_wall_ms
+              << " ms vs " << fault_disabled_wall_ms << " ms fault-free\n";
+  }
   if (spill_budget > 0 && spill_run_ok) {
     std::cout << "\nout-of-core spill (budget "
               << spill_budget << " records = in-memory peak/4): "
@@ -588,7 +673,37 @@ bool Run(const std::string& shuffle_json_path,
     std::cout << "batched-verify counters written to " << verify_json_path
               << "\n";
   }
-  return spill_budget == 0 || spill_run_ok;
+
+  if (!fault_json_path.empty() && fault_disabled_ok) {
+    std::ofstream json(fault_json_path);
+    json << "{\n"
+         << "  \"baseline_wall_ms\": " << full_wall_ms << ",\n"
+         << "  \"fault_disabled_wall_ms\": " << fault_disabled_wall_ms
+         << ",\n"
+         << "  \"disabled_overhead_pct\": "
+         << (full_wall_ms > 0
+                 ? 100.0 * (fault_disabled_wall_ms - full_wall_ms) /
+                       full_wall_ms
+                 : 0.0)
+         << ",\n"
+         << "  \"absorbed_wall_ms\": "
+         << (fault_absorbed_ok ? fault_absorbed_wall_ms : 0) << ",\n"
+         << "  \"absorbed_task_failures\": "
+         << (fault_absorbed_ok ? fault_absorbed_info.task_failures : 0)
+         << ",\n"
+         << "  \"absorbed_task_retries\": "
+         << (fault_absorbed_ok ? fault_absorbed_info.task_retries : 0)
+         << ",\n"
+         << "  \"absorbed_tasks_cancelled\": "
+         << (fault_absorbed_ok ? fault_absorbed_info.tasks_cancelled : 0)
+         << ",\n"
+         << "  \"absorbed_result_ok\": "
+         << (fault_absorbed_ok ? "true" : "false") << "\n"
+         << "}\n";
+    std::cout << "fault-framework counters written to " << fault_json_path
+              << "\n";
+  }
+  return (spill_budget == 0 || spill_run_ok) && fault_disabled_ok;
 }
 
 }  // namespace
@@ -598,6 +713,7 @@ int main(int argc, char** argv) {
   std::string shuffle_json_path;
   std::string spill_json_path;
   std::string verify_json_path;
+  std::string fault_json_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--shuffle_json") {
       shuffle_json_path = argv[i + 1];
@@ -608,7 +724,12 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--verify_json") {
       verify_json_path = argv[i + 1];
     }
+    if (std::string(argv[i]) == "--fault_json") {
+      fault_json_path = argv[i + 1];
+    }
   }
-  return tsj::Run(shuffle_json_path, spill_json_path, verify_json_path) ? 0
-                                                                        : 1;
+  return tsj::Run(shuffle_json_path, spill_json_path, verify_json_path,
+                  fault_json_path)
+             ? 0
+             : 1;
 }

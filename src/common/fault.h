@@ -1,0 +1,149 @@
+// Deterministic, seeded fault injection for the whole engine.
+//
+// Every fallible layer declares named *injection sites* — stable string
+// identifiers for a place where a real-world fault could strike:
+//
+//   spill.open     opening a spill file (SpillContext::NewIo wrapper)
+//   spill.write    a spill run/segment write (SpillContext::NewIo wrapper)
+//   merge.read     reading a spill run back during the k-way merge
+//   task.map       start of a map task (mapreduce.h, all three engines)
+//   task.reduce    start of a reduce/merge partition task
+//   alloc.shuffle  shuffle-buffer growth (modelled as ResourceExhausted)
+//
+// A site is evaluated with FAULT_POINT("name"), which returns Status::OK()
+// unless the process-wide FaultInjector is armed for that site. Evaluation
+// order per site is tracked by a per-site atomic counter, and whether the
+// k-th evaluation fires is a pure function of (site spec, k) — so a given
+// CC_FAULT_SPEC value produces the same fault schedule on every run with
+// the same thread-to-task assignment, and exactly the same *set* of fired
+// faults per site regardless of interleaving when tasks evaluate a site
+// once each.
+//
+// CC_FAULT_SPEC grammar
+// ---------------------
+//   spec   := entry (';' entry)*
+//   entry  := site '=' mode
+//   site   := dotted identifier, e.g. task.reduce
+//   mode   := 'once' ['@' N]        fire on the N-th evaluation only
+//                                   (1-based; default N=1)
+//           | 'every' '@' N         fire on every N-th evaluation
+//           | 'p' FLOAT ['@seed' S] fire each evaluation independently
+//                                   with probability FLOAT, decided by a
+//                                   SplitMix64 draw over (S, k); default
+//                                   seed S=0
+//
+// Examples:
+//   CC_FAULT_SPEC='task.reduce=p0.01@seed42;spill.write=once@3'
+//   CC_FAULT_SPEC='merge.read=once'
+//
+// Disabled cost: when no spec is armed, FAULT_POINT compiles to one
+// relaxed atomic bool load (the bench_ablation "+ fault framework
+// (disabled)" row pins this at < 1% wall on the 10k ring workload).
+//
+// Injected faults carry StatusCode::kUnavailable ("injected fault at
+// <site>") except alloc.* sites, which model memory pressure and carry
+// kResourceExhausted. Both codes are retryable by the task layer.
+
+#ifndef TSJ_COMMON_FAULT_H_
+#define TSJ_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsj {
+
+/// Process-wide deterministic fault injector. All methods are thread-safe;
+/// configuration replaces the armed spec atomically with respect to
+/// evaluations (a site evaluated concurrently with Configure sees either
+/// the old or the new spec, never a torn one).
+class FaultInjector {
+ public:
+  /// The singleton every FAULT_POINT consults.
+  static FaultInjector& Global();
+
+  /// Arms the injector with a CC_FAULT_SPEC-grammar string (empty string
+  /// disarms). Returns InvalidArgument on a malformed spec, leaving the
+  /// previous configuration in place. Resets per-site counters.
+  Status Configure(const std::string& spec);
+
+  /// Re-arms from the CC_FAULT_SPEC environment variable (disarms when
+  /// unset/empty). Tests that call Configure() directly should restore
+  /// the environment configuration with this afterwards, because the
+  /// injector is process-global. Malformed env specs disarm and are
+  /// reported once on stderr (env vars can't propagate a Status).
+  void ConfigureFromEnv();
+
+  /// True when at least one site is armed. One relaxed atomic load — the
+  /// entire disabled-path cost of an injection site.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Evaluates `site`: OK, or the injected fault's Status. Sites named
+  /// alloc.* fire kResourceExhausted, everything else kUnavailable.
+  Status Evaluate(const char* site);
+
+  /// Total faults fired for `site` since the last Configure (0 when the
+  /// site is unknown or disarmed).
+  uint64_t fired(const std::string& site) const;
+
+  /// Total faults fired across all sites since the last Configure.
+  uint64_t total_fired() const;
+
+  /// Evaluations of `site` since the last Configure (armed sites only).
+  uint64_t evaluations(const std::string& site) const;
+
+ private:
+  enum class Mode { kOnce, kEvery, kProbability };
+
+  struct SiteSpec {
+    std::string site;
+    Mode mode = Mode::kOnce;
+    uint64_t n = 1;        // once@N / every@N
+    double probability = 0.0;
+    uint64_t seed = 0;
+    bool resource_exhausted = false;  // alloc.* sites
+    std::atomic<uint64_t> evaluations{0};
+    std::atomic<uint64_t> fired{0};
+
+    SiteSpec() = default;
+    SiteSpec(const SiteSpec& other)
+        : site(other.site),
+          mode(other.mode),
+          n(other.n),
+          probability(other.probability),
+          seed(other.seed),
+          resource_exhausted(other.resource_exhausted),
+          evaluations(other.evaluations.load(std::memory_order_relaxed)),
+          fired(other.fired.load(std::memory_order_relaxed)) {}
+  };
+
+  FaultInjector() = default;
+
+  static Status ParseSpec(const std::string& spec,
+                          std::vector<SiteSpec>* out);
+
+  // The armed spec. Guarded by a shared_ptr-style generation swap: a
+  // plain mutex on the (cold) Configure path, lock-free reads via an
+  // acquire load of the published vector pointer on the Evaluate path.
+  std::atomic<bool> enabled_{false};
+  std::atomic<const std::vector<SiteSpec>*> sites_{nullptr};
+  // Retired generations; freed only at process exit so in-flight
+  // Evaluate calls can never see a dangling pointer. Configure happens
+  // a handful of times per process, so this never grows meaningfully.
+  std::vector<const std::vector<SiteSpec>*> retired_;
+};
+
+/// Evaluates the named injection site: Status::OK() unless the global
+/// injector is armed for it. Usage:
+///   if (Status s = FAULT_POINT("task.map"); !s.ok()) return s;
+#define FAULT_POINT(site)                                   \
+  (::tsj::FaultInjector::Global().enabled()                 \
+       ? ::tsj::FaultInjector::Global().Evaluate(site)      \
+       : ::tsj::Status::OK())
+
+}  // namespace tsj
+
+#endif  // TSJ_COMMON_FAULT_H_

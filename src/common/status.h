@@ -21,6 +21,15 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  /// A transient fault: the operation failed for a reason that is expected
+  /// to clear on its own (injected fault, flaky I/O, contention). The task
+  /// retry layer in mapreduce.h treats kUnavailable (and
+  /// kResourceExhausted) as retryable; every other code is fatal.
+  kUnavailable,
+  /// The operation was abandoned because a sibling failed fatally and
+  /// tripped the job's cancellation token. Never the root cause of a
+  /// failure — the token's cause() carries that.
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -51,6 +60,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

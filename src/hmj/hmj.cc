@@ -344,6 +344,11 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   local_info.batched_verify_lanes_filled = state.batched_verify_lanes_filled;
   local_info.batched_verify_lane_slots = state.batched_verify_lane_slots;
   local_info.peq_table_reuses = state.peq_table_reuses;
+  local_info.task_failures = local_info.pipeline.total_task_failures();
+  local_info.task_retries = local_info.pipeline.total_task_retries();
+  local_info.tasks_cancelled =
+      local_info.pipeline.total_tasks_cancelled();
+  local_info.tasks_degraded = local_info.pipeline.total_tasks_degraded();
   // When the work limit was exceeded the results are incomplete; they are
   // still returned for inspection, with completed=false marking the DNF.
   local_info.completed = !state.aborted.load();
@@ -352,6 +357,13 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   // faults keep their complete results and stay visible via the per-job
   // JobStats::spill_status entries.
   if (Status s = local_info.pipeline.first_spill_data_loss(); !s.ok()) {
+    if (info != nullptr) *info = std::move(local_info);
+    return s;
+  }
+  // A fatal task error aborted a job (outputs incomplete): fail the join
+  // with the root cause. Retry-absorbed faults only show in the pipeline
+  // task counters (see the fault contract in mapreduce.h).
+  if (Status s = local_info.pipeline.first_task_error(); !s.ok()) {
     if (info != nullptr) *info = std::move(local_info);
     return s;
   }

@@ -106,6 +106,13 @@ struct HmjRunInfo {
   uint64_t batched_verify_lanes_filled = 0;
   uint64_t batched_verify_lane_slots = 0;
   uint64_t peq_table_reuses = 0;
+  /// Task-level fault-tolerance counters summed across the run's jobs
+  /// (same semantics as the TsjRunInfo fields of the same names; see the
+  /// fault contract in mapreduce.h).
+  uint64_t task_failures = 0;
+  uint64_t task_retries = 0;
+  uint64_t tasks_cancelled = 0;
+  uint64_t tasks_degraded = 0;
   /// False when the work_limit was exceeded (DNF).
   bool completed = true;
 };

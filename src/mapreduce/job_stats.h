@@ -155,6 +155,27 @@ struct JobStats {
   /// prefetching is off or nothing spilled).
   uint64_t prefetch_hits = 0;
 
+  // Task-level fault tolerance (see the fault-tolerance contract in
+  // mapreduce.h).
+  /// Task attempts that failed with any non-OK Status (before retry
+  /// accounting: a task that fails twice and then succeeds contributes 2).
+  uint64_t task_failures = 0;
+  /// Re-executions performed after a retryable failure (each retry is a
+  /// deterministic, lossless re-run of the same task on the same input).
+  uint64_t task_retries = 0;
+  /// Tasks skipped because a sibling's fatal failure tripped the job's
+  /// cancellation token before they started.
+  uint64_t tasks_cancelled = 0;
+  /// Tasks the ThreadPool watchdog observed running past
+  /// CC_TASK_TIMEOUT_MS (observational; the tasks still completed).
+  uint64_t tasks_degraded = 0;
+  /// First fatal task error: non-OK exactly when the job was aborted and
+  /// its outputs are incomplete/absent. Retryable failures that a retry
+  /// absorbed do NOT set this — they are visible only via task_failures /
+  /// task_retries. Pipelines must check and propagate this the same way
+  /// they do spill_data_loss.
+  Status status;
+
   /// Per-group loads for the simulated-cluster model. Populated when
   /// MapReduceOptions::collect_group_loads is set.
   std::vector<GroupLoad> group_loads;
@@ -283,6 +304,40 @@ struct PipelineStats {
       if (!j.spill_data_loss.ok()) return j.spill_data_loss;
     }
     return Status::OK();
+  }
+
+  /// First non-OK JobStats::status — a fatal task error that aborted a
+  /// job, making the pipeline's result incomplete. Like
+  /// first_spill_data_loss(), this must fail the pipeline.
+  Status first_task_error() const {
+    for (const auto& j : jobs) {
+      if (!j.status.ok()) return j.status;
+    }
+    return Status::OK();
+  }
+
+  uint64_t total_task_failures() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.task_failures;
+    return total;
+  }
+
+  uint64_t total_task_retries() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.task_retries;
+    return total;
+  }
+
+  uint64_t total_tasks_cancelled() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.tasks_cancelled;
+    return total;
+  }
+
+  uint64_t total_tasks_degraded() const {
+    uint64_t total = 0;
+    for (const auto& j : jobs) total += j.tasks_degraded;
+    return total;
   }
 };
 

@@ -90,6 +90,53 @@
 //    JobStats::spill_status (see spill.h) — a failed write keeps records
 //    in memory, a failed read marks the job; nothing is lost silently.
 //
+// Fault-tolerance contract (task retry, cancellation, fault injection).
+// Every engine phase runs its logical tasks through a retry/cancellation
+// wrapper (mapreduce_internal::RunTasksWithRetry) with these rules:
+//
+//  * Retryable vs fatal taxonomy. A task attempt that fails with
+//    StatusCode::kUnavailable (transient/injected faults) or
+//    kResourceExhausted (memory pressure, disk full) is RETRYABLE; every
+//    other code — kInternal (logic errors, thrown exceptions), data loss,
+//    kInvalidArgument, … — is FATAL. Thrown exceptions are caught at the
+//    task boundary and converted (std::bad_alloc -> kResourceExhausted,
+//    std::exception -> kInternal), so no task failure can terminate the
+//    process.
+//  * Retry determinism. A retryable failure re-executes the task up to
+//    MapReduceOptions::max_task_retries times on the SAME input slice
+//    with freshly reset task state (map tasks rebuild their emitter from
+//    scratch via PartitionedEmitter::Abandon), so a retried run is
+//    byte-identical to a fault-free run — retry is lossless. Phases that
+//    consume shared buffers destructively (scatter/shuffle concatenation,
+//    reduce merges) cannot reset mid-task state, so only *start* faults
+//    (fired before the task touched anything, e.g. FAULT_POINT at task
+//    start) are retried there; a mid-task failure is escalated to fatal.
+//  * Cancellation points. A fatal failure (or a retryable one that
+//    exhausted its retries) trips the job's CancellationToken with the
+//    root-cause Status. Sibling tasks poll the token at task start —
+//    their partition boundary — and bail without running; later phases
+//    are skipped entirely. The job then returns empty outputs with
+//    JobStats::status carrying the root cause (the first fatal error
+//    wins). Skipped tasks count into JobStats::tasks_cancelled, failed
+//    attempts into task_failures, re-executions into task_retries.
+//  * Watchdog semantics. When CC_TASK_TIMEOUT_MS is set (> 0), the
+//    ThreadPool watchdog counts every task observed running longer than
+//    the timeout into JobStats::tasks_degraded. Purely observational:
+//    the task is never preempted (preemption cannot be made safe), the
+//    job's Status is unaffected.
+//  * Fault injection. The deterministic injector (common/fault.h,
+//    CC_FAULT_SPEC) is evaluated at named sites: "task.map" /
+//    "task.reduce" at task starts, "alloc.shuffle" at shuffle-phase task
+//    starts (fires kResourceExhausted), and "spill.open" / "spill.write"
+//    / "merge.read" inside every spill I/O stream (SpillContext::NewIo
+//    wraps both the default FILE* io and any test-installed
+//    spill_io_factory, so engine and spill faults share one harness).
+//    Injected spill faults follow the spill contract above (write =>
+//    degraded, read => lossy); injected task faults follow the retry
+//    rules. One caveat: spill observability counters (spilled_records,
+//    spill_files, …) count ALL attempts, including runs an abandoned
+//    retry released — they are I/O meters, not result accounting.
+//
 // JobStats records per-phase record counts, wall times, per-group loads,
 // and — new with the streaming engine — shuffle-record and peak-resident
 // counters (ShuffleGauge); cluster_model.h turns the group loads into
@@ -109,6 +156,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "mapreduce/job_stats.h"
@@ -166,6 +214,10 @@ struct MapReduceOptions {
   /// merge-input prefetch). The CC_SHUFFLE_SPILL_FORMAT environment
   /// override (v1|v2) wins over this field, like the budget override.
   SpillFormatOptions spill_format;
+  /// Maximum deterministic re-executions of one task after a retryable
+  /// failure (see the fault-tolerance contract in the file comment).
+  /// 0 disables retry: the first failure of any kind is fatal.
+  size_t max_task_retries = 2;
 
   size_t effective_workers() const {
     if (num_workers > 0) return num_workers;
@@ -339,6 +391,37 @@ class PartitionedEmitter {
     if (spill_ == nullptr) return;
     PublishResident();
     for (size_t p = 0; p < buckets_.size(); ++p) SortBucket(p);
+  }
+
+  /// Resets the emitter to its fresh post-EnableSpill state so the owning
+  /// task can be re-executed from scratch after a retryable failure (see
+  /// the fault-tolerance contract in the file comment): drops every
+  /// buffered record, returns this emitter's residency to the spill
+  /// gauge, releases every spill run the abandoned attempt wrote (their
+  /// files are deleted once unreferenced), clears the spill-failed latch,
+  /// and re-arms the combine sample. The spill context's byte/file meters
+  /// keep counting abandoned runs — they are I/O meters, not result
+  /// accounting.
+  void Abandon() {
+    if (spill_ != nullptr) {
+      PublishResident();
+      spill_->resident().Sub(size_);
+      for (auto& runs : spill_runs_) {
+        for (const SpillRunRef& ref : runs) spill_->ReleaseRun(ref.path);
+        runs.clear();
+      }
+      spill_failed_ = false;
+    }
+    for (auto& bucket : buckets_) {
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+    size_ = 0;
+    spilled_records_ = 0;
+    spill_combiner_in_ = 0;
+    spill_combiner_out_ = 0;
+    combine_scanned_ = 0;
+    combine_kept_ = 0;
   }
 
   /// Total records currently held in memory (post-combine, if Combine
@@ -606,6 +689,90 @@ struct GaugePair {
 // workers so stragglers even out, as in real MapReduce.
 inline size_t NumMapTasks(size_t num_inputs, size_t num_workers) {
   return std::max<size_t>(1, std::min(num_inputs, num_workers * 4));
+}
+
+// The retryable-vs-fatal taxonomy (see the fault-tolerance contract in
+// the file comment): transient faults and resource pressure retry,
+// everything else aborts the job.
+inline bool IsRetryableTaskStatus(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kResourceExhausted;
+}
+
+// Per-phase task accounting, summed into JobStats at job end.
+struct TaskCounters {
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> cancelled{0};
+
+  void AddTo(JobStats* stats) const {
+    stats->task_failures += failures.load(std::memory_order_relaxed);
+    stats->task_retries += retries.load(std::memory_order_relaxed);
+    stats->tasks_cancelled += cancelled.load(std::memory_order_relaxed);
+  }
+};
+
+// Runs `n` logical tasks on `pool` under the engine's fault-tolerance
+// contract. Each task: (1) bails (counted cancelled) when the job token
+// is already tripped; (2) evaluates the phase's FAULT_POINT — a fault
+// fired *here* precedes any side effect, so it is retryable even for
+// phases with no reset; (3) runs `body(task)`, catching exceptions into a
+// Status. A retryable failure re-executes the task — after `reset(task)`
+// restores its pristine state if the body had started — up to
+// `max_retries` times; a fatal failure (or exhausted retries, or a
+// retryable body failure in a phase that passed reset == nullptr because
+// it consumes shared state destructively) trips the token with the root
+// cause and sibling tasks stop at their next boundary.
+inline void RunTasksWithRetry(
+    ThreadPool* pool, size_t n, size_t max_retries,
+    CancellationToken token, const char* fault_site, TaskCounters* counters,
+    const std::function<void(size_t)>& reset,
+    const std::function<void(size_t)>& body) {
+  pool->ParallelFor(n, [&, token](size_t task) mutable {
+    if (token.cancelled()) {
+      counters->cancelled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    for (size_t attempt = 0;; ++attempt) {
+      Status s = FAULT_POINT(fault_site);
+      bool started = false;
+      if (s.ok()) {
+        started = true;
+        try {
+          body(task);
+        } catch (const std::bad_alloc&) {
+          s = Status::ResourceExhausted("task threw std::bad_alloc");
+        } catch (const std::exception& e) {
+          s = Status::Internal(std::string("task threw: ") + e.what());
+        } catch (...) {
+          s = Status::Internal("task threw an unknown exception type");
+        }
+      }
+      if (s.ok()) return;
+      counters->failures.fetch_add(1, std::memory_order_relaxed);
+      const bool resettable = !started || reset != nullptr;
+      if (IsRetryableTaskStatus(s) && resettable && attempt < max_retries &&
+          !token.cancelled()) {
+        counters->retries.fetch_add(1, std::memory_order_relaxed);
+        if (started && reset != nullptr) reset(task);
+        continue;
+      }
+      token.Cancel(std::move(s));
+      return;
+    }
+  });
+}
+
+// Folds the pool-level task accounting into the job's stats at job end:
+// watchdog degradations, and — as a safety net — any exception the pool
+// itself caught outside the retry wrapper becomes the job status.
+inline void FinishTaskStats(ThreadPool* pool, const CancellationToken& token,
+                            JobStats* stats) {
+  stats->tasks_degraded += pool->tasks_degraded();
+  if (token.cancelled()) stats->status = token.cause();
+  if (Status s = pool->TakeStatus(); !s.ok() && stats->status.ok()) {
+    stats->status = s;
+  }
 }
 
 // Builds partition `p` of the sorted shuffle: concatenates every
@@ -1080,6 +1247,8 @@ std::vector<Output> RunMapReduce(
   ShuffleGauge local_gauge;
   const mapreduce_internal::GaugePair gauge{&local_gauge,
                                             options.shuffle_gauge};
+  CancellationToken cancel;
+  mapreduce_internal::TaskCounters task_counters;
 
   // ---- Map phase -----------------------------------------------------
   Stopwatch map_watch;
@@ -1087,7 +1256,15 @@ std::vector<Output> RunMapReduce(
       mapreduce_internal::NumMapTasks(inputs.size(), num_workers);
   std::vector<Emitter<Key, Value>> emitters(num_map_tasks);
   std::vector<uint64_t> map_task_units(num_map_tasks, 0);
-  pool.ParallelFor(num_map_tasks, [&](size_t task) {
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_map_tasks, options.max_task_retries, cancel, "task.map",
+      &task_counters,
+      [&](size_t task) {  // reset: drop the attempt's buffered emissions
+        emitters[task].pairs().clear();
+        emitters[task].pairs().shrink_to_fit();
+        map_task_units[task] = 0;
+      },
+      [&](size_t task) {
     const size_t begin = inputs.size() * task / num_map_tasks;
     const size_t end = inputs.size() * (task + 1) / num_map_tasks;
     TakeWorkUnits();  // clear leftovers from other tasks on this thread
@@ -1132,7 +1309,11 @@ std::vector<Output> RunMapReduce(
   // buckets are concatenated per partition.
   std::vector<std::vector<std::vector<std::pair<Key, Value>>>> scattered(
       num_map_tasks);
-  pool.ParallelFor(num_map_tasks, [&](size_t task) {
+  // Shuffle tasks consume the emitters destructively, so only start
+  // faults retry here (reset == nullptr; see the fault contract).
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_map_tasks, options.max_task_retries, cancel,
+      "alloc.shuffle", &task_counters, nullptr, [&](size_t task) {
     auto& buckets = scattered[task];
     buckets.resize(num_partitions);
     const size_t task_records = emitters[task].pairs().size();
@@ -1146,7 +1327,9 @@ std::vector<Output> RunMapReduce(
     gauge.Sub(task_records);
   });
   std::vector<std::vector<std::pair<Key, Value>>> partitions(num_partitions);
-  pool.ParallelFor(num_partitions, [&](size_t p) {
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_partitions, options.max_task_retries, cancel,
+      "alloc.shuffle", &task_counters, nullptr, [&](size_t p) {
     size_t total = 0;
     for (size_t task = 0; task < num_map_tasks; ++task) {
       total += scattered[task][p].size();
@@ -1173,7 +1356,9 @@ std::vector<Output> RunMapReduce(
     uint64_t num_groups = 0;
   };
   std::vector<PartitionResult> results(num_partitions);
-  pool.ParallelFor(num_partitions, [&](size_t p) {
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_partitions, options.max_task_retries, cancel,
+      "task.reduce", &task_counters, nullptr, [&](size_t p) {
     // Group the partition's pairs by key.
     struct HashAdapter {
       size_t operator()(const Key& k) const { return StableHash()(k); }
@@ -1227,6 +1412,9 @@ std::vector<Output> RunMapReduce(
   local_stats.reduce_output_records = outputs.size();
   local_stats.reduce_wall_seconds = reduce_watch.ElapsedSeconds();
   local_stats.peak_shuffle_records = local_gauge.peak();
+  task_counters.AddTo(&local_stats);
+  mapreduce_internal::FinishTaskStats(&pool, cancel, &local_stats);
+  if (!local_stats.status.ok()) outputs.clear();  // aborted: outputs void
 
   if (stats != nullptr) *stats = std::move(local_stats);
   return outputs;
@@ -1268,6 +1456,8 @@ std::vector<Output> RunMapReduceSorted(
   std::unique_ptr<SpillContext> spill_context =
       mapreduce_internal::MakeSpillContext(options, &local_stats);
   const bool spilling = spill_context != nullptr;
+  CancellationToken cancel;
+  mapreduce_internal::TaskCounters task_counters;
 
   // ---- Map phase: partition at emit. -----------------------------------
   Stopwatch map_watch;
@@ -1291,7 +1481,16 @@ std::vector<Output> RunMapReduceSorted(
   std::vector<uint64_t> map_task_units(num_map_tasks, 0);
   std::vector<uint64_t> combiner_in(num_map_tasks, 0);
   std::vector<uint64_t> combiner_out(num_map_tasks, 0);
-  pool.ParallelFor(num_map_tasks, [&](size_t task) {
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_map_tasks, options.max_task_retries, cancel, "task.map",
+      &task_counters,
+      [&](size_t task) {  // reset: rebuild the emitter from scratch
+        emitters[task].Abandon();
+        map_task_units[task] = 0;
+        combiner_in[task] = 0;
+        combiner_out[task] = 0;
+      },
+      [&](size_t task) {
     const size_t begin = inputs.size() * task / num_map_tasks;
     const size_t end = inputs.size() * (task + 1) / num_map_tasks;
     TakeWorkUnits();  // clear leftovers from other tasks on this thread
@@ -1329,7 +1528,9 @@ std::vector<Output> RunMapReduceSorted(
   std::vector<std::vector<std::pair<Key, Value>>> partitions(
       spilling ? 0 : num_partitions);
   if (!spilling) {
-    pool.ParallelFor(num_partitions, [&](size_t p) {
+    mapreduce_internal::RunTasksWithRetry(
+        &pool, num_partitions, options.max_task_retries, cancel,
+        "alloc.shuffle", &task_counters, nullptr, [&](size_t p) {
       partitions[p] = mapreduce_internal::MergeSortPartition<Key, Value>(
           &emitters, p, gauge);
     });
@@ -1344,7 +1545,9 @@ std::vector<Output> RunMapReduceSorted(
     uint64_t num_groups = 0;
   };
   std::vector<PartitionResult> results(num_partitions);
-  pool.ParallelFor(num_partitions, [&](size_t p) {
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_partitions, options.max_task_retries, cancel,
+      "task.reduce", &task_counters, nullptr, [&](size_t p) {
     auto& result = results[p];
     if (spilling) {
       Status s = mapreduce_internal::ReduceMergedRuns<Key, Value>(
@@ -1401,6 +1604,9 @@ std::vector<Output> RunMapReduceSorted(
   } else {
     local_stats.peak_resident_records = local_gauge.peak();
   }
+  task_counters.AddTo(&local_stats);
+  mapreduce_internal::FinishTaskStats(&pool, cancel, &local_stats);
+  if (!local_stats.status.ok()) outputs.clear();  // aborted: outputs void
 
   if (stats != nullptr) *stats = std::move(local_stats);
   return outputs;
@@ -1468,6 +1674,11 @@ std::vector<Output> RunFusedMapReduceSorted(
   std::unique_ptr<SpillContext> spill_context =
       mapreduce_internal::MakeSpillContext(options, &s1);
   const bool spilling = spill_context != nullptr;
+  // One failure domain for the fused job: both stages share the token
+  // (stage 2 cannot produce anything meaningful from an aborted stage 1)
+  // but account their tasks separately.
+  CancellationToken cancel;
+  mapreduce_internal::TaskCounters counters1, counters2;
 
   // ---- Stage 1 map. -----------------------------------------------------
   Stopwatch map1_watch;
@@ -1491,7 +1702,16 @@ std::vector<Output> RunFusedMapReduceSorted(
   std::vector<uint64_t> map1_task_units(num_map1_tasks, 0);
   std::vector<uint64_t> combiner1_in(num_map1_tasks, 0);
   std::vector<uint64_t> combiner1_out(num_map1_tasks, 0);
-  pool.ParallelFor(num_map1_tasks, [&](size_t task) {
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_map1_tasks, options.max_task_retries, cancel, "task.map",
+      &counters1,
+      [&](size_t task) {  // reset: rebuild the emitter from scratch
+        emitters1[task].Abandon();
+        map1_task_units[task] = 0;
+        combiner1_in[task] = 0;
+        combiner1_out[task] = 0;
+      },
+      [&](size_t task) {
     const size_t begin = stage1_inputs.size() * task / num_map1_tasks;
     const size_t end = stage1_inputs.size() * (task + 1) / num_map1_tasks;
     TakeWorkUnits();
@@ -1525,7 +1745,9 @@ std::vector<Output> RunFusedMapReduceSorted(
   std::vector<std::vector<std::pair<Key1, Value1>>> partitions1(
       spilling ? 0 : num_partitions);
   if (!spilling) {
-    pool.ParallelFor(num_partitions, [&](size_t p) {
+    mapreduce_internal::RunTasksWithRetry(
+        &pool, num_partitions, options.max_task_retries, cancel,
+        "alloc.shuffle", &counters1, nullptr, [&](size_t p) {
       partitions1[p] = mapreduce_internal::MergeSortPartition<Key1, Value1>(
           &emitters1, p, gauge);
     });
@@ -1560,7 +1782,16 @@ std::vector<Output> RunFusedMapReduceSorted(
   // side-input map tasks (same layout as producers2).
   std::vector<uint64_t> combiner2_in(num_partitions + num_map2_tasks, 0);
   std::vector<uint64_t> combiner2_out(num_partitions + num_map2_tasks, 0);
-  pool.ParallelFor(num_map2_tasks, [&](size_t task) {
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_map2_tasks, options.max_task_retries, cancel, "task.map",
+      &counters2,
+      [&](size_t task) {  // reset: rebuild the side-input producer
+        producers2[num_partitions + task].Abandon();
+        map2_task_units[task] = 0;
+        combiner2_in[num_partitions + task] = 0;
+        combiner2_out[num_partitions + task] = 0;
+      },
+      [&](size_t task) {
     auto* out = &producers2[num_partitions + task];
     const size_t begin = stage2_side_inputs.size() * task / num_map2_tasks;
     const size_t end =
@@ -1587,7 +1818,9 @@ std::vector<Output> RunFusedMapReduceSorted(
     uint64_t num_groups = 0;
   };
   std::vector<Stage1Result> results1(num_partitions);
-  pool.ParallelFor(num_partitions, [&](size_t p) {
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_partitions, options.max_task_retries, cancel,
+      "task.reduce", &counters1, nullptr, [&](size_t p) {
     auto& result = results1[p];
     auto* out = &producers2[p];
     if (spilling) {
@@ -1655,7 +1888,9 @@ std::vector<Output> RunFusedMapReduceSorted(
   std::vector<std::vector<std::pair<Key2, Value2>>> partitions2(
       spilling ? 0 : num_partitions);
   if (!spilling) {
-    pool.ParallelFor(num_partitions, [&](size_t p) {
+    mapreduce_internal::RunTasksWithRetry(
+        &pool, num_partitions, options.max_task_retries, cancel,
+        "alloc.shuffle", &counters2, nullptr, [&](size_t p) {
       partitions2[p] = mapreduce_internal::MergeSortPartition<Key2, Value2>(
           &producers2, p, gauge);
     });
@@ -1670,7 +1905,9 @@ std::vector<Output> RunFusedMapReduceSorted(
     uint64_t num_groups = 0;
   };
   std::vector<Stage2Result> results2(num_partitions);
-  pool.ParallelFor(num_partitions, [&](size_t p) {
+  mapreduce_internal::RunTasksWithRetry(
+      &pool, num_partitions, options.max_task_retries, cancel,
+      "task.reduce", &counters2, nullptr, [&](size_t p) {
     auto& result = results2[p];
     if (spilling) {
       Status s = mapreduce_internal::ReduceMergedRuns<Key2, Value2>(
@@ -1737,6 +1974,15 @@ std::vector<Output> RunFusedMapReduceSorted(
     s1.peak_resident_records = local_gauge.peak();
     s2.peak_resident_records = local_gauge.peak();
   }
+  counters1.AddTo(&s1);
+  counters2.AddTo(&s2);
+  // The fused job is one failure domain: the watchdog count and the pool
+  // safety-net status land on stage 2 (the stage whose stats carry the
+  // job's end state), with the fatal status mirrored on both stages like
+  // the spill status.
+  mapreduce_internal::FinishTaskStats(&pool, cancel, &s2);
+  s1.status = s2.status;
+  if (!s2.status.ok()) outputs.clear();  // aborted: outputs void
 
   if (stage1_stats != nullptr) *stage1_stats = std::move(s1);
   if (stage2_stats != nullptr) *stage2_stats = std::move(s2);

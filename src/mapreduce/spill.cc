@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "common/fault.h"
 #include "common/hash.h"
 
 namespace tsj {
@@ -809,9 +810,49 @@ std::string SpillContext::NewRunPath() {
   return path;
 }
 
+namespace {
+
+// Routes every spill I/O stream through the process-wide deterministic
+// fault injector (common/fault.h): "spill.open" on Open, "spill.write" on
+// Write, "merge.read" on Read. Wraps whatever io the context would hand
+// out — the default FILE* io or a test-installed spill_io_factory — so
+// the engine's CC_FAULT_SPEC harness and the test seams compose: an
+// injected write fault follows the degraded contract (the emitter keeps
+// the records in memory), an injected read fault the lossy one.
+class FaultInjectingSpillIo final : public SpillIo {
+ public:
+  explicit FaultInjectingSpillIo(std::unique_ptr<SpillIo> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Open(const std::string& path, bool for_write) override {
+    if (Status s = FAULT_POINT("spill.open"); !s.ok()) return s;
+    return inner_->Open(path, for_write);
+  }
+  StatusOr<size_t> Write(const char* data, size_t size) override {
+    if (Status s = FAULT_POINT("spill.write"); !s.ok()) return s;
+    return inner_->Write(data, size);
+  }
+  StatusOr<size_t> Read(char* data, size_t size) override {
+    if (Status s = FAULT_POINT("merge.read"); !s.ok()) return s;
+    return inner_->Read(data, size);
+  }
+  Status Seek(uint64_t offset) override { return inner_->Seek(offset); }
+  StatusOr<uint64_t> Size() override { return inner_->Size(); }
+  Status Close() override { return inner_->Close(); }
+
+ private:
+  std::unique_ptr<SpillIo> inner_;
+};
+
+}  // namespace
+
 std::unique_ptr<SpillIo> SpillContext::NewIo() const {
-  if (factory_) return factory_();
-  return MakeDefaultSpillIo();
+  std::unique_ptr<SpillIo> io =
+      factory_ ? factory_() : MakeDefaultSpillIo();
+  if (FaultInjector::Global().enabled()) {
+    io = std::make_unique<FaultInjectingSpillIo>(std::move(io));
+  }
+  return io;
 }
 
 void SpillContext::RegisterRuns(const std::string& path, uint64_t runs) {

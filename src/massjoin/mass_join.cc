@@ -29,12 +29,12 @@ struct RoleValue {
 // A raw candidate pair of token ids, normalized a < b.
 using CandidatePair = std::pair<uint32_t, uint32_t>;
 
-}  // namespace
-
-std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
-                                     double threshold,
-                                     const MassJoinOptions& options,
-                                     PipelineStats* stats) {
+// The full join body; both public entry points are thin wrappers over it
+// (RunMassJoinSelfNld adds the fault checks, MassJoinSelfNld the legacy
+// stats-only fault surfacing).
+std::vector<NldPair> MassJoinSelfNldImpl(
+    const std::vector<std::string>& tokens, double threshold,
+    const MassJoinOptions& options, PipelineStats* stats) {
   assert(threshold >= 0.0 && threshold < 1.0);
 
   // The two jobs run fused on the streaming sorted-shuffle engine
@@ -165,6 +165,33 @@ std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
     stats->Add(std::move(generate_stats));
     stats->Add(std::move(verify_stats));
   }
+  return results;
+}
+
+}  // namespace
+
+std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
+                                     double threshold,
+                                     const MassJoinOptions& options,
+                                     PipelineStats* stats) {
+  return MassJoinSelfNldImpl(tokens, threshold, options, stats);
+}
+
+StatusOr<std::vector<NldPair>> RunMassJoinSelfNld(
+    const std::vector<std::string>& tokens, double threshold,
+    const MassJoinOptions& options, PipelineStats* stats) {
+  PipelineStats local_stats;
+  std::vector<NldPair> results =
+      MassJoinSelfNldImpl(tokens, threshold, options, &local_stats);
+  const Status data_loss = local_stats.first_spill_data_loss();
+  const Status task_error = local_stats.first_task_error();
+  if (stats != nullptr) stats->Append(local_stats);
+  // Same fault contract as tsj/hmj: lossy spill faults and fatal task
+  // errors (outputs may be incomplete) fail the join; degraded write
+  // faults and retry-absorbed failures keep their complete results and
+  // stay visible through the pipeline stats.
+  if (!data_loss.ok()) return data_loss;
+  if (!task_error.ok()) return task_error;
   return results;
 }
 

@@ -66,6 +66,19 @@ std::vector<NldPair> MassJoinSelfNld(const std::vector<std::string>& tokens,
                                      const MassJoinOptions& options = {},
                                      PipelineStats* stats = nullptr);
 
+/// Status-returning entry point with the same fault contract as
+/// TokenizedStringJoiner::SelfJoin and HybridMetricJoiner::SelfJoin: a
+/// lossy spill fault (failed run read — outputs may be incomplete) or a
+/// fatal task error (a job aborted; see the fault-tolerance contract in
+/// mapreduce.h) fails the join with the root-cause Status; degraded
+/// write faults and retry-absorbed task failures keep their complete
+/// results and surface only through `stats` (JobStats::spill_status and
+/// the task counters). MassJoinSelfNld above is the legacy thin wrapper
+/// that drops the Status.
+StatusOr<std::vector<NldPair>> RunMassJoinSelfNld(
+    const std::vector<std::string>& tokens, double threshold,
+    const MassJoinOptions& options = {}, PipelineStats* stats = nullptr);
+
 }  // namespace tsj
 
 #endif  // TSJ_MASSJOIN_MASS_JOIN_H_

@@ -32,9 +32,10 @@ struct Partial {
   double contribution;  // min-count (Jaccard/Dice) or product (Cosine)
 };
 
-}  // namespace
-
-std::vector<VsmartPair> VsmartSelfJoin(
+// The full join body; both public entry points are thin wrappers over it
+// (RunVsmartSelfJoin adds the fault checks, VsmartSelfJoin the legacy
+// stats-only fault surfacing).
+std::vector<VsmartPair> VsmartSelfJoinImpl(
     const std::vector<std::vector<uint32_t>>& multisets, double threshold,
     const VsmartOptions& options, PipelineStats* stats) {
   assert(threshold > 0.0 && threshold <= 1.0);
@@ -173,6 +174,32 @@ std::vector<VsmartPair> VsmartSelfJoin(
           "vsmart-similarity", partials, map_partials, reduce_similarity,
           similarity_mr, &similarity_stats);
   if (stats != nullptr) stats->Add(similarity_stats);
+  return results;
+}
+
+}  // namespace
+
+std::vector<VsmartPair> VsmartSelfJoin(
+    const std::vector<std::vector<uint32_t>>& multisets, double threshold,
+    const VsmartOptions& options, PipelineStats* stats) {
+  return VsmartSelfJoinImpl(multisets, threshold, options, stats);
+}
+
+StatusOr<std::vector<VsmartPair>> RunVsmartSelfJoin(
+    const std::vector<std::vector<uint32_t>>& multisets, double threshold,
+    const VsmartOptions& options, PipelineStats* stats) {
+  PipelineStats local_stats;
+  std::vector<VsmartPair> results =
+      VsmartSelfJoinImpl(multisets, threshold, options, &local_stats);
+  const Status data_loss = local_stats.first_spill_data_loss();
+  const Status task_error = local_stats.first_task_error();
+  if (stats != nullptr) stats->Append(local_stats);
+  // Same fault contract as tsj/hmj: lossy spill faults and fatal task
+  // errors (outputs may be incomplete) fail the join; degraded write
+  // faults and retry-absorbed failures keep their complete results and
+  // stay visible through the pipeline stats.
+  if (!data_loss.ok()) return data_loss;
+  if (!task_error.ok()) return task_error;
   return results;
 }
 

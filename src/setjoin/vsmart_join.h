@@ -77,6 +77,19 @@ std::vector<VsmartPair> VsmartSelfJoin(
     const std::vector<std::vector<uint32_t>>& multisets, double threshold,
     const VsmartOptions& options = {}, PipelineStats* stats = nullptr);
 
+/// Status-returning entry point with the same fault contract as
+/// TokenizedStringJoiner::SelfJoin and HybridMetricJoiner::SelfJoin: a
+/// lossy spill fault (failed run read — outputs may be incomplete) or a
+/// fatal task error (a job aborted; see the fault-tolerance contract in
+/// mapreduce.h) fails the join with the root-cause Status; degraded
+/// write faults and retry-absorbed task failures keep their complete
+/// results and surface only through `stats` (JobStats::spill_status and
+/// the task counters). VsmartSelfJoin above is the legacy thin wrapper
+/// that drops the Status.
+StatusOr<std::vector<VsmartPair>> RunVsmartSelfJoin(
+    const std::vector<std::vector<uint32_t>>& multisets, double threshold,
+    const VsmartOptions& options = {}, PipelineStats* stats = nullptr);
+
 }  // namespace tsj
 
 #endif  // TSJ_SETJOIN_VSMART_JOIN_H_

@@ -632,6 +632,11 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   local_info.prefetch_hits = local_info.pipeline.total_prefetch_hits();
   local_info.peak_resident_records =
       local_info.pipeline.max_peak_resident_records();
+  local_info.task_failures = local_info.pipeline.total_task_failures();
+  local_info.task_retries = local_info.pipeline.total_task_retries();
+  local_info.tasks_cancelled =
+      local_info.pipeline.total_tasks_cancelled();
+  local_info.tasks_degraded = local_info.pipeline.total_tasks_degraded();
   local_info.result_pairs = results.size();
   local_info.peak_shuffle_records = gauge.peak();
   // Lossy spill faults (failed run reads: a partition's merge aborted,
@@ -640,6 +645,13 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   // memory and the result is complete; they remain visible through the
   // per-job JobStats::spill_status entries in the pipeline.
   if (Status s = local_info.pipeline.first_spill_data_loss(); !s.ok()) {
+    if (info != nullptr) *info = std::move(local_info);
+    return s;
+  }
+  // A fatal task error aborted a job (outputs incomplete): fail the join
+  // with the root cause. Retryable faults a retry absorbed are not
+  // errors — they are visible through the task counters only.
+  if (Status s = local_info.pipeline.first_task_error(); !s.ok()) {
     if (info != nullptr) *info = std::move(local_info);
     return s;
   }
@@ -1149,10 +1161,20 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
   local_info.prefetch_hits = local_info.pipeline.total_prefetch_hits();
   local_info.peak_resident_records =
       local_info.pipeline.max_peak_resident_records();
+  local_info.task_failures = local_info.pipeline.total_task_failures();
+  local_info.task_retries = local_info.pipeline.total_task_retries();
+  local_info.tasks_cancelled =
+      local_info.pipeline.total_tasks_cancelled();
+  local_info.tasks_degraded = local_info.pipeline.total_tasks_degraded();
   local_info.result_pairs = results.size();
   local_info.peak_shuffle_records = gauge.peak();
   // Lossy spill faults become the join's error (see SelfJoin).
   if (Status s = local_info.pipeline.first_spill_data_loss(); !s.ok()) {
+    if (info != nullptr) *info = std::move(local_info);
+    return s;
+  }
+  // Fatal task errors fail the join too (see SelfJoin).
+  if (Status s = local_info.pipeline.first_task_error(); !s.ok()) {
     if (info != nullptr) *info = std::move(local_info);
     return s;
   }

@@ -141,6 +141,17 @@ struct TsjRunInfo {
   /// proves memory_budget_records was honored. Equals the in-memory peak
   /// when no spill ran.
   uint64_t peak_resident_records = 0;
+  /// Task-level fault-tolerance counters (the fault contract in
+  /// mapreduce.h), summed across the run's jobs: failed task attempts,
+  /// deterministic lossless re-executions, tasks skipped after a fatal
+  /// sibling failure tripped the job's cancellation token, and tasks the
+  /// CC_TASK_TIMEOUT_MS watchdog observed running past the timeout. A
+  /// fatal task error additionally fails the join (its Status is
+  /// returned); retried-and-absorbed faults only show up here.
+  uint64_t task_failures = 0;
+  uint64_t task_retries = 0;
+  uint64_t tasks_cancelled = 0;
+  uint64_t tasks_degraded = 0;
   /// Pairs in the final result.
   uint64_t result_pairs = 0;
   /// Pipeline-wide high-water mark of shuffle-resident records: one

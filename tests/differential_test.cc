@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "distance/levenshtein.h"
 #include "distance/myers.h"
@@ -891,6 +892,109 @@ TEST(DifferentialTest, BatchedSelfJoinIsLossless) {
   EXPECT_EQ(scalar_info.batched_verify_lane_slots, 0u);
   EXPECT_GE(batched_info.batched_verify_lane_slots,
             batched_info.batched_verify_lanes_filled);
+}
+
+TEST(DifferentialTest, FaultMatrixNeverCrashesHangsOrCorrupts) {
+  // The fault-tolerance differential: every injection site x {once,
+  // p=0.05} x workers {1, 4} x spill {on, off}, against the fault-free
+  // reference. The contract per trial:
+  //   * the join always completes (no crash, no hang, no terminate);
+  //   * an OK result is byte-identical to the reference — a fault is
+  //     never allowed to silently change the answer;
+  //   * a non-OK result is only legal where the taxonomy says the fault
+  //     class can be fatal: lossy merge reads, probability-mode faults
+  //     (retry exhaustion / mid-merge write faults), never a solitary
+  //     retryable 'once' fault or a degraded write fault.
+  // The injector is process-global; the sweep restores the CC_FAULT_SPEC
+  // environment configuration when it finishes (or fails).
+  struct RestoreEnvSpec {
+    ~RestoreEnvSpec() { FaultInjector::Global().ConfigureFromEnv(); }
+  } restore;
+
+  Rng rng(70926072);
+  const Corpus corpus = RandomJoinCorpus(&rng, 40);
+  const double t = 0.2;
+  TsjOptions options;
+  options.threshold = t;
+  options.max_token_frequency = 1u << 30;
+  options.adaptive_partitions = false;
+  options.mapreduce.num_partitions = 7;
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("").ok());
+  const auto reference = TokenizedStringJoiner(options).SelfJoin(corpus);
+  ASSERT_TRUE(reference.ok());
+  const PairNsldSet expected = ToPairNsldSet(*reference);
+
+  const std::vector<std::string> sites = {"task.map",   "task.reduce",
+                                          "alloc.shuffle", "spill.open",
+                                          "spill.write", "merge.read"};
+  for (const std::string& site : sites) {
+    for (const std::string& mode : {std::string("once"),
+                                    std::string("p0.05@seed1")}) {
+      for (const size_t workers : {size_t{1}, size_t{4}}) {
+        for (const bool spill : {false, true}) {
+          ASSERT_TRUE(
+              FaultInjector::Global().Configure(site + "=" + mode).ok());
+          TsjOptions trial = options;
+          trial.mapreduce.num_workers = workers;
+          trial.enable_shuffle_spill = spill;
+          trial.mapreduce.memory_budget_records = spill ? 4 : 0;
+          TsjRunInfo info;
+          const auto result =
+              TokenizedStringJoiner(trial).SelfJoin(corpus, &info);
+          const std::string context = "site=" + site + " mode=" + mode +
+                                      " workers=" + std::to_string(workers) +
+                                      " spill=" + std::to_string(spill);
+          const bool spill_site = site.rfind("spill.", 0) == 0 ||
+                                  site.rfind("merge.", 0) == 0;
+          if (spill_site && !spill) {
+            // The site is never evaluated: the run must be fault-free.
+            EXPECT_EQ(FaultInjector::Global().fired(site), 0u) << context;
+            ASSERT_TRUE(result.ok()) << context;
+            EXPECT_EQ(ToPairNsldSet(*result), expected) << context;
+          } else if (mode == "once" && site == "merge.read" && spill) {
+            // Exactly one torn run read: lossy, must fail the join with a
+            // clean root-cause Status — a silently incomplete result set
+            // would be the disaster case.
+            ASSERT_FALSE(result.ok()) << context;
+            EXPECT_FALSE(result.status().message().empty()) << context;
+            EXPECT_EQ(FaultInjector::Global().fired(site), 1u) << context;
+          } else if (mode == "once") {
+            // A solitary retryable fault (task start, shuffle alloc) or a
+            // degraded first spill write/open: always absorbed, results
+            // byte-identical, and the absorption visible in the counters.
+            ASSERT_TRUE(result.ok())
+                << context << ": " << result.status().ToString();
+            EXPECT_EQ(ToPairNsldSet(*result), expected) << context;
+            const uint64_t fired = FaultInjector::Global().fired(site);
+            if (site == "alloc.shuffle" && spill) {
+              // The spilling engines have no shuffle-concat phase (runs
+              // merge inside the reduce), so the site may legitimately
+              // never be evaluated here.
+              EXPECT_LE(fired, 1u) << context;
+            } else {
+              EXPECT_EQ(fired, 1u) << context;
+            }
+            if (fired == 1 && (site.rfind("task.", 0) == 0 ||
+                               site.rfind("alloc.", 0) == 0)) {
+              EXPECT_GE(info.task_retries, 1u) << context;
+              EXPECT_GE(info.task_failures, 1u) << context;
+            }
+          } else {
+            // Probability mode: dozens of independent strikes. Either the
+            // retry/degrade layers absorbed all of them (identical
+            // results) or the job aborted / lost a run — with a clean
+            // Status either way.
+            if (result.ok()) {
+              EXPECT_EQ(ToPairNsldSet(*result), expected) << context;
+            } else {
+              EXPECT_FALSE(result.status().message().empty()) << context;
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

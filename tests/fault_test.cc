@@ -1,0 +1,455 @@
+// Fault-tolerance tier: the deterministic FaultInjector (CC_FAULT_SPEC
+// grammar, once/every/probability schedules, counters), the cooperative
+// CancellationToken, the task-retry layer of all three MapReduce engines
+// (retryable faults absorbed losslessly, fatal faults aborting with a
+// clean root-cause Status), the injector-driven spill fault routing, and
+// the CC_TASK_TIMEOUT_MS watchdog.
+
+#include "common/fault.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "mapreduce/mapreduce.h"
+
+namespace tsj {
+namespace {
+
+// The injector is process-global; every test arms it through this fixture
+// so a failing assertion can never leave a fault spec armed for the rest
+// of the test binary. TearDown restores the CC_FAULT_SPEC environment
+// configuration (the documented pattern for injector-using tests).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(FaultInjector::Global().Configure("").ok());
+  }
+  void TearDown() override { FaultInjector::Global().ConfigureFromEnv(); }
+
+  static Status Arm(const std::string& spec) {
+    return FaultInjector::Global().Configure(spec);
+  }
+};
+
+// ---- Spec grammar ----------------------------------------------------------
+
+TEST_F(FaultTest, EmptySpecDisarms) {
+  ASSERT_TRUE(Arm("").ok());
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+  EXPECT_TRUE(FAULT_POINT("task.map").ok());
+  EXPECT_EQ(FaultInjector::Global().total_fired(), 0u);
+}
+
+TEST_F(FaultTest, MalformedSpecsAreRejectedAndLeaveConfigInPlace) {
+  ASSERT_TRUE(Arm("task.map=once").ok());
+  for (const char* bad :
+       {"noequals", "=once", "x=", "x=maybe", "x=once@0", "x=once@x",
+        "x=every@0", "x=every@", "x=p1.5", "x=p-0.1", "x=p",
+        "x=p0.5@seedz"}) {
+    Status s = Arm(bad);
+    EXPECT_FALSE(s.ok()) << "spec '" << bad << "' should be rejected";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+  // The last good configuration survived every rejected one.
+  EXPECT_TRUE(FaultInjector::Global().enabled());
+  EXPECT_FALSE(FAULT_POINT("task.map").ok());
+}
+
+TEST_F(FaultTest, MultiEntrySpecArmsEverySite) {
+  ASSERT_TRUE(Arm("a.x=once;b.y=every@2;c.z=p1.0").ok());
+  EXPECT_FALSE(FAULT_POINT("a.x").ok());
+  EXPECT_TRUE(FAULT_POINT("a.x").ok());   // once: only the first fires
+  EXPECT_TRUE(FAULT_POINT("b.y").ok());   // every@2: k=1 passes
+  EXPECT_FALSE(FAULT_POINT("b.y").ok());  // k=2 fires
+  EXPECT_FALSE(FAULT_POINT("c.z").ok());  // p=1: always fires
+  EXPECT_TRUE(FAULT_POINT("unarmed.site").ok());
+  EXPECT_EQ(FaultInjector::Global().total_fired(), 3u);
+}
+
+TEST_F(FaultTest, OnceAtNFiresExactlyTheNthEvaluation) {
+  ASSERT_TRUE(Arm("s=once@4").ok());
+  for (uint64_t k = 1; k <= 10; ++k) {
+    EXPECT_EQ(FAULT_POINT("s").ok(), k != 4) << "k=" << k;
+  }
+  EXPECT_EQ(FaultInjector::Global().fired("s"), 1u);
+  EXPECT_EQ(FaultInjector::Global().evaluations("s"), 10u);
+}
+
+TEST_F(FaultTest, EveryAtNFiresEveryNth) {
+  ASSERT_TRUE(Arm("s=every@3").ok());
+  uint64_t fired = 0;
+  for (uint64_t k = 1; k <= 12; ++k) {
+    if (!FAULT_POINT("s").ok()) ++fired;
+  }
+  EXPECT_EQ(fired, 4u);
+  EXPECT_EQ(FaultInjector::Global().fired("s"), 4u);
+}
+
+TEST_F(FaultTest, ProbabilityScheduleIsAPureFunctionOfSeedAndIndex) {
+  auto schedule = [&](const std::string& spec) {
+    EXPECT_TRUE(Arm(spec).ok());
+    std::vector<bool> fires;
+    for (int k = 0; k < 300; ++k) fires.push_back(!FAULT_POINT("s").ok());
+    return fires;
+  };
+  const std::vector<bool> first = schedule("s=p0.3@seed7");
+  const std::vector<bool> replay = schedule("s=p0.3@seed7");
+  EXPECT_EQ(first, replay);  // same spec -> identical schedule
+  const size_t hits =
+      static_cast<size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(hits, 40u);   // ~90 expected; loose 3-sigma-ish bounds
+  EXPECT_LT(hits, 160u);
+  // A different seed produces a different schedule (with p=0.3 over 300
+  // draws, collision odds are astronomically small).
+  EXPECT_NE(schedule("s=p0.3@seed8"), first);
+}
+
+TEST_F(FaultTest, AllocSitesModelMemoryPressureOthersUnavailability) {
+  ASSERT_TRUE(Arm("alloc.shuffle=once;task.map=once").ok());
+  Status alloc = FAULT_POINT("alloc.shuffle");
+  ASSERT_FALSE(alloc.ok());
+  EXPECT_EQ(alloc.code(), StatusCode::kResourceExhausted);
+  Status task = FAULT_POINT("task.map");
+  ASSERT_FALSE(task.ok());
+  EXPECT_EQ(task.code(), StatusCode::kUnavailable);
+  EXPECT_NE(task.message().find("task.map"), std::string::npos);
+}
+
+TEST_F(FaultTest, ConfigureResetsCounters) {
+  ASSERT_TRUE(Arm("s=every@1").ok());
+  for (int i = 0; i < 5; ++i) (void)FAULT_POINT("s");
+  EXPECT_EQ(FaultInjector::Global().fired("s"), 5u);
+  ASSERT_TRUE(Arm("s=every@1").ok());
+  EXPECT_EQ(FaultInjector::Global().fired("s"), 0u);
+  EXPECT_EQ(FaultInjector::Global().evaluations("s"), 0u);
+}
+
+// ---- CancellationToken -----------------------------------------------------
+
+TEST(CancellationTokenTest, FirstCauseWins) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.cause().ok());
+  token.Cancel(Status::Unavailable("root cause"));
+  token.Cancel(Status::Internal("latecomer"));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(token.cause().message(), "root cause");
+}
+
+TEST(CancellationTokenTest, CopiesShareOneState) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  copy.Cancel(Status::Internal("via copy"));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause().code(), StatusCode::kInternal);
+}
+
+// ---- Engine-level retry ----------------------------------------------------
+
+// The canonical sorted job of the fault tests (same shape as the spill
+// fault tier): key sums mod 13 over [0, n).
+std::vector<std::pair<int, int>> KeySums(int n, const MapReduceOptions& options,
+                                         JobStats* stats) {
+  std::vector<int> inputs(n);
+  for (int i = 0; i < n; ++i) inputs[i] = i;
+  auto result = RunMapReduceSorted<int, int, int, std::pair<int, int>>(
+      "fault-key-sums", inputs,
+      [](const int& v, PartitionedEmitter<int, int>* out) {
+        out->Emit(v % 13, v);
+      },
+      [](const int& key, std::span<int> values,
+         std::vector<std::pair<int, int>>* out) {
+        int total = 0;
+        for (int v : values) total += v;
+        out->emplace_back(key, total);
+      },
+      options, stats);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+TEST_F(FaultTest, MapStartFaultIsRetriedLosslessly) {
+  const auto reference = KeySums(500, {}, nullptr);
+  MapReduceOptions options;
+  options.num_workers = 4;
+  ASSERT_TRUE(Arm("task.map=once").ok());
+  JobStats stats;
+  const auto faulted = KeySums(500, options, &stats);
+  EXPECT_EQ(faulted, reference);  // byte-identical despite the fault
+  EXPECT_TRUE(stats.status.ok()) << stats.status.ToString();
+  EXPECT_EQ(stats.task_failures, 1u);
+  EXPECT_EQ(stats.task_retries, 1u);
+  EXPECT_EQ(stats.tasks_cancelled, 0u);
+  EXPECT_EQ(FaultInjector::Global().fired("task.map"), 1u);
+}
+
+TEST_F(FaultTest, ReduceAndShuffleFaultsAreRetriedLosslessly) {
+  const auto reference = KeySums(500, {}, nullptr);
+  MapReduceOptions options;
+  options.num_workers = 2;
+  ASSERT_TRUE(Arm("task.reduce=once@2;alloc.shuffle=once").ok());
+  JobStats stats;
+  const auto faulted = KeySums(500, options, &stats);
+  EXPECT_EQ(faulted, reference);
+  EXPECT_TRUE(stats.status.ok()) << stats.status.ToString();
+  // Under an ambient CC_SHUFFLE_SPILL_BUDGET the sorted engine has no
+  // shuffle-concat phase (runs are pre-sorted; the merge happens inside
+  // reduce), so the alloc.shuffle site is legitimately never evaluated
+  // there — expect one absorbed fault per site that actually fired.
+  const uint64_t shuffle_faults =
+      FaultInjector::Global().fired("alloc.shuffle");
+  EXPECT_LE(shuffle_faults, 1u);
+  EXPECT_EQ(stats.task_failures, 1u + shuffle_faults);
+  EXPECT_EQ(stats.task_retries, 1u + shuffle_faults);
+}
+
+TEST_F(FaultTest, RetryExhaustionAbortsWithRootCauseNotAHangOrCrash) {
+  MapReduceOptions options;
+  options.num_workers = 4;
+  options.max_task_retries = 2;
+  ASSERT_TRUE(Arm("task.map=every@1").ok());  // every attempt fails
+  JobStats stats;
+  const auto faulted = KeySums(500, options, &stats);
+  EXPECT_TRUE(faulted.empty());  // aborted jobs never return partial output
+  ASSERT_FALSE(stats.status.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kUnavailable);
+  // The exhausted task burned 1 + max_task_retries attempts; sibling
+  // tasks either failed their own way to exhaustion or were cancelled.
+  EXPECT_GE(stats.task_failures, options.max_task_retries + 1);
+  EXPECT_GE(stats.task_retries, options.max_task_retries);
+}
+
+TEST_F(FaultTest, ZeroRetriesMeansFirstFaultIsFatal) {
+  MapReduceOptions options;
+  options.num_workers = 2;
+  options.max_task_retries = 0;
+  ASSERT_TRUE(Arm("task.reduce=once").ok());
+  JobStats stats;
+  const auto faulted = KeySums(500, options, &stats);
+  EXPECT_TRUE(faulted.empty());
+  ASSERT_FALSE(stats.status.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stats.task_failures, 1u);
+  EXPECT_EQ(stats.task_retries, 0u);
+}
+
+TEST_F(FaultTest, ManyTasksCancelledAfterFatalFault) {
+  // One worker, many partitions: after the first reduce task exhausts its
+  // retries and trips the token, the remaining partitions must bail at
+  // their start checks (counted), not run to completion.
+  MapReduceOptions options;
+  options.num_workers = 1;
+  options.num_partitions = 16;
+  options.max_task_retries = 1;
+  ASSERT_TRUE(Arm("task.reduce=every@1").ok());
+  JobStats stats;
+  const auto faulted = KeySums(500, options, &stats);
+  EXPECT_TRUE(faulted.empty());
+  EXPECT_FALSE(stats.status.ok());
+  EXPECT_GE(stats.tasks_cancelled, 1u);
+}
+
+TEST_F(FaultTest, ThrowingMapperBecomesInternalStatusNotTermination) {
+  MapReduceOptions options;
+  options.num_workers = 2;
+  JobStats stats;
+  std::vector<int> inputs(100);
+  for (int i = 0; i < 100; ++i) inputs[i] = i;
+  auto result = RunMapReduceSorted<int, int, int, std::pair<int, int>>(
+      "fault-throwing-map", inputs,
+      [](const int& v, PartitionedEmitter<int, int>* out) {
+        if (v == 37) throw std::runtime_error("mapper exploded");
+        out->Emit(v % 13, v);
+      },
+      [](const int& key, std::span<int> values,
+         std::vector<std::pair<int, int>>* out) {
+        out->emplace_back(key, static_cast<int>(values.size()));
+      },
+      options, &stats);
+  // A C++ exception is not a transient fault: fatal, job aborted.
+  EXPECT_TRUE(result.empty());
+  ASSERT_FALSE(stats.status.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kInternal);
+  EXPECT_NE(stats.status.message().find("mapper exploded"), std::string::npos);
+}
+
+TEST_F(FaultTest, BadAllocInMapperIsRetriedWithEmitterReset) {
+  // std::bad_alloc maps to ResourceExhausted (retryable). The first
+  // attempt dies mid-emission, so the retry only stays lossless because
+  // the engine abandons the partial emitter state before re-running —
+  // under a spill budget that includes partially spilled runs.
+  const auto reference = KeySums(500, {}, nullptr);
+  MapReduceOptions options;
+  options.num_workers = 2;
+  options.memory_budget_records = 8;  // spill in play during the retry
+  std::atomic<bool> thrown{false};
+  std::vector<int> inputs(500);
+  for (int i = 0; i < 500; ++i) inputs[i] = i;
+  JobStats stats;
+  auto result = RunMapReduceSorted<int, int, int, std::pair<int, int>>(
+      "fault-key-sums", inputs,
+      [&thrown](const int& v, PartitionedEmitter<int, int>* out) {
+        out->Emit(v % 13, v);  // partial state exists before the throw
+        if (v % 250 == 249 && !thrown.exchange(true)) throw std::bad_alloc();
+      },
+      [](const int& key, std::span<int> values,
+         std::vector<std::pair<int, int>>* out) {
+        int total = 0;
+        for (int v : values) total += v;
+        out->emplace_back(key, total);
+      },
+      options, &stats);
+  std::sort(result.begin(), result.end());
+  EXPECT_EQ(result, reference);  // no loss, no duplicates from the retry
+  EXPECT_TRUE(stats.status.ok()) << stats.status.ToString();
+  EXPECT_EQ(stats.task_failures, 1u);
+  EXPECT_EQ(stats.task_retries, 1u);
+}
+
+TEST_F(FaultTest, LegacyEngineRetriesAndAbortsTheSameWay) {
+  // The hash-shuffle engine shares the retry layer: absorb a single
+  // start fault, abort on persistent ones.
+  std::vector<int> inputs(300);
+  for (int i = 0; i < 300; ++i) inputs[i] = i;
+  auto run = [&](JobStats* stats) {
+    auto result = RunMapReduce<int, int, int, std::pair<int, int>>(
+        "fault-legacy", inputs,
+        [](const int& v, Emitter<int, int>* out) { out->Emit(v % 7, v); },
+        [](const int& key, std::vector<int>* values,
+           std::vector<std::pair<int, int>>* out) {
+          int total = 0;
+          for (int v : *values) total += v;
+          out->emplace_back(key, total);
+        },
+        MapReduceOptions{}, stats);
+    std::sort(result.begin(), result.end());
+    return result;
+  };
+  const auto reference = run(nullptr);
+
+  ASSERT_TRUE(Arm("task.map=once").ok());
+  JobStats absorbed;
+  EXPECT_EQ(run(&absorbed), reference);
+  EXPECT_TRUE(absorbed.status.ok());
+  EXPECT_EQ(absorbed.task_retries, 1u);
+
+  ASSERT_TRUE(Arm("task.reduce=every@1").ok());
+  JobStats aborted;
+  EXPECT_TRUE(run(&aborted).empty());
+  EXPECT_FALSE(aborted.status.ok());
+}
+
+// ---- Injector-driven spill faults ------------------------------------------
+
+TEST_F(FaultTest, InjectedSpillWriteFaultsDegradeWithoutRecordLoss) {
+  const auto reference = KeySums(500, {}, nullptr);
+  MapReduceOptions options;
+  options.num_workers = 2;
+  options.memory_budget_records = 8;  // forces spill attempts
+  ASSERT_TRUE(Arm("spill.write=every@1").ok());
+  JobStats stats;
+  const auto faulted = KeySums(500, options, &stats);
+  // Same contract as the SpillIo-seam tests: records fall back to
+  // memory, output complete, fault reported as degraded (not lossy).
+  EXPECT_EQ(faulted, reference);
+  EXPECT_FALSE(stats.spill_status.ok());
+  EXPECT_TRUE(stats.spill_data_loss.ok());
+  EXPECT_TRUE(stats.status.ok()) << stats.status.ToString();
+  EXPECT_GE(FaultInjector::Global().fired("spill.write"), 1u);
+}
+
+TEST_F(FaultTest, InjectedMergeReadFaultIsReportedAsDataLoss) {
+  MapReduceOptions options;
+  options.num_workers = 1;
+  options.memory_budget_records = 8;
+  ASSERT_TRUE(Arm("merge.read=once").ok());
+  JobStats stats;
+  (void)KeySums(500, options, &stats);  // must complete, never crash
+  EXPECT_GT(stats.spilled_records, 0u);
+  EXPECT_FALSE(stats.spill_status.ok());
+  EXPECT_FALSE(stats.spill_data_loss.ok());  // lossy class
+  EXPECT_EQ(FaultInjector::Global().fired("merge.read"), 1u);
+}
+
+TEST_F(FaultTest, InjectedSpillOpenFaultDegradesTheWritePath) {
+  const auto reference = KeySums(500, {}, nullptr);
+  MapReduceOptions options;
+  options.num_workers = 2;
+  options.memory_budget_records = 8;
+  ASSERT_TRUE(Arm("spill.open=every@1").ok());
+  JobStats stats;
+  const auto faulted = KeySums(500, options, &stats);
+  EXPECT_EQ(faulted, reference);  // no run ever opened -> all in memory
+  EXPECT_EQ(stats.spilled_records, 0u);
+  EXPECT_FALSE(stats.spill_status.ok());
+  EXPECT_TRUE(stats.spill_data_loss.ok());
+}
+
+// ---- Watchdog --------------------------------------------------------------
+
+TEST(WatchdogTest, SlowTasksAreCountedAsDegradedNotKilled) {
+  ASSERT_EQ(setenv("CC_TASK_TIMEOUT_MS", "20", 1), 0);
+  {
+    ThreadPool pool(2);  // reads the env at construction
+    std::atomic<int> finished{0};
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      finished.fetch_add(1);
+    });
+    pool.Submit([&] { finished.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(finished.load(), 2);  // degraded tasks keep running
+    EXPECT_GE(pool.tasks_degraded(), 1u);
+    EXPECT_LE(pool.tasks_degraded(), 2u);  // each task counted at most once
+  }
+  ASSERT_EQ(unsetenv("CC_TASK_TIMEOUT_MS"), 0);
+}
+
+TEST(WatchdogTest, DisabledWatchdogCountsNothing) {
+  ASSERT_EQ(unsetenv("CC_TASK_TIMEOUT_MS"), 0);
+  ThreadPool pool(2);
+  pool.Submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  });
+  pool.Wait();
+  EXPECT_EQ(pool.tasks_degraded(), 0u);
+}
+
+TEST(WatchdogTest, EngineSurfacesDegradedTasksInJobStats) {
+  ASSERT_EQ(setenv("CC_TASK_TIMEOUT_MS", "10", 1), 0);
+  std::vector<int> inputs(4);
+  for (int i = 0; i < 4; ++i) inputs[i] = i;
+  MapReduceOptions options;
+  options.num_workers = 2;
+  JobStats stats;
+  auto result = RunMapReduceSorted<int, int, int, std::pair<int, int>>(
+      "fault-slow-map", inputs,
+      [](const int& v, PartitionedEmitter<int, int>* out) {
+        if (v == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        out->Emit(v, v);
+      },
+      [](const int& key, std::span<int> values,
+         std::vector<std::pair<int, int>>* out) {
+        out->emplace_back(key, static_cast<int>(values.size()));
+      },
+      options, &stats);
+  ASSERT_EQ(unsetenv("CC_TASK_TIMEOUT_MS"), 0);
+  EXPECT_EQ(result.size(), 4u);  // purely observational: nothing dropped
+  EXPECT_TRUE(stats.status.ok());
+  EXPECT_GE(stats.tasks_degraded, 1u);
+}
+
+}  // namespace
+}  // namespace tsj

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "distance/levenshtein.h"
 #include "distance/normalized_levenshtein.h"
@@ -98,6 +99,75 @@ TEST(MassJoinTest, NoDuplicateOrSelfPairs) {
     EXPECT_LT(p.a, p.b);
     EXPECT_TRUE(seen.emplace(p.a, p.b).second) << "duplicate pair";
   }
+}
+
+// ---- Fault parity with the tsj/hmj pipelines -------------------------------
+// Same contract the spill fault tier pins for the raw engine: degraded
+// write faults keep complete results and only surface through stats;
+// lossy read faults fail the Status-returning entry point. Injector
+// tests restore the CC_FAULT_SPEC configuration on exit (the injector
+// is process-global).
+
+TEST(MassJoinTest, SpillWriteFaultsDegradeWithoutResultLoss) {
+  Rng rng(9000);
+  const auto tokens = MakeTokens(&rng, 60);
+  const auto reference = ToSet(MassJoinSelfNld(tokens, 0.2));
+
+  MassJoinOptions options;
+  options.enable_shuffle_spill = true;
+  options.mapreduce.memory_budget_records = 16;
+  ASSERT_TRUE(FaultInjector::Global().Configure("spill.write=every@1").ok());
+  PipelineStats stats;
+  auto result = RunMassJoinSelfNld(tokens, 0.2, options, &stats);
+  FaultInjector::Global().ConfigureFromEnv();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(ToSet(*result), reference);  // complete despite every write failing
+  EXPECT_FALSE(stats.first_spill_error().ok());      // ...and reported
+  EXPECT_TRUE(stats.first_spill_data_loss().ok());   // but not as loss
+}
+
+TEST(MassJoinTest, SpillReadFaultsFailTheStatusEntryPoint) {
+  Rng rng(9100);
+  const auto tokens = MakeTokens(&rng, 60);
+  MassJoinOptions options;
+  options.enable_shuffle_spill = true;
+  options.mapreduce.memory_budget_records = 16;
+  options.mapreduce.num_workers = 1;
+  ASSERT_TRUE(FaultInjector::Global().Configure("merge.read=once").ok());
+  PipelineStats stats;
+  auto result = RunMassJoinSelfNld(tokens, 0.2, options, &stats);
+  FaultInjector::Global().ConfigureFromEnv();
+  ASSERT_FALSE(result.ok());  // a torn run read is potential data loss
+  EXPECT_FALSE(stats.first_spill_data_loss().ok());
+  EXPECT_GT(stats.total_spilled_records(), 0u);
+}
+
+TEST(MassJoinTest, TaskFaultsAreRetriedLosslesslyInTheFusedEngine) {
+  Rng rng(9200);
+  const auto tokens = MakeTokens(&rng, 60);
+  const auto reference = ToSet(MassJoinSelfNld(tokens, 0.2));
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("task.map=once;task.reduce=once@2")
+          .ok());
+  PipelineStats stats;
+  auto result = RunMassJoinSelfNld(tokens, 0.2, {}, &stats);
+  FaultInjector::Global().ConfigureFromEnv();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(ToSet(*result), reference);
+  EXPECT_GE(stats.total_task_retries(), 2u);
+  EXPECT_EQ(stats.total_tasks_cancelled(), 0u);
+}
+
+TEST(MassJoinTest, PersistentTaskFaultsAbortWithRootCause) {
+  Rng rng(9300);
+  const auto tokens = MakeTokens(&rng, 40);
+  ASSERT_TRUE(FaultInjector::Global().Configure("task.reduce=every@1").ok());
+  PipelineStats stats;
+  auto result = RunMassJoinSelfNld(tokens, 0.2, {}, &stats);
+  FaultInjector::Global().ConfigureFromEnv();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(stats.first_task_error().ok());
 }
 
 TEST(MassJoinTest, ReportedDistancesAreExact) {

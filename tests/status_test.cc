@@ -30,6 +30,15 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, FaultCodesRenderInToString) {
+  EXPECT_EQ(Status::Unavailable("transient").ToString(),
+            "Unavailable: transient");
+  EXPECT_EQ(Status::Cancelled("sibling failed").ToString(),
+            "Cancelled: sibling failed");
 }
 
 TEST(StatusTest, CodeToStringCoversAllCodes) {

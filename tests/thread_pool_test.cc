@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <new>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -56,6 +58,63 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
     pool.Wait();
     EXPECT_EQ(counter.load(), (batch + 1) * 20);
   }
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotTerminateThePool) {
+  // Regression: a throwing task used to escape the worker loop and call
+  // std::terminate. It must be captured as a Status instead, and the
+  // pool must stay fully usable.
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Submit([&] { after.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(after.load(), 1);
+  Status s = pool.TakeStatus();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("boom"), std::string::npos);
+  // Pool survives and runs further batches.
+  pool.Submit([&] { after.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(after.load(), 2);
+}
+
+TEST(ThreadPoolTest, TakeStatusReturnsFirstErrorAndResets) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Wait();
+  pool.Submit([] { throw std::runtime_error("second"); });
+  pool.Wait();
+  Status s = pool.TakeStatus();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("first"), std::string::npos);
+  EXPECT_TRUE(pool.TakeStatus().ok());  // reset on read
+}
+
+TEST(ThreadPoolTest, BadAllocMapsToResourceExhausted) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::bad_alloc(); });
+  pool.Wait();
+  EXPECT_EQ(pool.TakeStatus().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionMapsToInternal) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw 42; });
+  pool.Wait();
+  EXPECT_EQ(pool.TakeStatus().code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, ParallelForSurvivesAThrowingIteration) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(100, [&](size_t i) {
+    if (i == 50) throw std::runtime_error("iteration 50");
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 99);
+  EXPECT_FALSE(pool.TakeStatus().ok());
 }
 
 TEST(ThreadPoolTest, TasksRunConcurrently) {

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "gtest/gtest.h"
 
@@ -146,6 +147,72 @@ TEST(VsmartJoinTest, PipelineHasTwoPhases) {
 
 TEST(VsmartJoinTest, EmptyInput) {
   EXPECT_TRUE(VsmartSelfJoin({}, 0.5).empty());
+}
+
+// ---- Fault parity with the tsj/hmj pipelines -------------------------------
+// Same contract the spill fault tier pins for the raw engine: degraded
+// write faults keep complete results and only surface through stats;
+// lossy read faults fail the Status-returning entry point. Injector
+// tests restore the CC_FAULT_SPEC configuration on exit (the injector
+// is process-global).
+
+TEST(VsmartJoinTest, SpillWriteFaultsDegradeWithoutResultLoss) {
+  Rng rng(810);
+  const auto sets = RandomMultisets(&rng, 80, 12);
+  const auto reference = ToSet(VsmartSelfJoin(sets, 0.4));
+
+  VsmartOptions options;
+  options.enable_shuffle_spill = true;
+  options.mapreduce.memory_budget_records = 16;
+  ASSERT_TRUE(FaultInjector::Global().Configure("spill.write=every@1").ok());
+  PipelineStats stats;
+  auto result = RunVsmartSelfJoin(sets, 0.4, options, &stats);
+  FaultInjector::Global().ConfigureFromEnv();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(ToSet(*result), reference);  // complete despite every write failing
+  EXPECT_FALSE(stats.first_spill_error().ok());     // ...and reported
+  EXPECT_TRUE(stats.first_spill_data_loss().ok());  // but not as loss
+}
+
+TEST(VsmartJoinTest, SpillReadFaultsFailTheStatusEntryPoint) {
+  Rng rng(811);
+  const auto sets = RandomMultisets(&rng, 80, 12);
+  VsmartOptions options;
+  options.enable_shuffle_spill = true;
+  options.mapreduce.memory_budget_records = 16;
+  options.mapreduce.num_workers = 1;
+  ASSERT_TRUE(FaultInjector::Global().Configure("merge.read=once").ok());
+  PipelineStats stats;
+  auto result = RunVsmartSelfJoin(sets, 0.4, options, &stats);
+  FaultInjector::Global().ConfigureFromEnv();
+  ASSERT_FALSE(result.ok());  // a torn run read is potential data loss
+  EXPECT_FALSE(stats.first_spill_data_loss().ok());
+  EXPECT_GT(stats.total_spilled_records(), 0u);
+}
+
+TEST(VsmartJoinTest, TaskFaultsAreRetriedLosslessly) {
+  Rng rng(812);
+  const auto sets = RandomMultisets(&rng, 80, 12);
+  const auto reference = ToSet(VsmartSelfJoin(sets, 0.4));
+  ASSERT_TRUE(FaultInjector::Global().Configure("task.map=once").ok());
+  PipelineStats stats;
+  auto result = RunVsmartSelfJoin(sets, 0.4, {}, &stats);
+  FaultInjector::Global().ConfigureFromEnv();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(ToSet(*result), reference);
+  EXPECT_GE(stats.total_task_retries(), 1u);
+}
+
+TEST(VsmartJoinTest, PersistentTaskFaultsAbortWithRootCause) {
+  Rng rng(813);
+  const auto sets = RandomMultisets(&rng, 60, 12);
+  ASSERT_TRUE(FaultInjector::Global().Configure("task.reduce=every@1").ok());
+  PipelineStats stats;
+  auto result = RunVsmartSelfJoin(sets, 0.4, {}, &stats);
+  FaultInjector::Global().ConfigureFromEnv();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(stats.first_task_error().ok());
 }
 
 }  // namespace
