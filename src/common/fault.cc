@@ -134,17 +134,41 @@ void FaultInjector::ConfigureFromEnv() {
 }
 
 Status FaultInjector::Evaluate(const char* site) {
+  return EvaluateImpl(site, /*keyed=*/false, 0);
+}
+
+Status FaultInjector::EvaluateAt(const char* site, uint64_t k) {
+  return EvaluateImpl(site, /*keyed=*/true, k);
+}
+
+uint64_t FaultInjector::ReserveBlock(const char* site, uint64_t count) {
+  const std::vector<SiteSpec>* sites =
+      sites_.load(std::memory_order_acquire);
+  if (sites == nullptr) return 0;
+  for (const SiteSpec& spec : *sites) {
+    if (std::strcmp(spec.site.c_str(), site) != 0) continue;
+    return const_cast<std::atomic<uint64_t>&>(spec.reserved)
+        .fetch_add(count, std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+Status FaultInjector::EvaluateImpl(const char* site, bool keyed,
+                                   uint64_t keyed_k) {
   const std::vector<SiteSpec>* sites =
       sites_.load(std::memory_order_acquire);
   if (sites == nullptr) return Status::OK();
   for (const SiteSpec& spec : *sites) {
     if (std::strcmp(spec.site.c_str(), site) != 0) continue;
     // 1-based evaluation index; the fire decision is a pure function of
-    // (spec, k), so schedules replay deterministically.
-    const uint64_t k =
+    // (spec, k), so schedules replay deterministically. Keyed call sites
+    // supply k themselves (interleaving-independent); the counter still
+    // advances so evaluations() keeps counting either way.
+    const uint64_t counted =
         const_cast<std::atomic<uint64_t>&>(spec.evaluations)
             .fetch_add(1, std::memory_order_relaxed) +
         1;
+    const uint64_t k = keyed ? keyed_k : counted;
     bool fire = false;
     switch (spec.mode) {
       case Mode::kOnce:

@@ -9,6 +9,12 @@
 //   task.map       start of a map task (mapreduce.h, all three engines)
 //   task.reduce    start of a reduce/merge partition task
 //   alloc.shuffle  shuffle-buffer growth (modelled as ResourceExhausted)
+//   ckpt.write     sealing a completed task's checkpoint segment+manifest
+//                  (failure = checkpoint skipped, job unaffected)
+//   ckpt.read      validating/restoring a checkpoint at restart
+//                  (failure = checkpoint treated as invalid, task re-runs)
+//   hedge.launch   launching a hedged attempt for a watchdog-flagged task
+//                  (failure = hedge suppressed, primary keeps running)
 //
 // A site is evaluated with FAULT_POINT("name"), which returns Status::OK()
 // unless the process-wide FaultInjector is armed for that site. Evaluation
@@ -18,6 +24,24 @@
 // the same thread-to-task assignment, and exactly the same *set* of fired
 // faults per site regardless of interleaving when tasks evaluate a site
 // once each.
+//
+// Keyed evaluation: the shared-counter index breaks down once the same
+// task can be evaluated *concurrently more than once* — a hedged attempt
+// racing its primary would advance the counter in scheduler-dependent
+// interleavings, so replays of the same CC_FAULT_SPEC could fire on
+// different tasks run-to-run. FAULT_POINT_AT("name", k) therefore lets
+// the call site supply the 1-based index explicitly; the task layer keys
+// it by (task, attempt) — attempt 0 of task t uses k = base + t + 1,
+// while retries and hedged attempts map into disjoint per-task index
+// blocks above base + n. `base` comes from ReserveBlock(site, count):
+// each phase that evaluates a site claims the next contiguous index
+// range, so sequential phases (jobs run one after another) never reuse
+// indices and a "once" spec still fires exactly once per process — in
+// the first phase, at the task the index names — instead of once per
+// phase. Reservation order is the phases' program order, which is
+// deterministic, so the whole schedule replays exactly. The per-site
+// evaluation counter still increments for observability, but no longer
+// decides.
 //
 // CC_FAULT_SPEC grammar
 // ---------------------
@@ -85,6 +109,20 @@ class FaultInjector {
   /// alloc.* fire kResourceExhausted, everything else kUnavailable.
   Status Evaluate(const char* site);
 
+  /// Like Evaluate, but the fire decision uses the caller-supplied 1-based
+  /// index `k` instead of the per-site counter, making the decision
+  /// independent of cross-thread interleaving (the counter still
+  /// increments for evaluations() observability). Two concurrent attempts
+  /// of the same logical task must pass distinct `k` values.
+  Status EvaluateAt(const char* site, uint64_t k);
+
+  /// Claims the next `count` evaluation indices of `site` for one phase of
+  /// keyed evaluations and returns the claimed base (the phase's keys are
+  /// base+1 .. base+count). Returns 0 when the site is disarmed — all
+  /// phases then share the zero base, which is harmless because nothing
+  /// can fire. Reset by Configure, like the counters.
+  uint64_t ReserveBlock(const char* site, uint64_t count);
+
   /// Total faults fired for `site` since the last Configure (0 when the
   /// site is unknown or disarmed).
   uint64_t fired(const std::string& site) const;
@@ -107,6 +145,7 @@ class FaultInjector {
     bool resource_exhausted = false;  // alloc.* sites
     std::atomic<uint64_t> evaluations{0};
     std::atomic<uint64_t> fired{0};
+    std::atomic<uint64_t> reserved{0};  // ReserveBlock high-water mark
 
     SiteSpec() = default;
     SiteSpec(const SiteSpec& other)
@@ -117,13 +156,18 @@ class FaultInjector {
           seed(other.seed),
           resource_exhausted(other.resource_exhausted),
           evaluations(other.evaluations.load(std::memory_order_relaxed)),
-          fired(other.fired.load(std::memory_order_relaxed)) {}
+          fired(other.fired.load(std::memory_order_relaxed)),
+          reserved(other.reserved.load(std::memory_order_relaxed)) {}
   };
 
   FaultInjector() = default;
 
   static Status ParseSpec(const std::string& spec,
                           std::vector<SiteSpec>* out);
+
+  // Shared core of Evaluate/EvaluateAt: when `keyed`, the fire decision
+  // uses `k`; otherwise it uses the post-increment per-site counter.
+  Status EvaluateImpl(const char* site, bool keyed, uint64_t k);
 
   // The armed spec. Guarded by a shared_ptr-style generation swap: a
   // plain mutex on the (cold) Configure path, lock-free reads via an
@@ -142,6 +186,15 @@ class FaultInjector {
 #define FAULT_POINT(site)                                   \
   (::tsj::FaultInjector::Global().enabled()                 \
        ? ::tsj::FaultInjector::Global().Evaluate(site)      \
+       : ::tsj::Status::OK())
+
+/// Keyed variant: the fire decision is a pure function of (site spec, k)
+/// with `k` supplied by the caller, so concurrent attempts of the same
+/// task replay deterministically. Usage:
+///   if (Status s = FAULT_POINT_AT("task.map", task + 1); !s.ok()) ...
+#define FAULT_POINT_AT(site, k)                               \
+  (::tsj::FaultInjector::Global().enabled()                   \
+       ? ::tsj::FaultInjector::Global().EvaluateAt(site, (k)) \
        : ::tsj::Status::OK())
 
 }  // namespace tsj

@@ -1,0 +1,23 @@
+#include "common/parse.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace tsj {
+
+uint64_t ParsePositiveInt(const char* value, uint64_t max_value) {
+  if (value == nullptr) return 0;
+  const char* p = value;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '\0' || *p == '-') return 0;  // negative = unset, not ~2^64
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(p, &end, 10);
+  if (end == p || errno == ERANGE) return 0;
+  while (*end == ' ' || *end == '\t' || *end == '\n') ++end;
+  if (*end != '\0') return 0;  // trailing junk = unset
+  if (parsed > max_value) return 0;
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace tsj

@@ -1,0 +1,29 @@
+// Hardened parsing of numeric environment-variable knobs.
+//
+// Every CC_* env knob that means "a positive count" must parse the same
+// way: surrounding whitespace tolerated, anything that is not a plain
+// positive decimal integer — including a leading '-' (strtoull silently
+// wraps -1 into ~2^64), an out-of-range value (ERANGE), or trailing junk
+// ("9e19", "100ms") — reads as *unset*, never as a huge or wrapped
+// number. CC_SHUFFLE_SPILL_BUDGET (mapreduce/spill.h) and
+// CC_TASK_TIMEOUT_MS (common/thread_pool.h) both parse through here.
+
+#ifndef TSJ_COMMON_PARSE_H_
+#define TSJ_COMMON_PARSE_H_
+
+#include <cstdint>
+
+namespace tsj {
+
+/// Parses `value` as a positive decimal integer in [1, max_value].
+/// Returns 0 ("unset") for null/empty input, a leading '-', non-numeric
+/// or trailing-junk input, and any value that overflows unsigned long
+/// long (ERANGE) or exceeds `max_value` — an overflowing knob must
+/// disable its feature, not saturate into a bound that can never be
+/// reached (the watchdog bug this helper fixed: LLONG_MAX ms arms a
+/// watchdog that cannot fire).
+uint64_t ParsePositiveInt(const char* value, uint64_t max_value);
+
+}  // namespace tsj
+
+#endif  // TSJ_COMMON_PARSE_H_

@@ -4,8 +4,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <new>
 #include <string>
+
+#include "common/parse.h"
 
 namespace tsj {
 namespace {
@@ -17,13 +20,16 @@ int64_t NowMs() {
 }
 
 // CC_TASK_TIMEOUT_MS: positive integer enables the watchdog; anything
-// else (unset, empty, non-numeric, <= 0) disables it.
+// else (unset, empty, non-numeric, <= 0, overflowing, trailing junk)
+// disables it. The hardened parse matters: strtoll without an ERANGE
+// check saturates an overflowing value to LLONG_MAX, which arms a
+// watchdog whose timeout can never elapse — the knob looks set but the
+// feature is silently dead.
 int64_t WatchdogTimeoutMsFromEnv() {
-  const char* env = std::getenv("CC_TASK_TIMEOUT_MS");
-  if (env == nullptr || *env == '\0') return 0;
-  char* end = nullptr;
-  const long long value = std::strtoll(env, &end, 10);
-  if (end == nullptr || *end != '\0' || value <= 0) return 0;
+  const uint64_t value =
+      ParsePositiveInt(std::getenv("CC_TASK_TIMEOUT_MS"),
+                       static_cast<uint64_t>(
+                           std::numeric_limits<int64_t>::max()));
   return static_cast<int64_t>(value);
 }
 
@@ -84,6 +90,11 @@ Status ThreadPool::TakeStatus() {
   return taken;
 }
 
+void ThreadPool::SetStuckTaskCallback(std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(stuck_callback_mu_);
+  stuck_callback_ = std::move(callback);
+}
+
 void ThreadPool::RecordException(std::exception_ptr eptr) {
   Status status = Status::Internal("task threw an unknown exception type");
   try {
@@ -139,6 +150,7 @@ void ThreadPool::WatchdogLoop(int64_t timeout_ms) {
       if (shutdown_) return;
     }
     const int64_t now = NowMs();
+    size_t newly_flagged = 0;
     for (auto& slot_ptr : slots_) {
       WorkerSlot& slot = *slot_ptr;
       const int64_t start = slot.start_ms.load(std::memory_order_acquire);
@@ -150,6 +162,16 @@ void ThreadPool::WatchdogLoop(int64_t timeout_ms) {
       if (slot.start_ms.load(std::memory_order_acquire) != start) continue;
       slot.flagged_seq = seq;
       tasks_degraded_.fetch_add(1, std::memory_order_relaxed);
+      ++newly_flagged;
+    }
+    if (newly_flagged > 0) {
+      // Invoked under stuck_callback_mu_ (not the pool mutex) so that
+      // SetStuckTaskCallback(nullptr) blocks until we return and the
+      // callback may safely Submit() more work.
+      std::lock_guard<std::mutex> cb_lock(stuck_callback_mu_);
+      if (stuck_callback_) {
+        for (size_t i = 0; i < newly_flagged; ++i) stuck_callback_();
+      }
     }
   }
 }

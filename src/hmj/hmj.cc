@@ -258,6 +258,32 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   // into partition buckets at emit time and reduce groups are contiguous
   // key runs (mapreduce.h).
   const double t = options_.threshold;
+
+  // Checkpoint gating, shared by both jobs (same contract as the TSJ
+  // gate): strip the engine-level dir unless the join-level switch is
+  // on; with the switch on and no caller-supplied fingerprint, derive
+  // one from the corpus statistics and join parameters so restarts only
+  // restore checkpoints written for this exact input.
+  uint64_t ckpt_fp = options_.mapreduce.checkpoint_fingerprint;
+  if (options_.enable_checkpointing && ckpt_fp == 0) {
+    ckpt_fp = MixCheckpointFingerprint(0, corpus.size());
+    ckpt_fp = MixCheckpointFingerprint(ckpt_fp, corpus.num_distinct_tokens());
+    size_t total_token_occurrences = 0;
+    for (uint32_t s = 0; s < corpus.size(); ++s) {
+      total_token_occurrences += corpus.tokens(s).size();
+    }
+    ckpt_fp = MixCheckpointFingerprint(ckpt_fp, total_token_occurrences);
+    ckpt_fp = MixCheckpointFingerprint(ckpt_fp, static_cast<uint64_t>(t * 1e9));
+    ckpt_fp = MixCheckpointFingerprint(ckpt_fp, options_.num_partitions);
+    ckpt_fp = MixCheckpointFingerprint(ckpt_fp, options_.seed);
+  }
+  const auto gate_checkpoint = [&](MapReduceOptions* mr) {
+    if (!options_.enable_checkpointing) {
+      mr->checkpoint_dir.clear();
+    } else if (mr->checkpoint_fingerprint == 0) {
+      mr->checkpoint_fingerprint = ckpt_fp;
+    }
+  };
   auto map_assign = [&runner, &pivots, &state, t](
                         const uint32_t& s,
                         PartitionedEmitter<uint32_t, Member>* out) {
@@ -290,6 +316,7 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   // mostly to not exceed the key count.
   MapReduceOptions join_mr = options_.mapreduce;
   if (!options_.enable_shuffle_spill) join_mr.memory_budget_records = 0;
+  gate_checkpoint(&join_mr);
   if (options_.adaptive_partitions) {
     join_mr.num_partitions = AdaptivePartitionCount(
         join_mr.effective_workers(), pivots.size(), n,
@@ -325,6 +352,7 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   // Dedup job: near-uniform pair keys, a couple of records each.
   MapReduceOptions dedup_mr = options_.mapreduce;
   if (!options_.enable_shuffle_spill) dedup_mr.memory_budget_records = 0;
+  gate_checkpoint(&dedup_mr);
   if (options_.adaptive_partitions) {
     dedup_mr.num_partitions = AdaptivePartitionCount(
         dedup_mr.effective_workers(), raw_pairs.size(), raw_pairs.size(),
@@ -349,6 +377,12 @@ StatusOr<std::vector<TsjPair>> HybridMetricJoiner::SelfJoin(
   local_info.tasks_cancelled =
       local_info.pipeline.total_tasks_cancelled();
   local_info.tasks_degraded = local_info.pipeline.total_tasks_degraded();
+  local_info.tasks_checkpointed =
+      local_info.pipeline.total_tasks_checkpointed();
+  local_info.tasks_skipped_by_checkpoint =
+      local_info.pipeline.total_tasks_skipped_by_checkpoint();
+  local_info.hedges_launched = local_info.pipeline.total_hedges_launched();
+  local_info.hedges_won = local_info.pipeline.total_hedges_won();
   // When the work limit was exceeded the results are incomplete; they are
   // still returned for inspection, with completed=false marking the DNF.
   local_info.completed = !state.aborted.load();

@@ -65,6 +65,15 @@ struct HmjOptions {
   /// spill faults (failed run reads) surface as the join's error Status,
   /// degraded write faults via JobStats::spill_status only.
   bool enable_shuffle_spill = false;
+  /// Checkpoint/restart (mapreduce.h "Checkpoint validity"; same
+  /// semantics as TsjOptions::enable_checkpointing): when enabled AND
+  /// mapreduce.checkpoint_dir is set, the partition-join and dedup jobs
+  /// seal completed map tasks under that directory and a restarted run
+  /// over the same corpus skips tasks whose checkpoint validates. A zero
+  /// mapreduce.checkpoint_fingerprint is derived from the corpus
+  /// statistics and join parameters. Off by default: the engine-level
+  /// dir is stripped unless this is set.
+  bool enable_checkpointing = false;
   /// Skew-adaptive shuffle partitioning (mapreduce/cluster_model.h):
   /// each job plans its partition count from its key profile — the
   /// partition-join from the pivot count (one reduce key per Voronoi
@@ -113,6 +122,13 @@ struct HmjRunInfo {
   uint64_t task_retries = 0;
   uint64_t tasks_cancelled = 0;
   uint64_t tasks_degraded = 0;
+  /// Checkpoint/restart and hedged-execution counters summed across the
+  /// run's jobs (same semantics as the TsjRunInfo fields of the same
+  /// names; see the checkpoint and hedge contracts in mapreduce.h).
+  uint64_t tasks_checkpointed = 0;
+  uint64_t tasks_skipped_by_checkpoint = 0;
+  uint64_t hedges_launched = 0;
+  uint64_t hedges_won = 0;
   /// False when the work_limit was exceeded (DNF).
   bool completed = true;
 };

@@ -121,21 +121,64 @@
 //    attempts into task_failures, re-executions into task_retries.
 //  * Watchdog semantics. When CC_TASK_TIMEOUT_MS is set (> 0), the
 //    ThreadPool watchdog counts every task observed running longer than
-//    the timeout into JobStats::tasks_degraded. Purely observational:
-//    the task is never preempted (preemption cannot be made safe), the
-//    job's Status is unaffected.
+//    the timeout into JobStats::tasks_degraded. The flagged task is
+//    never preempted (preemption cannot be made safe) and the job's
+//    Status is unaffected — but when hedged execution is enabled (see
+//    below) a newly flagged map task additionally gets a second attempt
+//    launched against the same immutable input.
+//  * Checkpoint validity. When MapReduceOptions::checkpoint_dir is set,
+//    every completed map task of the sorted modes seals its output
+//    (sorted residue + spill runs, merged in reduce source order) into a
+//    checksummed v2 segment plus a manifest under that directory, and a
+//    restarted job with the same dir, job name, fingerprint and task
+//    geometry SKIPS tasks whose checkpoint validates — manifest magic,
+//    body checksum, job identity, and exact segment size must all match.
+//    A checkpoint that fails ANY check is invalid: it is discarded and
+//    the task re-runs from its input — a corrupt or stale checkpoint is
+//    never trusted and never fatal, the worst case is lost savings.
+//    Checkpoint WRITE failures (including injected "ckpt.write" faults)
+//    are degraded: the checkpoint is dropped, the job continues
+//    unaffected. Restored outputs replay the exact (producer, emission)
+//    record order, so a restarted job is byte-identical to an
+//    uninterrupted one. The CC_CHECKPOINT_DIR env override is
+//    write-only: it seals checkpoints but never restores (an env var
+//    cannot prove two runs share a corpus — restore requires the
+//    explicit option). Reduce tasks are not checkpointed: their outputs
+//    live in job-local memory and are cheap to recompute relative to
+//    re-verifying, and the legacy hash-shuffle mode is excluded
+//    entirely.
+//  * Hedge-cancellation semantics. With enable_hedged_execution (default
+//    on, inert unless the CC_TASK_TIMEOUT_MS watchdog is armed), a map
+//    task the watchdog flags as stuck gets ONE hedged attempt launched
+//    against the same input slice with a fresh PartitionedEmitter. Both
+//    attempts run to their claim point; the FIRST finisher wins the
+//    task via an atomic claim, cancels the loser's per-attempt
+//    CancellationToken (polled between input records — cooperative, so
+//    a truly wedged loser still holds its worker until it returns), and
+//    only the winner's emitter, counters and checkpoint are installed;
+//    the loser's emitter is Abandon'ed (its spill runs released), so
+//    results stay byte-identical to an unhedged run. A failed or
+//    fault-suppressed ("hedge.launch") hedge is a no-op: the primary
+//    attempt and its retry budget are unaffected.
 //  * Fault injection. The deterministic injector (common/fault.h,
 //    CC_FAULT_SPEC) is evaluated at named sites: "task.map" /
 //    "task.reduce" at task starts, "alloc.shuffle" at shuffle-phase task
-//    starts (fires kResourceExhausted), and "spill.open" / "spill.write"
+//    starts (fires kResourceExhausted), "ckpt.write" / "ckpt.read"
+//    around checkpoint sealing/restore, "hedge.launch" before a hedged
+//    attempt is submitted, and "spill.open" / "spill.write"
 //    / "merge.read" inside every spill I/O stream (SpillContext::NewIo
 //    wraps both the default FILE* io and any test-installed
 //    spill_io_factory, so engine and spill faults share one harness).
 //    Injected spill faults follow the spill contract above (write =>
 //    degraded, read => lossy); injected task faults follow the retry
-//    rules. One caveat: spill observability counters (spilled_records,
-//    spill_files, …) count ALL attempts, including runs an abandoned
-//    retry released — they are I/O meters, not result accounting.
+//    rules. Task-start sites are evaluated with FAULT_POINT_AT keyed by
+//    (task, attempt) — attempt 0 of task t is index t+1, retries and
+//    hedges map into disjoint per-task blocks above n — so a
+//    CC_FAULT_SPEC schedule replays exactly even when a hedged attempt
+//    races its primary. One caveat: spill observability counters
+//    (spilled_records, spill_files, …) count ALL attempts, including
+//    runs an abandoned retry or losing hedge released — they are I/O
+//    meters, not result accounting.
 //
 // JobStats records per-phase record counts, wall times, per-group loads,
 // and — new with the streaming engine — shuffle-record and peak-resident
@@ -148,8 +191,12 @@
 #define TSJ_MAPREDUCE_MAPREDUCE_H_
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -218,6 +265,27 @@ struct MapReduceOptions {
   /// failure (see the fault-tolerance contract in the file comment).
   /// 0 disables retry: the first failure of any kind is fatal.
   size_t max_task_retries = 2;
+  /// Checkpoint/restart directory (sorted modes' map phases; see the
+  /// "Checkpoint validity" section of the file comment). Empty = no
+  /// checkpointing — unless CC_CHECKPOINT_DIR is set, which arms the
+  /// WRITE side only. With a non-empty dir, completed map tasks seal
+  /// their output there and a restarted job (same dir, job name,
+  /// fingerprint, task geometry) skips tasks whose checkpoint
+  /// validates. The caller owns the directory's lifetime: checkpoints
+  /// survive the job and must be cleaned up (or simply reused) by the
+  /// caller.
+  std::string checkpoint_dir;
+  /// Caller-supplied input identity folded into the checkpoint job id.
+  /// Two runs may restore from each other's checkpoints only when their
+  /// job name, this fingerprint, and task/partition geometry all match —
+  /// so callers SHOULD derive it from the input corpus (the joins hash
+  /// corpus size and token counts). 0 is a valid fingerprint but makes
+  /// "same name, different data" collisions the caller's responsibility.
+  uint64_t checkpoint_fingerprint = 0;
+  /// Launch a hedged second attempt for map tasks the watchdog flags as
+  /// stuck (see the "Hedge-cancellation semantics" section). Inert
+  /// unless CC_TASK_TIMEOUT_MS arms the watchdog.
+  bool enable_hedged_execution = true;
 
   size_t effective_workers() const {
     if (num_workers > 0) return num_workers;
@@ -225,6 +293,16 @@ struct MapReduceOptions {
     return hw > 0 ? hw : 4;
   }
 };
+
+/// Order-dependent 64-bit mixer for building
+/// MapReduceOptions::checkpoint_fingerprint out of input statistics
+/// (corpus sizes, token counts, thresholds): fold each quantity in with
+/// one call. The joins use it so two runs restore from each other's
+/// checkpoints only when their inputs agree on these statistics.
+inline uint64_t MixCheckpointFingerprint(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
 
 /// Collects the (key, value) pairs emitted by one map task (legacy mode:
 /// one flat buffer, partitioned later by the scatter pass).
@@ -448,6 +526,28 @@ class PartitionedEmitter {
   /// into the job's combiner statistics alongside Combine's counts.
   uint64_t spill_combiner_input() const { return spill_combiner_in_; }
   uint64_t spill_combiner_output() const { return spill_combiner_out_; }
+
+  /// Checkpoint restore, in-memory flavor: installs partition `p`'s
+  /// records exactly as the original task left them (post-Combine /
+  /// post-FinishSpill order). Only valid on a fresh emitter whose bucket
+  /// `p` is still empty.
+  void AdoptSortedBucket(size_t p,
+                         std::vector<std::pair<Key, Value>> records) {
+    size_ += records.size();
+    buckets_[p] = std::move(records);
+  }
+
+  /// Checkpoint restore, spill flavor: installs a run extent of the
+  /// checkpoint segment as this producer's (sole) run for partition `p`.
+  /// The file must already be protected in the SpillContext
+  /// (RegisterProtectedRuns) — run release must never delete a
+  /// checkpoint. Counts into spilled_records() so map_output_records
+  /// matches an uninterrupted run.
+  void AdoptCheckpointRun(size_t p, SpillRunRef ref) {
+    if (spill_runs_.empty()) spill_runs_.assign(buckets_.size(), {});
+    spilled_records_ += ref.records;
+    spill_runs_[p].push_back(std::move(ref));
+  }
 
  private:
   void SortBucket(size_t p) {
@@ -712,34 +812,202 @@ struct TaskCounters {
   }
 };
 
+// Keyed fault-evaluation index for task-start sites, so every attempt of
+// every task has a stable index regardless of thread interleaving:
+//   attempt 0 of task t   -> t + 1       (matches the unkeyed 1-based
+//                                         counter for one-attempt-per-task
+//                                         phases, so existing once@N /
+//                                         every@N / p@seed schedules are
+//                                         unchanged)
+//   retry attempt a >= 1  -> n + 1 + t * kFaultRetryStride + (a - 1)
+//   hedged attempt        -> the kFaultHedgeAttempt slot of the same block
+// Retries beyond kFaultHedgeAttempt - 1 would alias the hedge slot; with
+// the default max_task_retries = 2 the blocks are far apart.
+inline constexpr uint64_t kFaultRetryStride = 32;
+inline constexpr size_t kFaultHedgeAttempt = 31;
+
+inline uint64_t TaskAttemptFaultKey(size_t n, size_t task, size_t attempt) {
+  if (attempt == 0) return static_cast<uint64_t>(task) + 1;
+  return static_cast<uint64_t>(n) + 1 +
+         static_cast<uint64_t>(task) * kFaultRetryStride +
+         static_cast<uint64_t>(attempt - 1);
+}
+
+// Upper bound of TaskAttemptFaultKey over an n-task phase: the index range
+// one phase must reserve so the next phase's keys never collide with it.
+inline uint64_t TaskFaultBlockSize(size_t n) {
+  return (static_cast<uint64_t>(n) + 1) * (kFaultRetryStride + 1);
+}
+
+// Claims this phase's contiguous key range for `site` (see the keyed-
+// evaluation notes in common/fault.h): sequential phases evaluating the
+// same site get disjoint ranges in deterministic program order, which is
+// what keeps "once"-style specs firing once per process, not once per
+// phase.
+inline uint64_t ReservePhaseFaultBlock(const char* site, uint64_t count) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (!injector.enabled()) return 0;
+  return injector.ReserveBlock(site, count);
+}
+
+// Coordinates one optional hedged (duplicate) attempt per task of a map
+// phase. The watchdog's stuck-task callback calls OnStuck(), which picks
+// the longest-running primary that has neither finished nor been hedged
+// and invokes the launcher for it — while holding the controller mutex,
+// so the chosen primary is still inside its body (EndPrimary needs the
+// same mutex) and anything the launcher Submits is ordered before the
+// pool's Wait() can return. First finisher wins the task via ClaimWin;
+// the winner cancels the loser's per-attempt token.
+class HedgeController {
+ public:
+  explicit HedgeController(size_t n) : states_(n) {}
+
+  void set_launcher(std::function<void(size_t)> launcher) {
+    launcher_ = std::move(launcher);
+  }
+  /// Base of this phase's reserved "hedge.launch" key range.
+  void set_fault_base(uint64_t base) { fault_base_ = base; }
+
+  const CancellationToken& primary_token(size_t task) const {
+    return states_[task].primary;
+  }
+  const CancellationToken& hedge_token(size_t task) const {
+    return states_[task].hedge;
+  }
+
+  void BeginPrimary(size_t task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    states_[task].running = true;
+    states_[task].start = std::chrono::steady_clock::now();
+  }
+  void EndPrimary(size_t task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    states_[task].running = false;
+  }
+
+  // First finisher wins; attempt 0 = primary, 1 = hedge. The winner
+  // cancels the loser's attempt token so it bails at its next record
+  // boundary. Returns false when the other attempt already claimed —
+  // the caller must then discard all of its attempt's side effects.
+  bool ClaimWin(size_t task, int attempt) {
+    State& st = states_[task];
+    int expected = -1;
+    if (!st.winner.compare_exchange_strong(expected, attempt,
+                                           std::memory_order_acq_rel)) {
+      return false;
+    }
+    if (st.hedge_launched.load(std::memory_order_acquire)) {
+      if (attempt == 0) {
+        st.hedge.Cancel(Status::Unavailable("hedged attempt lost the race"));
+      } else {
+        won_.fetch_add(1, std::memory_order_relaxed);
+        st.primary.Cancel(
+            Status::Unavailable("primary attempt lost to its hedge"));
+      }
+    }
+    return true;
+  }
+
+  int winner(size_t task) const {
+    return states_[task].winner.load(std::memory_order_acquire);
+  }
+  bool hedge_launched(size_t task) const {
+    return states_[task].hedge_launched.load(std::memory_order_acquire);
+  }
+
+  // Watchdog-thread entry point (serialized by the watchdog). Launches at
+  // most one hedge per call, for the oldest still-running unhedged task.
+  // The "hedge.launch" fault gate still consumes the task's single hedge
+  // slot when it fires, so injected suppression stays deterministic.
+  void OnStuck() {
+    if (launcher_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    bool found = false;
+    size_t candidate = 0;
+    std::chrono::steady_clock::time_point oldest{};
+    for (size_t t = 0; t < states_.size(); ++t) {
+      State& st = states_[t];
+      if (!st.running || st.hedge_launched.load(std::memory_order_relaxed) ||
+          st.winner.load(std::memory_order_relaxed) != -1) {
+        continue;
+      }
+      if (!found || st.start < oldest) {
+        found = true;
+        oldest = st.start;
+        candidate = t;
+      }
+    }
+    if (!found) return;
+    states_[candidate].hedge_launched.store(true, std::memory_order_release);
+    if (Status s = FAULT_POINT_AT(
+            "hedge.launch",
+            fault_base_ + static_cast<uint64_t>(candidate) + 1);
+        !s.ok()) {
+      return;
+    }
+    launched_.fetch_add(1, std::memory_order_relaxed);
+    launcher_(candidate);
+  }
+
+  uint64_t launched() const {
+    return launched_.load(std::memory_order_relaxed);
+  }
+  uint64_t won() const { return won_.load(std::memory_order_relaxed); }
+
+ private:
+  struct State {
+    CancellationToken primary;
+    CancellationToken hedge;
+    std::atomic<int> winner{-1};
+    std::atomic<bool> hedge_launched{false};
+    bool running = false;
+    std::chrono::steady_clock::time_point start{};
+  };
+
+  std::mutex mu_;
+  std::vector<State> states_;
+  std::function<void(size_t)> launcher_;
+  uint64_t fault_base_ = 0;
+  std::atomic<uint64_t> launched_{0};
+  std::atomic<uint64_t> won_{0};
+};
+
 // Runs `n` logical tasks on `pool` under the engine's fault-tolerance
 // contract. Each task: (1) bails (counted cancelled) when the job token
-// is already tripped; (2) evaluates the phase's FAULT_POINT — a fault
-// fired *here* precedes any side effect, so it is retryable even for
-// phases with no reset; (3) runs `body(task)`, catching exceptions into a
+// is already tripped; (2) evaluates the phase's FAULT_POINT — keyed by
+// (task, attempt) via TaskAttemptFaultKey, and fired *here* it precedes
+// any side effect, so it is retryable even for phases with no reset;
+// (3) runs `body(task, attempt_token)`, catching exceptions into a
 // Status. A retryable failure re-executes the task — after `reset(task)`
 // restores its pristine state if the body had started — up to
 // `max_retries` times; a fatal failure (or exhausted retries, or a
 // retryable body failure in a phase that passed reset == nullptr because
 // it consumes shared state destructively) trips the token with the root
 // cause and sibling tasks stop at their next boundary.
-inline void RunTasksWithRetry(
+//
+// When `hedge` is non-null the body receives the task's per-attempt
+// primary token (tripped only when its hedge wins) instead of the job
+// token, and the primary's running window is reported to the controller.
+inline void RunTasksWithRetryHedged(
     ThreadPool* pool, size_t n, size_t max_retries,
-    CancellationToken token, const char* fault_site, TaskCounters* counters,
-    const std::function<void(size_t)>& reset,
-    const std::function<void(size_t)>& body) {
+    CancellationToken token, const char* fault_site, uint64_t fault_base,
+    TaskCounters* counters, const std::function<void(size_t)>& reset,
+    const std::function<void(size_t, const CancellationToken&)>& body,
+    HedgeController* hedge) {
   pool->ParallelFor(n, [&, token](size_t task) mutable {
     if (token.cancelled()) {
       counters->cancelled.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     for (size_t attempt = 0;; ++attempt) {
-      Status s = FAULT_POINT(fault_site);
+      Status s = FAULT_POINT_AT(
+          fault_site, fault_base + TaskAttemptFaultKey(n, task, attempt));
       bool started = false;
       if (s.ok()) {
         started = true;
+        if (hedge != nullptr) hedge->BeginPrimary(task);
         try {
-          body(task);
+          body(task, hedge != nullptr ? hedge->primary_token(task) : token);
         } catch (const std::bad_alloc&) {
           s = Status::ResourceExhausted("task threw std::bad_alloc");
         } catch (const std::exception& e) {
@@ -747,6 +1015,7 @@ inline void RunTasksWithRetry(
         } catch (...) {
           s = Status::Internal("task threw an unknown exception type");
         }
+        if (hedge != nullptr) hedge->EndPrimary(task);
       }
       if (s.ok()) return;
       counters->failures.fetch_add(1, std::memory_order_relaxed);
@@ -761,6 +1030,20 @@ inline void RunTasksWithRetry(
       return;
     }
   });
+}
+
+// Unhedged wrapper: every existing phase call site funnels through the
+// keyed evaluator above with no hedging.
+inline void RunTasksWithRetry(
+    ThreadPool* pool, size_t n, size_t max_retries,
+    CancellationToken token, const char* fault_site, TaskCounters* counters,
+    const std::function<void(size_t)>& reset,
+    const std::function<void(size_t)>& body) {
+  RunTasksWithRetryHedged(
+      pool, n, max_retries, std::move(token), fault_site,
+      ReservePhaseFaultBlock(fault_site, TaskFaultBlockSize(n)), counters,
+      reset, [&body](size_t task, const CancellationToken&) { body(task); },
+      /*hedge=*/nullptr);
 }
 
 // Folds the pool-level task accounting into the job's stats at job end:
@@ -1215,6 +1498,299 @@ Status ReduceMergedRuns(Producers* producers, size_t p,
   return Status::OK();
 }
 
+// 64-bit FNV-1a over the job name + phase tag, with fingerprint and task
+// geometry mixed in: the checkpoint job identity. Any mismatch between
+// the writing and restoring run yields a different id, and ReadManifest
+// rejects the stale file.
+inline uint64_t CheckpointJobId(const std::string& job_name,
+                                const char* phase_tag, uint64_t fingerprint,
+                                size_t num_tasks, size_t num_partitions) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : job_name) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  for (const char* p = phase_tag; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ULL;
+  }
+  const uint64_t mixed[3] = {fingerprint, num_tasks, num_partitions};
+  for (uint64_t v : mixed) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+// Builds the checkpoint context for one map phase, or nullptr when
+// checkpointing is off (or the directory cannot be prepared — checkpoints
+// are an optimization, never a new failure mode). `restore_enabled` is
+// true only for an explicit options.checkpoint_dir: the CC_CHECKPOINT_DIR
+// env fallback arms the WRITE side only (see the file comment).
+inline std::unique_ptr<CheckpointContext> MakeCheckpointContext(
+    const MapReduceOptions& options, const std::string& job_name,
+    const char* phase_tag, size_t num_tasks, size_t num_partitions,
+    bool* restore_enabled) {
+  *restore_enabled = !options.checkpoint_dir.empty();
+  std::string dir = options.checkpoint_dir;
+  if (dir.empty()) dir = CheckpointDirFromEnv();
+  if (dir.empty() || num_tasks == 0) return nullptr;
+  const uint64_t job_id =
+      CheckpointJobId(job_name, phase_tag, options.checkpoint_fingerprint,
+                      num_tasks, num_partitions);
+  auto context = std::make_unique<CheckpointContext>(
+      std::move(dir), job_id, options.checkpoint_fingerprint,
+      options.spill_io_factory);
+  if (!context->Init().ok()) {
+    *restore_enabled = false;
+    return nullptr;
+  }
+  context->fault_write_base = ReservePhaseFaultBlock(
+      "ckpt.write", static_cast<uint64_t>(num_tasks) + 1);
+  context->fault_read_base = ReservePhaseFaultBlock(
+      "ckpt.read", static_cast<uint64_t>(num_tasks) + 1);
+  return context;
+}
+
+// Seals a completed map task's output — in-memory residue plus any spill
+// runs — into one checkpoint segment and manifest. Read-only over the
+// task's live state: residue records are COPIED (the emitter keeps
+// serving this job's own shuffle) and spill runs are streamed without
+// being released. Each partition becomes one run holding the exact
+// record sequence ReduceMergedRuns would consume for it (disk runs in
+// flush order, then residue, ties to the earlier source), so a restart
+// replays byte-identically. Any failure — including an injected
+// "ckpt.write" fault — discards the partial checkpoint and returns; the
+// job itself is unaffected (degraded semantics).
+template <typename Key, typename Value>
+void WriteTaskCheckpoint(CheckpointContext* ckpt, size_t task,
+                         PartitionedEmitter<Key, Value>* emitter,
+                         SpillContext* spill) {
+  if (Status s = FAULT_POINT_AT(
+          "ckpt.write",
+          ckpt->fault_write_base + static_cast<uint64_t>(task) + 1);
+      !s.ok()) {
+    return;
+  }
+  const std::string path = ckpt->DataPath(task);
+  SpillRunWriter<Key, Value> writer(ckpt->NewIo(),
+                                    CheckpointContext::Format());
+  Status s = writer.Open(path);
+  std::vector<SpillSegmentEntry> entries;
+  for (size_t p = 0; s.ok() && p < emitter->num_partitions(); ++p) {
+    const std::vector<SpillRunRef>& runs = emitter->spill_runs(p);
+    std::vector<std::pair<Key, Value>>& bucket = emitter->bucket(p);
+    if (runs.empty() && bucket.empty()) continue;
+    writer.BeginRun(static_cast<uint32_t>(p));
+    if (runs.empty()) {
+      // Pure in-memory partition: the residue is already the full run.
+      for (size_t i = 0; s.ok() && i < bucket.size(); ++i) {
+        s = writer.Append(bucket[i]);
+      }
+    } else {
+      std::vector<RunCursor<Key, Value>> cursors;
+      cursors.reserve(runs.size() + 1);
+      for (const SpillRunRef& run : runs) {
+        RunCursor<Key, Value> cursor;
+        cursor.from_disk = true;
+        // Read back through the checkpoint's raw io, NOT spill->NewIo():
+        // the fault-wrapped spill io charges every Read to "merge.read",
+        // and sealing must never consume fires scheduled against the
+        // job's real k-way merge (a seal-read failure is degraded, not
+        // lossy — its injection site is "ckpt.write" above).
+        cursor.reader =
+            std::make_unique<SpillRunReader<Key, Value>>(ckpt->NewIo());
+        cursor.reader->set_checksum_failure_counter(
+            spill->checksum_failure_counter());
+        s = cursor.reader->Open(run);
+        if (!s.ok()) break;
+        cursors.push_back(std::move(cursor));
+      }
+      // RunCursor's memory mode MOVES records out — merge from a copy so
+      // the live residue stays intact for the job's own reduce.
+      std::vector<std::pair<Key, Value>> residue(bucket.begin(),
+                                                 bucket.end());
+      if (s.ok() && !residue.empty()) {
+        RunCursor<Key, Value> cursor;
+        cursor.memory = &residue;
+        cursors.push_back(std::move(cursor));
+      }
+      for (auto& cursor : cursors) {
+        if (!s.ok()) break;
+        s = cursor.Advance();
+      }
+      if (s.ok()) {
+        RunCursorHeap<Key, Value> heap(&cursors);
+        while (s.ok() && !heap.empty()) {
+          const size_t index = heap.Pop();
+          auto& cursor = cursors[index];
+          s = writer.Append(cursor.head);
+          if (!s.ok()) break;
+          s = cursor.Advance();
+          if (s.ok() && cursor.has_head) heap.Reinsert(index);
+        }
+      }
+    }
+    if (s.ok()) {
+      SpillRunRef out_ref;
+      s = writer.EndRun(&out_ref);
+      if (s.ok()) {
+        entries.push_back(SpillSegmentEntry{static_cast<uint32_t>(p),
+                                            out_ref.offset, out_ref.length,
+                                            out_ref.records});
+      }
+    }
+  }
+  if (s.ok()) s = writer.Finish();
+  if (s.ok()) s = ckpt->WriteManifest(task, entries, writer.bytes_written());
+  if (!s.ok()) {
+    ckpt->Discard(task);
+    return;
+  }
+  ckpt->RecordCheckpointed();
+}
+
+// Attempts to supply map task `task`'s output from its checkpoint.
+// Returns true when the emitter was populated (the caller skips the map
+// body). A missing / corrupt / mismatched checkpoint — or an injected
+// "ckpt.read" fault — discards the on-disk artifacts and returns false:
+// the task re-runs from its input, a suspect checkpoint is never trusted.
+// Spill mode protects the segment file in the SpillContext BEFORE
+// adopting any extent, so no later release path can delete it.
+template <typename Key, typename Value>
+bool TryRestoreTaskCheckpoint(CheckpointContext* ckpt, size_t task,
+                              PartitionedEmitter<Key, Value>* emitter,
+                              SpillContext* spill) {
+  std::vector<SpillSegmentEntry> entries;
+  Status s = FAULT_POINT_AT(
+      "ckpt.read", ckpt->fault_read_base + static_cast<uint64_t>(task) + 1);
+  if (s.ok()) s = ckpt->ReadManifest(task, &entries);
+  for (const SpillSegmentEntry& entry : entries) {
+    if (!s.ok()) break;
+    if (entry.partition >= emitter->num_partitions()) {
+      s = Status::Internal("checkpoint entry partition out of range");
+    }
+  }
+  const std::string data_path = ckpt->DataPath(task);
+  if (s.ok() && spill != nullptr) {
+    spill->RegisterProtectedRuns(data_path, entries.size());
+    for (const SpillSegmentEntry& entry : entries) {
+      emitter->AdoptCheckpointRun(
+          entry.partition,
+          SpillRunRef{data_path, entry.offset, entry.length, entry.records});
+    }
+  } else if (s.ok()) {
+    // In-memory job: load each partition's run back into its bucket.
+    std::vector<std::vector<std::pair<Key, Value>>> buckets(
+        emitter->num_partitions());
+    for (const SpillSegmentEntry& entry : entries) {
+      SpillRunReader<Key, Value> reader(ckpt->NewIo());
+      s = reader.Open(
+          SpillRunRef{data_path, entry.offset, entry.length, entry.records});
+      auto& bucket = buckets[entry.partition];
+      bucket.reserve(entry.records);
+      while (s.ok()) {
+        std::pair<Key, Value> record;
+        bool done = false;
+        s = reader.Next(&record, &done);
+        if (!s.ok() || done) break;
+        bucket.push_back(std::move(record));
+      }
+      if (s.ok()) s = reader.Close();
+      if (!s.ok()) break;
+    }
+    if (s.ok()) {
+      for (size_t p = 0; p < buckets.size(); ++p) {
+        if (!buckets[p].empty()) {
+          emitter->AdoptSortedBucket(p, std::move(buckets[p]));
+        }
+      }
+    }
+  }
+  if (!s.ok()) {
+    emitter->Abandon();  // drop anything a partial restore installed
+    ckpt->Discard(task);
+    return false;
+  }
+  ckpt->RecordSkipped();
+  return true;
+}
+
+// Drives one map phase: retry wrapper + optional checkpoint-aware,
+// optionally hedged attempts. `attempt(task, emitter, token, claim)` runs
+// one attempt of one task against the given emitter, polling `token`
+// between records and calling `claim()` exactly once when its results are
+// complete — a false return means a concurrent attempt won and ALL of
+// this attempt's bookkeeping must be skipped. `emitter_at(task)` yields
+// the phase's installed emitter slot; `make_emitter()` builds the fresh
+// spill-armed emitter a hedged attempt works against. After the phase,
+// each hedge-won task's emitter slot is replaced by its hedge's emitter
+// (the loser Abandon'ed), so downstream phases see exactly one winner.
+template <typename Key, typename Value>
+void RunMapPhase(
+    ThreadPool* pool, size_t n, size_t max_retries, CancellationToken token,
+    const char* fault_site, TaskCounters* counters,
+    const std::function<void(size_t)>& reset, bool hedging,
+    const std::function<PartitionedEmitter<Key, Value>&(size_t)>& emitter_at,
+    const std::function<std::unique_ptr<PartitionedEmitter<Key, Value>>()>&
+        make_emitter,
+    const std::function<void(size_t, PartitionedEmitter<Key, Value>&,
+                             const CancellationToken&,
+                             const std::function<bool()>&)>& attempt,
+    uint64_t* hedges_launched, uint64_t* hedges_won) {
+  const uint64_t fault_base =
+      ReservePhaseFaultBlock(fault_site, TaskFaultBlockSize(n));
+  HedgeController hedge(n);
+  std::vector<std::unique_ptr<PartitionedEmitter<Key, Value>>> hedge_emitters(
+      n);
+  if (hedging) {
+    hedge.set_fault_base(ReservePhaseFaultBlock(
+        "hedge.launch", static_cast<uint64_t>(n) + 1));
+    hedge.set_launcher([&, pool, n, fault_base](size_t task) {
+      pool->Submit([&, n, fault_base, task] {
+        if (Status s = FAULT_POINT_AT(
+                fault_site,
+                fault_base + TaskAttemptFaultKey(n, task, kFaultHedgeAttempt));
+            !s.ok()) {
+          return;  // injected: the hedge aborts, the primary continues
+        }
+        try {
+          hedge_emitters[task] = make_emitter();
+          attempt(task, *hedge_emitters[task], hedge.hedge_token(task),
+                  [&hedge, task] { return hedge.ClaimWin(task, 1); });
+        } catch (...) {
+          // A failed hedge is a no-op: it never claimed, the primary
+          // attempt (and its retry budget) is unaffected.
+        }
+      });
+    });
+    pool->SetStuckTaskCallback([&hedge] { hedge.OnStuck(); });
+  }
+  RunTasksWithRetryHedged(
+      pool, n, max_retries, std::move(token), fault_site, fault_base,
+      counters, reset,
+      [&](size_t task, const CancellationToken& attempt_token) {
+        attempt(task, emitter_at(task), attempt_token,
+                hedging ? std::function<bool()>([&hedge, task] {
+                  return hedge.ClaimWin(task, 0);
+                })
+                        : std::function<bool()>([] { return true; }));
+      },
+      hedging ? &hedge : nullptr);
+  if (!hedging) return;
+  // Blocks until any in-flight callback returns; afterwards the
+  // controller (a stack local) can no longer be reached.
+  pool->SetStuckTaskCallback(nullptr);
+  for (size_t t = 0; t < n; ++t) {
+    if (hedge_emitters[t] == nullptr) continue;
+    if (hedge.winner(t) == 1) {
+      emitter_at(t).Abandon();
+      emitter_at(t) = std::move(*hedge_emitters[t]);
+    } else {
+      hedge_emitters[t]->Abandon();
+    }
+  }
+  if (hedges_launched != nullptr) *hedges_launched += hedge.launched();
+  if (hedges_won != nullptr) *hedges_won += hedge.won();
+}
+
 }  // namespace mapreduce_internal
 
 /// Runs one MapReduce job (legacy hash-shuffle mode).
@@ -1481,7 +2057,14 @@ std::vector<Output> RunMapReduceSorted(
   std::vector<uint64_t> map_task_units(num_map_tasks, 0);
   std::vector<uint64_t> combiner_in(num_map_tasks, 0);
   std::vector<uint64_t> combiner_out(num_map_tasks, 0);
-  mapreduce_internal::RunTasksWithRetry(
+  bool restore_enabled = false;
+  std::unique_ptr<CheckpointContext> ckpt =
+      mapreduce_internal::MakeCheckpointContext(options, job_name, "map",
+                                                num_map_tasks, num_partitions,
+                                                &restore_enabled);
+  const bool hedging =
+      options.enable_hedged_execution && pool.watchdog_enabled();
+  mapreduce_internal::RunMapPhase<Key, Value>(
       &pool, num_map_tasks, options.max_task_retries, cancel, "task.map",
       &task_counters,
       [&](size_t task) {  // reset: rebuild the emitter from scratch
@@ -1490,21 +2073,58 @@ std::vector<Output> RunMapReduceSorted(
         combiner_in[task] = 0;
         combiner_out[task] = 0;
       },
-      [&](size_t task) {
-    const size_t begin = inputs.size() * task / num_map_tasks;
-    const size_t end = inputs.size() * (task + 1) / num_map_tasks;
-    TakeWorkUnits();  // clear leftovers from other tasks on this thread
-    for (size_t i = begin; i < end; ++i) {
-      map_fn(inputs[i], &emitters[task]);
-    }
-    if (combiner != nullptr) {
-      emitters[task].Combine(combiner, &combiner_in[task],
-                             &combiner_out[task]);
-    }
-    emitters[task].FinishSpill();  // sort the residue for the merge
-    map_task_units[task] = TakeWorkUnits();
-    gauge.Add(emitters[task].size());
-  });
+      hedging,
+      [&](size_t task) -> PartitionedEmitter<Key, Value>& {
+        return emitters[task];
+      },
+      [&]() {  // fresh emitter for a hedged attempt
+        auto em =
+            std::make_unique<PartitionedEmitter<Key, Value>>(num_partitions);
+        if (spilling) {
+          const size_t share =
+              std::max<size_t>(1, spill_context->budget() / num_map_tasks);
+          em->EnableSpill(spill_context.get(), share, combiner);
+        }
+        return em;
+      },
+      [&](size_t task, PartitionedEmitter<Key, Value>& em,
+          const CancellationToken& attempt_token,
+          const std::function<bool()>& claim) {
+        if (ckpt != nullptr && restore_enabled &&
+            mapreduce_internal::TryRestoreTaskCheckpoint<Key, Value>(
+                ckpt.get(), task, &em, spill_context.get())) {
+          if (!claim()) return;
+          gauge.Add(em.size());
+          return;
+        }
+        const size_t begin = inputs.size() * task / num_map_tasks;
+        const size_t end = inputs.size() * (task + 1) / num_map_tasks;
+        TakeWorkUnits();  // clear leftovers from other tasks on this thread
+        for (size_t i = begin; i < end; ++i) {
+          if (attempt_token.cancelled()) return;  // job abort or lost hedge
+          map_fn(inputs[i], &em);
+        }
+        if (attempt_token.cancelled()) return;
+        uint64_t cin = 0;
+        uint64_t cout = 0;
+        if (combiner != nullptr) em.Combine(combiner, &cin, &cout);
+        em.FinishSpill();  // sort the residue for the merge
+        const uint64_t units = TakeWorkUnits();
+        if (!claim()) return;  // a concurrent attempt finished first
+        map_task_units[task] = units;
+        combiner_in[task] = cin;
+        combiner_out[task] = cout;
+        if (ckpt != nullptr) {
+          mapreduce_internal::WriteTaskCheckpoint<Key, Value>(
+              ckpt.get(), task, &em, spill_context.get());
+        }
+        gauge.Add(em.size());
+      },
+      &local_stats.hedges_launched, &local_stats.hedges_won);
+  if (ckpt != nullptr) {
+    local_stats.tasks_checkpointed += ckpt->tasks_checkpointed();
+    local_stats.tasks_skipped_by_checkpoint += ckpt->tasks_skipped();
+  }
   for (const auto& e : emitters) {
     local_stats.map_output_records += e.size() + e.spilled_records();
   }
@@ -1702,7 +2322,14 @@ std::vector<Output> RunFusedMapReduceSorted(
   std::vector<uint64_t> map1_task_units(num_map1_tasks, 0);
   std::vector<uint64_t> combiner1_in(num_map1_tasks, 0);
   std::vector<uint64_t> combiner1_out(num_map1_tasks, 0);
-  mapreduce_internal::RunTasksWithRetry(
+  bool restore1 = false;
+  std::unique_ptr<CheckpointContext> ckpt1 =
+      mapreduce_internal::MakeCheckpointContext(options, stage1_name, "map1",
+                                                num_map1_tasks,
+                                                num_partitions, &restore1);
+  const bool hedging =
+      options.enable_hedged_execution && pool.watchdog_enabled();
+  mapreduce_internal::RunMapPhase<Key1, Value1>(
       &pool, num_map1_tasks, options.max_task_retries, cancel, "task.map",
       &counters1,
       [&](size_t task) {  // reset: rebuild the emitter from scratch
@@ -1711,21 +2338,58 @@ std::vector<Output> RunFusedMapReduceSorted(
         combiner1_in[task] = 0;
         combiner1_out[task] = 0;
       },
-      [&](size_t task) {
-    const size_t begin = stage1_inputs.size() * task / num_map1_tasks;
-    const size_t end = stage1_inputs.size() * (task + 1) / num_map1_tasks;
-    TakeWorkUnits();
-    for (size_t i = begin; i < end; ++i) {
-      map1_fn(stage1_inputs[i], &emitters1[task]);
-    }
-    if (combiner1 != nullptr) {
-      emitters1[task].Combine(combiner1, &combiner1_in[task],
-                              &combiner1_out[task]);
-    }
-    emitters1[task].FinishSpill();
-    map1_task_units[task] = TakeWorkUnits();
-    gauge.Add(emitters1[task].size());
-  });
+      hedging,
+      [&](size_t task) -> PartitionedEmitter<Key1, Value1>& {
+        return emitters1[task];
+      },
+      [&]() {
+        auto em =
+            std::make_unique<PartitionedEmitter<Key1, Value1>>(num_partitions);
+        if (spilling) {
+          const size_t share = std::max<size_t>(
+              1, spill_context->budget() / 2 / num_map1_tasks);
+          em->EnableSpill(spill_context.get(), share, combiner1);
+        }
+        return em;
+      },
+      [&](size_t task, PartitionedEmitter<Key1, Value1>& em,
+          const CancellationToken& attempt_token,
+          const std::function<bool()>& claim) {
+        if (ckpt1 != nullptr && restore1 &&
+            mapreduce_internal::TryRestoreTaskCheckpoint<Key1, Value1>(
+                ckpt1.get(), task, &em, spill_context.get())) {
+          if (!claim()) return;
+          gauge.Add(em.size());
+          return;
+        }
+        const size_t begin = stage1_inputs.size() * task / num_map1_tasks;
+        const size_t end = stage1_inputs.size() * (task + 1) / num_map1_tasks;
+        TakeWorkUnits();
+        for (size_t i = begin; i < end; ++i) {
+          if (attempt_token.cancelled()) return;
+          map1_fn(stage1_inputs[i], &em);
+        }
+        if (attempt_token.cancelled()) return;
+        uint64_t cin = 0;
+        uint64_t cout = 0;
+        if (combiner1 != nullptr) em.Combine(combiner1, &cin, &cout);
+        em.FinishSpill();
+        const uint64_t units = TakeWorkUnits();
+        if (!claim()) return;
+        map1_task_units[task] = units;
+        combiner1_in[task] = cin;
+        combiner1_out[task] = cout;
+        if (ckpt1 != nullptr) {
+          mapreduce_internal::WriteTaskCheckpoint<Key1, Value1>(
+              ckpt1.get(), task, &em, spill_context.get());
+        }
+        gauge.Add(em.size());
+      },
+      &s1.hedges_launched, &s1.hedges_won);
+  if (ckpt1 != nullptr) {
+    s1.tasks_checkpointed += ckpt1->tasks_checkpointed();
+    s1.tasks_skipped_by_checkpoint += ckpt1->tasks_skipped();
+  }
   for (const auto& e : emitters1) {
     s1.map_output_records += e.size() + e.spilled_records();
   }
@@ -1782,7 +2446,14 @@ std::vector<Output> RunFusedMapReduceSorted(
   // side-input map tasks (same layout as producers2).
   std::vector<uint64_t> combiner2_in(num_partitions + num_map2_tasks, 0);
   std::vector<uint64_t> combiner2_out(num_partitions + num_map2_tasks, 0);
-  mapreduce_internal::RunTasksWithRetry(
+  bool restore2 = false;
+  std::unique_ptr<CheckpointContext> ckpt2 =
+      num_map2_tasks == 0
+          ? nullptr
+          : mapreduce_internal::MakeCheckpointContext(
+                options, stage2_name, "map2", num_map2_tasks, num_partitions,
+                &restore2);
+  mapreduce_internal::RunMapPhase<Key2, Value2>(
       &pool, num_map2_tasks, options.max_task_retries, cancel, "task.map",
       &counters2,
       [&](size_t task) {  // reset: rebuild the side-input producer
@@ -1791,23 +2462,60 @@ std::vector<Output> RunFusedMapReduceSorted(
         combiner2_in[num_partitions + task] = 0;
         combiner2_out[num_partitions + task] = 0;
       },
-      [&](size_t task) {
-    auto* out = &producers2[num_partitions + task];
-    const size_t begin = stage2_side_inputs.size() * task / num_map2_tasks;
-    const size_t end =
-        stage2_side_inputs.size() * (task + 1) / num_map2_tasks;
-    TakeWorkUnits();
-    for (size_t i = begin; i < end; ++i) {
-      map2_fn(stage2_side_inputs[i], out);
-    }
-    if (combiner2 != nullptr) {
-      out->Combine(combiner2, &combiner2_in[num_partitions + task],
-                   &combiner2_out[num_partitions + task]);
-    }
-    out->FinishSpill();
-    map2_task_units[task] = TakeWorkUnits();
-    gauge.Add(out->size());
-  });
+      hedging && num_map2_tasks > 0,
+      [&](size_t task) -> PartitionedEmitter<Key2, Value2>& {
+        return producers2[num_partitions + task];
+      },
+      [&]() {
+        auto em =
+            std::make_unique<PartitionedEmitter<Key2, Value2>>(num_partitions);
+        if (spilling) {
+          const size_t share = std::max<size_t>(
+              1, spill_context->budget() / 2 / producers2.size());
+          em->EnableSpill(spill_context.get(), share, combiner2);
+        }
+        return em;
+      },
+      [&](size_t task, PartitionedEmitter<Key2, Value2>& em,
+          const CancellationToken& attempt_token,
+          const std::function<bool()>& claim) {
+        if (ckpt2 != nullptr && restore2 &&
+            mapreduce_internal::TryRestoreTaskCheckpoint<Key2, Value2>(
+                ckpt2.get(), task, &em, spill_context.get())) {
+          if (!claim()) return;
+          gauge.Add(em.size());
+          return;
+        }
+        const size_t begin =
+            stage2_side_inputs.size() * task / num_map2_tasks;
+        const size_t end =
+            stage2_side_inputs.size() * (task + 1) / num_map2_tasks;
+        TakeWorkUnits();
+        for (size_t i = begin; i < end; ++i) {
+          if (attempt_token.cancelled()) return;
+          map2_fn(stage2_side_inputs[i], &em);
+        }
+        if (attempt_token.cancelled()) return;
+        uint64_t cin = 0;
+        uint64_t cout = 0;
+        if (combiner2 != nullptr) em.Combine(combiner2, &cin, &cout);
+        em.FinishSpill();
+        const uint64_t units = TakeWorkUnits();
+        if (!claim()) return;
+        map2_task_units[task] = units;
+        combiner2_in[num_partitions + task] = cin;
+        combiner2_out[num_partitions + task] = cout;
+        if (ckpt2 != nullptr) {
+          mapreduce_internal::WriteTaskCheckpoint<Key2, Value2>(
+              ckpt2.get(), task, &em, spill_context.get());
+        }
+        gauge.Add(em.size());
+      },
+      &s2.hedges_launched, &s2.hedges_won);
+  if (ckpt2 != nullptr) {
+    s2.tasks_checkpointed += ckpt2->tasks_checkpointed();
+    s2.tasks_skipped_by_checkpoint += ckpt2->tasks_skipped();
+  }
   for (uint64_t units : map2_task_units) s2.map_work_units += units;
   s2.map_wall_seconds = map2_watch.ElapsedSeconds();
 

@@ -56,6 +56,19 @@ std::vector<NldPair> MassJoinSelfNldImpl(
   // of whatever fixed knob the caller configured.
   MapReduceOptions mr_options = options.mapreduce;
   if (!options.enable_shuffle_spill) mr_options.memory_budget_records = 0;
+  // Checkpoint gating (same contract as the TSJ gate): strip the
+  // engine-level dir unless the join-level switch is on; derive a zero
+  // fingerprint from the token statistics and the threshold.
+  if (!options.enable_checkpointing) {
+    mr_options.checkpoint_dir.clear();
+  } else if (mr_options.checkpoint_fingerprint == 0) {
+    uint64_t fp = MixCheckpointFingerprint(0, tokens.size());
+    uint64_t total_bytes = 0;
+    for (const std::string& token : tokens) total_bytes += token.size();
+    fp = MixCheckpointFingerprint(fp, total_bytes);
+    fp = MixCheckpointFingerprint(fp, static_cast<uint64_t>(threshold * 1e9));
+    mr_options.checkpoint_fingerprint = fp;
+  }
   if (options.adaptive_partitions) {
     uint64_t total_len = 0, max_len = 0;
     for (const std::string& token : tokens) {

@@ -100,6 +100,31 @@ std::vector<VsmartPair> VsmartSelfJoinImpl(
   // as TSJ's shared-token reduce.
   MapReduceOptions join_mr = options.mapreduce;
   if (!options.enable_shuffle_spill) join_mr.memory_budget_records = 0;
+  // Checkpoint gating, shared with the similarity phase below (same
+  // contract as the TSJ gate): strip the engine-level dir unless the
+  // join-level switch is on; derive a zero fingerprint from the multiset
+  // statistics, the threshold and the measure.
+  uint64_t ckpt_fp = options.mapreduce.checkpoint_fingerprint;
+  if (options.enable_checkpointing && ckpt_fp == 0) {
+    ckpt_fp = MixCheckpointFingerprint(0, multisets.size());
+    uint64_t total_tokens = 0;
+    for (const std::vector<uint32_t>& set : multisets) {
+      total_tokens += set.size();
+    }
+    ckpt_fp = MixCheckpointFingerprint(ckpt_fp, total_tokens);
+    ckpt_fp =
+        MixCheckpointFingerprint(ckpt_fp, static_cast<uint64_t>(threshold * 1e9));
+    ckpt_fp = MixCheckpointFingerprint(
+        ckpt_fp, static_cast<uint64_t>(options.measure));
+  }
+  const auto gate_checkpoint = [&](MapReduceOptions* mr) {
+    if (!options.enable_checkpointing) {
+      mr->checkpoint_dir.clear();
+    } else if (mr->checkpoint_fingerprint == 0) {
+      mr->checkpoint_fingerprint = ckpt_fp;
+    }
+  };
+  gate_checkpoint(&join_mr);
   if (options.adaptive_partitions) {
     KeyLoadProfile profile;
     for (const auto& [token, f] : frequency) {
@@ -163,6 +188,7 @@ std::vector<VsmartPair> VsmartSelfJoinImpl(
   // order-insensitive up to rounding (see the job-1 note above).
   MapReduceOptions similarity_mr = options.mapreduce;
   if (!options.enable_shuffle_spill) similarity_mr.memory_budget_records = 0;
+  gate_checkpoint(&similarity_mr);
   if (options.adaptive_partitions) {
     similarity_mr.num_partitions = AdaptivePartitionCount(
         similarity_mr.effective_workers(), partials.size(), partials.size(),

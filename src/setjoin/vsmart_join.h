@@ -60,6 +60,15 @@ struct VsmartOptions {
   /// surface through the JobStats::spill_status / spill_data_loss
   /// entries in `stats` (the latter means possibly incomplete output).
   bool enable_shuffle_spill = false;
+  /// Checkpoint/restart (mapreduce.h "Checkpoint validity"; same
+  /// semantics as TsjOptions::enable_checkpointing): when enabled AND
+  /// mapreduce.checkpoint_dir is set, both phases seal completed map
+  /// tasks under that directory and a restarted run over the same
+  /// multisets skips tasks whose checkpoint validates. A zero
+  /// mapreduce.checkpoint_fingerprint is derived from the multiset
+  /// statistics, the threshold and the measure. Off by default: the
+  /// engine-level dir is stripped unless this is set.
+  bool enable_checkpointing = false;
 };
 
 /// One joined pair of multiset indices (a < b) with its similarity.

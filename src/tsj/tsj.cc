@@ -223,6 +223,24 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   // join-level switch is on (the CC_SHUFFLE_SPILL_BUDGET test override
   // is engine-level and bypasses this gate by design).
   if (!options_.enable_shuffle_spill) mr_options.memory_budget_records = 0;
+  // Checkpoint gating mirrors spill gating. When armed and the caller
+  // supplied no fingerprint, derive one from the corpus statistics and
+  // the join parameters, so a restart restores checkpoints only when
+  // they were written for this exact input and configuration.
+  if (!options_.enable_checkpointing) {
+    mr_options.checkpoint_dir.clear();
+  } else if (mr_options.checkpoint_fingerprint == 0) {
+    uint64_t fp = MixCheckpointFingerprint(0, corpus.size());
+    fp = MixCheckpointFingerprint(fp, corpus.num_distinct_tokens());
+    size_t total_token_occurrences = 0;
+    for (uint32_t s = 0; s < corpus.size(); ++s) {
+      total_token_occurrences += corpus.tokens(s).size();
+    }
+    fp = MixCheckpointFingerprint(fp, total_token_occurrences);
+    fp = MixCheckpointFingerprint(fp, static_cast<uint64_t>(t * 1e9));
+    fp = MixCheckpointFingerprint(fp, options_.max_token_frequency);
+    mr_options.checkpoint_fingerprint = fp;
+  }
 
   // ---- Token statistics: frequencies and the high-frequency cutoff. ----
   const std::vector<uint32_t> frequency =
@@ -294,6 +312,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
     MassJoinOptions mass_options;
     mass_options.mapreduce = mr_options;
     mass_options.enable_shuffle_spill = options_.enable_shuffle_spill;
+    mass_options.enable_checkpointing = options_.enable_checkpointing;
     const std::vector<NldPair> token_pairs =
         MassJoinSelfNld(token_texts, t, mass_options, &mass_stats);
     local_info.similar_token_pairs = token_pairs.size();
@@ -637,6 +656,12 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::SelfJoin(
   local_info.tasks_cancelled =
       local_info.pipeline.total_tasks_cancelled();
   local_info.tasks_degraded = local_info.pipeline.total_tasks_degraded();
+  local_info.tasks_checkpointed =
+      local_info.pipeline.total_tasks_checkpointed();
+  local_info.tasks_skipped_by_checkpoint =
+      local_info.pipeline.total_tasks_skipped_by_checkpoint();
+  local_info.hedges_launched = local_info.pipeline.total_hedges_launched();
+  local_info.hedges_won = local_info.pipeline.total_hedges_won();
   local_info.result_pairs = results.size();
   local_info.peak_shuffle_records = gauge.peak();
   // Lossy spill faults (failed run reads: a partition's merge aborted,
@@ -713,6 +738,27 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
   mr_options.shuffle_gauge = &gauge;
   // Spill gating, as in SelfJoin.
   if (!options_.enable_shuffle_spill) mr_options.memory_budget_records = 0;
+  // Checkpoint gating, as in SelfJoin, with both corpora folded into the
+  // derived fingerprint.
+  if (!options_.enable_checkpointing) {
+    mr_options.checkpoint_dir.clear();
+  } else if (mr_options.checkpoint_fingerprint == 0) {
+    uint64_t fp = MixCheckpointFingerprint(0, r_corpus.size());
+    fp = MixCheckpointFingerprint(fp, r_corpus.num_distinct_tokens());
+    fp = MixCheckpointFingerprint(fp, p_corpus.size());
+    fp = MixCheckpointFingerprint(fp, p_corpus.num_distinct_tokens());
+    size_t total_token_occurrences = 0;
+    for (uint32_t s = 0; s < r_corpus.size(); ++s) {
+      total_token_occurrences += r_corpus.tokens(s).size();
+    }
+    for (uint32_t s = 0; s < p_corpus.size(); ++s) {
+      total_token_occurrences += p_corpus.tokens(s).size();
+    }
+    fp = MixCheckpointFingerprint(fp, total_token_occurrences);
+    fp = MixCheckpointFingerprint(fp, static_cast<uint64_t>(t * 1e9));
+    fp = MixCheckpointFingerprint(fp, options_.max_token_frequency);
+    mr_options.checkpoint_fingerprint = fp;
+  }
 
   // ---- Joint token space. ------------------------------------------------
   // Tokens are interned per corpus; the join needs one id space covering
@@ -807,6 +853,7 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
     MassJoinOptions mass_options;
     mass_options.mapreduce = mr_options;
     mass_options.enable_shuffle_spill = options_.enable_shuffle_spill;
+    mass_options.enable_checkpointing = options_.enable_checkpointing;
     const std::vector<NldPair> token_pairs =
         MassJoinSelfNld(survivor_texts, t, mass_options, &mass_stats);
     local_info.similar_token_pairs = token_pairs.size();
@@ -1166,6 +1213,12 @@ StatusOr<std::vector<TsjPair>> TokenizedStringJoiner::Join(
   local_info.tasks_cancelled =
       local_info.pipeline.total_tasks_cancelled();
   local_info.tasks_degraded = local_info.pipeline.total_tasks_degraded();
+  local_info.tasks_checkpointed =
+      local_info.pipeline.total_tasks_checkpointed();
+  local_info.tasks_skipped_by_checkpoint =
+      local_info.pipeline.total_tasks_skipped_by_checkpoint();
+  local_info.hedges_launched = local_info.pipeline.total_hedges_launched();
+  local_info.hedges_won = local_info.pipeline.total_hedges_won();
   local_info.result_pairs = results.size();
   local_info.peak_shuffle_records = gauge.peak();
   // Lossy spill faults become the join's error (see SelfJoin).

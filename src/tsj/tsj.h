@@ -152,6 +152,17 @@ struct TsjRunInfo {
   uint64_t task_retries = 0;
   uint64_t tasks_cancelled = 0;
   uint64_t tasks_degraded = 0;
+  /// Checkpoint/restart and hedged-execution counters (the checkpoint
+  /// and hedge contracts in mapreduce.h), summed across the run's jobs:
+  /// map tasks whose output was sealed under checkpoint_dir, map tasks a
+  /// restarted run skipped by restoring a validated checkpoint, hedged
+  /// attempts launched for watchdog-flagged stragglers, and hedges that
+  /// finished before their primary. All zero unless
+  /// TsjOptions::enable_checkpointing / the watchdog armed them.
+  uint64_t tasks_checkpointed = 0;
+  uint64_t tasks_skipped_by_checkpoint = 0;
+  uint64_t hedges_launched = 0;
+  uint64_t hedges_won = 0;
   /// Pairs in the final result.
   uint64_t result_pairs = 0;
   /// Pipeline-wide high-water mark of shuffle-resident records: one

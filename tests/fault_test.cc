@@ -133,6 +133,88 @@ TEST_F(FaultTest, ConfigureResetsCounters) {
   EXPECT_EQ(FaultInjector::Global().evaluations("s"), 0u);
 }
 
+TEST_F(FaultTest, KeyedEvaluationDecidesFromTheKeyNotTheOrder) {
+  // FAULT_POINT_AT's fire decision is a pure function of (spec, k), so a
+  // key set produces the same fired set in any evaluation order — the
+  // property hedged/retried attempts rely on (fault.h "Keyed
+  // evaluation"). A *replayed* key fires again, which is exactly why two
+  // concurrent attempts of one task must use distinct keys.
+  const std::vector<uint64_t> keys = {9, 2, 5, 7, 1, 3, 5, 8};
+  auto fired_set = [&](std::vector<uint64_t> order) {
+    EXPECT_TRUE(Arm("s=once@5").ok());
+    std::vector<uint64_t> fired;
+    for (uint64_t k : order) {
+      if (!FAULT_POINT_AT("s", k).ok()) fired.push_back(k);
+    }
+    std::sort(fired.begin(), fired.end());
+    return fired;
+  };
+  const std::vector<uint64_t> expected = {5, 5};
+  EXPECT_EQ(fired_set(keys), expected);
+  std::vector<uint64_t> reversed(keys.rbegin(), keys.rend());
+  EXPECT_EQ(fired_set(reversed), expected);
+  // The counter keeps counting for observability but no longer decides.
+  EXPECT_EQ(FaultInjector::Global().evaluations("s"), keys.size());
+}
+
+TEST_F(FaultTest, KeyedProbabilityScheduleSurvivesThreadedInterleaving) {
+  // The per-key decisions of a probability spec must be identical whether
+  // the keys are evaluated serially or raced across threads — the
+  // counter-indexed path can't promise that, the keyed path must.
+  ASSERT_TRUE(Arm("s=p0.3@seed11").ok());
+  constexpr uint64_t kKeys = 256;
+  std::vector<char> serial(kKeys + 1, 0);
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    serial[k] = FAULT_POINT_AT("s", k).ok() ? 0 : 1;
+  }
+  ASSERT_TRUE(Arm("s=p0.3@seed11").ok());
+  std::vector<char> threaded(kKeys + 1, 0);
+  {
+    ThreadPool pool(8);
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      pool.Submit([k, &threaded] {
+        threaded[k] = FAULT_POINT_AT("s", k).ok() ? 0 : 1;
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST_F(FaultTest, ReserveBlockClaimsDisjointRangesAndResets) {
+  ASSERT_TRUE(Arm("s=once@12").ok());
+  FaultInjector& injector = FaultInjector::Global();
+  // Sequential reservations claim contiguous, disjoint ranges.
+  EXPECT_EQ(injector.ReserveBlock("s", 10), 0u);
+  EXPECT_EQ(injector.ReserveBlock("s", 5), 10u);
+  EXPECT_EQ(injector.ReserveBlock("s", 1), 15u);
+  // Unknown (disarmed) sites share the harmless zero base.
+  EXPECT_EQ(injector.ReserveBlock("unarmed.site", 10), 0u);
+  // Configure resets reservations like the counters.
+  ASSERT_TRUE(Arm("s=once@12").ok());
+  EXPECT_EQ(injector.ReserveBlock("s", 4), 0u);
+}
+
+TEST_F(FaultTest, OncePerProcessAcrossReservedPhases) {
+  // Two sequential "phases" of 10 tasks each, keyed base + task + 1 like
+  // the engines: once@12 fires in the second phase (task index 1), and
+  // ONLY there — once per process, not once per phase, the regression
+  // the reservation scheme exists to prevent.
+  ASSERT_TRUE(Arm("s=once@12").ok());
+  FaultInjector& injector = FaultInjector::Global();
+  std::vector<std::pair<int, uint64_t>> fired;  // (phase, task)
+  for (int phase = 0; phase < 3; ++phase) {
+    const uint64_t base = injector.ReserveBlock("s", 10);
+    for (uint64_t task = 0; task < 10; ++task) {
+      if (!FAULT_POINT_AT("s", base + task + 1).ok()) {
+        fired.emplace_back(phase, task);
+      }
+    }
+  }
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (std::pair<int, uint64_t>{1, 1}));
+}
+
 // ---- CancellationToken -----------------------------------------------------
 
 TEST(CancellationTokenTest, FirstCauseWins) {
